@@ -1,0 +1,129 @@
+//! Criterion benches over the simulator's hot paths: network stepping
+//! under each flow-control method and topology, route compilation, the
+//! fault-steering datapath, CRC, and reservation lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocin_core::fault::{FaultKind, LinkFault, SteeredLink};
+use ocin_core::flit::Payload;
+use ocin_core::ids::Direction;
+use ocin_core::route::SourceRoute;
+use ocin_core::{
+    FlowControl, Network, NetworkConfig, PacketSpec, ReservationTable, StaticFlowSpec,
+    Topology, TopologySpec,
+};
+use ocin_services::crc::crc32_words;
+use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+
+/// Steps a loaded network for `cycles`, reinjecting continuously.
+fn run_network(cfg: NetworkConfig, cycles: u64) -> u64 {
+    let mut net = Network::new(cfg).expect("valid");
+    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: 0.25 });
+    let mut generation = wl.generator(3);
+    for now in 0..cycles {
+        for node in 0..16u16 {
+            if let Some(req) = generation.next_request(now, node.into()) {
+                let _ = net.inject(PacketSpec::new(node.into(), req.dst).payload_bits(256));
+            }
+        }
+        net.step();
+        for node in 0..16u16 {
+            net.drain_delivered(node.into());
+        }
+    }
+    net.stats().packets_delivered
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step_4x4");
+    // Each iteration simulates 1000 network cycles (~10 ms); keep the
+    // sample budget small so `cargo bench --workspace` stays quick.
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(1_000));
+    for (name, fc) in [
+        ("virtual_channel", FlowControl::VirtualChannel),
+        ("dropping", FlowControl::Dropping),
+        ("deflection", FlowControl::Deflection),
+    ] {
+        g.bench_with_input(BenchmarkId::new("flow_control", name), &fc, |b, &fc| {
+            b.iter(|| run_network(NetworkConfig::paper_baseline().with_flow_control(fc), 1_000));
+        });
+    }
+    for (name, spec) in [
+        ("ftorus4", TopologySpec::FoldedTorus { k: 4 }),
+        ("mesh4", TopologySpec::Mesh { k: 4 }),
+        ("ring16", TopologySpec::Ring { k: 16 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("topology", name), &spec, |b, &spec| {
+            b.iter(|| run_network(NetworkConfig::paper_baseline().with_topology(spec), 1_000));
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = ocin_core::FoldedTorus2D::new(8);
+    c.bench_function("route_dirs_all_pairs_8x8", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for s in 0..64u16 {
+                for d in 0..64u16 {
+                    hops += topo.route_dirs(s.into(), d.into()).len();
+                }
+            }
+            hops
+        });
+    });
+    c.bench_function("source_route_compile", |b| {
+        let dirs = [
+            Direction::East,
+            Direction::East,
+            Direction::North,
+            Direction::North,
+            Direction::West,
+        ];
+        b.iter(|| SourceRoute::compile(&dirs).expect("valid"));
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    c.bench_function("steered_link_transmit", |b| {
+        let mut link = SteeredLink::new(256, 1);
+        link.inject_fault(LinkFault {
+            wire: 100,
+            kind: FaultKind::StuckAtOne,
+        });
+        link.set_steering(false);
+        let p = Payload::from_u64(0xDEAD_BEEF_DEAD_BEEF);
+        b.iter(|| link.transmit(&p));
+    });
+    c.bench_function("crc32_4_words", |b| {
+        let words = [0x0123_4567u64, 0x89AB_CDEF, 0xFEDC_BA98, 0x7654_3210];
+        b.iter(|| crc32_words(&words));
+    });
+    c.bench_function("reservation_lookup", |b| {
+        let topo = ocin_core::FoldedTorus2D::new(4);
+        let flows: Vec<StaticFlowSpec> = (0..4)
+            .map(|i| StaticFlowSpec::new((i as u16).into(), (i as u16 + 8).into(), i * 3, 64))
+            .collect();
+        let table = ReservationTable::build(&topo, 16, 2, 2, &flows).expect("admits");
+        b.iter(|| {
+            let mut hits = 0;
+            for cycle in 0..16u64 {
+                for node in 0..16u16 {
+                    for dir in Direction::ALL {
+                        if table.reserved_flow(node.into(), dir, cycle).is_some() {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            hits
+        });
+    });
+}
+
+criterion_group!(benches, bench_step, bench_routing, bench_components);
+criterion_main!(benches);

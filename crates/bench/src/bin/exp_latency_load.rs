@@ -1,0 +1,141 @@
+//! §1 / §3.1: latency–load curves for mesh vs folded torus.
+//!
+//! "Networks are generally preferable to such buses because they have
+//! higher bandwidth and support multiple concurrent communications" —
+//! and the torus "effectively converts some of the plentiful wires into
+//! bandwidth". The torus's doubled bisection shows up as a higher
+//! saturation throughput; the crossover binds at k = 8 under uniform
+//! traffic and is extreme under the adversarial tornado pattern.
+
+use ocin_bench::{banner, check, f1, f3, quick_mode, sim_config};
+use ocin_core::{NetworkConfig, RoutingAlg, TopologySpec};
+use ocin_sim::{LoadSweep, Table};
+use ocin_traffic::{TrafficPattern, Workload};
+
+fn sweep(spec: TopologySpec, nodes: usize, k: usize, pattern: TrafficPattern) -> LoadSweep {
+    LoadSweep::new(
+        NetworkConfig::paper_baseline().with_topology(spec),
+        sim_config(),
+        Workload::new(nodes, k, pattern),
+    )
+}
+
+fn main() {
+    banner(
+        "exp_latency_load",
+        "§1, §3.1",
+        "latency vs offered load; torus sustains higher throughput (2x bisection)",
+    );
+
+    let loads: &[f64] = if quick_mode() {
+        &[0.1, 0.4, 0.7]
+    } else {
+        &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    };
+
+    for (title, k, pattern) in [
+        ("uniform, k = 4", 4usize, TrafficPattern::Uniform),
+        ("uniform, k = 8", 8, TrafficPattern::Uniform),
+    ] {
+        println!("\n--- {title} ---\n");
+        let n = k * k;
+        let mut t = Table::new(&[
+            "offered",
+            "mesh accepted",
+            "mesh mean lat",
+            "mesh p99",
+            "torus accepted",
+            "torus mean lat",
+            "torus p99",
+        ]);
+        let mesh = sweep(TopologySpec::Mesh { k }, n, k, pattern.clone());
+        let torus = sweep(TopologySpec::FoldedTorus { k }, n, k, pattern.clone());
+        let mut last: Option<(f64, f64)> = None;
+        for &load in loads {
+            let pm = mesh.point(load);
+            let pt = torus.point(load);
+            t.row(&[
+                f3(load),
+                f3(pm.accepted),
+                f1(pm.mean_latency),
+                f1(pm.p99_latency),
+                f3(pt.accepted),
+                f1(pt.mean_latency),
+                f1(pt.p99_latency),
+            ]);
+            last = Some((pm.accepted, pt.accepted));
+        }
+        println!("{t}");
+        if k == 8 {
+            let (mesh_acc, torus_acc) = last.expect("at least one load");
+            check(
+                torus_acc > mesh_acc,
+                "at the highest load the torus accepts more than the mesh",
+            );
+        }
+    }
+
+    // Adversarial tornado traffic: every node sends halfway around each
+    // ring. This defeats *minimal* routing on the torus (all traffic
+    // circles one way and the dateline halves the usable VCs) — the
+    // classic motivation for Valiant's randomized routing, which trades
+    // doubled distance for load balance.
+    println!("\n--- tornado, k = 8 (minimal vs Valiant on the torus) ---\n");
+    {
+        let k = 8usize;
+        let n = k * k;
+        let mut t = Table::new(&[
+            "offered",
+            "mesh accepted",
+            "torus minimal accepted",
+            "torus valiant accepted",
+        ]);
+        let mesh = sweep(TopologySpec::Mesh { k }, n, k, TrafficPattern::Tornado);
+        let tmin = sweep(TopologySpec::FoldedTorus { k }, n, k, TrafficPattern::Tornado);
+        let tval = LoadSweep::new(
+            NetworkConfig::paper_baseline()
+                .with_topology(TopologySpec::FoldedTorus { k })
+                .with_routing(RoutingAlg::Valiant),
+            sim_config(),
+            Workload::new(n, k, TrafficPattern::Tornado),
+        );
+        let mut last = (0.0, 0.0, 0.0);
+        for &load in loads {
+            let a = mesh.point(load).accepted;
+            let b = tmin.point(load).accepted;
+            let c = tval.point(load).accepted;
+            t.row(&[f3(load), f3(a), f3(b), f3(c)]);
+            last = (a, b, c);
+        }
+        println!("{t}");
+        let (_, tmin_acc, tval_acc) = last;
+        check(
+            tval_acc > tmin_acc,
+            "Valiant routing recovers tornado throughput that minimal routing loses on the torus",
+        );
+    }
+
+    if !quick_mode() {
+        println!("\nsaturation search (uniform, accepted >= 95% of offered):\n");
+        let mut sat = Table::new(&["topology", "k", "saturation (flits/node/cycle)"]);
+        let mut results = Vec::new();
+        for k in [4usize, 8] {
+            let n = k * k;
+            for (name, spec) in [
+                ("mesh", TopologySpec::Mesh { k }),
+                ("ftorus", TopologySpec::FoldedTorus { k }),
+            ] {
+                let s = sweep(spec, n, k, TrafficPattern::Uniform).saturation_load(0.05);
+                sat.row(&[name.into(), k.to_string(), f3(s)]);
+                results.push((name, k, s));
+            }
+        }
+        println!("{sat}");
+        let mesh8 = results.iter().find(|r| r.0 == "mesh" && r.1 == 8).expect("ran").2;
+        let torus8 = results.iter().find(|r| r.0 == "ftorus" && r.1 == 8).expect("ran").2;
+        check(
+            torus8 > 1.3 * mesh8,
+            "k=8 torus saturation well above the mesh (bisection-limited)",
+        );
+    }
+}

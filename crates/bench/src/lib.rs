@@ -1,0 +1,84 @@
+//! # ocin-bench — experiment harnesses
+//!
+//! One binary per figure / quantitative claim of the paper (see
+//! `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded
+//! results), plus Criterion benches over the simulator's hot paths.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p ocin-bench --bin exp_power_topology
+//! ```
+//!
+//! Set `OCIN_QUICK=1` to shorten simulation windows (used by the test
+//! suite to smoke-run every experiment).
+
+use ocin_sim::SimConfig;
+
+/// Simulation phases for experiments: standard, or quick when
+/// `OCIN_QUICK` is set.
+pub fn sim_config() -> SimConfig {
+    if quick_mode() {
+        SimConfig::quick()
+    } else {
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 8_000,
+            drain_cycles: 16_000,
+            seed: 0x0C1,
+        }
+    }
+}
+
+/// Whether `OCIN_QUICK=1` (shorter runs, same shapes).
+pub fn quick_mode() -> bool {
+    std::env::var("OCIN_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Prints the experiment banner: id, paper section, and the claim being
+/// reproduced.
+pub fn banner(id: &str, paper_ref: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}  [{paper_ref}]");
+    println!("claim: {claim}");
+    println!("================================================================");
+}
+
+/// Prints a labelled check line, e.g. `[ok] torus/mesh ratio 1.09 < 1.15`.
+pub fn check(ok: bool, what: &str) {
+    println!("[{}] {}", if ok { "ok" } else { "MISS" }, what);
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.12349), "0.123");
+        assert_eq!(f1(9.96), "10.0");
+    }
+
+    #[test]
+    fn sim_config_is_quick_under_env() {
+        // Can't mutate the environment safely in parallel tests; just
+        // exercise both branches directly.
+        assert!(SimConfig::quick().measure_cycles < sim_config().measure_cycles || quick_mode());
+    }
+}

@@ -1,0 +1,282 @@
+//! A shared on-chip bus: the baseline interconnect the paper argues
+//! against (§1, §4.2).
+//!
+//! "Of course, these modularity advantages are also realized by on-chip
+//! buses, a degenerate form of a network. Networks are generally
+//! preferable to such buses because they have higher bandwidth and
+//! support multiple concurrent communications."
+//!
+//! [`SharedBus`] models a CoreConnect/OCP-style arbitrated bus: one
+//! 256-bit medium spanning the die, round-robin arbitration, one data
+//! beat per cycle, non-preemptive transfers. It exposes the same
+//! offer/step/drain shape as [`crate::Network`] so experiments can put
+//! the two side by side: the bus serializes *all* traffic, so its
+//! aggregate bandwidth is one flit per cycle no matter how many clients
+//! share it, and every beat drives the full die-spanning wire.
+
+use std::collections::VecDeque;
+
+use crate::ids::{Cycle, NodeId, PacketId};
+
+/// A packet carried over the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusPacket {
+    /// Packet identity.
+    pub id: PacketId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Transfer length in 256-bit beats.
+    pub beats: u32,
+    /// Cycle the packet was offered.
+    pub created_at: Cycle,
+    /// Cycle the last beat completed (set on delivery).
+    pub delivered_at: Cycle,
+}
+
+impl BusPacket {
+    /// Offer-to-completion latency.
+    pub fn latency(&self) -> Cycle {
+        self.delivered_at - self.created_at
+    }
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Data beats carried.
+    pub beats_carried: u64,
+    /// Packets completed.
+    pub packets_delivered: u64,
+}
+
+impl BusStats {
+    /// Fraction of cycles the bus was transferring data.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.beats_carried as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A single arbitrated bus shared by `clients` modules.
+#[derive(Debug)]
+pub struct SharedBus {
+    clients: usize,
+    /// Per-client outbound request queues.
+    queues: Vec<VecDeque<BusPacket>>,
+    /// Per-client delivery queues.
+    delivered: Vec<VecDeque<BusPacket>>,
+    /// Round-robin arbitration pointer.
+    rr: usize,
+    /// Transfer in progress: (packet, beats remaining).
+    current: Option<(BusPacket, u32)>,
+    cycle: Cycle,
+    next_id: u64,
+    stats: BusStats,
+    /// Physical bus length in mm (drives the energy comparison: every
+    /// beat toggles the full wire).
+    pub length_mm: f64,
+}
+
+impl SharedBus {
+    /// Creates a bus shared by `clients` modules, spanning `length_mm`
+    /// of die (the paper's die is 12 mm across).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0`.
+    pub fn new(clients: usize, length_mm: f64) -> SharedBus {
+        assert!(clients > 0, "a bus needs at least one client");
+        SharedBus {
+            clients,
+            queues: (0..clients).map(|_| VecDeque::new()).collect(),
+            delivered: (0..clients).map(|_| VecDeque::new()).collect(),
+            rr: 0,
+            current: None,
+            cycle: 0,
+            next_id: 0,
+            stats: BusStats::default(),
+            length_mm,
+        }
+    }
+
+    /// Number of clients.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BusStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s
+    }
+
+    /// Queues a transfer of `beats` 256-bit beats from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `beats == 0`.
+    pub fn offer(&mut self, src: NodeId, dst: NodeId, beats: u32) -> PacketId {
+        assert!(src.index() < self.clients && dst.index() < self.clients);
+        assert!(beats > 0, "empty transfer");
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        self.queues[src.index()].push_back(BusPacket {
+            id,
+            src,
+            dst,
+            beats,
+            created_at: self.cycle,
+            delivered_at: 0,
+        });
+        id
+    }
+
+    /// Requests waiting across all clients.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + usize::from(self.current.is_some())
+    }
+
+    /// Advances one cycle: the current transfer moves one beat; when it
+    /// completes, the arbiter grants the next client round-robin.
+    pub fn step(&mut self) {
+        if self.current.is_none() {
+            // Arbitrate: next requesting client after rr.
+            for off in 0..self.clients {
+                let c = (self.rr + off) % self.clients;
+                if let Some(pkt) = self.queues[c].pop_front() {
+                    self.current = Some((pkt, pkt.beats));
+                    self.rr = (c + 1) % self.clients;
+                    break;
+                }
+            }
+        }
+        if let Some((pkt, remaining)) = &mut self.current {
+            *remaining -= 1;
+            self.stats.beats_carried += 1;
+            if *remaining == 0 {
+                let mut done = *pkt;
+                done.delivered_at = self.cycle + 1;
+                self.delivered[done.dst.index()].push_back(done);
+                self.stats.packets_delivered += 1;
+                self.current = None;
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Removes and returns transfers completed for `client`.
+    pub fn drain_delivered(&mut self, client: NodeId) -> Vec<BusPacket> {
+        self.delivered[client.index()].drain(..).collect()
+    }
+
+    /// Bit·millimetres toggled so far: every beat drives the full bus
+    /// (256 data bits across `length_mm`), the §4.4 duty-factor cost of
+    /// a monolithic shared medium.
+    pub fn bit_mm(&self) -> f64 {
+        self.stats.beats_carried as f64 * 256.0 * self.length_mm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_completes_in_beats_cycles() {
+        let mut bus = SharedBus::new(16, 12.0);
+        bus.offer(NodeId::new(0), NodeId::new(5), 4);
+        for _ in 0..4 {
+            assert!(bus.drain_delivered(NodeId::new(5)).is_empty());
+            bus.step();
+        }
+        let done = bus.drain_delivered(NodeId::new(5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency(), 4);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_is_one_beat_per_cycle() {
+        let mut bus = SharedBus::new(16, 12.0);
+        // Every client offers continuously for 160 cycles.
+        for now in 0..160u64 {
+            let _ = now;
+            for c in 0..16u16 {
+                if bus.queues[c as usize].len() < 2 {
+                    bus.offer(c.into(), ((c + 1) % 16).into(), 1);
+                }
+            }
+            bus.step();
+        }
+        let s = bus.stats();
+        assert_eq!(s.beats_carried, 160, "the bus never parallelizes");
+        assert!(s.utilization() >= 0.99);
+        // Per-client throughput collapses to 1/16.
+        assert!(s.packets_delivered <= 160);
+    }
+
+    #[test]
+    fn arbitration_is_fair_round_robin() {
+        let mut bus = SharedBus::new(4, 12.0);
+        for c in 0..4u16 {
+            bus.offer(c.into(), ((c + 1) % 4).into(), 1);
+            bus.offer(c.into(), ((c + 2) % 4).into(), 1);
+        }
+        for _ in 0..8 {
+            bus.step();
+        }
+        // All eight 1-beat transfers complete in 8 cycles, two per client.
+        let total: usize = (0..4u16)
+            .map(|c| bus.drain_delivered(c.into()).len())
+            .sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn transfers_are_non_preemptive() {
+        let mut bus = SharedBus::new(2, 12.0);
+        bus.offer(NodeId::new(0), NodeId::new(1), 8);
+        bus.step();
+        bus.offer(NodeId::new(1), NodeId::new(0), 1);
+        // The long transfer holds the bus; the short one waits 8 cycles.
+        for _ in 0..8 {
+            bus.step();
+        }
+        let short = bus.drain_delivered(NodeId::new(0));
+        assert_eq!(short.len(), 1);
+        assert_eq!(short[0].latency(), 8);
+    }
+
+    #[test]
+    fn energy_counts_full_wire_per_beat() {
+        let mut bus = SharedBus::new(4, 12.0);
+        bus.offer(NodeId::new(0), NodeId::new(3), 2);
+        bus.step();
+        bus.step();
+        assert!((bus.bit_mm() - 2.0 * 256.0 * 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_bus_carries_nothing() {
+        let mut bus = SharedBus::new(3, 12.0);
+        for _ in 0..10 {
+            bus.step();
+        }
+        assert_eq!(bus.stats().beats_carried, 0);
+        assert_eq!(bus.stats().utilization(), 0.0);
+        assert_eq!(bus.pending(), 0);
+    }
+}

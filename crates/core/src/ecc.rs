@@ -1,0 +1,130 @@
+//! Link-level error correction (paper §2.5).
+//!
+//! "Although not employed in our design, the use of link-level error
+//! correction reduces the possibility of a transient fault, with the
+//! cost of additional delay."
+//!
+//! This module implements a SEC-DED (single-error-correct, double-error-
+//! detect) code over the 256-bit flit payload. Each set bit at position
+//! `i` contributes `i | 0x100` to a 9-bit XOR syndrome: any single flip
+//! changes the syndrome by a value with bit 8 set (identifying the
+//! flipped position uniquely), while any double flip cancels bit 8 but
+//! leaves a nonzero syndrome — detected but not correctable. Enabling
+//! [`crate::config::LinkProtection::Secded`] adds one cycle of channel
+//! latency for the decode, per the paper's "cost of additional delay".
+
+use crate::flit::Payload;
+
+/// Width of the check field in bits (rides the flit's control overhead).
+pub const ECC_BITS: usize = 9;
+
+/// Outcome of decoding a received payload against its check word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// The payload arrived exactly as sent.
+    Clean,
+    /// A single bit was flipped in flight and has been corrected.
+    Corrected {
+        /// The repaired bit position.
+        bit: usize,
+    },
+    /// Two (or an even number of) bits flipped: detected, not corrected.
+    Uncorrectable,
+}
+
+/// Computes the 9-bit check word for a payload.
+pub fn encode(payload: &Payload) -> u16 {
+    let mut syndrome: u16 = 0;
+    for (w, &word) in payload.0.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let index = (w * 64 + b) as u16;
+            syndrome ^= index | 0x100;
+        }
+    }
+    syndrome
+}
+
+/// Decodes a received payload against the transmitted check word,
+/// correcting a single-bit error in place.
+pub fn decode(payload: &mut Payload, sent_check: u16) -> EccOutcome {
+    let diff = encode(payload) ^ sent_check;
+    if diff == 0 {
+        EccOutcome::Clean
+    } else if diff & 0x100 != 0 {
+        let bit = (diff & 0xFF) as usize;
+        payload.flip_bit(bit);
+        EccOutcome::Corrected { bit }
+    } else {
+        EccOutcome::Uncorrectable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(seed: u64) -> Payload {
+        Payload([
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            !seed,
+            seed.rotate_left(17),
+        ])
+    }
+
+    #[test]
+    fn clean_payloads_decode_clean() {
+        for s in 0..32u64 {
+            let p = pattern(s);
+            let code = encode(&p);
+            let mut rx = p;
+            assert_eq!(decode(&mut rx, code), EccOutcome::Clean);
+            assert_eq!(rx, p);
+        }
+    }
+
+    #[test]
+    fn every_single_flip_is_corrected() {
+        let p = pattern(7);
+        let code = encode(&p);
+        for bit in 0..256 {
+            let mut rx = p;
+            rx.flip_bit(bit);
+            assert_eq!(decode(&mut rx, code), EccOutcome::Corrected { bit });
+            assert_eq!(rx, p, "bit {bit} not repaired");
+        }
+    }
+
+    #[test]
+    fn double_flips_are_detected_not_miscorrected() {
+        let p = pattern(3);
+        let code = encode(&p);
+        for (a, b) in [(0usize, 1usize), (5, 200), (63, 64), (254, 255), (17, 130)] {
+            let mut rx = p;
+            rx.flip_bit(a);
+            rx.flip_bit(b);
+            assert_eq!(decode(&mut rx, code), EccOutcome::Uncorrectable);
+        }
+    }
+
+    #[test]
+    fn zero_payload_roundtrip() {
+        let p = Payload::ZERO;
+        assert_eq!(encode(&p), 0);
+        let mut rx = p;
+        rx.flip_bit(0);
+        // Flipping bit 0 contributes 0x100 exactly.
+        assert_eq!(decode(&mut rx, encode(&p)), EccOutcome::Corrected { bit: 0 });
+        assert_eq!(rx, Payload::ZERO);
+    }
+
+    #[test]
+    fn check_fits_the_field() {
+        for s in 0..64u64 {
+            assert!(encode(&pattern(s)) < 1 << ECC_BITS);
+        }
+    }
+}

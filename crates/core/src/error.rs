@@ -1,0 +1,99 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use crate::ids::{NodeId, VcId};
+use crate::reservation::ReservationError;
+use crate::route::RouteError;
+
+/// Errors returned by network construction and operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration parameter is invalid (message explains which).
+    Config(String),
+    /// A node index is out of range for the configured topology.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// A route could not be built or decoded.
+    Route(RouteError),
+    /// A static-flow reservation could not be admitted.
+    Reservation(ReservationError),
+    /// A packet was submitted with an empty virtual-channel mask, or a mask
+    /// that selects no VC usable by its class.
+    EmptyVcMask {
+        /// The requested mask.
+        mask: u8,
+    },
+    /// The per-tile injection queue for this VC is full.
+    InjectionBackpressure {
+        /// The tile whose port is not ready.
+        node: NodeId,
+        /// The virtual channel that is not ready.
+        vc: VcId,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node network")
+            }
+            Error::Route(e) => write!(f, "route error: {e}"),
+            Error::Reservation(e) => write!(f, "reservation error: {e}"),
+            Error::EmptyVcMask { mask } => {
+                write!(f, "virtual-channel mask {mask:#010b} selects no usable VC")
+            }
+            Error::InjectionBackpressure { node, vc } => {
+                write!(f, "tile {node} injection port not ready on {vc:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Route(e) => Some(e),
+            Error::Reservation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouteError> for Error {
+    fn from(e: RouteError) -> Self {
+        Error::Route(e)
+    }
+}
+
+impl From<ReservationError> for Error {
+    fn from(e: ReservationError) -> Self {
+        Error::Reservation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Config("zero VCs".into());
+        assert!(e.to_string().contains("zero VCs"));
+        let e = Error::NodeOutOfRange {
+            node: NodeId::new(99),
+            nodes: 16,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("16"));
+        let e = Error::EmptyVcMask { mask: 0 };
+        assert!(e.to_string().contains("0b00000000"));
+    }
+}

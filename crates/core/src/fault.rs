@@ -1,0 +1,337 @@
+//! Fault-tolerant wiring: spare bits and steering logic (paper §2.5).
+//!
+//! To prevent a single fault in a network wire from killing the chip, a
+//! spare wire is provided on each link. After test, fuses (or boot-time
+//! registers) identify faulty wires; bit-steering logic shifts all bits
+//! starting at the fault up one position to route around it, and matching
+//! logic at the far end restores the original positions.
+//!
+//! [`SteeredLink`] models a link of `width` signal wires plus `spares`
+//! spare wires. With steering enabled, up to `spares` stuck-at faults are
+//! completely masked; beyond that (or with steering disabled) the stuck
+//! wires corrupt the bits they carry, which the end-to-end checking layer
+//! (`ocin-services`) detects and repairs by retry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::flit::{Payload, FLIT_DATA_BITS};
+
+/// How a faulty wire fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The wire always reads 0.
+    StuckAtZero,
+    /// The wire always reads 1.
+    StuckAtOne,
+}
+
+/// A fault on one physical wire of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Physical wire index, `0 .. width + spares`.
+    pub wire: usize,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            FaultKind::StuckAtZero => "stuck-at-0",
+            FaultKind::StuckAtOne => "stuck-at-1",
+        };
+        write!(f, "wire {} {k}", self.wire)
+    }
+}
+
+/// A physical link with spare wires and bit-steering logic.
+///
+/// ```
+/// use ocin_core::{SteeredLink, LinkFault, FaultKind};
+/// use ocin_core::flit::Payload;
+///
+/// let mut link = SteeredLink::new(256, 1);
+/// link.inject_fault(LinkFault { wire: 17, kind: FaultKind::StuckAtOne });
+///
+/// // With steering the fault is masked entirely.
+/// let data = Payload::from_u64(0xABCD);
+/// let (out, corrupted) = link.transmit(&data);
+/// assert_eq!(out, data);
+/// assert!(!corrupted);
+///
+/// // Without steering, bit 17 is forced to 1.
+/// link.set_steering(false);
+/// let (out, corrupted) = link.transmit(&data);
+/// assert!(corrupted);
+/// assert!(out.bit(17));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteeredLink {
+    width: usize,
+    spares: usize,
+    steering: bool,
+    /// Faulty physical wires, sorted by index.
+    faults: BTreeMap<usize, FaultKind>,
+    /// Cached map: logical bit → physical wire (identity when healthy).
+    map: Vec<usize>,
+}
+
+impl SteeredLink {
+    /// Creates a healthy link of `width` logical bits with `spares` spare
+    /// wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds the 256-bit payload the model can
+    /// corrupt.
+    pub fn new(width: usize, spares: usize) -> SteeredLink {
+        assert!(width > 0, "link width must be positive");
+        assert!(
+            width <= FLIT_DATA_BITS,
+            "link width beyond the modelled payload"
+        );
+        let mut link = SteeredLink {
+            width,
+            spares,
+            steering: true,
+            faults: BTreeMap::new(),
+            map: Vec::new(),
+        };
+        link.rebuild_map();
+        link
+    }
+
+    /// Logical data width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Spare wire count.
+    pub fn spares(&self) -> usize {
+        self.spares
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether steering is enabled (fuses blown / boot registers set).
+    pub fn steering(&self) -> bool {
+        self.steering
+    }
+
+    /// Enables or disables the steering logic, rebuilding the bit map.
+    pub fn set_steering(&mut self, on: bool) {
+        self.steering = on;
+        self.rebuild_map();
+    }
+
+    /// Marks a physical wire faulty and reconfigures the steering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault.wire` is outside `0 .. width + spares`.
+    pub fn inject_fault(&mut self, fault: LinkFault) {
+        assert!(
+            fault.wire < self.width + self.spares,
+            "wire {} outside link of {} wires",
+            fault.wire,
+            self.width + self.spares
+        );
+        self.faults.insert(fault.wire, fault.kind);
+        self.rebuild_map();
+    }
+
+    /// Removes all faults (a repaired or replaced link).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+        self.rebuild_map();
+    }
+
+    /// Whether the current fault set is fully masked by the spares.
+    pub fn fully_masked(&self) -> bool {
+        self.steering && self.faults.len() <= self.spares
+    }
+
+    fn rebuild_map(&mut self) {
+        self.map.clear();
+        if self.steering {
+            // Each logical bit shifts up by the number of faulty wires
+            // below it, capped at the spare budget — exactly what the
+            // shift-by-one steering stages do in hardware. Past the cap,
+            // bits land on whatever wire sits `spares` above them, faulty
+            // or not.
+            let mut shift = 0;
+            for i in 0..self.width {
+                while shift < self.spares && self.faults.contains_key(&(i + shift)) {
+                    shift += 1;
+                }
+                self.map.push(i + shift);
+            }
+        } else {
+            self.map.extend(0..self.width);
+        }
+    }
+
+    /// The physical wire carrying logical bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn wire_for_bit(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// Transmits a payload across the link, applying any unmasked faults.
+    ///
+    /// Returns the received payload and whether any logical bit was
+    /// altered. Only the low `width` logical bits are subject to faults.
+    pub fn transmit(&self, data: &Payload) -> (Payload, bool) {
+        if self.faults.is_empty() || self.fully_masked() {
+            return (*data, false);
+        }
+        let mut out = *data;
+        let mut corrupted = false;
+        for (bit, &wire) in self.map.iter().enumerate() {
+            if let Some(&kind) = self.faults.get(&wire) {
+                let forced = kind == FaultKind::StuckAtOne;
+                if out.bit(bit) != forced {
+                    out.flip_bit(bit);
+                    corrupted = true;
+                }
+            }
+        }
+        (out, corrupted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern() -> Payload {
+        let mut p = Payload::ZERO;
+        for i in (0..256).step_by(3) {
+            p.flip_bit(i);
+        }
+        p
+    }
+
+    #[test]
+    fn healthy_link_is_transparent() {
+        let link = SteeredLink::new(256, 1);
+        let data = pattern();
+        let (out, corrupted) = link.transmit(&data);
+        assert_eq!(out, data);
+        assert!(!corrupted);
+        for i in 0..256 {
+            assert_eq!(link.wire_for_bit(i), i);
+        }
+    }
+
+    #[test]
+    fn single_fault_is_steered_around() {
+        let mut link = SteeredLink::new(256, 1);
+        link.inject_fault(LinkFault {
+            wire: 100,
+            kind: FaultKind::StuckAtZero,
+        });
+        assert!(link.fully_masked());
+        let data = pattern();
+        let (out, corrupted) = link.transmit(&data);
+        assert_eq!(out, data);
+        assert!(!corrupted);
+        // Bits at and above the fault shift up one wire.
+        assert_eq!(link.wire_for_bit(99), 99);
+        assert_eq!(link.wire_for_bit(100), 101);
+        assert_eq!(link.wire_for_bit(255), 256); // the spare
+    }
+
+    #[test]
+    fn multiple_spares_mask_multiple_faults() {
+        let mut link = SteeredLink::new(64, 3);
+        for wire in [5, 20, 40] {
+            link.inject_fault(LinkFault {
+                wire,
+                kind: FaultKind::StuckAtOne,
+            });
+        }
+        assert!(link.fully_masked());
+        let data = pattern();
+        let (out, corrupted) = link.transmit(&data);
+        assert_eq!(out, data);
+        assert!(!corrupted);
+    }
+
+    #[test]
+    fn faults_beyond_spares_corrupt() {
+        let mut link = SteeredLink::new(64, 1);
+        link.inject_fault(LinkFault {
+            wire: 10,
+            kind: FaultKind::StuckAtZero,
+        });
+        link.inject_fault(LinkFault {
+            wire: 30,
+            kind: FaultKind::StuckAtZero,
+        });
+        assert!(!link.fully_masked());
+        // A payload of all ones in the low 64 bits must lose a bit.
+        let mut data = Payload::ZERO;
+        for i in 0..64 {
+            data.flip_bit(i);
+        }
+        let (out, corrupted) = link.transmit(&data);
+        assert!(corrupted);
+        assert_ne!(out, data);
+    }
+
+    #[test]
+    fn steering_disabled_exposes_fault() {
+        let mut link = SteeredLink::new(256, 1);
+        link.inject_fault(LinkFault {
+            wire: 7,
+            kind: FaultKind::StuckAtOne,
+        });
+        link.set_steering(false);
+        let data = Payload::ZERO;
+        let (out, corrupted) = link.transmit(&data);
+        assert!(corrupted);
+        assert!(out.bit(7));
+        // Re-enabling steering heals it.
+        link.set_steering(true);
+        let (out, corrupted) = link.transmit(&data);
+        assert!(!corrupted);
+        assert_eq!(out, Payload::ZERO);
+    }
+
+    #[test]
+    fn clear_faults_restores_identity() {
+        let mut link = SteeredLink::new(32, 1);
+        link.inject_fault(LinkFault {
+            wire: 0,
+            kind: FaultKind::StuckAtOne,
+        });
+        link.clear_faults();
+        assert_eq!(link.fault_count(), 0);
+        let (out, corrupted) = link.transmit(&pattern());
+        assert_eq!(out, pattern());
+        assert!(!corrupted);
+    }
+
+    #[test]
+    fn stuck_at_matching_data_is_silent() {
+        // A stuck-at-1 wire carrying a 1 corrupts nothing.
+        let mut link = SteeredLink::new(8, 0);
+        link.inject_fault(LinkFault {
+            wire: 3,
+            kind: FaultKind::StuckAtOne,
+        });
+        let mut data = Payload::ZERO;
+        data.flip_bit(3);
+        let (out, corrupted) = link.transmit(&data);
+        assert_eq!(out, data);
+        assert!(!corrupted);
+    }
+}

@@ -1,0 +1,418 @@
+//! The tile interface: the paper's "simple reliable datagram" port (§2.1).
+//!
+//! Each tile talks to the network through an input port (packets into the
+//! network) and an output port (packets delivered to the tile). The input
+//! port carries the 256-bit data field plus type/size/VC-mask/route
+//! subfields, and receives per-VC *ready* signals back from the network —
+//! realized here as credit counters against the router's tile input
+//! buffers.
+//!
+//! Because each virtual channel has its own queue and the port arbitrates
+//! by service class every cycle, "the injection of a long, low priority
+//! packet may be interrupted to inject a short, high-priority packet and
+//! then resumed" exactly as the paper describes.
+
+use std::collections::VecDeque;
+
+use crate::error::Error;
+use crate::flit::{Flit, Payload, ServiceClass};
+use crate::ids::{Cycle, FlowId, NodeId, PacketId, VcId};
+
+/// A packet delivered by the network to a tile's output port.
+#[derive(Debug, Clone)]
+pub struct DeliveredPacket {
+    /// Packet identity.
+    pub id: PacketId,
+    /// Injecting tile.
+    pub src: NodeId,
+    /// Destination tile (this tile).
+    pub dst: NodeId,
+    /// Service class.
+    pub class: ServiceClass,
+    /// Pre-scheduled flow, if any.
+    pub flow: Option<FlowId>,
+    /// Cycle the packet was offered to the source tile port.
+    pub created_at: Cycle,
+    /// Cycle the head flit entered the network.
+    pub injected_at: Cycle,
+    /// Cycle the tail flit arrived at this tile's output port.
+    pub delivered_at: Cycle,
+    /// Number of flits.
+    pub num_flits: usize,
+    /// Reassembled payload, one entry per flit.
+    pub payloads: Vec<Payload>,
+    /// Whether any flit was altered by an unmasked link fault.
+    pub corrupted: bool,
+}
+
+impl DeliveredPacket {
+    /// Total latency from offering the packet to the port until the tail
+    /// arrives (queueing + network).
+    pub fn total_latency(&self) -> Cycle {
+        self.delivered_at - self.created_at
+    }
+
+    /// Network latency: head injection to tail delivery.
+    pub fn network_latency(&self) -> Cycle {
+        self.delivered_at - self.injected_at
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Reassembly {
+    flits: Vec<Flit>,
+}
+
+/// Per-tile injection and ejection logic.
+#[derive(Debug)]
+pub struct TileInterface {
+    node: NodeId,
+    num_vcs: usize,
+    queue_capacity: usize,
+    inject_queues: Vec<VecDeque<Flit>>,
+    credits: Vec<u64>,
+    credit_gated: bool,
+    rr: usize,
+    reassembly: Vec<Option<Reassembly>>,
+    delivered: VecDeque<DeliveredPacket>,
+    /// Total flits injected into the network.
+    pub flits_injected: u64,
+    /// Total packets fully delivered to this tile.
+    pub packets_delivered: u64,
+}
+
+impl TileInterface {
+    /// Creates the interface for `node`.
+    ///
+    /// `initial_credits` is the router's per-VC tile-input buffer depth;
+    /// `credit_gated` is false for flow-control methods without credits
+    /// (dropping, deflection).
+    pub fn new(
+        node: NodeId,
+        num_vcs: usize,
+        queue_capacity: usize,
+        initial_credits: u64,
+        credit_gated: bool,
+    ) -> TileInterface {
+        TileInterface {
+            node,
+            num_vcs,
+            queue_capacity,
+            inject_queues: (0..num_vcs).map(|_| VecDeque::new()).collect(),
+            credits: vec![initial_credits; num_vcs],
+            credit_gated,
+            rr: 0,
+            reassembly: (0..num_vcs).map(|_| None).collect(),
+            delivered: VecDeque::new(),
+            flits_injected: 0,
+            packets_delivered: 0,
+        }
+    }
+
+    /// The tile this interface serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Free queue slots (flits) on `vc`.
+    pub fn queue_space(&self, vc: VcId) -> usize {
+        self.queue_capacity - self.inject_queues[vc.index()].len()
+    }
+
+    /// Among `allowed` VCs, the one with the most queue space (ties to the
+    /// lowest id), or `None` if every allowed queue lacks `need` slots.
+    pub fn choose_vc(&self, allowed: impl Iterator<Item = VcId>, need: usize) -> Option<VcId> {
+        allowed
+            .filter(|vc| vc.index() < self.num_vcs)
+            .map(|vc| (self.queue_space(vc), vc))
+            .filter(|(space, _)| *space >= need)
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, vc)| vc)
+    }
+
+    /// Queues a flitized packet on `vc`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InjectionBackpressure`] if the queue lacks space for the
+    /// whole packet; nothing is enqueued in that case.
+    pub fn enqueue_packet(&mut self, vc: VcId, flits: Vec<Flit>) -> Result<(), Error> {
+        if self.queue_space(vc) < flits.len() {
+            return Err(Error::InjectionBackpressure {
+                node: self.node,
+                vc,
+            });
+        }
+        let q = &mut self.inject_queues[vc.index()];
+        for mut f in flits {
+            f.link_vc = vc;
+            q.push_back(f);
+        }
+        Ok(())
+    }
+
+    /// Selects and removes the flit to inject this cycle: the
+    /// highest-class VC with a flit at its head and a credit available,
+    /// round-robin among equals. Returns `None` on an idle cycle.
+    pub fn pick_injection(&mut self, now: Cycle) -> Option<Flit> {
+        let n = self.num_vcs;
+        let mut best: Option<(u8, usize)> = None; // (priority, vc index)
+        for off in 0..n {
+            let v = (self.rr + off) % n;
+            let Some(front) = self.inject_queues[v].front() else {
+                continue;
+            };
+            if self.credit_gated && self.credits[v] == 0 {
+                continue;
+            }
+            let pri = front.meta.class.priority();
+            if best.is_none_or(|(bp, _)| pri > bp) {
+                best = Some((pri, v));
+            }
+        }
+        let (_, v) = best?;
+        let mut flit = self.inject_queues[v].pop_front().expect("non-empty");
+        if self.credit_gated {
+            self.credits[v] -= 1;
+        }
+        flit.meta.injected_at = now;
+        self.flits_injected += 1;
+        self.rr = (v + 1) % n;
+        Some(flit)
+    }
+
+    /// Peeks at the flit [`Self::pick_injection`] would return, without
+    /// removing it (used by deflection routers, which pull injections).
+    pub fn peek_injection(&self) -> Option<&Flit> {
+        let n = self.num_vcs;
+        let mut best: Option<(u8, usize)> = None;
+        for off in 0..n {
+            let v = (self.rr + off) % n;
+            let Some(front) = self.inject_queues[v].front() else {
+                continue;
+            };
+            if self.credit_gated && self.credits[v] == 0 {
+                continue;
+            }
+            let pri = front.meta.class.priority();
+            if best.is_none_or(|(bp, _)| pri > bp) {
+                best = Some((pri, v));
+            }
+        }
+        best.map(|(_, v)| self.inject_queues[v].front().expect("non-empty"))
+    }
+
+    /// Returns one credit for `vc` (the router dequeued a tile-input flit).
+    pub fn credit_return(&mut self, vc: VcId) {
+        self.credits[vc.index()] += 1;
+    }
+
+    /// Accepts a flit from the tile output port, reassembling packets per
+    /// virtual channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (body flit with no open packet),
+    /// which indicate a router bug.
+    pub fn receive(&mut self, flit: Flit, now: Cycle) {
+        let v = flit.link_vc.index();
+        if flit.kind.is_head() {
+            assert!(
+                self.reassembly[v].is_none(),
+                "tile {}: head flit on vc{} while a packet is open",
+                self.node,
+                v
+            );
+            self.reassembly[v] = Some(Reassembly { flits: Vec::new() });
+        }
+        let slot = self.reassembly[v]
+            .as_mut()
+            .unwrap_or_else(|| panic!("tile {}: flit on vc{} with no open packet", self.node, v));
+        slot.flits.push(flit);
+        if flit.kind.is_tail() {
+            let r = self.reassembly[v].take().expect("open packet");
+            let head = r.flits[0];
+            self.delivered.push_back(DeliveredPacket {
+                id: head.meta.packet,
+                src: head.meta.src,
+                dst: self.node,
+                class: head.meta.class,
+                flow: head.meta.flow,
+                created_at: head.meta.created_at,
+                injected_at: head.meta.injected_at,
+                delivered_at: now,
+                num_flits: r.flits.len(),
+                payloads: r.flits.iter().map(|f| f.payload).collect(),
+                corrupted: r.flits.iter().any(|f| f.meta.corrupted),
+            });
+            self.packets_delivered += 1;
+        }
+    }
+
+    /// Removes and returns all packets delivered so far.
+    pub fn drain_delivered(&mut self) -> Vec<DeliveredPacket> {
+        self.delivered.drain(..).collect()
+    }
+
+    /// Number of flits waiting in the injection queues.
+    pub fn pending_flits(&self) -> usize {
+        self.inject_queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitMeta, SizeCode, VcMask};
+    use crate::ids::Direction;
+    use crate::route::SourceRoute;
+
+    fn flit(kind: FlitKind, class: ServiceClass, packet: u64, idx: u16) -> Flit {
+        Flit {
+            kind,
+            size: SizeCode::MAX,
+            vc_mask: VcMask::ALL,
+            route: SourceRoute::compile(&[Direction::East]).unwrap(),
+            payload: Payload::from_u64(packet * 100 + idx as u64),
+            heading: Direction::East,
+            link_vc: VcId::new(0),
+            resolved_port: None,
+            meta: FlitMeta {
+                packet: PacketId(packet),
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                flit_index: idx,
+                packet_len: 1,
+                created_at: 0,
+                injected_at: 0,
+                class,
+                flow: None,
+                dateline_class: 0,
+                valiant_boundary: 0,
+                segment: 0,
+                hops_taken: 0,
+                ecc: 0,
+                corrupted: false,
+            },
+        }
+    }
+
+    fn iface() -> TileInterface {
+        TileInterface::new(NodeId::new(0), 8, 16, 4, true)
+    }
+
+    #[test]
+    fn enqueue_respects_capacity() {
+        let mut i = TileInterface::new(NodeId::new(0), 8, 2, 4, true);
+        let f = flit(FlitKind::HeadTail, ServiceClass::Bulk, 1, 0);
+        i.enqueue_packet(VcId::new(0), vec![f, f, f]).unwrap_err();
+        i.enqueue_packet(VcId::new(0), vec![f, f]).unwrap();
+        assert_eq!(i.queue_space(VcId::new(0)), 0);
+    }
+
+    #[test]
+    fn priority_vc_preempts_bulk_injection() {
+        let mut i = iface();
+        // A 3-flit bulk packet on VC 0.
+        let bulk = vec![
+            flit(FlitKind::Head, ServiceClass::Bulk, 1, 0),
+            flit(FlitKind::Body, ServiceClass::Bulk, 1, 1),
+            flit(FlitKind::Tail, ServiceClass::Bulk, 1, 2),
+        ];
+        i.enqueue_packet(VcId::new(0), bulk).unwrap();
+        // First bulk flit goes out.
+        let f = i.pick_injection(10).unwrap();
+        assert_eq!(f.meta.class, ServiceClass::Bulk);
+        // A high-priority single-flit packet arrives on VC 4.
+        let hp = vec![flit(FlitKind::HeadTail, ServiceClass::Priority, 2, 0)];
+        i.enqueue_packet(VcId::new(4), hp).unwrap();
+        // It preempts the remaining bulk flits...
+        let f = i.pick_injection(11).unwrap();
+        assert_eq!(f.meta.class, ServiceClass::Priority);
+        // ...and the bulk packet resumes.
+        let f = i.pick_injection(12).unwrap();
+        assert_eq!(f.meta.class, ServiceClass::Bulk);
+        assert_eq!(f.meta.flit_index, 1);
+    }
+
+    #[test]
+    fn credits_gate_injection() {
+        let mut i = TileInterface::new(NodeId::new(0), 8, 16, 1, true);
+        let p = vec![
+            flit(FlitKind::Head, ServiceClass::Bulk, 1, 0),
+            flit(FlitKind::Tail, ServiceClass::Bulk, 1, 1),
+        ];
+        i.enqueue_packet(VcId::new(0), p).unwrap();
+        assert!(i.pick_injection(0).is_some());
+        // Credit exhausted.
+        assert!(i.pick_injection(1).is_none());
+        i.credit_return(VcId::new(0));
+        assert!(i.pick_injection(2).is_some());
+    }
+
+    #[test]
+    fn ungated_interface_ignores_credits() {
+        let mut i = TileInterface::new(NodeId::new(0), 8, 16, 0, false);
+        let p = vec![flit(FlitKind::HeadTail, ServiceClass::Bulk, 1, 0)];
+        i.enqueue_packet(VcId::new(0), p).unwrap();
+        assert!(i.pick_injection(0).is_some());
+    }
+
+    #[test]
+    fn reassembly_per_vc_interleaves_packets() {
+        let mut i = iface();
+        // Packet 1 on vc0, packet 2 on vc1, flits interleaved.
+        let mut h1 = flit(FlitKind::Head, ServiceClass::Bulk, 1, 0);
+        h1.link_vc = VcId::new(0);
+        let mut t1 = flit(FlitKind::Tail, ServiceClass::Bulk, 1, 1);
+        t1.link_vc = VcId::new(0);
+        let mut h2 = flit(FlitKind::Head, ServiceClass::Bulk, 2, 0);
+        h2.link_vc = VcId::new(1);
+        let mut t2 = flit(FlitKind::Tail, ServiceClass::Bulk, 2, 1);
+        t2.link_vc = VcId::new(1);
+        i.receive(h1, 10);
+        i.receive(h2, 11);
+        i.receive(t2, 12);
+        i.receive(t1, 13);
+        let d = i.drain_delivered();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].id, PacketId(2));
+        assert_eq!(d[0].delivered_at, 12);
+        assert_eq!(d[1].id, PacketId(1));
+        assert_eq!(d[1].num_flits, 2);
+    }
+
+    #[test]
+    fn corruption_flag_propagates() {
+        let mut i = iface();
+        let mut h = flit(FlitKind::Head, ServiceClass::Bulk, 1, 0);
+        h.meta.corrupted = true;
+        let t = flit(FlitKind::Tail, ServiceClass::Bulk, 1, 1);
+        i.receive(h, 0);
+        i.receive(t, 1);
+        assert!(i.drain_delivered()[0].corrupted);
+    }
+
+    #[test]
+    fn peek_matches_pick() {
+        let mut i = iface();
+        let p = vec![flit(FlitKind::HeadTail, ServiceClass::Bulk, 7, 0)];
+        i.enqueue_packet(VcId::new(2), p).unwrap();
+        let peeked = *i.peek_injection().unwrap();
+        let picked = i.pick_injection(0).unwrap();
+        assert_eq!(peeked.meta.packet, picked.meta.packet);
+        assert!(i.peek_injection().is_none());
+    }
+
+    #[test]
+    fn choose_vc_prefers_space() {
+        let mut i = iface();
+        let p = vec![flit(FlitKind::HeadTail, ServiceClass::Bulk, 1, 0)];
+        i.enqueue_packet(VcId::new(0), p).unwrap();
+        let allowed = VcMask::new(0b0011);
+        let vc = i.choose_vc(allowed.iter(), 1).unwrap();
+        assert_eq!(vc, VcId::new(1)); // vc0 has one flit queued
+        // Demand more space than any queue has.
+        assert!(i.choose_vc(allowed.iter(), 100).is_none());
+    }
+}

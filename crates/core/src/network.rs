@@ -1,0 +1,1093 @@
+//! The complete on-chip network: routers, channels, tile interfaces,
+//! reservation registers, and the fault model, advanced cycle by cycle.
+//!
+//! [`Network`] is fully deterministic: the same configuration, injections,
+//! and seed produce bit-identical behaviour. All timing is synchronous;
+//! channels are modelled as latency pipes (a flit launched at cycle *t*
+//! arrives `channel_latency + router_delay` cycles later, and credits
+//! travel back with `credit_latency`).
+
+use std::collections::VecDeque;
+
+use crate::config::{FlowControl, NetworkConfig, RoutingAlg};
+use crate::error::Error;
+use crate::fault::{LinkFault, SteeredLink};
+use crate::flit::{Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask, FLIT_DATA_BITS};
+use crate::ids::{Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
+use crate::interface::{DeliveredPacket, TileInterface};
+use crate::reservation::ReservationTable;
+use crate::route::{RouteError, SourceRoute};
+use crate::router::{DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, VcRouter};
+use crate::topology::Topology;
+use crate::util::XorShift64;
+
+/// Description of a packet to inject.
+///
+/// ```
+/// use ocin_core::{PacketSpec, ServiceClass};
+/// let spec = PacketSpec::new(0.into(), 5.into())
+///     .payload_bits(512)            // two flits
+///     .class(ServiceClass::Priority);
+/// assert_eq!(spec.num_flits(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketSpec {
+    /// Source tile.
+    pub src: NodeId,
+    /// Destination tile.
+    pub dst: NodeId,
+    /// Valid payload bits (flit count = ⌈bits / 256⌉).
+    pub payload_bits: usize,
+    /// Service class.
+    pub class: ServiceClass,
+    /// Optional payload contents, one entry per flit (defaults to a
+    /// packet-id pattern).
+    pub data: Option<Vec<Payload>>,
+    /// Pre-scheduled flow this packet belongs to, if any.
+    pub flow: Option<FlowId>,
+}
+
+impl PacketSpec {
+    /// Creates a one-flit, 256-bit, bulk-class spec.
+    pub fn new(src: NodeId, dst: NodeId) -> PacketSpec {
+        PacketSpec {
+            src,
+            dst,
+            payload_bits: FLIT_DATA_BITS,
+            class: ServiceClass::Bulk,
+            data: None,
+            flow: None,
+        }
+    }
+
+    /// Sets the payload size in bits.
+    pub fn payload_bits(mut self, bits: usize) -> Self {
+        self.payload_bits = bits;
+        self
+    }
+
+    /// Sets the service class.
+    pub fn class(mut self, class: ServiceClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets explicit payload data (one [`Payload`] per flit).
+    pub fn data(mut self, data: Vec<Payload>) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Marks the packet as belonging to a pre-scheduled flow.
+    pub fn flow(mut self, flow: FlowId) -> Self {
+        self.flow = Some(flow);
+        self.class = ServiceClass::Reserved;
+        self
+    }
+
+    /// Number of flits this spec produces.
+    pub fn num_flits(&self) -> usize {
+        self.payload_bits.max(1).div_ceil(FLIT_DATA_BITS)
+    }
+}
+
+/// A directed inter-tile channel with its latency pipes and fault state.
+#[derive(Debug)]
+struct Channel {
+    src: NodeId,
+    dir: Direction,
+    dst: NodeId,
+    dst_port: Port,
+    length_pitches: f64,
+    dateline: bool,
+    link: SteeredLink,
+    flits: VecDeque<(Cycle, Flit)>,
+    credits: VecDeque<(Cycle, VcId)>,
+    flits_carried: u64,
+    bit_pitches: f64,
+}
+
+/// Per-link load statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoad {
+    /// Source router of the link.
+    pub node: NodeId,
+    /// Link direction.
+    pub dir: Direction,
+    /// Flits carried per cycle (0–1).
+    pub utilization: f64,
+    /// Total flits carried.
+    pub flits: u64,
+    /// Physical length in tile pitches.
+    pub length_pitches: f64,
+}
+
+/// Raw energy event counters; `ocin-phys` converts them to joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounters {
+    /// Router traversals (one per flit per router, including ejection).
+    pub flit_hops: u64,
+    /// Active bits summed over router traversals.
+    pub hop_bits: u64,
+    /// Flits carried over inter-tile links.
+    pub link_flits: u64,
+    /// Active bits × link length (in tile pitches) over all link
+    /// traversals — the "wire distance traveled" of §3.1.
+    pub link_bit_pitches: f64,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Packets accepted for injection.
+    pub packets_injected: u64,
+    /// Flits that entered the network.
+    pub flits_injected: u64,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+    /// Packets dropped by dropping flow control.
+    pub packets_dropped: u64,
+    /// Flits discarded by dropping flow control.
+    pub flits_dropped: u64,
+    /// Deflections (misroutes) under deflection flow control.
+    pub deflections: u64,
+    /// Single-bit link errors repaired by SEC-DED.
+    pub ecc_corrections: u64,
+    /// Multi-bit link errors SEC-DED detected but could not repair.
+    pub ecc_uncorrectable: u64,
+    /// Energy event counters.
+    pub energy: EnergyCounters,
+}
+
+/// The paper's on-chip interconnection network.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+pub struct Network {
+    cfg: NetworkConfig,
+    topo: Box<dyn Topology>,
+    dateline_aware: bool,
+    routers: Vec<RouterCore>,
+    interfaces: Vec<TileInterface>,
+    channels: Vec<Channel>,
+    chan_idx: Vec<[Option<usize>; 4]>,
+    inject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    eject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    reservations: Option<ReservationTable>,
+    cycle: Cycle,
+    next_packet: u64,
+    rng: XorShift64,
+    stats: NetworkStats,
+    /// Per-link-traversal probability of a transient single-bit upset.
+    transient_rate: f64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.topo.name())
+            .field("cycle", &self.cycle)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds a network from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid parameters and
+    /// [`Error::Reservation`] if the static flows cannot all be admitted.
+    pub fn new(cfg: NetworkConfig) -> Result<Network, Error> {
+        cfg.validate()?;
+        let topo = cfg.topology.build();
+        let n = topo.num_nodes();
+        let dateline_aware = cfg.topology.has_wraparound();
+
+        let mut channels = Vec::new();
+        let mut chan_idx = vec![[None; 4]; n];
+        for (node, dir) in topo.channels() {
+            let dst = topo.neighbor(node, dir).expect("listed channel exists");
+            chan_idx[node.index()][dir.index()] = Some(channels.len());
+            channels.push(Channel {
+                src: node,
+                dir,
+                dst,
+                dst_port: Port::Dir(dir.opposite()),
+                length_pitches: topo.link_length_pitches(node, dir),
+                dateline: topo.is_dateline(node, dir),
+                link: SteeredLink::new(FLIT_DATA_BITS, 1),
+                flits: VecDeque::new(),
+                credits: VecDeque::new(),
+                flits_carried: 0,
+                bit_pitches: 0.0,
+            });
+        }
+
+        let routers: Vec<RouterCore> = (0..n)
+            .map(|i| {
+                let node = NodeId::new(i as u16);
+                match cfg.flow_control {
+                    FlowControl::VirtualChannel => RouterCore::Vc(Box::new(VcRouter::new(
+                        node,
+                        cfg.vc_plan,
+                        dateline_aware,
+                        cfg.buf_depth,
+                        cfg.eject_capacity as u64,
+                        cfg.channel_phits,
+                    ))),
+                    FlowControl::Dropping => RouterCore::Dropping(DroppingRouter::new(node)),
+                    FlowControl::Deflection => {
+                        RouterCore::Deflection(DeflectionRouter::new(node))
+                    }
+                }
+            })
+            .collect();
+
+        let credit_gated = cfg.flow_control == FlowControl::VirtualChannel;
+        let interfaces = (0..n)
+            .map(|i| {
+                TileInterface::new(
+                    NodeId::new(i as u16),
+                    cfg.vc_plan.num_vcs,
+                    cfg.inject_queue_flits,
+                    cfg.buf_depth as u64,
+                    credit_gated,
+                )
+            })
+            .collect();
+
+        let reservations = if cfg.static_flows.is_empty() {
+            None
+        } else {
+            let hop_latency = cfg.channel_latency
+                + cfg.router_delay
+                + u64::from(cfg.link_protection == crate::config::LinkProtection::Secded);
+            Some(ReservationTable::build(
+                topo.as_ref(),
+                cfg.reservation_period,
+                hop_latency,
+                hop_latency,
+                &cfg.static_flows,
+            )?)
+        };
+
+        Ok(Network {
+            dateline_aware,
+            routers,
+            interfaces,
+            channels,
+            chan_idx,
+            inject_pipes: vec![VecDeque::new(); n],
+            eject_pipes: vec![VecDeque::new(); n],
+            reservations,
+            cycle: 0,
+            next_packet: 0,
+            rng: XorShift64::new(cfg.seed),
+            stats: NetworkStats::default(),
+            transient_rate: 0.0,
+            topo,
+            cfg,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The admitted reservation table, if static flows were configured.
+    pub fn reservation_table(&self) -> Option<&ReservationTable> {
+        self.reservations.as_ref()
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s.packets_delivered = self.interfaces.iter().map(|i| i.packets_delivered).sum();
+        s.flits_injected = self.interfaces.iter().map(|i| i.flits_injected).sum();
+        for r in &self.routers {
+            match r {
+                RouterCore::Dropping(d) => {
+                    s.packets_dropped += d.packets_dropped;
+                    s.flits_dropped += d.flits_discarded;
+                }
+                RouterCore::Deflection(d) => s.deflections += d.deflections,
+                RouterCore::Vc(_) => {}
+            }
+        }
+        s
+    }
+
+    /// Per-link loads (utilization requires `cycles > 0`).
+    pub fn link_loads(&self) -> Vec<LinkLoad> {
+        let cycles = self.cycle.max(1) as f64;
+        self.channels
+            .iter()
+            .map(|c| LinkLoad {
+                node: c.src,
+                dir: c.dir,
+                utilization: c.flits_carried as f64 / cycles,
+                flits: c.flits_carried,
+                length_pitches: c.length_pitches,
+            })
+            .collect()
+    }
+
+    /// Injects a fault into the link leaving `node` toward `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if no such link exists.
+    pub fn inject_link_fault(
+        &mut self,
+        node: NodeId,
+        dir: Direction,
+        fault: LinkFault,
+    ) -> Result<(), Error> {
+        let idx = self
+            .chan_idx
+            .get(node.index())
+            .and_then(|row| row[dir.index()])
+            .ok_or_else(|| Error::Config(format!("no channel at {node}:{dir}")))?;
+        self.channels[idx].link.inject_fault(fault);
+        Ok(())
+    }
+
+    /// Enables or disables bit steering on every link.
+    pub fn set_steering(&mut self, on: bool) {
+        for c in &mut self.channels {
+            c.link.set_steering(on);
+        }
+    }
+
+    /// Sets the probability that a link traversal suffers a transient
+    /// single-bit upset (paper §2.5's motivation for link-level ECC or
+    /// end-to-end checking with retry). Deterministic given the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0.0..=1.0`.
+    pub fn set_transient_fault_rate(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.transient_rate = rate;
+    }
+
+    /// Free injection-queue space (flits) for `class` traffic at `node`.
+    pub fn injection_space(&self, node: NodeId, class: ServiceClass) -> usize {
+        let mask = self.cfg.vc_plan.injection_mask(class, self.dateline_aware);
+        mask.iter()
+            .map(|vc| self.interfaces[node.index()].queue_space(vc))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Offers a packet to its source tile's input port.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NodeOutOfRange`] for invalid endpoints.
+    /// * [`Error::Route`] for unroutable specs (including `src == dst`,
+    ///   which never enters the network, and routes too long for the
+    ///   paper's 16-bit field when that check is enabled).
+    /// * [`Error::InjectionBackpressure`] when the tile port queues lack
+    ///   space — nothing is enqueued, so the caller can retry later.
+    /// * [`Error::Config`] for multi-flit packets under deflection flow
+    ///   control.
+    pub fn inject(&mut self, spec: PacketSpec) -> Result<PacketId, Error> {
+        let n = self.topo.num_nodes();
+        for node in [spec.src, spec.dst] {
+            if node.index() >= n {
+                return Err(Error::NodeOutOfRange { node, nodes: n });
+            }
+        }
+        if spec.src == spec.dst {
+            return Err(Error::Route(RouteError::Empty));
+        }
+        let num_flits = spec.num_flits();
+        if self.cfg.flow_control == FlowControl::Deflection && num_flits != 1 {
+            return Err(Error::Config(
+                "deflection flow control carries single-flit packets only".into(),
+            ));
+        }
+
+        let (dirs, valiant_boundary) = self.compute_route(spec.src, spec.dst, spec.class);
+        let route = SourceRoute::compile(&dirs)?;
+        if self.cfg.require_paper_route_field && !route.fits_paper_field() {
+            return Err(Error::Route(RouteError::TooLong {
+                entries: route.num_entries(),
+            }));
+        }
+
+        if let Some(d) = &spec.data {
+            debug_assert_eq!(d.len(), num_flits, "one payload entry per flit");
+        }
+        // The packet's VC-mask field covers both dateline halves of its
+        // class; each router intersects it with the half its dateline
+        // class permits. Injection itself always happens in class 0 (for
+        // two-segment routes, the segment-0 pre-dateline tier).
+        let inject_mask = if valiant_boundary != 0 {
+            self.cfg.vc_plan.mask_for_two_segment(0, 0, self.dateline_aware)
+        } else {
+            self.cfg.vc_plan.injection_mask(spec.class, self.dateline_aware)
+        };
+        let packet_mask = self
+            .cfg
+            .vc_plan
+            .mask_for(spec.class, 0, self.dateline_aware)
+            .or(self.cfg.vc_plan.mask_for(spec.class, 1, self.dateline_aware));
+        if inject_mask.is_empty() {
+            return Err(Error::EmptyVcMask {
+                mask: inject_mask.bits(),
+            });
+        }
+
+        let iface = &mut self.interfaces[spec.src.index()];
+        let vc = iface.choose_vc(inject_mask.iter(), num_flits).ok_or({
+            Error::InjectionBackpressure {
+                node: spec.src,
+                vc: inject_mask.iter().next().expect("non-empty mask"),
+            }
+        })?;
+
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let flits = Self::flitize(&spec, id, route, self.cycle, packet_mask, valiant_boundary);
+        iface.enqueue_packet(vc, flits).expect("space was checked");
+        self.stats.packets_injected += 1;
+        Ok(id)
+    }
+
+    /// Builds the flit sequence for a packet.
+    fn flitize(
+        spec: &PacketSpec,
+        id: PacketId,
+        route: SourceRoute,
+        now: Cycle,
+        vc_mask: VcMask,
+        valiant_boundary: u8,
+    ) -> Vec<Flit> {
+        let num_flits = spec.num_flits();
+        let mut flits = Vec::with_capacity(num_flits);
+        let mut remaining = spec.payload_bits.max(1);
+        for i in 0..num_flits {
+            let bits = remaining.min(FLIT_DATA_BITS);
+            remaining -= bits;
+            let kind = match (i == 0, i == num_flits - 1) {
+                (true, true) => FlitKind::HeadTail,
+                (true, false) => FlitKind::Head,
+                (false, true) => FlitKind::Tail,
+                (false, false) => FlitKind::Body,
+            };
+            let payload = spec
+                .data
+                .as_ref()
+                .and_then(|d| d.get(i).copied())
+                .unwrap_or_else(|| Payload::from_u64(id.0 << 8 | i as u64));
+            flits.push(Flit {
+                kind,
+                size: SizeCode::for_bits(bits).expect("1..=256 bits per flit"),
+                vc_mask,
+                route,
+                payload,
+                heading: Direction::East,
+                link_vc: VcId::new(0),
+                resolved_port: None,
+                meta: FlitMeta {
+                    packet: id,
+                    src: spec.src,
+                    dst: spec.dst,
+                    flit_index: i as u16,
+                    packet_len: num_flits as u16,
+                    created_at: now,
+                    injected_at: now,
+                    class: spec.class,
+                    flow: spec.flow,
+                    dateline_class: 0,
+                    valiant_boundary,
+                    segment: 0,
+                    hops_taken: 0,
+                    ecc: 0,
+                    corrupted: false,
+                },
+            });
+        }
+        flits
+    }
+
+    /// Computes the hop sequence for a packet, returning the hops and the
+    /// length of the first Valiant segment (0 for minimal routes).
+    fn compute_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: ServiceClass,
+    ) -> (Vec<Direction>, u8) {
+        // Only bulk traffic is randomized: priority and reserved classes
+        // have a single dateline VC pair each, which is only sufficient
+        // for single-segment (minimal) routes.
+        if self.cfg.routing == RoutingAlg::DimensionOrder || class != ServiceClass::Bulk {
+            return (self.topo.route_dirs(src, dst), 0);
+        }
+        // Valiant: src -> random intermediate -> dst. The relative-turn
+        // encoding cannot express a reversal at the junction, so resample
+        // a few times and fall back to the direct route.
+        let n = self.topo.num_nodes() as u64;
+        for _ in 0..16 {
+            let mid = NodeId::new(self.rng.below(n) as u16);
+            if mid == src || mid == dst {
+                continue;
+            }
+            let seg1 = self.topo.route_dirs(src, mid);
+            let mut dirs = seg1.clone();
+            dirs.extend(self.topo.route_dirs(mid, dst));
+            if dirs.len() > u8::MAX as usize {
+                continue;
+            }
+            if SourceRoute::compile(&dirs).is_ok() {
+                return (dirs, seg1.len() as u8);
+            }
+        }
+        (self.topo.route_dirs(src, dst), 0)
+    }
+
+    /// Removes and returns packets delivered to `node`.
+    pub fn drain_delivered(&mut self, node: NodeId) -> Vec<DeliveredPacket> {
+        self.interfaces[node.index()].drain_delivered()
+    }
+
+    /// Advances the network one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. Channel deliveries: flits reach downstream routers.
+        for ci in 0..self.channels.len() {
+            loop {
+                let due = matches!(self.channels[ci].flits.front(), Some(&(t, _)) if t <= now);
+                if !due {
+                    break;
+                }
+                let c = &mut self.channels[ci];
+                let (_, mut flit) = c.flits.pop_front().expect("checked front");
+                let (payload, steering_hit) = c.link.transmit(&flit.payload);
+                flit.payload = payload;
+                let mut hop_corrupt = steering_hit;
+                if c.dateline {
+                    flit.meta.dateline_class = 1;
+                }
+                let (dst, port) = (c.dst, c.dst_port);
+                if self.transient_rate > 0.0
+                    && (self.rng.next_u64() as f64 / u64::MAX as f64) < self.transient_rate
+                {
+                    flit.payload.flip_bit(self.rng.below(256) as usize);
+                    hop_corrupt = true;
+                }
+                // Link-level SEC-DED repairs single-bit damage at the
+                // receiving router (paper §2.5's alternative protocol).
+                if hop_corrupt && self.cfg.link_protection == crate::config::LinkProtection::Secded
+                {
+                    match crate::ecc::decode(&mut flit.payload, flit.meta.ecc) {
+                        crate::ecc::EccOutcome::Corrected { .. } => {
+                            hop_corrupt = false;
+                            self.stats.ecc_corrections += 1;
+                        }
+                        crate::ecc::EccOutcome::Uncorrectable => {
+                            self.stats.ecc_uncorrectable += 1;
+                        }
+                        crate::ecc::EccOutcome::Clean => {}
+                    }
+                }
+                flit.meta.corrupted |= hop_corrupt;
+                self.routers[dst.index()].receive(port, flit);
+            }
+            // Credits back to the channel's source router.
+            loop {
+                let c = &mut self.channels[ci];
+                match c.credits.front() {
+                    Some(&(t, _)) if t <= now => {
+                        let (_, vc) = c.credits.pop_front().expect("checked front");
+                        let (src, dir) = (c.src, c.dir);
+                        self.routers[src.index()].credit_arrived(Port::Dir(dir), vc);
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        // 2. Tile-port deliveries.
+        for node in 0..self.routers.len() {
+            while let Some(&(t, _)) = self.inject_pipes[node].front() {
+                if t > now {
+                    break;
+                }
+                let (_, flit) = self.inject_pipes[node].pop_front().expect("front");
+                self.routers[node].receive(Port::Tile, flit);
+            }
+            while let Some(&(t, _)) = self.eject_pipes[node].front() {
+                if t > now {
+                    break;
+                }
+                let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
+                let vc = flit.link_vc;
+                self.interfaces[node].receive(flit, now);
+                self.routers[node].credit_arrived(Port::Tile, vc);
+            }
+        }
+
+        // 3. Push-mode injection (credit-gated tile ports). A serialized
+        // tile port accepts one flit per `channel_phits` cycles.
+        let inject_latency =
+            self.cfg.channel_latency + self.cfg.router_delay + (self.cfg.channel_phits - 1);
+        for node in 0..self.routers.len() {
+            if self.routers[node].pulls_injection() {
+                continue;
+            }
+            if now.is_multiple_of(self.cfg.channel_phits) {
+                if let Some(flit) = self.interfaces[node].pick_injection(now) {
+                    self.inject_pipes[node].push_back((now + inject_latency, flit));
+                }
+            }
+        }
+
+        // 4. Router evaluation.
+        for node in 0..self.routers.len() {
+            let offered = if self.routers[node].pulls_injection() {
+                self.interfaces[node].peek_injection().copied().map(|mut f| {
+                    f.meta.injected_at = now;
+                    f
+                })
+            } else {
+                None
+            };
+            let env = EvalEnv {
+                now,
+                reservations: self
+                    .reservations
+                    .as_ref()
+                    .map(|t| (t, self.cfg.reservation_policy)),
+                topo: self.topo.as_ref(),
+            };
+            let (output, consumed) = self.routers[node].evaluate(&env, offered);
+            if consumed {
+                // The router used its copy of the peeked flit; remove the
+                // original from the interface queue.
+                self.interfaces[node]
+                    .pick_injection(now)
+                    .expect("peeked flit still queued");
+            }
+            self.apply_router_output(node, output, now);
+        }
+
+        self.cycle = now + 1;
+    }
+
+    fn apply_router_output(
+        &mut self,
+        node: usize,
+        output: crate::router::RouterOutput,
+        now: Cycle,
+    ) {
+        let secded = self.cfg.link_protection == crate::config::LinkProtection::Secded;
+        // SEC-DED decode costs one extra cycle per link traversal, and a
+        // serialized flit finishes arriving phits-1 cycles later.
+        let flit_latency = self.cfg.channel_latency
+            + self.cfg.router_delay
+            + u64::from(secded)
+            + (self.cfg.channel_phits - 1);
+        for (port, mut flit) in output.launches {
+            if secded && matches!(port, Port::Dir(_)) {
+                flit.meta.ecc = crate::ecc::encode(&flit.payload);
+            }
+            let bits = flit.active_bits() as u64;
+            self.stats.energy.flit_hops += 1;
+            self.stats.energy.hop_bits += bits;
+            match port {
+                Port::Dir(d) => {
+                    let ci = self.chan_idx[node][d.index()]
+                        .expect("router launched into an existing channel");
+                    let c = &mut self.channels[ci];
+                    c.flits_carried += 1;
+                    c.bit_pitches += bits as f64 * c.length_pitches;
+                    self.stats.energy.link_flits += 1;
+                    self.stats.energy.link_bit_pitches += bits as f64 * c.length_pitches;
+                    c.flits.push_back((now + flit_latency, flit));
+                }
+                Port::Tile => {
+                    self.eject_pipes[node].push_back((now + self.cfg.channel_latency, flit));
+                }
+            }
+        }
+        for (port, vc) in output.credits {
+            match port {
+                Port::Dir(q) => {
+                    // The flit came in via the channel from neighbor(node, q).
+                    let upstream = self
+                        .topo
+                        .neighbor(NodeId::new(node as u16), q)
+                        .expect("credit for an existing channel");
+                    let ci = self.chan_idx[upstream.index()][q.opposite().index()]
+                        .expect("reverse channel exists");
+                    self.channels[ci]
+                        .credits
+                        .push_back((now + self.cfg.credit_latency, vc));
+                }
+                Port::Tile => self.interfaces[node].credit_return(vc),
+            }
+        }
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Steps until every queue, buffer, and pipe is empty or `max_cycles`
+    /// elapse; returns `true` if the network drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+
+    /// Whether no flit is queued, buffered, or in flight anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.interfaces.iter().all(|i| i.pending_flits() == 0)
+            && self.routers.iter().all(|r| r.occupancy() == 0)
+            && self.channels.iter().all(|c| c.flits.is_empty())
+            && self.inject_pipes.iter().all(VecDeque::is_empty)
+            && self.eject_pipes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Renders router-internal state for congestion diagnosis (VC-router
+    /// cores only; other cores report their occupancy).
+    pub fn router_snapshot(&self, node: NodeId) -> String {
+        match &self.routers[node.index()] {
+            RouterCore::Vc(r) => r.debug_snapshot(),
+            other => format!("router {node}: occupancy {}", other.occupancy()),
+        }
+    }
+
+    /// Flits currently inside the network (buffers, staging, and pipes).
+    pub fn flits_in_flight(&self) -> usize {
+        self.routers.iter().map(RouterCore::occupancy).sum::<usize>()
+            + self.channels.iter().map(|c| c.flits.len()).sum::<usize>()
+            + self.inject_pipes.iter().map(VecDeque::len).sum::<usize>()
+            + self.eject_pipes.iter().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologySpec;
+
+    fn baseline() -> Network {
+        Network::new(NetworkConfig::paper_baseline()).expect("valid baseline")
+    }
+
+    #[test]
+    fn single_packet_crosses_the_torus() {
+        let mut net = baseline();
+        let id = net.inject(PacketSpec::new(0.into(), 10.into())).unwrap();
+        assert!(net.drain(200));
+        let d = net.drain_delivered(10.into());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].id, id);
+        assert_eq!(d[0].src, NodeId::new(0));
+        assert!(!d[0].corrupted);
+        assert!(d[0].network_latency() > 0);
+    }
+
+    #[test]
+    fn multi_flit_packet_arrives_complete_and_ordered() {
+        let mut net = baseline();
+        let data: Vec<Payload> = (0..4).map(|i| Payload::from_u64(0xA0 + i)).collect();
+        net.inject(
+            PacketSpec::new(3.into(), 12.into())
+                .payload_bits(1024)
+                .data(data.clone()),
+        )
+        .unwrap();
+        assert!(net.drain(300));
+        let d = net.drain_delivered(12.into());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].num_flits, 4);
+        assert_eq!(d[0].payloads, data);
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let mut net = baseline();
+        let err = net.inject(PacketSpec::new(5.into(), 5.into())).unwrap_err();
+        assert!(matches!(err, Error::Route(RouteError::Empty)));
+    }
+
+    #[test]
+    fn out_of_range_node_is_rejected() {
+        let mut net = baseline();
+        let err = net
+            .inject(PacketSpec::new(0.into(), 99.into()))
+            .unwrap_err();
+        assert!(matches!(err, Error::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hop_model() {
+        // At zero load: inject pipe + per-hop latency + ejection, no
+        // queueing. hop latency = channel(1)+router(1) = 2.
+        let mut net = baseline();
+        // 0 -> 1 is one hop on the 4-torus.
+        net.inject(PacketSpec::new(0.into(), 1.into())).unwrap();
+        assert!(net.drain(100));
+        let d = net.drain_delivered(1.into());
+        // inject pipe (2) + source router launch + 1 hop (2) + eject (1).
+        assert_eq!(d[0].network_latency(), 5);
+    }
+
+    #[test]
+    fn all_pairs_deliver_on_all_topologies() {
+        for spec in [
+            TopologySpec::FoldedTorus { k: 4 },
+            TopologySpec::Mesh { k: 4 },
+            TopologySpec::Ring { k: 8 },
+        ] {
+            let cfg = NetworkConfig::paper_baseline().with_topology(spec);
+            let mut net = Network::new(cfg).unwrap();
+            let n = net.topology().num_nodes() as u16;
+            let mut expected = 0;
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        net.inject(PacketSpec::new(s.into(), d.into()).payload_bits(64))
+                            .unwrap();
+                        expected += 1;
+                    }
+                }
+            }
+            assert!(net.drain(5_000), "{spec:?} failed to drain");
+            let delivered: usize = (0..n)
+                .map(|d| net.drain_delivered(d.into()).len())
+                .sum();
+            assert_eq!(delivered, expected, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let run = || {
+            let mut net = baseline();
+            for i in 0..50u16 {
+                let s = i % 16;
+                let d = (i * 7 + 3) % 16;
+                if s != d {
+                    let _ = net.inject(PacketSpec::new(s.into(), d.into()));
+                }
+                net.step();
+            }
+            net.drain(1_000);
+            net.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn energy_counters_accumulate() {
+        let mut net = baseline();
+        net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+        net.drain(100);
+        let s = net.stats();
+        assert!(s.energy.flit_hops >= 2);
+        assert!(s.energy.link_bit_pitches > 0.0);
+        assert_eq!(s.packets_delivered, 1);
+    }
+
+    #[test]
+    fn link_loads_reflect_traffic() {
+        let mut net = baseline();
+        for _ in 0..5 {
+            net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64))
+                .unwrap();
+            net.run(4);
+        }
+        net.drain(200);
+        let loads = net.link_loads();
+        assert!(loads.iter().any(|l| l.flits > 0));
+        assert!(loads.iter().all(|l| l.utilization <= 1.0));
+    }
+
+    #[test]
+    fn masked_fault_keeps_data_intact() {
+        let mut net = baseline();
+        let dir = net.topology().route_dirs(0.into(), 1.into())[0];
+        net.inject_link_fault(
+            0.into(),
+            dir,
+            LinkFault {
+                wire: 42,
+                kind: crate::fault::FaultKind::StuckAtOne,
+            },
+        )
+        .unwrap();
+        let data = vec![Payload::from_u64(0x1234_5678)];
+        net.inject(PacketSpec::new(0.into(), 1.into()).data(data.clone()))
+            .unwrap();
+        net.drain(100);
+        let d = net.drain_delivered(1.into());
+        assert!(!d[0].corrupted);
+        assert_eq!(d[0].payloads, data);
+    }
+
+    #[test]
+    fn unmasked_fault_corrupts_and_is_flagged() {
+        let mut net = baseline();
+        net.set_steering(false);
+        let dir = net.topology().route_dirs(0.into(), 1.into())[0];
+        net.inject_link_fault(
+            0.into(),
+            dir,
+            LinkFault {
+                wire: 3,
+                kind: crate::fault::FaultKind::StuckAtOne,
+            },
+        )
+        .unwrap();
+        // Payload with bit 3 = 0 so the stuck-at-1 shows.
+        let data = vec![Payload::ZERO];
+        net.inject(PacketSpec::new(0.into(), 1.into()).data(data))
+            .unwrap();
+        net.drain(100);
+        let d = net.drain_delivered(1.into());
+        assert!(d[0].corrupted);
+        assert!(d[0].payloads[0].bit(3));
+    }
+
+    #[test]
+    fn phit_serialization_trades_latency_for_width() {
+        let latency = |phits: u64| {
+            let cfg = NetworkConfig::paper_baseline().with_channel_phits(phits);
+            let mut net = Network::new(cfg).unwrap();
+            net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+            assert!(net.drain(500));
+            net.drain_delivered(2.into())[0].network_latency()
+        };
+        let wide = latency(1);
+        let narrow = latency(8);
+        // 0 -> 2 is two links plus the tile port: each adds phits-1.
+        assert!(narrow > wide + 2 * 7, "narrow {narrow} vs wide {wide}");
+        // Throughput halves (and worse) with serialization under load.
+        let accepted = |phits: u64| {
+            let cfg = NetworkConfig::paper_baseline().with_channel_phits(phits);
+            let mut net = Network::new(cfg).unwrap();
+            let mut delivered = 0u64;
+            for now in 0..2_000u64 {
+                let src = (now % 16) as u16;
+                let dst = ((now * 7 + 1) % 16) as u16;
+                if src != dst {
+                    let _ = net.inject(PacketSpec::new(src.into(), dst.into()));
+                }
+                net.step();
+                for n in 0..16u16 {
+                    delivered += net.drain_delivered(n.into()).len() as u64;
+                }
+            }
+            delivered
+        };
+        let d1 = accepted(1);
+        let d4 = accepted(4);
+        assert!(d4 < d1, "serialized channels must carry less: {d4} vs {d1}");
+    }
+
+    #[test]
+    fn phit_config_is_validated() {
+        let cfg = NetworkConfig::paper_baseline().with_channel_phits(0);
+        assert!(Network::new(cfg).is_err());
+        let cfg = NetworkConfig::paper_baseline()
+            .with_flow_control(FlowControl::Deflection)
+            .with_channel_phits(4);
+        assert!(Network::new(cfg).is_err());
+    }
+
+    #[test]
+    fn secded_repairs_transient_upsets() {
+        use crate::config::LinkProtection;
+        let run = |protection: LinkProtection| {
+            let cfg = NetworkConfig::paper_baseline().with_link_protection(protection);
+            let mut net = Network::new(cfg).unwrap();
+            net.set_transient_fault_rate(0.3);
+            let data = vec![Payload::from_u64(0xFACE_FEED)];
+            for _ in 0..20 {
+                net.inject(PacketSpec::new(0.into(), 10.into()).data(data.clone()))
+                    .unwrap();
+                net.run(4);
+            }
+            assert!(net.drain(2_000));
+            let mut corrupted = 0;
+            for pkt in net.drain_delivered(10.into()) {
+                if pkt.corrupted || pkt.payloads[0] != data[0] {
+                    corrupted += 1;
+                }
+            }
+            (corrupted, net.stats())
+        };
+        let (raw_corrupted, _) = run(LinkProtection::None);
+        assert!(raw_corrupted > 0, "30% upsets must corrupt unprotected links");
+        let (ecc_corrupted, stats) = run(LinkProtection::Secded);
+        assert_eq!(ecc_corrupted, 0, "SEC-DED repairs single upsets per hop");
+        assert!(stats.ecc_corrections > 0);
+    }
+
+    #[test]
+    fn secded_costs_one_cycle_per_hop() {
+        use crate::config::LinkProtection;
+        let latency = |protection: LinkProtection| {
+            let cfg = NetworkConfig::paper_baseline().with_link_protection(protection);
+            let mut net = Network::new(cfg).unwrap();
+            net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+            assert!(net.drain(200));
+            net.drain_delivered(2.into())[0].network_latency()
+        };
+        let raw = latency(LinkProtection::None);
+        let ecc = latency(LinkProtection::Secded);
+        // 0 -> 2 is two hops: two extra decode cycles.
+        assert_eq!(ecc, raw + 2);
+    }
+
+    #[test]
+    fn backpressure_is_reported_not_dropped() {
+        let mut cfg = NetworkConfig::paper_baseline();
+        cfg.inject_queue_flits = 2;
+        let mut net = Network::new(cfg).unwrap();
+        // Bulk injection on the torus uses the 2 class-0 VCs x 2 slots.
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for _ in 0..20 {
+            match net.inject(PacketSpec::new(0.into(), 5.into()).payload_bits(512)) {
+                Ok(_) => accepted += 1,
+                Err(Error::InjectionBackpressure { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(accepted >= 2);
+        assert!(rejected > 0);
+        assert!(net.drain(1_000));
+    }
+}

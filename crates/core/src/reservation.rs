@@ -1,0 +1,340 @@
+//! Cyclic reservation registers for pre-scheduled traffic (paper §2.6).
+//!
+//! When the system is configured, routes are laid out for all static
+//! traffic and a slot is reserved on each link of each route by setting
+//! entries in the link's cyclic reservation register. At run time a
+//! pre-scheduled packet rides the reserved virtual channel and moves from
+//! link to link without arbitration delay; dynamic traffic arbitrates for
+//! the unreserved cycles.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{Cycle, Direction, FlowId, NodeId};
+use crate::topology::Topology;
+
+/// A static (pre-scheduled) flow: one single-flit packet per reservation
+/// period, injected at a fixed phase.
+///
+/// Higher-rate flows are expressed as several specs with distinct phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticFlowSpec {
+    /// Source tile.
+    pub src: NodeId,
+    /// Destination tile.
+    pub dst: NodeId,
+    /// Injection phase within the period, in cycles.
+    pub phase: u64,
+    /// Valid payload bits per packet (≤ 256; static flows are one flit).
+    pub payload_bits: usize,
+}
+
+impl StaticFlowSpec {
+    /// Creates a flow sending `payload_bits` from `src` to `dst` at
+    /// `phase` within each period.
+    pub fn new(src: NodeId, dst: NodeId, phase: u64, payload_bits: usize) -> StaticFlowSpec {
+        StaticFlowSpec {
+            src,
+            dst,
+            phase,
+            payload_bits,
+        }
+    }
+}
+
+/// Errors admitting static flows into the reservation tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReservationError {
+    /// Two flows need the same (link, slot).
+    SlotConflict {
+        /// Router whose output link conflicts.
+        node: NodeId,
+        /// Output direction of the conflicting link.
+        dir: Direction,
+        /// The contested slot.
+        slot: u64,
+        /// Flow already holding the slot.
+        holder: FlowId,
+        /// Flow that failed to get it.
+        loser: FlowId,
+    },
+    /// A flow's phase is not less than the period.
+    PhaseOutOfRange {
+        /// The offending flow.
+        flow: FlowId,
+        /// Its phase.
+        phase: u64,
+        /// The table period.
+        period: u64,
+    },
+    /// A flow's source equals its destination.
+    SelfFlow {
+        /// The offending flow.
+        flow: FlowId,
+    },
+    /// A flow's payload exceeds one flit (256 bits).
+    PayloadTooLarge {
+        /// The offending flow.
+        flow: FlowId,
+        /// Requested payload bits.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::SlotConflict {
+                node,
+                dir,
+                slot,
+                holder,
+                loser,
+            } => write!(
+                f,
+                "slot {slot} on link {node}:{dir} already reserved by {holder} (rejected {loser})"
+            ),
+            ReservationError::PhaseOutOfRange { flow, phase, period } => {
+                write!(f, "flow {flow} phase {phase} outside period {period}")
+            }
+            ReservationError::SelfFlow { flow } => {
+                write!(f, "flow {flow} has identical source and destination")
+            }
+            ReservationError::PayloadTooLarge { flow, bits } => {
+                write!(f, "flow {flow} payload of {bits} bits exceeds one flit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+/// A compiled static flow: its spec, id, and laid-out route.
+#[derive(Debug, Clone)]
+pub struct CompiledFlow {
+    /// Flow identity (index into the admission order).
+    pub id: FlowId,
+    /// The admitted spec.
+    pub spec: StaticFlowSpec,
+    /// Absolute hop directions from source to destination.
+    pub route: Vec<Direction>,
+}
+
+/// The network-wide set of cyclic reservation registers.
+///
+/// One register per output link; entry `slot` names the flow whose
+/// pre-scheduled flit owns cycle `c` whenever `c ≡ slot (mod period)`.
+#[derive(Debug, Clone)]
+pub struct ReservationTable {
+    period: u64,
+    slots: HashMap<(NodeId, Direction), Vec<Option<FlowId>>>,
+    flows: Vec<CompiledFlow>,
+}
+
+impl ReservationTable {
+    /// Builds the tables by laying out every flow's route and reserving a
+    /// slot on each link, offset by the per-hop latency so the flit finds
+    /// its slot just as it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReservationError`] encountered; admission is
+    /// all-or-nothing in the sense that the returned table is only valid
+    /// when the result is `Ok`.
+    pub fn build(
+        topo: &dyn Topology,
+        period: u64,
+        hop_latency: u64,
+        inject_latency: u64,
+        specs: &[StaticFlowSpec],
+    ) -> Result<ReservationTable, ReservationError> {
+        let mut table = ReservationTable {
+            period,
+            slots: HashMap::new(),
+            flows: Vec::new(),
+        };
+        for (i, spec) in specs.iter().enumerate() {
+            let id = FlowId(i as u32);
+            if spec.phase >= period {
+                return Err(ReservationError::PhaseOutOfRange {
+                    flow: id,
+                    phase: spec.phase,
+                    period,
+                });
+            }
+            if spec.src == spec.dst {
+                return Err(ReservationError::SelfFlow { flow: id });
+            }
+            if spec.payload_bits > crate::flit::FLIT_DATA_BITS {
+                return Err(ReservationError::PayloadTooLarge {
+                    flow: id,
+                    bits: spec.payload_bits,
+                });
+            }
+            let route = topo.route_dirs(spec.src, spec.dst);
+            let mut node = spec.src;
+            for (h, &dir) in route.iter().enumerate() {
+                let slot = (spec.phase + inject_latency + h as u64 * hop_latency) % period;
+                let entry = table
+                    .slots
+                    .entry((node, dir))
+                    .or_insert_with(|| vec![None; period as usize]);
+                if let Some(holder) = entry[slot as usize] {
+                    return Err(ReservationError::SlotConflict {
+                        node,
+                        dir,
+                        slot,
+                        holder,
+                        loser: id,
+                    });
+                }
+                entry[slot as usize] = Some(id);
+                node = topo.neighbor(node, dir).expect("route walks real channels");
+            }
+            table.flows.push(CompiledFlow {
+                id,
+                spec: *spec,
+                route,
+            });
+        }
+        Ok(table)
+    }
+
+    /// The register period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The admitted flows in admission order.
+    pub fn flows(&self) -> &[CompiledFlow] {
+        &self.flows
+    }
+
+    /// The flow holding the given link at `cycle`, if any.
+    pub fn reserved_flow(&self, node: NodeId, dir: Direction, cycle: Cycle) -> Option<FlowId> {
+        let entry = self.slots.get(&(node, dir))?;
+        entry[(cycle % self.period) as usize]
+    }
+
+    /// Fraction of this link's slots that are reserved (0 when the link
+    /// carries no static flow).
+    pub fn link_reserved_fraction(&self, node: NodeId, dir: Direction) -> f64 {
+        match self.slots.get(&(node, dir)) {
+            None => 0.0,
+            Some(entry) => {
+                entry.iter().filter(|s| s.is_some()).count() as f64 / self.period as f64
+            }
+        }
+    }
+
+    /// Total number of (link, slot) reservations held.
+    pub fn total_reservations(&self) -> usize {
+        self.slots
+            .values()
+            .map(|v| v.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FoldedTorus2D;
+
+    fn topo() -> FoldedTorus2D {
+        FoldedTorus2D::new(4)
+    }
+
+    #[test]
+    fn single_flow_reserves_every_hop() {
+        let t = topo();
+        let spec = StaticFlowSpec::new(NodeId::new(0), NodeId::new(3), 2, 64);
+        let table = ReservationTable::build(&t, 16, 2, 1, &[spec]).unwrap();
+        let hops = t.route_dirs(NodeId::new(0), NodeId::new(3)).len();
+        assert_eq!(table.total_reservations(), hops);
+        assert_eq!(table.flows().len(), 1);
+        assert_eq!(table.flows()[0].route.len(), hops);
+    }
+
+    #[test]
+    fn slot_phases_advance_with_hops() {
+        let t = topo();
+        // 0 -> 2 is two eastward hops on the 4-torus.
+        let spec = StaticFlowSpec::new(NodeId::new(0), NodeId::new(2), 0, 8);
+        let table = ReservationTable::build(&t, 16, 2, 1, &[spec]).unwrap();
+        let route = t.route_dirs(NodeId::new(0), NodeId::new(2));
+        let mut node = NodeId::new(0);
+        for (h, &dir) in route.iter().enumerate() {
+            let slot = (1 + 2 * h as u64) % 16;
+            assert_eq!(table.reserved_flow(node, dir, slot), Some(FlowId(0)));
+            // Adjacent slots are free.
+            assert_eq!(table.reserved_flow(node, dir, slot + 1), None);
+            node = t.neighbor(node, dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn conflicting_flows_are_rejected() {
+        let t = topo();
+        // Identical flows collide on their first link.
+        let a = StaticFlowSpec::new(NodeId::new(0), NodeId::new(2), 0, 8);
+        let b = StaticFlowSpec::new(NodeId::new(0), NodeId::new(2), 0, 8);
+        let err = ReservationTable::build(&t, 16, 2, 1, &[a, b]).unwrap_err();
+        assert!(matches!(err, ReservationError::SlotConflict { .. }));
+        // Different phases coexist.
+        let b = StaticFlowSpec::new(NodeId::new(0), NodeId::new(2), 5, 8);
+        ReservationTable::build(&t, 16, 2, 1, &[a, b]).unwrap();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let t = topo();
+        let bad_phase = StaticFlowSpec::new(NodeId::new(0), NodeId::new(1), 99, 8);
+        assert!(matches!(
+            ReservationTable::build(&t, 16, 2, 1, &[bad_phase]).unwrap_err(),
+            ReservationError::PhaseOutOfRange { .. }
+        ));
+        let self_flow = StaticFlowSpec::new(NodeId::new(3), NodeId::new(3), 0, 8);
+        assert!(matches!(
+            ReservationTable::build(&t, 16, 2, 1, &[self_flow]).unwrap_err(),
+            ReservationError::SelfFlow { .. }
+        ));
+        let big = StaticFlowSpec::new(NodeId::new(0), NodeId::new(1), 0, 512);
+        assert!(matches!(
+            ReservationTable::build(&t, 16, 2, 1, &[big]).unwrap_err(),
+            ReservationError::PayloadTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn reserved_fraction() {
+        let t = topo();
+        let spec = StaticFlowSpec::new(NodeId::new(0), NodeId::new(1), 0, 8);
+        let table = ReservationTable::build(&t, 16, 2, 1, &[spec]).unwrap();
+        let route = t.route_dirs(NodeId::new(0), NodeId::new(1));
+        assert_eq!(
+            table.link_reserved_fraction(NodeId::new(0), route[0]),
+            1.0 / 16.0
+        );
+        assert_eq!(
+            table.link_reserved_fraction(NodeId::new(5), Direction::North),
+            0.0
+        );
+    }
+
+    #[test]
+    fn cycle_wraps_modulo_period() {
+        let t = topo();
+        let spec = StaticFlowSpec::new(NodeId::new(0), NodeId::new(1), 3, 8);
+        let table = ReservationTable::build(&t, 8, 2, 1, &[spec]).unwrap();
+        let dir = t.route_dirs(NodeId::new(0), NodeId::new(1))[0];
+        let slot = 3 + 1;
+        for rep in 0..4u64 {
+            assert_eq!(
+                table.reserved_flow(NodeId::new(0), dir, slot + rep * 8),
+                Some(FlowId(0))
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Deflection (misrouting / hot-potato) flow control (paper §3.2).
+//!
+//! Flits are never buffered and never dropped: every arriving flit leaves
+//! on *some* output in the same cycle. A flit that loses arbitration for a
+//! productive direction is deflected out a free non-productive one and
+//! works its way back. Only single-flit packets are supported — the
+//! classic regime for deflection routing — and routing is recomputed from
+//! the destination at every hop (a deflected flit has left its source
+//! route, so the route field is ignored).
+//!
+//! Age-based arbitration (oldest flit first) guarantees livelock freedom
+//! in practice: the oldest flit in the network always takes a productive
+//! port.
+
+use crate::flit::Flit;
+use crate::ids::{Direction, NodeId, Port};
+use crate::topology::Topology;
+
+use super::{EvalEnv, RouterOutput};
+
+/// A bufferless router that misroutes on contention.
+#[derive(Debug)]
+pub struct DeflectionRouter {
+    node: NodeId,
+    /// Flits that arrived since the last evaluation.
+    arrivals: Vec<Flit>,
+    /// Running count of deflections (non-productive assignments).
+    pub deflections: u64,
+    /// Running count of flits forwarded.
+    pub forwarded: u64,
+}
+
+impl DeflectionRouter {
+    /// Creates the router for `node`.
+    pub fn new(node: NodeId) -> DeflectionRouter {
+        DeflectionRouter {
+            node,
+            arrivals: Vec::with_capacity(Port::COUNT),
+            deflections: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Accepts an arriving flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on multi-flit packets (deflection supports single-flit
+    /// packets only) or if more flits arrive than the router has inputs.
+    pub fn receive(&mut self, _port: Port, flit: Flit) {
+        assert!(
+            flit.kind.is_head() && flit.kind.is_tail(),
+            "router {}: deflection requires single-flit packets",
+            self.node
+        );
+        assert!(
+            self.arrivals.len() < 4,
+            "router {}: more arrivals than inputs",
+            self.node
+        );
+        self.arrivals.push(flit);
+    }
+
+    /// Flits awaiting this cycle's evaluation.
+    pub fn occupancy(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Productive directions for `flit` from this node (directions that
+    /// appear in a minimal route), in preference order.
+    fn productive_dirs(&self, topo: &dyn Topology, flit: &Flit) -> Vec<Direction> {
+        let mut dirs = Vec::with_capacity(2);
+        for d in topo.route_dirs(self.node, flit.meta.dst) {
+            if !dirs.contains(&d) {
+                dirs.push(d);
+            }
+        }
+        dirs
+    }
+
+    /// Evaluates one cycle: ejects at most one local flit, matches the
+    /// rest (oldest first) to outputs, and pulls in an injection if an
+    /// output remains free. Returns the output and whether the offered
+    /// injection was consumed.
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, inject: Option<Flit>) -> (RouterOutput, bool) {
+        let mut out = RouterOutput::default();
+        let mut flits = std::mem::take(&mut self.arrivals);
+        // Oldest first; ties by packet id for determinism.
+        flits.sort_by_key(|f| (f.meta.injected_at, f.meta.packet));
+
+        let mut free = [true; 4]; // direction outputs
+        let mut ejected = false;
+        let mut to_route: Vec<Flit> = Vec::with_capacity(5);
+        for f in flits {
+            if f.meta.dst == self.node && !ejected {
+                ejected = true;
+                out.launches.push((Port::Tile, f));
+            } else {
+                to_route.push(f);
+            }
+        }
+        let mut consumed = false;
+        if to_route.len() < 4 {
+            if let Some(f) = inject {
+                to_route.push(f);
+                consumed = true;
+            }
+        }
+        for mut f in to_route {
+            let productive = self.productive_dirs(env.topo, &f);
+            let chosen = productive
+                .iter()
+                .copied()
+                .find(|d| free[d.index()])
+                .or_else(|| {
+                    Direction::ALL.iter().copied().find(|d| free[d.index()])
+                });
+            let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
+            if !productive.contains(&d) {
+                self.deflections += 1;
+            }
+            free[d.index()] = false;
+            f.heading = d;
+            self.forwarded += 1;
+            out.launches.push((Port::Dir(d), f));
+        }
+        (out, consumed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+    use crate::ids::PacketId;
+    use crate::router::tests::test_flit;
+    use crate::topology::FoldedTorus2D;
+
+    fn env<'a>(topo: &'a dyn Topology) -> EvalEnv<'a> {
+        EvalEnv {
+            now: 0,
+            reservations: None,
+            topo,
+        }
+    }
+
+    fn flit_to(dst: u16, packet: u64, age: u64) -> Flit {
+        let mut f = test_flit(FlitKind::HeadTail, &[Direction::East]);
+        f.meta.dst = NodeId::new(dst);
+        f.meta.packet = PacketId(packet);
+        f.meta.injected_at = age;
+        f
+    }
+
+    #[test]
+    fn local_flit_ejects() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = DeflectionRouter::new(NodeId::new(5));
+        r.receive(Port::Dir(Direction::West), flit_to(5, 1, 0));
+        let (out, _) = r.evaluate(&env(&topo), None);
+        assert_eq!(out.launches.len(), 1);
+        assert_eq!(out.launches[0].0, Port::Tile);
+    }
+
+    #[test]
+    fn uncontended_flit_goes_productive() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = DeflectionRouter::new(NodeId::new(0));
+        // Node 1 is one hop east of node 0.
+        r.receive(Port::Dir(Direction::West), flit_to(1, 1, 0));
+        let (out, _) = r.evaluate(&env(&topo), None);
+        assert_eq!(out.launches.len(), 1);
+        assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
+        assert_eq!(r.deflections, 0);
+    }
+
+    #[test]
+    fn contention_deflects_the_younger_flit() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = DeflectionRouter::new(NodeId::new(0));
+        // Both want East (dst = 1); only one productive direction exists.
+        r.receive(Port::Dir(Direction::West), flit_to(1, 1, 5)); // younger
+        r.receive(Port::Dir(Direction::North), flit_to(1, 2, 1)); // older
+        let (out, _) = r.evaluate(&env(&topo), None);
+        assert_eq!(out.launches.len(), 2);
+        // The older flit (packet 2) gets East.
+        let east = out
+            .launches
+            .iter()
+            .find(|(p, _)| *p == Port::Dir(Direction::East))
+            .unwrap();
+        assert_eq!(east.1.meta.packet, PacketId(2));
+        assert_eq!(r.deflections, 1);
+    }
+
+    #[test]
+    fn injection_needs_a_free_output() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = DeflectionRouter::new(NodeId::new(0));
+        for p in 0..4 {
+            r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(2, p, 0));
+        }
+        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)));
+        assert!(!consumed, "all outputs taken by transit flits");
+        assert_eq!(out.launches.len(), 4);
+        // Next cycle is empty: injection succeeds.
+        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)));
+        assert!(consumed);
+        assert_eq!(out.launches.len(), 1);
+    }
+
+    #[test]
+    fn never_drops() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = DeflectionRouter::new(NodeId::new(0));
+        for p in 0..4u64 {
+            r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(1, p, p));
+        }
+        let (out, _) = r.evaluate(&env(&topo), None);
+        // All four leave on four distinct outputs.
+        assert_eq!(out.launches.len(), 4);
+        let mut ports: Vec<usize> = out.launches.iter().map(|(p, _)| p.index()).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 4);
+        assert!(out.dropped_packets.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Router microarchitecture (paper §2.3, Figure 3).
+//!
+//! Every tile has a router of five input controllers and five output
+//! controllers (N/E/S/W/Tile). Three cores implement the flow-control
+//! methods the paper discusses:
+//!
+//! * [`VcRouter`] — the baseline: credit-based virtual-channel flow
+//!   control with per-VC input buffers, VC allocation in parallel with
+//!   switch arbitration, and a single staging flit per input-port
+//!   connection at each output controller.
+//! * [`DroppingRouter`] — §3.2's minimal-buffer alternative: packets that
+//!   encounter contention are dropped.
+//! * [`DeflectionRouter`] — §3.2's misrouting alternative: contending
+//!   flits are sent out a non-preferred port instead of waiting.
+
+mod deflection;
+mod dropping;
+mod vc;
+
+pub use deflection::DeflectionRouter;
+pub use dropping::DroppingRouter;
+pub use vc::VcRouter;
+
+use crate::config::ReservationPolicy;
+use crate::flit::Flit;
+use crate::ids::{Cycle, PacketId, Port, VcId};
+use crate::reservation::ReservationTable;
+use crate::route::Turn;
+use crate::topology::Topology;
+
+/// Everything a router consults while evaluating a cycle.
+pub struct EvalEnv<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Reservation registers and slot policy, when static flows exist.
+    pub reservations: Option<(&'a ReservationTable, ReservationPolicy)>,
+    /// The topology (used by deflection routing to find productive ports).
+    pub topo: &'a dyn Topology,
+}
+
+/// What a router did in one cycle.
+#[derive(Debug, Default)]
+pub struct RouterOutput {
+    /// Flits leaving through each output port.
+    pub launches: Vec<(Port, Flit)>,
+    /// Credits to return upstream, keyed by the *input* port whose buffer
+    /// freed a slot.
+    pub credits: Vec<(Port, VcId)>,
+    /// Packets dropped this cycle (dropping flow control only).
+    pub dropped_packets: Vec<PacketId>,
+    /// Flits discarded this cycle (members of dropped packets).
+    pub dropped_flits: u64,
+}
+
+/// Resolves a head flit's next output port, consuming one route entry.
+///
+/// At the source router the flit arrives on the tile port and the entry is
+/// an absolute direction; elsewhere it is a turn relative to the current
+/// heading (see [`crate::route`]).
+///
+/// # Panics
+///
+/// Panics if the route is exhausted — a malformed route that should have
+/// been caught at compile time.
+pub(crate) fn resolve_route(flit: &mut Flit, in_port: Port) {
+    debug_assert!(flit.kind.is_head(), "only head flits carry routes");
+    match in_port {
+        Port::Tile => {
+            let (dir, rest) = flit
+                .route
+                .strip_first_hop()
+                .expect("head flit with exhausted route at source");
+            flit.heading = dir;
+            flit.route = rest;
+            flit.resolved_port = Some(Port::Dir(dir));
+            advance_hop(flit);
+        }
+        Port::Dir(_) => {
+            let (turn, rest) = flit
+                .route
+                .strip_turn()
+                .expect("head flit with exhausted route in flight");
+            flit.route = rest;
+            match turn {
+                Turn::Extract => flit.resolved_port = Some(Port::Tile),
+                t => {
+                    let old = flit.heading;
+                    flit.heading = t.apply(flit.heading);
+                    // The dateline class is per dimension: turning into
+                    // the other dimension starts a fresh ring traversal,
+                    // so the escape class resets. Without this, packets
+                    // that wrapped in X would consume the Y ring's
+                    // class-1 escape VCs and the torus could deadlock.
+                    if axis(old) != axis(flit.heading) {
+                        flit.meta.dateline_class = 0;
+                    }
+                    flit.resolved_port = Some(Port::Dir(flit.heading));
+                    advance_hop(flit);
+                }
+            }
+        }
+    }
+}
+
+/// Counts a hop about to be taken and, for two-segment (Valiant) routes,
+/// climbs to segment 1 at the boundary — a fresh dimension-ordered
+/// traversal with a fresh dateline class.
+fn advance_hop(flit: &mut Flit) {
+    flit.meta.hops_taken = flit.meta.hops_taken.saturating_add(1);
+    if flit.meta.valiant_boundary != 0
+        && flit.meta.segment == 0
+        && flit.meta.hops_taken > flit.meta.valiant_boundary
+    {
+        flit.meta.segment = 1;
+        flit.meta.dateline_class = 0;
+    }
+}
+
+/// The dimension (0 = X/east-west, 1 = Y/north-south) of a heading.
+fn axis(d: crate::ids::Direction) -> u8 {
+    match d {
+        crate::ids::Direction::East | crate::ids::Direction::West => 0,
+        crate::ids::Direction::North | crate::ids::Direction::South => 1,
+    }
+}
+
+/// A router core: one of the three flow-control implementations.
+///
+/// The VC router is boxed: it carries per-VC buffers and credit state and
+/// is far larger than the bufferless cores. The remaining size spread
+/// (the dropping core inlines one flit slot per port) is intentional —
+/// routers are constructed once per node, not moved around.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum RouterCore {
+    /// Credit-based virtual-channel router (baseline).
+    Vc(Box<VcRouter>),
+    /// Drop-on-contention router.
+    Dropping(DroppingRouter),
+    /// Deflection (misrouting) router.
+    Deflection(DeflectionRouter),
+}
+
+impl RouterCore {
+    /// Accepts a flit arriving on `port`.
+    pub fn receive(&mut self, port: Port, flit: Flit) {
+        match self {
+            RouterCore::Vc(r) => r.receive(port, flit),
+            RouterCore::Dropping(r) => r.receive(port, flit),
+            RouterCore::Deflection(r) => r.receive(port, flit),
+        }
+    }
+
+    /// Applies a credit arriving for output `port`, channel `vc`.
+    pub fn credit_arrived(&mut self, port: Port, vc: VcId) {
+        match self {
+            RouterCore::Vc(r) => r.credit_arrived(port, vc),
+            // Dropping and deflection flow control use no credits.
+            RouterCore::Dropping(_) | RouterCore::Deflection(_) => {}
+        }
+    }
+
+    /// Evaluates one cycle. `inject` offers the tile's next flit to cores
+    /// that pull injections (deflection); the `bool` reports whether it
+    /// was consumed.
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, inject: Option<Flit>) -> (RouterOutput, bool) {
+        match self {
+            RouterCore::Vc(r) => (r.evaluate(env), false),
+            RouterCore::Dropping(r) => (r.evaluate(env), false),
+            RouterCore::Deflection(r) => r.evaluate(env, inject),
+        }
+    }
+
+    /// Flits currently buffered in this router (occupancy statistic).
+    pub fn occupancy(&self) -> usize {
+        match self {
+            RouterCore::Vc(r) => r.occupancy(),
+            RouterCore::Dropping(r) => r.occupancy(),
+            RouterCore::Deflection(r) => r.occupancy(),
+        }
+    }
+
+    /// Whether this core's injections are gated by tile-port credits.
+    pub fn credit_gated_injection(&self) -> bool {
+        matches!(self, RouterCore::Vc(_))
+    }
+
+    /// Whether this core pulls injections during evaluation instead of
+    /// accepting pushed tile-port flits.
+    pub fn pulls_injection(&self) -> bool {
+        matches!(self, RouterCore::Deflection(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask};
+    use crate::ids::{Direction, NodeId};
+    use crate::route::SourceRoute;
+
+    pub(crate) fn test_flit(kind: FlitKind, hops: &[Direction]) -> Flit {
+        Flit {
+            kind,
+            size: SizeCode::MAX,
+            vc_mask: VcMask::ALL,
+            route: SourceRoute::compile(hops).unwrap(),
+            payload: Payload::ZERO,
+            heading: Direction::East,
+            link_vc: VcId::new(0),
+            resolved_port: None,
+            meta: FlitMeta {
+                packet: PacketId(1),
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                flit_index: 0,
+                packet_len: 1,
+                created_at: 0,
+                injected_at: 0,
+                class: ServiceClass::Bulk,
+                flow: None,
+                dateline_class: 0,
+                valiant_boundary: 0,
+                segment: 0,
+                hops_taken: 0,
+                ecc: 0,
+                corrupted: false,
+            },
+        }
+    }
+
+    #[test]
+    fn resolve_at_source_uses_absolute_direction() {
+        let mut f = test_flit(FlitKind::HeadTail, &[Direction::North, Direction::North]);
+        resolve_route(&mut f, Port::Tile);
+        assert_eq!(f.resolved_port, Some(Port::Dir(Direction::North)));
+        assert_eq!(f.heading, Direction::North);
+    }
+
+    #[test]
+    fn resolve_in_flight_uses_turns() {
+        let mut f = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::North]);
+        resolve_route(&mut f, Port::Tile);
+        assert_eq!(f.resolved_port, Some(Port::Dir(Direction::East)));
+        resolve_route(&mut f, Port::Dir(Direction::West));
+        assert_eq!(f.resolved_port, Some(Port::Dir(Direction::North)));
+        // Final entry extracts.
+        resolve_route(&mut f, Port::Dir(Direction::South));
+        assert_eq!(f.resolved_port, Some(Port::Tile));
+    }
+}

@@ -1,0 +1,626 @@
+//! The baseline credit-based virtual-channel router (paper §2.3, Fig. 3).
+//!
+//! Each of the five input controllers holds an input buffer and state for
+//! every virtual channel. When a head flit arrives, the controller strips
+//! the next entry off the route field to select an output port; the flit
+//! then arbitrates with the other VCs on its input port and, if it wins,
+//! is forwarded to the output controller — *in parallel* with allocating
+//! an output virtual channel, as the paper specifies. Each output
+//! controller provides a single stage of buffering per input-port
+//! connection; staged flits arbitrate for the outgoing link, gated by
+//! credits for downstream buffer space. Credits travel back on the
+//! reverse-direction channel.
+
+use std::collections::VecDeque;
+
+use crate::config::{ReservationPolicy, VcPlan};
+use crate::flit::{Flit, VcMask};
+use crate::ids::{NodeId, Port, VcId};
+
+use super::{resolve_route, EvalEnv, RouterOutput};
+
+#[derive(Debug)]
+struct InVc {
+    buf: VecDeque<Flit>,
+    /// Output port of the packet currently at the head of this VC.
+    out_port: Option<Port>,
+    /// Output VC allocated to that packet.
+    out_vc: Option<VcId>,
+}
+
+#[derive(Debug)]
+struct InputCtrl {
+    vcs: Vec<InVc>,
+    rr: usize,
+}
+
+#[derive(Debug)]
+struct OutputCtrl {
+    /// One staging flit per input-port connection.
+    staging: [Option<Flit>; Port::COUNT],
+    /// Dedicated staging for pre-scheduled (reserved-class) flits, so a
+    /// credit-stalled dynamic flit can never head-of-line block them —
+    /// §2.6's "moves from one link to another without arbitration or
+    /// delay".
+    reserved_staging: [Option<Flit>; Port::COUNT],
+    /// Which (input port, input VC) owns each output VC.
+    owner: Vec<Option<(usize, usize)>>,
+    /// Credits: free downstream buffer slots per output VC.
+    credits: Vec<u64>,
+    max_credits: u64,
+    /// First cycle the link is free again (phit serialization).
+    busy_until: u64,
+    rr_alloc: usize,
+    rr_link: usize,
+}
+
+/// The paper's virtual-channel router for one tile.
+#[derive(Debug)]
+pub struct VcRouter {
+    node: NodeId,
+    num_vcs: usize,
+    buf_depth: usize,
+    plan: VcPlan,
+    dateline_aware: bool,
+    /// Cycles a flit occupies each output link (1 = full-width channel).
+    phits: u64,
+    inputs: Vec<InputCtrl>,
+    outputs: Vec<OutputCtrl>,
+}
+
+impl VcRouter {
+    /// Creates the router for `node`.
+    ///
+    /// `eject_credits` bounds flits in flight toward the tile interface.
+    pub fn new(
+        node: NodeId,
+        plan: VcPlan,
+        dateline_aware: bool,
+        buf_depth: usize,
+        eject_credits: u64,
+        phits: u64,
+    ) -> VcRouter {
+        let num_vcs = plan.num_vcs;
+        let inputs = (0..Port::COUNT)
+            .map(|_| InputCtrl {
+                vcs: (0..num_vcs)
+                    .map(|_| InVc {
+                        buf: VecDeque::with_capacity(buf_depth),
+                        out_port: None,
+                        out_vc: None,
+                    })
+                    .collect(),
+                rr: 0,
+            })
+            .collect();
+        let outputs = (0..Port::COUNT)
+            .map(|p| {
+                let max = if p == Port::Tile.index() {
+                    eject_credits
+                } else {
+                    buf_depth as u64
+                };
+                OutputCtrl {
+                    staging: [None, None, None, None, None],
+                    reserved_staging: [None, None, None, None, None],
+                    owner: vec![None; num_vcs],
+                    credits: vec![max; num_vcs],
+                    max_credits: max,
+                    busy_until: 0,
+                    rr_alloc: 0,
+                    rr_link: 0,
+                }
+            })
+            .collect();
+        VcRouter {
+            node,
+            num_vcs,
+            buf_depth,
+            plan,
+            dateline_aware,
+            phits: phits.max(1),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Accepts a flit from an input channel (or the tile port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-VC buffer overflows — a credit-protocol
+    /// violation that indicates a bug, not an operational condition.
+    pub fn receive(&mut self, port: Port, mut flit: Flit) {
+        if flit.kind.is_head() {
+            resolve_route(&mut flit, port);
+        }
+        let vc = flit.link_vc.index();
+        let buf = &mut self.inputs[port.index()].vcs[vc].buf;
+        assert!(
+            buf.len() < self.buf_depth,
+            "router {}: input {port} vc{vc} buffer overflow",
+            self.node
+        );
+        buf.push_back(flit);
+    }
+
+    /// Applies an arriving credit for output `port`, VC `vc`.
+    pub fn credit_arrived(&mut self, port: Port, vc: VcId) {
+        let o = &mut self.outputs[port.index()];
+        o.credits[vc.index()] += 1;
+        debug_assert!(
+            o.credits[vc.index()] <= o.max_credits,
+            "router {}: credit overflow on {port} {vc:?}",
+            self.node
+        );
+    }
+
+    /// Total flits buffered (input buffers + output staging).
+    pub fn occupancy(&self) -> usize {
+        let bufs: usize = self
+            .inputs
+            .iter()
+            .flat_map(|i| i.vcs.iter())
+            .map(|v| v.buf.len())
+            .sum();
+        let staged: usize = self
+            .outputs
+            .iter()
+            .flat_map(|o| o.staging.iter().chain(o.reserved_staging.iter()))
+            .filter(|s| s.is_some())
+            .count();
+        bufs + staged
+    }
+
+    /// Renders the router's internal state — per-VC buffer occupancy and
+    /// held allocations, staging slots, output credits and owners — for
+    /// congestion diagnosis.
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "router {}", self.node);
+        for (i, input) in self.inputs.iter().enumerate() {
+            let busy: Vec<String> = input
+                .vcs
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.buf.is_empty() || v.out_vc.is_some())
+                .map(|(vi, v)| {
+                    format!(
+                        "vc{vi}:{}f->{}{}",
+                        v.buf.len(),
+                        v.out_port.map_or("-".into(), |p| p.to_string()),
+                        v.out_vc.map_or(String::new(), |o| format!("/{o}"))
+                    )
+                })
+                .collect();
+            if !busy.is_empty() {
+                let _ = writeln!(s, "  in {}: {}", Port::from_index(i), busy.join(" "));
+            }
+        }
+        for (o, out) in self.outputs.iter().enumerate() {
+            let staged: Vec<String> = out
+                .staging
+                .iter()
+                .chain(out.reserved_staging.iter())
+                .enumerate()
+                .filter_map(|(i, f)| {
+                    f.as_ref()
+                        .map(|f| format!("i{}:{}({})", i % Port::COUNT, f.meta.packet, f.link_vc))
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  out {}: credits {:?} owners {:?} staged [{}]",
+                Port::from_index(o),
+                out.credits,
+                out.owner
+                    .iter()
+                    .map(|w| w.map(|(i, v)| format!("i{i}v{v}")))
+                    .collect::<Vec<_>>(),
+                staged.join(" ")
+            );
+        }
+        s
+    }
+
+    /// The VCs a packet may be allocated here, given its own mask, class,
+    /// routing segment, and dateline class.
+    fn effective_mask(&self, flit: &Flit) -> VcMask {
+        let plan_mask = if flit.meta.valiant_boundary != 0 {
+            self.plan.mask_for_two_segment(
+                flit.meta.segment,
+                flit.meta.dateline_class,
+                self.dateline_aware,
+            )
+        } else {
+            self.plan
+                .mask_for(flit.meta.class, flit.meta.dateline_class, self.dateline_aware)
+        };
+        flit.vc_mask.and(plan_mask)
+    }
+
+    /// Evaluates one router cycle: VC allocation, switch traversal, and
+    /// link arbitration (the first two proceed in parallel per the paper).
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        self.load_routes();
+        self.allocate_vcs();
+        self.traverse_switch(&mut out);
+        self.arbitrate_links(env, &mut out);
+        out
+    }
+
+    /// Latches the output-port decision for any packet whose head has
+    /// reached the front of its VC buffer.
+    fn load_routes(&mut self) {
+        for input in &mut self.inputs {
+            for ivc in &mut input.vcs {
+                if ivc.out_port.is_none() {
+                    if let Some(front) = ivc.buf.front() {
+                        assert!(
+                            front.kind.is_head(),
+                            "router {}: body flit at head of an idle VC",
+                            self.node
+                        );
+                        ivc.out_port =
+                            Some(front.resolved_port.expect("head resolved at receive"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grants free output VCs to waiting head flits, highest class first,
+    /// round-robin among equals.
+    fn allocate_vcs(&mut self) {
+        for o in 0..Port::COUNT {
+            let port = Port::from_index(o);
+            // Gather requests: (priority, input port, input vc, mask).
+            let mut reqs: Vec<(u8, usize, usize, VcMask)> = Vec::new();
+            for i in 0..Port::COUNT {
+                for v in 0..self.num_vcs {
+                    let ivc = &self.inputs[i].vcs[v];
+                    if ivc.out_port == Some(port) && ivc.out_vc.is_none() {
+                        if let Some(front) = ivc.buf.front() {
+                            reqs.push((
+                                front.meta.class.priority(),
+                                i,
+                                v,
+                                self.effective_mask(front),
+                            ));
+                        }
+                    }
+                }
+            }
+            if reqs.is_empty() {
+                continue;
+            }
+            // Rotate for fairness, then stable-sort by priority (desc).
+            let rot = self.outputs[o].rr_alloc % reqs.len();
+            reqs.rotate_left(rot);
+            reqs.sort_by_key(|r| std::cmp::Reverse(r.0));
+            let mut granted_any = false;
+            for (_, i, v, mask) in reqs {
+                let free = (0..self.num_vcs).find(|&ov| {
+                    mask.allows(VcId::new(ov as u8)) && self.outputs[o].owner[ov].is_none()
+                });
+                if let Some(ov) = free {
+                    self.outputs[o].owner[ov] = Some((i, v));
+                    self.inputs[i].vcs[v].out_vc = Some(VcId::new(ov as u8));
+                    granted_any = true;
+                }
+            }
+            if granted_any {
+                self.outputs[o].rr_alloc = self.outputs[o].rr_alloc.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Forwards one flit per input port into the output staging buffers,
+    /// returning a credit upstream for each freed input slot.
+    ///
+    /// The downstream-buffer credit is checked *and consumed here*: a
+    /// flit only enters staging with its credit in hand, so staged flits
+    /// never wait on buffer space — only on link bandwidth, which
+    /// round-robin grants in bounded time. This keeps the shared staging
+    /// slot from coupling virtual-channel classes (a credit-starved
+    /// class-0 flit parked in staging would otherwise block the class-1
+    /// escape VCs and reintroduce torus deadlock).
+    fn traverse_switch(&mut self, out: &mut RouterOutput) {
+        for i in 0..Port::COUNT {
+            let num_vcs = self.num_vcs;
+            let rr = self.inputs[i].rr;
+            // Candidate VCs: flit at front, output VC held, staging slot
+            // free, downstream credit available.
+            let mut best: Option<(u8, usize)> = None;
+            for off in 0..num_vcs {
+                let v = (rr + off) % num_vcs;
+                let ivc = &self.inputs[i].vcs[v];
+                let (Some(front), Some(op), Some(ovc)) =
+                    (ivc.buf.front(), ivc.out_port, ivc.out_vc)
+                else {
+                    continue;
+                };
+                let octrl = &self.outputs[op.index()];
+                if octrl.credits[ovc.index()] == 0 {
+                    continue;
+                }
+                let reserved = front.meta.class == crate::flit::ServiceClass::Reserved;
+                let slot = if reserved {
+                    &octrl.reserved_staging[i]
+                } else {
+                    &octrl.staging[i]
+                };
+                if slot.is_some() {
+                    continue;
+                }
+                let pri = front.meta.class.priority();
+                if best.is_none_or(|(bp, _)| pri > bp) {
+                    best = Some((pri, v));
+                }
+            }
+            let Some((_, v)) = best else { continue };
+            let ivc = &mut self.inputs[i].vcs[v];
+            let mut flit = ivc.buf.pop_front().expect("candidate has a flit");
+            let op = ivc.out_port.expect("candidate has a port");
+            flit.link_vc = ivc.out_vc.expect("candidate has a VC");
+            if flit.kind.is_tail() {
+                ivc.out_port = None;
+                ivc.out_vc = None;
+            }
+            let octrl = &mut self.outputs[op.index()];
+            octrl.credits[flit.link_vc.index()] -= 1;
+            if flit.meta.class == crate::flit::ServiceClass::Reserved {
+                octrl.reserved_staging[i] = Some(flit);
+            } else {
+                octrl.staging[i] = Some(flit);
+            }
+            out.credits.push((Port::from_index(i), VcId::new(v as u8)));
+            self.inputs[i].rr = (v + 1) % num_vcs;
+        }
+    }
+
+    /// Staged flits with downstream credit arbitrate for each link; a
+    /// reserved slot hands the link to its flow's flit without
+    /// arbitration.
+    fn arbitrate_links(&mut self, env: &EvalEnv<'_>, out: &mut RouterOutput) {
+        for o in 0..Port::COUNT {
+            let port = Port::from_index(o);
+            let octrl = &self.outputs[o];
+            // A serialized (narrow) link is occupied for `phits` cycles
+            // per flit.
+            if env.now < octrl.busy_until {
+                continue;
+            }
+            // (priority, input idx, from the reserved staging bank).
+            // Staged flits already hold their downstream credit, so every
+            // one is a launch candidate.
+            let mut candidates: Vec<(u8, usize, bool)> = Vec::new();
+            for i in 0..Port::COUNT {
+                for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)]
+                {
+                    if let Some(f) = &bank[i] {
+                        candidates.push((f.meta.class.priority(), i, reserved));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            // Reserved slots bypass arbitration entirely (paper §2.6).
+            let mut winner: Option<(usize, bool)> = None;
+            if let (Some((table, policy)), Port::Dir(d)) = (env.reservations, port) {
+                if let Some(flow) = table.reserved_flow(self.node, d, env.now) {
+                    winner = candidates
+                        .iter()
+                        .filter(|&&(_, _, reserved)| reserved)
+                        .map(|&(_, i, r)| (i, r))
+                        .find(|&(i, _)| {
+                            octrl.reserved_staging[i]
+                                .as_ref()
+                                .is_some_and(|f| f.meta.flow == Some(flow))
+                        });
+                    if winner.is_none() && policy == ReservationPolicy::Strict {
+                        // The slot's owner is absent and the slot may not
+                        // be reused: the link idles this cycle.
+                        continue;
+                    }
+                }
+            }
+            let (winner, from_reserved) = winner.unwrap_or_else(|| {
+                let rot = octrl.rr_link % candidates.len();
+                let mut rotated = candidates.clone();
+                rotated.rotate_left(rot);
+                rotated.sort_by_key(|r| std::cmp::Reverse(r.0));
+                (rotated[0].1, rotated[0].2)
+            });
+            let octrl = &mut self.outputs[o];
+            let bank = if from_reserved {
+                &mut octrl.reserved_staging
+            } else {
+                &mut octrl.staging
+            };
+            let flit = bank[winner].take().expect("winner staged");
+            if flit.kind.is_tail() {
+                octrl.owner[flit.link_vc.index()] = None;
+            }
+            octrl.busy_until = env.now + self.phits;
+            octrl.rr_link = octrl.rr_link.wrapping_add(1);
+            out.launches.push((port, flit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, ServiceClass};
+    use crate::ids::Direction;
+    use crate::router::tests::test_flit;
+    use crate::topology::{FoldedTorus2D, Topology};
+
+    fn router() -> VcRouter {
+        VcRouter::new(NodeId::new(0), VcPlan::paper_baseline(), true, 4, 64, 1)
+    }
+
+    fn env_at<'a>(topo: &'a dyn Topology, now: u64) -> EvalEnv<'a> {
+        EvalEnv {
+            now,
+            reservations: None,
+            topo,
+        }
+    }
+
+    fn env<'a>(topo: &'a dyn Topology) -> EvalEnv<'a> {
+        env_at(topo, 0)
+    }
+
+    #[test]
+    fn single_flit_traverses_in_one_evaluation() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = router();
+        let f = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::East]);
+        r.receive(Port::Tile, f);
+        let out = r.evaluate(&env(&topo));
+        assert_eq!(out.launches.len(), 1);
+        let (port, f) = &out.launches[0];
+        assert_eq!(*port, Port::Dir(Direction::East));
+        // Credit returned for the tile input slot.
+        assert_eq!(out.credits, vec![(Port::Tile, VcId::new(0))]);
+        // The launched flit holds a bulk class-0 VC (0 or 1).
+        assert!(f.link_vc.index() < 2);
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn extract_goes_to_tile_port() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = router();
+        let mut f = test_flit(FlitKind::HeadTail, &[Direction::East]);
+        // Simulate prior hop: strip the absolute entry.
+        super::super::resolve_route(&mut f, Port::Tile);
+        f.resolved_port = None;
+        r.receive(Port::Dir(Direction::West), f);
+        let out = r.evaluate(&env(&topo));
+        assert_eq!(out.launches.len(), 1);
+        assert_eq!(out.launches[0].0, Port::Tile);
+    }
+
+    #[test]
+    fn credits_gate_the_link() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = VcRouter::new(NodeId::new(0), VcPlan::paper_baseline(), true, 1, 64, 1);
+        // Two single-flit packets for the same output; depth-1 downstream.
+        let f1 = test_flit(FlitKind::HeadTail, &[Direction::East]);
+        let mut f2 = test_flit(FlitKind::HeadTail, &[Direction::East]);
+        f2.meta.packet = crate::ids::PacketId(2);
+        f2.link_vc = VcId::new(1);
+        r.receive(Port::Tile, f1);
+        r.receive(Port::Tile, f2);
+        let out = r.evaluate(&env_at(&topo, 0));
+        // Both may stage over two cycles, but only vc-credit-backed flits
+        // launch. Baseline plan gives bulk class0 = {vc0, vc1}; depth 1
+        // each, so two launches are possible across cycles but at most
+        // one flit per cycle leaves the single East link.
+        assert_eq!(out.launches.len(), 1);
+        let out2 = r.evaluate(&env_at(&topo, 1));
+        assert_eq!(out2.launches.len(), 1);
+        // Now both downstream VCs are out of credits.
+        let f3 = {
+            let mut f = test_flit(FlitKind::HeadTail, &[Direction::East]);
+            f.meta.packet = crate::ids::PacketId(3);
+            f
+        };
+        r.receive(Port::Tile, f3);
+        let out3 = r.evaluate(&env_at(&topo, 2));
+        assert_eq!(out3.launches.len(), 0, "no credits, no launch");
+        // A credit arrives; the flit moves.
+        r.credit_arrived(Port::Dir(Direction::East), VcId::new(0));
+        let out4 = r.evaluate(&env_at(&topo, 3));
+        assert_eq!(out4.launches.len(), 1);
+    }
+
+    #[test]
+    fn priority_flit_wins_the_link() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = router();
+        let mut bulk = test_flit(FlitKind::HeadTail, &[Direction::North]);
+        bulk.meta.packet = crate::ids::PacketId(10);
+        let mut pri = test_flit(FlitKind::HeadTail, &[Direction::North]);
+        pri.meta.packet = crate::ids::PacketId(11);
+        pri.meta.class = ServiceClass::Priority;
+        pri.link_vc = VcId::new(4);
+        // Arrive on different inputs, same output.
+        r.receive(Port::Tile, bulk);
+        r.receive(Port::Dir(Direction::South), {
+            let mut f = pri;
+            super::super::resolve_route(&mut f, Port::Tile); // consume absolute entry
+            f.heading = Direction::North;
+            f.resolved_port = None;
+            // Rebuild: pretend it still needs its turn; simpler to hand-
+            // craft a straight-through route.
+            f.route = crate::route::SourceRoute::compile(&[Direction::North, Direction::North])
+                .unwrap()
+                .strip_first_hop()
+                .unwrap()
+                .1;
+            f
+        });
+        let out = r.evaluate(&env(&topo));
+        let north: Vec<_> = out
+            .launches
+            .iter()
+            .filter(|(p, _)| *p == Port::Dir(Direction::North))
+            .collect();
+        assert_eq!(north.len(), 1);
+        assert_eq!(north[0].1.meta.class, ServiceClass::Priority);
+    }
+
+    #[test]
+    fn multi_flit_packet_streams_in_order() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = router();
+        let route = [Direction::East, Direction::East];
+        let mut flits = vec![
+            test_flit(FlitKind::Head, &route),
+            test_flit(FlitKind::Body, &route),
+            test_flit(FlitKind::Tail, &route),
+        ];
+        for (i, f) in flits.iter_mut().enumerate() {
+            f.meta.flit_index = i as u16;
+            f.meta.packet_len = 3;
+        }
+        let mut launched = Vec::new();
+        let mut pending = flits.into_iter().collect::<std::collections::VecDeque<_>>();
+        for now in 0..10u64 {
+            if let Some(f) = pending.pop_front() {
+                r.receive(Port::Tile, f);
+            }
+            let out = r.evaluate(&env_at(&topo, now));
+            launched.extend(out.launches);
+        }
+        assert_eq!(launched.len(), 3);
+        let idxs: Vec<u16> = launched.iter().map(|(_, f)| f.meta.flit_index).collect();
+        assert_eq!(idxs, vec![0, 1, 2]);
+        // All flits rode the same output VC.
+        let vcs: Vec<VcId> = launched.iter().map(|(_, f)| f.link_vc).collect();
+        assert!(vcs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn dateline_class_restricts_vc_choice() {
+        let topo = FoldedTorus2D::new(4);
+        let mut r = router();
+        let mut f = test_flit(FlitKind::HeadTail, &[Direction::East]);
+        f.meta.dateline_class = 1; // has crossed a wrap link
+        f.link_vc = VcId::new(2);
+        r.receive(Port::Tile, f);
+        let out = r.evaluate(&env(&topo));
+        assert_eq!(out.launches.len(), 1);
+        // Bulk class-1 VCs are 2 and 3.
+        let vc = out.launches[0].1.link_vc.index();
+        assert!(vc == 2 || vc == 3, "got vc{vc}");
+    }
+}

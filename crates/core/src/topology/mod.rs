@@ -1,0 +1,203 @@
+//! Network topologies: the folded 2-D torus of the paper's baseline, the
+//! mesh it is compared against in §3.1, and a 1-D ring.
+//!
+//! Coordinates are *logical*: `East` always means "next node in the row's
+//! cyclic order". The folded torus additionally maps logical positions to
+//! *physical* tile positions (the paper's row order 0, 2, 3, 1) so that
+//! every link's physical wire length is known — that length drives the
+//! wire-energy and wire-delay models.
+
+mod mesh;
+mod ring;
+mod torus;
+
+pub use mesh::Mesh2D;
+pub use ring::Ring;
+pub use torus::FoldedTorus2D;
+
+use crate::ids::{Coord, Direction, NodeId};
+
+/// A network topology: node geometry, channels, lengths, and minimal
+/// routing.
+///
+/// Implementations must be internally consistent: `neighbor` must be
+/// symmetric (`neighbor(neighbor(n, d), d.opposite()) == n` whenever
+/// defined) and `route_dirs` must produce walks that terminate at the
+/// destination; the test suite checks both for every shipped topology.
+pub trait Topology: Send + Sync + std::fmt::Debug {
+    /// Short human-readable name ("mesh4", "ftorus4", ...).
+    fn name(&self) -> String;
+
+    /// Number of client tiles.
+    fn num_nodes(&self) -> usize;
+
+    /// Network radix `k` (nodes per dimension).
+    fn radix(&self) -> usize;
+
+    /// Logical coordinate of a node.
+    fn coord(&self, node: NodeId) -> Coord;
+
+    /// Node at a logical coordinate.
+    fn node_at(&self, coord: Coord) -> NodeId;
+
+    /// *Physical* tile position of a node on the die (for the folded torus
+    /// this differs from the logical coordinate).
+    fn physical_position(&self, node: NodeId) -> Coord;
+
+    /// The node reached by leaving `node` in direction `dir`, if a channel
+    /// exists there.
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId>;
+
+    /// Physical length, in tile pitches, of the channel leaving `node` in
+    /// `dir`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if no such channel exists; call [`Topology::neighbor`]
+    /// first.
+    fn link_length_pitches(&self, node: NodeId, dir: Direction) -> f64;
+
+    /// Whether the channel leaving `node` in `dir` crosses the dateline of
+    /// its dimension. Packets crossing a dateline switch to the second
+    /// virtual-channel class, breaking cyclic channel dependencies on
+    /// tori.
+    fn is_dateline(&self, node: NodeId, dir: Direction) -> bool;
+
+    /// A minimal dimension-order (X then Y) hop sequence from `src` to
+    /// `dst`. Empty when `src == dst`.
+    fn route_dirs(&self, src: NodeId, dst: NodeId) -> Vec<Direction>;
+
+    /// Minimal hop count between two nodes.
+    fn min_hops(&self, src: NodeId, dst: NodeId) -> usize {
+        self.route_dirs(src, dst).len()
+    }
+
+    /// Number of unidirectional channels crossing the network bisection.
+    ///
+    /// The folded torus has twice the bisection bandwidth of the mesh
+    /// (paper §3.1).
+    fn bisection_channels(&self) -> usize;
+
+    /// Mean minimal hop count over all ordered pairs of distinct nodes.
+    fn avg_min_hops(&self) -> f64 {
+        let n = self.num_nodes();
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    total += self.min_hops(NodeId::new(s as u16), NodeId::new(d as u16));
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+
+    /// Mean physical distance (in tile pitches) traversed by a minimal
+    /// route, over all ordered pairs of distinct nodes.
+    ///
+    /// For the folded torus this exceeds `avg_min_hops` because each hop
+    /// spans up to two tile pitches — the §3.1 trade of "longer average
+    /// flit transmission distance for fewer routing hops".
+    fn avg_min_distance_pitches(&self) -> f64 {
+        let n = self.num_nodes();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let mut node = NodeId::new(s as u16);
+                for dir in self.route_dirs(node, NodeId::new(d as u16)) {
+                    total += self.link_length_pitches(node, dir);
+                    node = self.neighbor(node, dir).expect("route walks existing channels");
+                }
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+
+    /// Every directed channel in the network as `(source node, direction)`.
+    fn channels(&self) -> Vec<(NodeId, Direction)> {
+        let mut out = Vec::new();
+        for n in 0..self.num_nodes() {
+            let node = NodeId::new(n as u16);
+            for dir in Direction::ALL {
+                if self.neighbor(node, dir).is_some() {
+                    out.push((node, dir));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Physical placement order of a folded ring of `k` nodes along a line.
+///
+/// Logical ring index → physical position. For `k = 4` the physical
+/// sequence of logical indices is `0, 2, 3, 1` (the paper's row order), so
+/// this function is its inverse permutation.
+///
+/// All links of the folded ring span two tile pitches except the two
+/// "end-fold" links, which span one.
+pub(crate) fn folded_position(logical: usize, k: usize) -> usize {
+    debug_assert!(logical < k);
+    // Walking the logical ring 0, 1, 2, ... visits physical positions
+    // 0, 2, 4, ..., (k-1 or k-2), ..., 5, 3, 1 — out to the far end on
+    // even positions and back on odd ones.
+    if 2 * logical < k {
+        2 * logical
+    } else {
+        2 * (k - 1 - logical) + 1
+    }
+}
+
+/// Physical length in tile pitches of the folded-ring link between logical
+/// indices `a` and `b = (a ± 1) mod k`.
+pub(crate) fn folded_link_pitches(a: usize, b: usize, k: usize) -> f64 {
+    let pa = folded_position(a, k) as i64;
+    let pb = folded_position(b, k) as i64;
+    (pa - pb).unsigned_abs() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_order_matches_paper() {
+        // Paper: "nodes 0-3 in each row cyclically connected in the order
+        // 0,2,3,1" — walking the ring visits those physical positions.
+        let walk: Vec<usize> = (0..4).map(|l| folded_position(l, 4)).collect();
+        assert_eq!(walk, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn folded_links_span_at_most_two_pitches() {
+        for k in [2usize, 4, 6, 8, 16] {
+            for a in 0..k {
+                let b = (a + 1) % k;
+                let len = folded_link_pitches(a, b, k);
+                assert!(
+                    (1.0..=2.0).contains(&len),
+                    "k={k} link {a}->{b} spans {len} pitches"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn folded_position_is_a_permutation() {
+        for k in [2usize, 4, 8, 10] {
+            let mut seen = vec![false; k];
+            for l in 0..k {
+                let p = folded_position(l, k);
+                assert!(!seen[p]);
+                seen[p] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Router area and wiring-track budgets (paper §2.4, §3.1).
+//!
+//! "We estimate the logic, driver and receiver circuits, buffer storage,
+//! and routing will occupy an area less than 50 µm wide by 3 mm long along
+//! each edge of the tile for a total overhead of 0.59 mm² or 6.6% of the
+//! tile area. In addition ... the router also uses about 3000 of the 6000
+//! available wiring tracks on the top two metal layers."
+
+use crate::tech::Technology;
+
+/// Itemized area of the router logic along one tile edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Buffer storage, mm².
+    pub buffers_mm2: f64,
+    /// Control logic, mm².
+    pub logic_mm2: f64,
+    /// Drivers and receivers, mm².
+    pub xcvr_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area of this edge, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.buffers_mm2 + self.logic_mm2 + self.xcvr_mm2
+    }
+}
+
+/// Area model for the distributed router (one input + one output
+/// controller per tile edge).
+#[derive(Debug, Clone)]
+pub struct RouterAreaModel {
+    /// Buffer bits per edge (paper: 8 VCs × 4 flits × ~300 b ≈ 10⁴).
+    pub buffer_bits_per_edge: usize,
+    /// Control logic gates per edge ("a few thousand gates").
+    pub logic_gates_per_edge: usize,
+    /// Driver/receiver pairs per edge (≈ one per link wire, both
+    /// directions).
+    pub xcvr_pairs_per_edge: usize,
+    /// SRAM bit cell area, µm².
+    pub sram_bit_um2: f64,
+    /// Average gate area including local wiring, µm².
+    pub gate_um2: f64,
+    /// Driver + receiver pair area, µm².
+    pub xcvr_um2: f64,
+}
+
+impl RouterAreaModel {
+    /// The paper's baseline: 8 VCs × 4 flits × 300 b of buffering, ~3000
+    /// gates, and ~600 transceiver pairs per edge in 0.1 µm.
+    pub fn paper_baseline() -> RouterAreaModel {
+        RouterAreaModel {
+            buffer_bits_per_edge: 9_600,
+            logic_gates_per_edge: 3_000,
+            xcvr_pairs_per_edge: 600,
+            sram_bit_um2: 10.0,
+            gate_um2: 12.0,
+            xcvr_um2: 20.0,
+        }
+    }
+
+    /// A variant with different buffering (for §3.2 flow-control area
+    /// comparisons): `vcs × depth` flit buffers of `flit_bits` each.
+    pub fn with_buffering(vcs: usize, depth: usize, flit_bits: usize) -> RouterAreaModel {
+        RouterAreaModel {
+            buffer_bits_per_edge: vcs * depth * flit_bits,
+            ..RouterAreaModel::paper_baseline()
+        }
+    }
+
+    /// Itemized area along one tile edge.
+    pub fn edge_breakdown(&self) -> AreaBreakdown {
+        AreaBreakdown {
+            buffers_mm2: self.buffer_bits_per_edge as f64 * self.sram_bit_um2 * 1e-6,
+            logic_mm2: self.logic_gates_per_edge as f64 * self.gate_um2 * 1e-6,
+            xcvr_mm2: self.xcvr_pairs_per_edge as f64 * self.xcvr_um2 * 1e-6,
+        }
+    }
+
+    /// Router area across all four tile edges, mm².
+    pub fn total_mm2(&self) -> f64 {
+        4.0 * self.edge_breakdown().total_mm2()
+    }
+
+    /// Width of the router strip along a tile edge, µm.
+    pub fn strip_width_um(&self, tech: &Technology) -> f64 {
+        self.edge_breakdown().total_mm2() / tech.tile_mm * 1000.0
+    }
+
+    /// Router area as a fraction of the tile (the paper's 6.6%).
+    pub fn fraction_of_tile(&self, tech: &Technology) -> f64 {
+        self.total_mm2() / tech.tile_area_mm2()
+    }
+}
+
+impl Default for RouterAreaModel {
+    fn default() -> Self {
+        RouterAreaModel::paper_baseline()
+    }
+}
+
+/// Wiring-track budget for one tile edge.
+#[derive(Debug, Clone)]
+pub struct WiringBudget {
+    /// Signal wires per channel (≈ flit width + control; paper: ~300).
+    pub wires_per_channel: usize,
+    /// Channels crossing the edge (one per direction).
+    pub channels: usize,
+    /// Turn paths routed through the tile that also consume edge tracks
+    /// (Figure 2's input-to-output connections).
+    pub turn_paths: usize,
+    /// Differential signaling doubles the wire count.
+    pub differential: bool,
+    /// Extra tracks for shields, as a fraction of signal tracks.
+    pub shield_fraction: f64,
+}
+
+impl WiringBudget {
+    /// The paper's baseline edge budget.
+    pub fn paper_baseline() -> WiringBudget {
+        WiringBudget {
+            wires_per_channel: 300,
+            channels: 2,
+            turn_paths: 2,
+            differential: true,
+            shield_fraction: 0.25,
+        }
+    }
+
+    /// Tracks used on this edge.
+    pub fn tracks_used(&self) -> usize {
+        let signals = self.wires_per_channel * (self.channels + self.turn_paths);
+        let wires = if self.differential { 2 * signals } else { signals };
+        (wires as f64 * (1.0 + self.shield_fraction)).round() as usize
+    }
+
+    /// Fraction of the technology's per-edge tracks consumed.
+    pub fn utilization(&self, tech: &Technology) -> f64 {
+        self.tracks_used() as f64 / tech.tracks_per_edge as f64
+    }
+}
+
+impl Default for WiringBudget {
+    fn default() -> Self {
+        WiringBudget::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_fraction_matches_paper() {
+        let m = RouterAreaModel::paper_baseline();
+        let t = Technology::dac2001();
+        let frac = m.fraction_of_tile(&t);
+        // Paper: 0.59 mm², 6.6% of a 9 mm² tile.
+        assert!(
+            (0.060..=0.070).contains(&frac),
+            "area fraction {frac} outside the paper's envelope"
+        );
+        assert!((m.total_mm2() - 0.59).abs() < 0.05, "{}", m.total_mm2());
+    }
+
+    #[test]
+    fn strip_fits_in_50_um() {
+        let m = RouterAreaModel::paper_baseline();
+        let t = Technology::dac2001();
+        assert!(m.strip_width_um(&t) < 50.0, "{}", m.strip_width_um(&t));
+    }
+
+    #[test]
+    fn buffers_dominate_the_area() {
+        // Paper: "the area of the router is dominated by buffer space."
+        let b = RouterAreaModel::paper_baseline().edge_breakdown();
+        assert!(b.buffers_mm2 > b.logic_mm2 + b.xcvr_mm2);
+    }
+
+    #[test]
+    fn smaller_buffers_shrink_the_router() {
+        let base = RouterAreaModel::paper_baseline();
+        // Dropping flow control: 1 flit of buffering, 1 "VC".
+        let small = RouterAreaModel::with_buffering(1, 1, 300);
+        assert!(small.total_mm2() < base.total_mm2() / 2.0);
+    }
+
+    #[test]
+    fn tracks_used_match_paper() {
+        let w = WiringBudget::paper_baseline();
+        let t = Technology::dac2001();
+        // Paper: "about 3000 of the 6000 available wiring tracks".
+        assert_eq!(w.tracks_used(), 3_000);
+        assert!((w.utilization(&t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_ended_narrower_budget() {
+        let mut w = WiringBudget::paper_baseline();
+        w.differential = false;
+        assert_eq!(w.tracks_used(), 1_500);
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-wire serial bandwidth (paper §3.3).
+//!
+//! "In 0.1 µm technology, it is feasible to transmit 4 Gb/s per wire.
+//! This translates to 2–20 bits per clock cycle depending on whether the
+//! chip uses an aggressive (2 GHz) or slow (200 MHz) clock."
+
+use crate::tech::Technology;
+
+/// Models a serializing link that clocks wires faster than the router.
+#[derive(Debug, Clone)]
+pub struct SerialLinkModel {
+    /// Peak per-wire rate, Gb/s.
+    pub gbps_per_wire: f64,
+    /// Router clock, GHz.
+    pub clock_ghz: f64,
+}
+
+impl SerialLinkModel {
+    /// Builds the model from a technology.
+    pub fn new(tech: &Technology) -> SerialLinkModel {
+        SerialLinkModel {
+            gbps_per_wire: tech.max_gbps_per_wire,
+            clock_ghz: tech.clock_ghz,
+        }
+    }
+
+    /// Bits each wire can carry per router cycle.
+    pub fn bits_per_cycle_per_wire(&self) -> f64 {
+        self.gbps_per_wire / self.clock_ghz
+    }
+
+    /// Wires needed to move a `flit_bits` flit every cycle.
+    pub fn wires_for_flit(&self, flit_bits: usize) -> usize {
+        (flit_bits as f64 / self.bits_per_cycle_per_wire()).ceil() as usize
+    }
+
+    /// Channel bandwidth in Gb/s for a given wire count.
+    pub fn channel_gbps(&self, wires: usize) -> f64 {
+        wires as f64 * self.gbps_per_wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_range_2_to_20_bits_per_cycle() {
+        let fast = SerialLinkModel::new(&Technology::dac2001_aggressive());
+        assert!((fast.bits_per_cycle_per_wire() - 2.0).abs() < 1e-12);
+        let slow = SerialLinkModel::new(&Technology::dac2001_slow());
+        assert!((slow.bits_per_cycle_per_wire() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_shrinks_the_channel() {
+        // At 200 MHz, a 256-bit flit needs only 13 wires instead of 256.
+        let slow = SerialLinkModel::new(&Technology::dac2001_slow());
+        assert_eq!(slow.wires_for_flit(256), 13);
+        let fast = SerialLinkModel::new(&Technology::dac2001_aggressive());
+        assert_eq!(fast.wires_for_flit(256), 128);
+    }
+
+    #[test]
+    fn channel_bandwidth() {
+        let m = SerialLinkModel::new(&Technology::dac2001());
+        assert!((m.channel_gbps(300) - 1200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Wire duty-factor model (paper §4.4).
+//!
+//! "The average wire on a typical chip is used (toggles) less than 10% of
+//! the time. ... A network solves this problem by sharing the wires
+//! across many signals. ... The use of aggressive circuit design allows
+//! us to operate on-chip networks with very high duty factors — over 100%
+//! if we transmit several bits per cycle."
+
+/// Compares utilization of dedicated wiring against shared network
+/// channels.
+#[derive(Debug, Clone)]
+pub struct DutyFactorModel {
+    /// Toggle rate of a typical dedicated global wire (paper: < 0.10).
+    pub dedicated_toggle_rate: f64,
+}
+
+impl DutyFactorModel {
+    /// The paper's assumption: dedicated wires toggle < 10% of cycles.
+    pub fn paper_baseline() -> DutyFactorModel {
+        DutyFactorModel {
+            dedicated_toggle_rate: 0.10,
+        }
+    }
+
+    /// Duty factor of a shared network wire carrying `utilization` flits
+    /// per cycle with `bits_per_cycle_per_wire` serialization (> 1 with
+    /// the §3.3 multi-bit circuits; 1.0 when the wire runs at the router
+    /// clock).
+    ///
+    /// A result above 1.0 is the paper's "over 100%" regime.
+    pub fn network_duty(&self, utilization: f64, bits_per_cycle_per_wire: f64) -> f64 {
+        utilization * bits_per_cycle_per_wire
+    }
+
+    /// How many dedicated wires deliver the same payload bandwidth as one
+    /// network wire at the given utilization and serialization rate.
+    pub fn dedicated_wires_equivalent(
+        &self,
+        utilization: f64,
+        bits_per_cycle_per_wire: f64,
+    ) -> f64 {
+        self.network_duty(utilization, bits_per_cycle_per_wire) / self.dedicated_toggle_rate
+    }
+
+    /// Bandwidth advantage of sharing: network duty over dedicated duty.
+    pub fn improvement(&self, utilization: f64, bits_per_cycle_per_wire: f64) -> f64 {
+        self.network_duty(utilization, bits_per_cycle_per_wire) / self.dedicated_toggle_rate
+    }
+}
+
+impl Default for DutyFactorModel {
+    fn default() -> Self {
+        DutyFactorModel::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_beats_dedicated_at_moderate_load() {
+        let m = DutyFactorModel::paper_baseline();
+        // A channel at 40% utilization already has 4x the duty factor of
+        // a dedicated wire.
+        assert!((m.improvement(0.4, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_bit_signaling_exceeds_100_percent() {
+        let m = DutyFactorModel::paper_baseline();
+        // 60% utilization x 2 bits/cycle = 120% duty factor.
+        let duty = m.network_duty(0.6, 2.0);
+        assert!(duty > 1.0);
+    }
+
+    #[test]
+    fn equivalence_count() {
+        let m = DutyFactorModel::paper_baseline();
+        // One network wire at 50% / 1 bit-per-cycle does the work of 5
+        // dedicated wires toggling at 10%.
+        assert!((m.dedicated_wires_equivalent(0.5, 1.0) - 5.0).abs() < 1e-12);
+    }
+}

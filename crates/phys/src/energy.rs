@@ -1,0 +1,207 @@
+//! Network power models (paper §3.1).
+//!
+//! "The total power required to send a flit through the network can be
+//! decomposed into the power per hop (traversal of input and output
+//! controllers) and power per wire distance traveled."
+//!
+//! [`NetworkEnergyModel`] converts the simulator's raw event counters
+//! into joules; [`TopologyPowerModel`] evaluates the paper's closed-form
+//! mesh-vs-torus comparison: the mesh needs more hops but shorter wires,
+//! so it wins when wire power dominates hop power, while at the paper's
+//! design point the folded torus costs less than 15% extra power and
+//! buys twice the bisection bandwidth.
+
+use crate::tech::Technology;
+use crate::wire::{SignalingScheme, WireModel};
+
+/// Converts flit-hop and bit-millimeter counts into energy.
+#[derive(Debug, Clone)]
+pub struct NetworkEnergyModel {
+    /// Energy per bit per router traversal (buffer write + read,
+    /// arbitration, crossbar), picojoules.
+    pub e_hop_per_bit_pj: f64,
+    /// Energy per bit per millimeter of inter-tile wire, picojoules.
+    pub e_wire_per_bit_mm_pj: f64,
+    /// Tile pitch, mm (converts the simulator's pitch-based distance).
+    pub tile_mm: f64,
+}
+
+impl NetworkEnergyModel {
+    /// Builds the model for a technology and signaling scheme.
+    ///
+    /// The hop energy default (0.15 pJ/bit) budgets two 300-bit buffer
+    /// accesses plus arbitration and switch traversal; with full-swing
+    /// links (0.25 pJ/bit/mm × 3 mm) wire energy per hop is then
+    /// significantly larger than hop energy, matching the paper's
+    /// estimate for the 16-tile network.
+    pub fn new(tech: &Technology, scheme: SignalingScheme) -> NetworkEnergyModel {
+        let wire = WireModel::new(tech);
+        NetworkEnergyModel {
+            e_hop_per_bit_pj: 0.15,
+            e_wire_per_bit_mm_pj: wire.energy_per_bit_mm(scheme),
+            tile_mm: tech.tile_mm,
+        }
+    }
+
+    /// Energy, in picojoules, of moving one flit of `bits` bits over
+    /// `hops` router traversals and `distance_pitches` tile pitches of
+    /// wire.
+    pub fn flit_energy_pj(&self, bits: u64, hops: f64, distance_pitches: f64) -> f64 {
+        let b = bits as f64;
+        b * hops * self.e_hop_per_bit_pj
+            + b * distance_pitches * self.tile_mm * self.e_wire_per_bit_mm_pj
+    }
+
+    /// Total energy, picojoules, from simulator counters: `hop_bits`
+    /// (bits × hops) and `link_bit_pitches` (bits × link pitches).
+    pub fn total_energy_pj(&self, hop_bits: u64, link_bit_pitches: f64) -> f64 {
+        hop_bits as f64 * self.e_hop_per_bit_pj
+            + link_bit_pitches * self.tile_mm * self.e_wire_per_bit_mm_pj
+    }
+
+    /// Wire energy per hop-sized (one tile pitch) transfer relative to
+    /// hop energy: the α that decides the §3.1 mesh-vs-torus trade.
+    pub fn wire_to_hop_ratio(&self) -> f64 {
+        self.e_wire_per_bit_mm_pj * self.tile_mm / self.e_hop_per_bit_pj
+    }
+}
+
+/// Closed-form topology statistics for the §3.1 power expressions.
+///
+/// Averages are over all ordered pairs (including `src == dst`, as the
+/// paper's `k/3`, `k/4` forms do); the simulator's exact distinct-pair
+/// averages differ by a factor `n/(n−1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyPowerModel {
+    /// Mean hops per packet.
+    pub avg_hops: f64,
+    /// Mean wire distance per packet, in tile pitches.
+    pub avg_distance_pitches: f64,
+    /// Unidirectional bisection channels.
+    pub bisection_channels: usize,
+}
+
+impl TopologyPowerModel {
+    /// The k×k mesh: `2·(k²−1)/(3k) ≈ 2k/3` hops, each over one pitch.
+    pub fn mesh(k: usize) -> TopologyPowerModel {
+        let kf = k as f64;
+        let per_dim = (kf * kf - 1.0) / (3.0 * kf);
+        TopologyPowerModel {
+            avg_hops: 2.0 * per_dim,
+            avg_distance_pitches: 2.0 * per_dim,
+            bisection_channels: 2 * k,
+        }
+    }
+
+    /// The k×k folded torus (even `k`): `k/2` hops; folded links average
+    /// `(2k−2)/k` pitches, so distance ≈ `k−1` pitches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd (the closed form assumes the even-radix
+    /// torus).
+    pub fn folded_torus(k: usize) -> TopologyPowerModel {
+        assert!(k.is_multiple_of(2), "closed form requires even radix");
+        let kf = k as f64;
+        let hops = 2.0 * (kf / 4.0);
+        let link = (2.0 * kf - 2.0) / kf;
+        TopologyPowerModel {
+            avg_hops: hops,
+            avg_distance_pitches: hops * link,
+            bisection_channels: 4 * k,
+        }
+    }
+
+    /// Mean energy per flit, picojoules.
+    pub fn energy_per_flit_pj(&self, model: &NetworkEnergyModel, bits: u64) -> f64 {
+        model.flit_energy_pj(bits, self.avg_hops, self.avg_distance_pitches)
+    }
+
+    /// Power ratio of this topology over `base` at equal traffic.
+    pub fn power_ratio(&self, base: &TopologyPowerModel, model: &NetworkEnergyModel) -> f64 {
+        self.energy_per_flit_pj(model, 256) / base.energy_per_flit_pj(model, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_model() -> NetworkEnergyModel {
+        NetworkEnergyModel::new(&Technology::dac2001(), SignalingScheme::FullSwing)
+    }
+
+    #[test]
+    fn wire_energy_dominates_hop_energy_at_design_point() {
+        // Paper: "wire transmission power is significantly greater than
+        // per hop power for our 16 tile network."
+        let m = fs_model();
+        assert!(m.wire_to_hop_ratio() > 2.0, "ratio {}", m.wire_to_hop_ratio());
+    }
+
+    #[test]
+    fn torus_overhead_below_15_percent_at_design_point() {
+        // Paper: "the power overhead of the torus is small, less than 15%."
+        let m = fs_model();
+        let torus = TopologyPowerModel::folded_torus(4);
+        let mesh = TopologyPowerModel::mesh(4);
+        let ratio = torus.power_ratio(&mesh, &m);
+        assert!(ratio < 1.15, "torus/mesh power ratio {ratio}");
+        assert!(ratio > 1.0, "torus should still cost more than mesh");
+    }
+
+    #[test]
+    fn mesh_wins_when_wire_power_dominates() {
+        // Paper: "if wire transmission power dominates per hop power, the
+        // mesh is more power efficient."
+        let mut m = fs_model();
+        m.e_wire_per_bit_mm_pj *= 100.0;
+        let ratio =
+            TopologyPowerModel::folded_torus(4).power_ratio(&TopologyPowerModel::mesh(4), &m);
+        assert!(ratio > 1.15);
+        // Conversely, when hop power dominates the torus wins outright.
+        let mut m = fs_model();
+        m.e_hop_per_bit_pj *= 100.0;
+        let ratio =
+            TopologyPowerModel::folded_torus(4).power_ratio(&TopologyPowerModel::mesh(4), &m);
+        assert!(ratio < 1.0);
+    }
+
+    #[test]
+    fn low_swing_shrinks_the_wire_term() {
+        let ls = NetworkEnergyModel::new(&Technology::dac2001(), SignalingScheme::LowSwing);
+        let fs = fs_model();
+        assert!(ls.wire_to_hop_ratio() < fs.wire_to_hop_ratio() / 5.0);
+        // With cheap wires the torus becomes the outright power winner.
+        let ratio =
+            TopologyPowerModel::folded_torus(4).power_ratio(&TopologyPowerModel::mesh(4), &ls);
+        assert!(ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn torus_has_twice_the_bisection() {
+        for k in [4usize, 8] {
+            let t = TopologyPowerModel::folded_torus(k);
+            let m = TopologyPowerModel::mesh(k);
+            assert_eq!(t.bisection_channels, 2 * m.bisection_channels);
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_paper_arithmetic() {
+        let mesh = TopologyPowerModel::mesh(4);
+        assert!((mesh.avg_hops - 2.5).abs() < 1e-12);
+        let torus = TopologyPowerModel::folded_torus(4);
+        assert!((torus.avg_hops - 2.0).abs() < 1e-12);
+        assert!((torus.avg_distance_pitches - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_conversion_is_consistent() {
+        let m = fs_model();
+        // One 256-bit flit, 2 hops, 3 pitches.
+        let direct = m.flit_energy_pj(256, 2.0, 3.0);
+        let counters = m.total_energy_pj(256 * 2, 256.0 * 3.0);
+        assert!((direct - counters).abs() < 1e-9);
+    }
+}

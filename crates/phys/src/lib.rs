@@ -1,0 +1,37 @@
+//! # ocin-phys — physical models for on-chip networks
+//!
+//! Analytic models of the wires, circuits, area, and power behind
+//! Dally & Towles, *"Route Packets, Not Wires"* (DAC 2001). The paper's
+//! quantitative claims — 6.6% area overhead, 10× power reduction and 3×
+//! velocity from pulsed low-swing signaling, 3× repeater spacing, 4 Gb/s
+//! per wire, the mesh-vs-torus power trade-off, and the <10% duty factor
+//! of dedicated wires — are all functions of a small set of technology
+//! parameters, reproduced here for the paper's 0.1 µm process and
+//! exposed for sweeping.
+//!
+//! ```
+//! use ocin_phys::{Technology, SignalingScheme, WireModel};
+//!
+//! let tech = Technology::dac2001();
+//! let wire = WireModel::new(&tech);
+//! // Low-swing signaling is ~10x lower energy and ~3x faster.
+//! let e_fs = wire.energy_per_bit_mm(SignalingScheme::FullSwing);
+//! let e_ls = wire.energy_per_bit_mm(SignalingScheme::LowSwing);
+//! assert!((e_fs / e_ls - 10.0).abs() < 0.5);
+//! ```
+
+pub mod area;
+pub mod bandwidth;
+pub mod duty;
+pub mod energy;
+pub mod repeater;
+pub mod tech;
+pub mod wire;
+
+pub use area::{AreaBreakdown, RouterAreaModel, WiringBudget};
+pub use bandwidth::SerialLinkModel;
+pub use duty::DutyFactorModel;
+pub use energy::{NetworkEnergyModel, TopologyPowerModel};
+pub use repeater::{RepeaterDesign, RepeaterDevice};
+pub use tech::Technology;
+pub use wire::{SignalingScheme, WireModel};

@@ -1,0 +1,189 @@
+//! First-principles repeater insertion (paper §4.1).
+//!
+//! "Long wires require repeaters at periodic intervals to keep their
+//! delay linear (rather than quadratic) with length. Properly placing
+//! these repeaters is difficult and places additional constraints \[on\]
+//! the auto-router."
+//!
+//! The classic Bakoglu analysis: an inverter of size `s` (multiples of a
+//! minimum device) driving a wire segment of length `ℓ` has delay
+//!
+//! ```text
+//! t_seg = 0.7·(R0/s)·(s·C0 + c·ℓ) + 0.4·r·c·ℓ² + 0.7·r·ℓ·s·C0
+//! ```
+//!
+//! Minimizing per-millimetre delay over `s` and `ℓ` gives the optimal
+//! spacing `ℓ* = √(0.7·R0·C0/(0.4·r·c))` and sizing `s* = √(R0·c/(r·C0))`.
+//! [`RepeaterDesign`] evaluates these closed forms, the resulting
+//! velocity, and the repeater area/energy overhead — the exact numbers
+//! the simplified [`crate::WireModel`] bakes into its constants.
+
+use crate::tech::Technology;
+
+/// Device parameters of a minimum-size repeater (inverter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterDevice {
+    /// Output resistance of the minimum inverter, Ω.
+    pub r0_ohm: f64,
+    /// Input capacitance of the minimum inverter, fF.
+    pub c0_ff: f64,
+    /// Layout area of the minimum inverter, µm².
+    pub area_um2: f64,
+}
+
+impl RepeaterDevice {
+    /// A representative 0.1 µm minimum inverter.
+    pub fn dac2001() -> RepeaterDevice {
+        RepeaterDevice {
+            r0_ohm: 10_000.0,
+            c0_ff: 2.0,
+            area_um2: 1.0,
+        }
+    }
+}
+
+/// A solved repeatered-wire design for one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterDesign {
+    /// Optimal segment length, mm.
+    pub spacing_mm: f64,
+    /// Optimal repeater size, multiples of minimum.
+    pub size: f64,
+    /// Delay per millimetre at the optimum, ps/mm.
+    pub delay_per_mm_ps: f64,
+}
+
+impl RepeaterDesign {
+    /// Solves the optimum for a wire in `tech` driven by `dev`-class
+    /// repeaters.
+    pub fn optimize(tech: &Technology, dev: &RepeaterDevice) -> RepeaterDesign {
+        // r in Ω/mm, c in fF/mm (convert from pF/mm).
+        let r = tech.wire_r_ohm_mm;
+        let c = tech.wire_c_pf_mm * 1_000.0;
+        let spacing = (0.7 * dev.r0_ohm * dev.c0_ff / (0.4 * r * c)).sqrt();
+        let size = (dev.r0_ohm * c / (r * dev.c0_ff)).sqrt();
+        let delay = Self::segment_delay_ps(tech, dev, size, spacing) / spacing;
+        RepeaterDesign {
+            spacing_mm: spacing,
+            size,
+            delay_per_mm_ps: delay,
+        }
+    }
+
+    /// Delay of one `len_mm` segment driven by a size-`s` repeater, ps.
+    /// (R in Ω, C in fF ⇒ R·C in attoseconds·10³ = 10⁻³ ps·10³ = fs·10³;
+    /// Ω·fF = fs, so divide by 1000 for ps.)
+    pub fn segment_delay_ps(
+        tech: &Technology,
+        dev: &RepeaterDevice,
+        s: f64,
+        len_mm: f64,
+    ) -> f64 {
+        let r = tech.wire_r_ohm_mm;
+        let c = tech.wire_c_pf_mm * 1_000.0; // fF/mm
+        let fs = 0.7 * (dev.r0_ohm / s) * (s * dev.c0_ff + c * len_mm)
+            + 0.4 * r * c * len_mm * len_mm
+            + 0.7 * r * len_mm * s * dev.c0_ff;
+        fs / 1_000.0
+    }
+
+    /// Signal velocity at the optimum, mm/ns.
+    pub fn velocity_mm_per_ns(&self) -> f64 {
+        1_000.0 / self.delay_per_mm_ps
+    }
+
+    /// Repeaters needed along `mm` of wire.
+    pub fn repeaters_for(&self, mm: f64) -> usize {
+        ((mm / self.spacing_mm).ceil() as usize).saturating_sub(1)
+    }
+
+    /// Total repeater area along `mm` of a `wires`-wide channel, µm².
+    pub fn repeater_area_um2(&self, dev: &RepeaterDevice, mm: f64, wires: usize) -> f64 {
+        self.repeaters_for(mm) as f64 * wires as f64 * self.size * dev.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{SignalingScheme, WireModel};
+
+    fn setup() -> (Technology, RepeaterDevice, RepeaterDesign) {
+        let tech = Technology::dac2001();
+        let dev = RepeaterDevice::dac2001();
+        let design = RepeaterDesign::optimize(&tech, &dev);
+        (tech, dev, design)
+    }
+
+    #[test]
+    fn optimum_is_locally_optimal() {
+        let (tech, dev, design) = setup();
+        let best = RepeaterDesign::segment_delay_ps(&tech, &dev, design.size, design.spacing_mm)
+            / design.spacing_mm;
+        for ds in [0.8, 0.9, 1.1, 1.2] {
+            for dl in [0.8, 0.9, 1.1, 1.2] {
+                let perturbed = RepeaterDesign::segment_delay_ps(
+                    &tech,
+                    &dev,
+                    design.size * ds,
+                    design.spacing_mm * dl,
+                ) / (design.spacing_mm * dl);
+                assert!(
+                    perturbed >= best - 1e-9,
+                    "perturbation ({ds},{dl}) beat the optimum: {perturbed} < {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_matches_simplified_model_constants() {
+        // The WireModel's calibrated full-swing constants must sit within
+        // a factor ~2 of the first-principles optimum.
+        let (tech, _, design) = setup();
+        let wire = WireModel::new(&tech);
+        let simple = wire.repeated_delay_per_mm_ps(SignalingScheme::FullSwing);
+        let ratio = simple / design.delay_per_mm_ps;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "simplified {simple} ps/mm vs first-principles {} ps/mm",
+            design.delay_per_mm_ps
+        );
+        let spacing_ratio = wire.repeater_spacing_mm(SignalingScheme::FullSwing) / design.spacing_mm;
+        assert!(
+            (0.3..=3.0).contains(&spacing_ratio),
+            "spacing mismatch: {spacing_ratio}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_numbers() {
+        let (_, _, design) = setup();
+        // In a 0.1 um process: spacing around 1 mm, velocity tens of
+        // ps/mm, sizes in the tens-to-hundreds of minimum.
+        assert!((0.3..=3.0).contains(&design.spacing_mm), "{design:?}");
+        assert!((20.0..=150.0).contains(&design.delay_per_mm_ps), "{design:?}");
+        assert!(design.size > 10.0, "{design:?}");
+        // A 3 mm tile needs at least one full-swing repeater.
+        assert!(design.repeaters_for(3.0) >= 1);
+    }
+
+    #[test]
+    fn repeater_area_is_small_vs_router() {
+        let (_, dev, design) = setup();
+        // Repeaters for a 300-wire channel across one 3 mm tile.
+        let area = design.repeater_area_um2(&dev, 3.0, 300);
+        // The paper folds this into "a small amount to the overhead":
+        // it stays below the ~0.147 mm^2 per-edge router strip.
+        assert!(area < 0.147e6, "repeater area {area} um^2");
+    }
+
+    #[test]
+    fn delay_grows_quadratically_without_repeaters() {
+        let (tech, dev, _) = setup();
+        let d3 = RepeaterDesign::segment_delay_ps(&tech, &dev, 64.0, 3.0);
+        let d6 = RepeaterDesign::segment_delay_ps(&tech, &dev, 64.0, 6.0);
+        // Far more than 2x: the quadratic wire term dominates long spans.
+        assert!(d6 > 2.5 * d3, "d3 {d3} d6 {d6}");
+    }
+}

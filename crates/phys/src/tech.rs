@@ -1,0 +1,126 @@
+//! Process technology parameters.
+
+/// Parameters of a CMOS process and chip floorplan.
+///
+/// [`Technology::dac2001`] reproduces the paper's design point: a
+/// 12 mm × 12 mm chip in a 0.1 µm process with a 0.5 µm minimum wire
+/// pitch, divided into sixteen 3 mm × 3 mm tiles. Wire RC values are for
+/// the upper (fat) metal layers the network occupies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Drawn feature size in µm.
+    pub feature_um: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Low-swing signaling amplitude in volts (the paper's "100 mV or
+    /// less").
+    pub low_swing_v: f64,
+    /// Minimum wire pitch on the network's metal layers, in µm.
+    pub wire_pitch_um: f64,
+    /// Tile pitch in mm.
+    pub tile_mm: f64,
+    /// Die edge in mm.
+    pub die_mm: f64,
+    /// Wire resistance in Ω/mm on the network layers.
+    pub wire_r_ohm_mm: f64,
+    /// Wire capacitance in pF/mm on the network layers.
+    pub wire_c_pf_mm: f64,
+    /// Router clock frequency in GHz (paper: 200 MHz "slow" to 2 GHz
+    /// "aggressive").
+    pub clock_ghz: f64,
+    /// Wiring tracks available to the network per tile edge (top two
+    /// metal layers combined; paper: 6000).
+    pub tracks_per_edge: usize,
+    /// Peak per-wire signaling rate in Gb/s (paper: "in 0.1 µm technology
+    /// it is feasible to transmit 4 Gb/s per wire").
+    pub max_gbps_per_wire: f64,
+}
+
+impl Technology {
+    /// The paper's 0.1 µm design point at a 1 GHz router clock.
+    pub fn dac2001() -> Technology {
+        Technology {
+            feature_um: 0.1,
+            vdd: 1.0,
+            low_swing_v: 0.1,
+            wire_pitch_um: 0.5,
+            tile_mm: 3.0,
+            die_mm: 12.0,
+            wire_r_ohm_mm: 400.0,
+            wire_c_pf_mm: 0.25,
+            clock_ghz: 1.0,
+            tracks_per_edge: 6000,
+            max_gbps_per_wire: 4.0,
+        }
+    }
+
+    /// The paper's "aggressive" 2 GHz clock variant.
+    pub fn dac2001_aggressive() -> Technology {
+        Technology {
+            clock_ghz: 2.0,
+            ..Technology::dac2001()
+        }
+    }
+
+    /// The paper's "slow" 200 MHz clock variant.
+    pub fn dac2001_slow() -> Technology {
+        Technology {
+            clock_ghz: 0.2,
+            ..Technology::dac2001()
+        }
+    }
+
+    /// Router clock period in picoseconds.
+    pub fn clock_period_ps(&self) -> f64 {
+        1000.0 / self.clock_ghz
+    }
+
+    /// Tiles per die edge.
+    pub fn tiles_per_edge(&self) -> usize {
+        (self.die_mm / self.tile_mm).round() as usize
+    }
+
+    /// Tile area in mm².
+    pub fn tile_area_mm2(&self) -> f64 {
+        self.tile_mm * self.tile_mm
+    }
+
+    /// Pins (wiring tracks) available across all four edges of a tile —
+    /// the paper's "over 24,000 pins crossing the four edges of a tile".
+    pub fn pins_per_tile(&self) -> usize {
+        4 * self.tracks_per_edge
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::dac2001()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_floorplan() {
+        let t = Technology::dac2001();
+        assert_eq!(t.tiles_per_edge(), 4);
+        assert_eq!(t.tiles_per_edge() * t.tiles_per_edge(), 16);
+        assert!((t.tile_area_mm2() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_budget_matches_paper() {
+        let t = Technology::dac2001();
+        assert_eq!(t.pins_per_tile(), 24_000);
+        // "24:1" advantage over a 1000-pin router package.
+        assert!(t.pins_per_tile() / 1000 >= 24);
+    }
+
+    #[test]
+    fn clock_variants() {
+        assert!((Technology::dac2001_aggressive().clock_period_ps() - 500.0).abs() < 1e-9);
+        assert!((Technology::dac2001_slow().clock_period_ps() - 5000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Wire delay, energy, and repeater models (paper §3.3, §4.1).
+//!
+//! The structured wiring of an on-chip network has well-controlled L, R,
+//! and C, which permits *pulsed low-swing* drivers and receivers in place
+//! of conservative full-swing static CMOS. The paper credits low-swing
+//! signaling with three advantages, all reproduced by this model:
+//!
+//! 1. **~10× lower energy** — swinging the wire through `V_swing` ≈ 100 mV
+//!    instead of `V_dd` = 1 V costs `C·V_swing·V_dd` instead of `C·V_dd²`.
+//! 2. **~3× higher signal velocity** — the transmit end is overdriven.
+//! 3. **~3× longer repeater spacing** — a 3 mm tile is crossed without an
+//!    intermediate repeater.
+
+use crate::tech::Technology;
+
+/// The driver/receiver circuit family used on a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalingScheme {
+    /// Conservative full-swing static CMOS — what unstructured, per-design
+    /// global wiring must use because its parasitics are poorly known.
+    FullSwing,
+    /// Pulsed low-swing differential signaling, enabled by the network's
+    /// predictable wiring.
+    LowSwing,
+}
+
+impl SignalingScheme {
+    /// Both schemes, full-swing first.
+    pub const ALL: [SignalingScheme; 2] = [SignalingScheme::FullSwing, SignalingScheme::LowSwing];
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SignalingScheme::FullSwing => "full-swing",
+            SignalingScheme::LowSwing => "low-swing",
+        }
+    }
+}
+
+/// Delay/energy/repeater model for wires in a given technology.
+#[derive(Debug, Clone)]
+pub struct WireModel {
+    r_ohm_mm: f64,
+    c_pf_mm: f64,
+    vdd: f64,
+    low_swing_v: f64,
+    /// Intrinsic gate delay used in the repeater optimum, ps.
+    tau_gate_ps: f64,
+    /// Velocity advantage of overdriven low-swing signaling.
+    low_swing_speedup: f64,
+}
+
+impl WireModel {
+    /// Builds the model from technology parameters.
+    pub fn new(tech: &Technology) -> WireModel {
+        WireModel {
+            r_ohm_mm: tech.wire_r_ohm_mm,
+            c_pf_mm: tech.wire_c_pf_mm,
+            vdd: tech.vdd,
+            low_swing_v: tech.low_swing_v,
+            tau_gate_ps: 30.0,
+            low_swing_speedup: 3.0,
+        }
+    }
+
+    /// Distributed-RC delay of an *unrepeated* wire of `mm` millimeters,
+    /// in picoseconds (0.38·r·c·L² — quadratic in length, which is why
+    /// long wires need repeaters).
+    pub fn unrepeated_delay_ps(&self, mm: f64) -> f64 {
+        0.38 * self.r_ohm_mm * self.c_pf_mm * mm * mm
+    }
+
+    /// Delay per millimeter of an optimally repeated wire, ps/mm (linear
+    /// in length).
+    pub fn repeated_delay_per_mm_ps(&self, scheme: SignalingScheme) -> f64 {
+        let fs = (self.r_ohm_mm * self.c_pf_mm * self.tau_gate_ps).sqrt();
+        match scheme {
+            SignalingScheme::FullSwing => fs,
+            SignalingScheme::LowSwing => fs / self.low_swing_speedup,
+        }
+    }
+
+    /// Delay of an optimally repeated wire of `mm` millimeters, ps.
+    pub fn repeated_delay_ps(&self, mm: f64, scheme: SignalingScheme) -> f64 {
+        mm * self.repeated_delay_per_mm_ps(scheme)
+    }
+
+    /// Signal velocity in mm/ns.
+    pub fn velocity_mm_per_ns(&self, scheme: SignalingScheme) -> f64 {
+        1000.0 / self.repeated_delay_per_mm_ps(scheme)
+    }
+
+    /// Optimal repeater spacing in millimeters.
+    ///
+    /// Low-swing overdrive stretches the optimum ~3×, which "will make it
+    /// possible to traverse a 3 mm tile without the need for an
+    /// intermediate repeater".
+    pub fn repeater_spacing_mm(&self, scheme: SignalingScheme) -> f64 {
+        let fs = (2.0 * self.tau_gate_ps / (0.38 * self.r_ohm_mm * self.c_pf_mm)).sqrt();
+        match scheme {
+            SignalingScheme::FullSwing => fs,
+            SignalingScheme::LowSwing => fs * self.low_swing_speedup,
+        }
+    }
+
+    /// Repeaters needed along a wire of `mm` millimeters.
+    pub fn repeaters_needed(&self, mm: f64, scheme: SignalingScheme) -> usize {
+        let spacing = self.repeater_spacing_mm(scheme);
+        ((mm / spacing).ceil() as usize).saturating_sub(1)
+    }
+
+    /// Energy to move one bit one millimeter, in picojoules.
+    ///
+    /// Full swing dissipates `c·V_dd²` per mm; pulsed low-swing
+    /// dissipates `c·V_swing·V_dd` — the paper's order-of-magnitude
+    /// reduction.
+    pub fn energy_per_bit_mm(&self, scheme: SignalingScheme) -> f64 {
+        match scheme {
+            SignalingScheme::FullSwing => self.c_pf_mm * self.vdd * self.vdd,
+            SignalingScheme::LowSwing => self.c_pf_mm * self.low_swing_v * self.vdd,
+        }
+    }
+
+    /// Energy for `bits` bits across `mm` millimeters, picojoules.
+    pub fn transfer_energy_pj(&self, bits: u64, mm: f64, scheme: SignalingScheme) -> f64 {
+        bits as f64 * mm * self.energy_per_bit_mm(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WireModel {
+        WireModel::new(&Technology::dac2001())
+    }
+
+    #[test]
+    fn low_swing_saves_10x_energy() {
+        let w = model();
+        let ratio = w.energy_per_bit_mm(SignalingScheme::FullSwing)
+            / w.energy_per_bit_mm(SignalingScheme::LowSwing);
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn low_swing_triples_velocity() {
+        let w = model();
+        let ratio = w.velocity_mm_per_ns(SignalingScheme::LowSwing)
+            / w.velocity_mm_per_ns(SignalingScheme::FullSwing);
+        assert!((ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_swing_triples_repeater_spacing() {
+        let w = model();
+        let fs = w.repeater_spacing_mm(SignalingScheme::FullSwing);
+        let ls = w.repeater_spacing_mm(SignalingScheme::LowSwing);
+        assert!((ls / fs - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tile_crossing_needs_no_low_swing_repeater() {
+        // The paper: low-swing circuits traverse a 3mm tile without an
+        // intermediate repeater; full-swing needs at least one.
+        let w = model();
+        assert_eq!(w.repeaters_needed(3.0, SignalingScheme::LowSwing), 0);
+        assert!(w.repeaters_needed(3.0, SignalingScheme::FullSwing) >= 1);
+    }
+
+    #[test]
+    fn unrepeated_delay_is_quadratic() {
+        let w = model();
+        let d1 = w.unrepeated_delay_ps(1.0);
+        let d2 = w.unrepeated_delay_ps(2.0);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_delay_is_linear_and_beats_unrepeated_when_long() {
+        let w = model();
+        let d3 = w.repeated_delay_ps(3.0, SignalingScheme::FullSwing);
+        let d6 = w.repeated_delay_ps(6.0, SignalingScheme::FullSwing);
+        assert!((d6 / d3 - 2.0).abs() < 1e-9);
+        // Beyond the repeater spacing, repeated wires win.
+        let long = 3.0 * w.repeater_spacing_mm(SignalingScheme::FullSwing);
+        assert!(w.repeated_delay_ps(long, SignalingScheme::FullSwing) < w.unrepeated_delay_ps(long));
+    }
+
+    #[test]
+    fn transfer_energy_scales() {
+        let w = model();
+        let e = w.transfer_energy_pj(256, 3.0, SignalingScheme::FullSwing);
+        assert!((e - 256.0 * 3.0 * 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared message framing for the layered services.
+//!
+//! Every service packet reserves payload word 0 as a header; words 1–3
+//! carry service data. The header identifies the service, an opcode, a
+//! sequence number, and a 32-bit auxiliary field (address, credit count,
+//! CRC, ...).
+
+use ocin_core::flit::{Payload, ServiceClass};
+use ocin_core::ids::NodeId;
+
+/// Which service a packet belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Logical-wire updates.
+    LogicalWire,
+    /// Memory read/write requests and replies.
+    Memory,
+    /// Flow-controlled streams.
+    Stream,
+    /// Reliable-delivery data and acknowledgements.
+    Reliable,
+    /// Inter-chip gateway encapsulation.
+    Gateway,
+}
+
+impl ServiceKind {
+    const fn id(self) -> u8 {
+        match self {
+            ServiceKind::LogicalWire => 1,
+            ServiceKind::Memory => 2,
+            ServiceKind::Stream => 3,
+            ServiceKind::Reliable => 4,
+            ServiceKind::Gateway => 5,
+        }
+    }
+
+    const fn from_id(id: u8) -> Option<ServiceKind> {
+        match id {
+            1 => Some(ServiceKind::LogicalWire),
+            2 => Some(ServiceKind::Memory),
+            3 => Some(ServiceKind::Stream),
+            4 => Some(ServiceKind::Reliable),
+            5 => Some(ServiceKind::Gateway),
+            _ => None,
+        }
+    }
+}
+
+/// The decoded word-0 header of a service packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Owning service.
+    pub service: ServiceKind,
+    /// Service-specific opcode.
+    pub opcode: u8,
+    /// Sequence number.
+    pub seq: u16,
+    /// Service-specific auxiliary field.
+    pub aux: u32,
+}
+
+impl Header {
+    /// Packs the header into a payload word.
+    pub fn pack(&self) -> u64 {
+        (self.service.id() as u64)
+            | (self.opcode as u64) << 8
+            | (self.seq as u64) << 16
+            | (self.aux as u64) << 32
+    }
+
+    /// Decodes a payload word; `None` if the service id is unknown.
+    pub fn unpack(word: u64) -> Option<Header> {
+        Some(Header {
+            service: ServiceKind::from_id(word as u8)?,
+            opcode: (word >> 8) as u8,
+            seq: (word >> 16) as u16,
+            aux: (word >> 32) as u32,
+        })
+    }
+
+    /// Reads the header from a delivered packet's first payload word.
+    pub fn from_payloads(payloads: &[Payload]) -> Option<Header> {
+        payloads.first().and_then(|p| Header::unpack(p.0[0]))
+    }
+}
+
+/// A packet a service asks its driver to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Destination tile.
+    pub dst: NodeId,
+    /// Payload contents, one entry per flit.
+    pub payloads: Vec<Payload>,
+    /// Valid payload bits.
+    pub payload_bits: usize,
+    /// Service class to inject with.
+    pub class: ServiceClass,
+}
+
+impl Message {
+    /// Builds a single-flit message with the given header and data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three data words are supplied.
+    pub fn single_flit(dst: NodeId, header: Header, data: &[u64], class: ServiceClass) -> Message {
+        assert!(data.len() <= 3, "one flit holds a header plus 3 data words");
+        let mut p = Payload::ZERO;
+        p.0[0] = header.pack();
+        for (i, &w) in data.iter().enumerate() {
+            p.0[i + 1] = w;
+        }
+        Message {
+            dst,
+            payloads: vec![p],
+            payload_bits: 64 * (1 + data.len()),
+            class,
+        }
+    }
+
+    /// Builds a multi-flit message: flit 0 carries the header plus up to
+    /// three data words; further data words fill subsequent flits.
+    pub fn multi_flit(dst: NodeId, header: Header, data: &[u64], class: ServiceClass) -> Message {
+        if data.len() <= 3 {
+            return Message::single_flit(dst, header, data, class);
+        }
+        let mut payloads = Vec::new();
+        let mut first = Payload::ZERO;
+        first.0[0] = header.pack();
+        first.0[1..4].copy_from_slice(&data[..3]);
+        payloads.push(first);
+        for chunk in data[3..].chunks(4) {
+            let mut p = Payload::ZERO;
+            p.0[..chunk.len()].copy_from_slice(chunk);
+            payloads.push(p);
+        }
+        let payload_bits = 64 * (1 + data.len());
+        Message {
+            dst,
+            payloads,
+            payload_bits,
+            class,
+        }
+    }
+
+    /// Extracts the data words of a message built by
+    /// [`Message::multi_flit`], given the expected count.
+    pub fn extract_data(payloads: &[Payload], count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count);
+        for (i, p) in payloads.iter().enumerate() {
+            let start = if i == 0 { 1 } else { 0 };
+            for w in start..4 {
+                if out.len() < count {
+                    out.push(p.0[w]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            service: ServiceKind::Memory,
+            opcode: 3,
+            seq: 0xBEEF,
+            aux: 0xDEAD_CAFE,
+        };
+        assert_eq!(Header::unpack(h.pack()), Some(h));
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        assert_eq!(Header::unpack(0xFF), None);
+    }
+
+    #[test]
+    fn single_flit_message_layout() {
+        let h = Header {
+            service: ServiceKind::LogicalWire,
+            opcode: 0,
+            seq: 1,
+            aux: 0,
+        };
+        let m = Message::single_flit(5.into(), h, &[0xAB, 0xCD], ServiceClass::Priority);
+        assert_eq!(m.payloads.len(), 1);
+        assert_eq!(m.payload_bits, 192);
+        assert_eq!(Header::from_payloads(&m.payloads), Some(h));
+        assert_eq!(m.payloads[0].0[1], 0xAB);
+        assert_eq!(m.payloads[0].0[2], 0xCD);
+    }
+
+    #[test]
+    fn multi_flit_roundtrip() {
+        let h = Header {
+            service: ServiceKind::Stream,
+            opcode: 1,
+            seq: 9,
+            aux: 42,
+        };
+        let data: Vec<u64> = (0..10).map(|i| 0x100 + i).collect();
+        let m = Message::multi_flit(3.into(), h, &data, ServiceClass::Bulk);
+        // 1 header word + 10 data = 11 words -> flit0 holds 4, then 4, 3.
+        assert_eq!(m.payloads.len(), 3);
+        assert_eq!(m.payload_bits, 64 * 11);
+        assert_eq!(Message::extract_data(&m.payloads, 10), data);
+    }
+
+    #[test]
+    fn small_multi_flit_degenerates_to_single() {
+        let h = Header {
+            service: ServiceKind::Reliable,
+            opcode: 0,
+            seq: 0,
+            aux: 0,
+        };
+        let m = Message::multi_flit(1.into(), h, &[7], ServiceClass::Bulk);
+        assert_eq!(m.payloads.len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3) for end-to-end payload checking (paper §2.5).
+//!
+//! "Modules that required transient fault tolerance could employ
+//! end-to-end checking with retry by layering the checking protocol on
+//! top of the network interfaces."
+
+/// Computes the CRC-32 (IEEE, reflected, init/xorout `0xFFFF_FFFF`) of
+/// `data`.
+///
+/// ```
+/// use ocin_services::crc32;
+/// // Standard check value for "123456789".
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-32 over a sequence of 64-bit payload words (little-endian bytes).
+pub fn crc32_words(words: &[u64]) -> u32 {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = crc32_words(&[0xDEAD_BEEF, 0x1234_5678]);
+        for bit in 0..128 {
+            let mut words = [0xDEAD_BEEFu64, 0x1234_5678];
+            words[bit / 64] ^= 1 << (bit % 64);
+            assert_ne!(crc32_words(&words), base, "missed flip at bit {bit}");
+        }
+    }
+
+    #[test]
+    fn word_and_byte_forms_agree() {
+        let words = [0x0102_0304_0506_0708u64];
+        let bytes = 0x0102_0304_0506_0708u64.to_le_bytes();
+        assert_eq!(crc32_words(&words), crc32(&bytes));
+    }
+}

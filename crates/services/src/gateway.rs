@@ -1,0 +1,251 @@
+//! Inter-chip gateways (paper §1).
+//!
+//! The paper's client list includes "gateways to networks on other
+//! chips", motivated by its own lineage of inter-chip interconnection
+//! networks (the paper's reference \[7\]). A gateway occupies one tile; packets bound for another
+//! chip are addressed to the local gateway with an encapsulation header
+//! carrying the global destination, cross a (slower, narrower) off-chip
+//! link, and are re-injected by the peer gateway toward the final tile.
+//!
+//! This module provides the encapsulation codec and the
+//! [`GatewayEndpoint`] state machine; `ocin_sim::MultiChipSim` wires two
+//! endpoints across a serial off-chip link.
+
+use std::collections::VecDeque;
+
+use ocin_core::flit::ServiceClass;
+use ocin_core::ids::NodeId;
+use ocin_core::interface::DeliveredPacket;
+
+use crate::codec::{Header, Message, ServiceKind};
+
+/// A tile on a named chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalAddress {
+    /// Chip index within the system.
+    pub chip: u8,
+    /// Tile on that chip.
+    pub node: NodeId,
+}
+
+impl GlobalAddress {
+    /// Creates a global address.
+    pub fn new(chip: u8, node: NodeId) -> GlobalAddress {
+        GlobalAddress { chip, node }
+    }
+}
+
+impl std::fmt::Display for GlobalAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}t{}", self.chip, self.node)
+    }
+}
+
+/// A datagram crossing chips: the final destination plus up to one flit
+/// (4 words) of user payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayDatagram {
+    /// Originating tile (global).
+    pub src: GlobalAddress,
+    /// Final destination (global).
+    pub dst: GlobalAddress,
+    /// User payload words.
+    pub words: Vec<u64>,
+}
+
+/// Encapsulates a datagram into a network message addressed to the local
+/// gateway tile.
+///
+/// # Panics
+///
+/// Panics if more than 4 payload words are supplied (one inner flit).
+pub fn encapsulate(gateway: NodeId, dgram: &GatewayDatagram) -> Message {
+    assert!(dgram.words.len() <= 4, "one inner flit per gateway datagram");
+    let header = Header {
+        service: ServiceKind::Gateway,
+        opcode: dgram.words.len() as u8,
+        seq: (dgram.src.chip as u16) << 8 | u16::from(dgram.src.node) & 0xFF,
+        aux: (dgram.dst.chip as u32) << 16 | u32::from(u16::from(dgram.dst.node)),
+    };
+    Message::multi_flit(gateway, header, &dgram.words, ServiceClass::Bulk)
+}
+
+/// Decapsulates a delivered gateway packet, if it is one.
+pub fn decapsulate(packet: &DeliveredPacket) -> Option<GatewayDatagram> {
+    let h = Header::from_payloads(&packet.payloads)?;
+    if h.service != ServiceKind::Gateway {
+        return None;
+    }
+    let words = Message::extract_data(&packet.payloads, h.opcode as usize);
+    Some(GatewayDatagram {
+        src: GlobalAddress::new((h.seq >> 8) as u8, NodeId::new(h.seq & 0xFF)),
+        dst: GlobalAddress::new(
+            (h.aux >> 16) as u8,
+            NodeId::new((h.aux & 0xFFFF) as u16),
+        ),
+        words,
+    })
+}
+
+/// One side of an off-chip link: queues outbound datagrams, accepts
+/// inbound ones, and re-injects arrivals toward their final local tile.
+#[derive(Debug)]
+pub struct GatewayEndpoint {
+    /// Which chip this endpoint sits on.
+    pub chip: u8,
+    /// The tile it occupies.
+    pub node: NodeId,
+    outbound: VecDeque<GatewayDatagram>,
+    /// Datagrams forwarded off-chip.
+    pub forwarded: u64,
+    /// Datagrams re-injected locally.
+    pub reinjected: u64,
+}
+
+impl GatewayEndpoint {
+    /// Creates the endpoint for `node` on `chip`.
+    pub fn new(chip: u8, node: NodeId) -> GatewayEndpoint {
+        GatewayEndpoint {
+            chip,
+            node,
+            outbound: VecDeque::new(),
+            forwarded: 0,
+            reinjected: 0,
+        }
+    }
+
+    /// Consumes a packet delivered to the gateway tile; datagrams for
+    /// other chips join the off-chip queue. Returns `true` if consumed.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket) -> bool {
+        let Some(dgram) = decapsulate(packet) else {
+            return false;
+        };
+        debug_assert_ne!(dgram.dst.chip, self.chip, "local traffic never hits the gateway");
+        self.outbound.push_back(dgram);
+        true
+    }
+
+    /// Takes the next datagram to serialize onto the off-chip link.
+    pub fn next_outbound(&mut self) -> Option<GatewayDatagram> {
+        let d = self.outbound.pop_front();
+        if d.is_some() {
+            self.forwarded += 1;
+        }
+        d
+    }
+
+    /// Outbound datagrams waiting for the off-chip link.
+    pub fn backlog(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// Handles a datagram arriving from off-chip: if it is for this
+    /// chip, returns the message to re-inject toward the final tile (or
+    /// to forward onward via this chip's own gateway table in larger
+    /// systems).
+    pub fn on_arrival(&mut self, dgram: &GatewayDatagram) -> Message {
+        self.reinjected += 1;
+        if dgram.dst.chip == self.chip {
+            // Deliver locally: re-frame so the final tile can read the
+            // words (and still see the global source).
+            let header = Header {
+                service: ServiceKind::Gateway,
+                opcode: dgram.words.len() as u8,
+                seq: (dgram.src.chip as u16) << 8 | u16::from(dgram.src.node) & 0xFF,
+                aux: (dgram.dst.chip as u32) << 16 | u32::from(u16::from(dgram.dst.node)),
+            };
+            Message::multi_flit(dgram.dst.node, header, &dgram.words, ServiceClass::Bulk)
+        } else {
+            // Multi-hop systems would route toward the next gateway;
+            // with two chips this cannot happen.
+            encapsulate(self.node, dgram)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::ids::PacketId;
+
+    fn deliver(msg: &Message, dst: NodeId) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(0),
+            src: 0.into(),
+            dst,
+            class: msg.class,
+            flow: None,
+            created_at: 0,
+            injected_at: 0,
+            delivered_at: 0,
+            num_flits: msg.payloads.len(),
+            payloads: msg.payloads.clone(),
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn encapsulation_roundtrip() {
+        let d = GatewayDatagram {
+            src: GlobalAddress::new(0, 3.into()),
+            dst: GlobalAddress::new(1, 12.into()),
+            words: vec![0xAA, 0xBB, 0xCC],
+        };
+        let msg = encapsulate(5.into(), &d);
+        assert_eq!(msg.dst, NodeId::new(5));
+        let back = decapsulate(&deliver(&msg, 5.into())).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn four_word_payload_spans_two_flits() {
+        let d = GatewayDatagram {
+            src: GlobalAddress::new(0, 0.into()),
+            dst: GlobalAddress::new(1, 1.into()),
+            words: vec![1, 2, 3, 4],
+        };
+        let msg = encapsulate(5.into(), &d);
+        assert_eq!(msg.payloads.len(), 2);
+        let back = decapsulate(&deliver(&msg, 5.into())).unwrap();
+        assert_eq!(back.words, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn endpoint_queues_and_forwards() {
+        let mut gw = GatewayEndpoint::new(0, 5.into());
+        let d = GatewayDatagram {
+            src: GlobalAddress::new(0, 1.into()),
+            dst: GlobalAddress::new(1, 9.into()),
+            words: vec![7],
+        };
+        assert!(gw.on_packet(&deliver(&encapsulate(5.into(), &d), 5.into())));
+        assert_eq!(gw.backlog(), 1);
+        assert_eq!(gw.next_outbound(), Some(d));
+        assert_eq!(gw.forwarded, 1);
+        assert_eq!(gw.next_outbound(), None);
+    }
+
+    #[test]
+    fn arrival_reinjects_toward_final_tile() {
+        let mut gw = GatewayEndpoint::new(1, 2.into());
+        let d = GatewayDatagram {
+            src: GlobalAddress::new(0, 1.into()),
+            dst: GlobalAddress::new(1, 9.into()),
+            words: vec![0x42],
+        };
+        let msg = gw.on_arrival(&d);
+        assert_eq!(msg.dst, NodeId::new(9));
+        // The final tile can decode the original datagram.
+        let back = decapsulate(&deliver(&msg, 9.into())).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(gw.reinjected, 1);
+    }
+
+    #[test]
+    fn non_gateway_packets_pass_through() {
+        let mut gw = GatewayEndpoint::new(0, 5.into());
+        let mut tx = crate::logical_wire::LogicalWireTx::new(5.into(), 0, 8);
+        let m = tx.observe(1).unwrap();
+        assert!(!gw.on_packet(&deliver(&m, 5.into())));
+    }
+}

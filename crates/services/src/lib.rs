@@ -1,0 +1,41 @@
+//! # ocin-services — protocols layered on the datagram interface
+//!
+//! The paper's §2.2: "higher level protocols can be layered on top of the
+//! simple interface. ... this local logic could present a memory
+//! read/write service, a flow-controlled data stream, or a logical wire
+//! to the client."
+//!
+//! Every service here is a *sans-I/O* state machine: it produces
+//! [`Message`]s to inject and consumes `ocin_core::DeliveredPacket`s,
+//! leaving the actual network plumbing to `ocin-sim` (or any other
+//! driver). This mirrors the paper's placement of the logic "local to the
+//! network clients".
+//!
+//! * [`LogicalWireTx`]/[`LogicalWireRx`] — §2.2's worked example: an
+//!   8-bit wire bundle whose state changes are carried as single-flit
+//!   packets.
+//! * [`MemoryClient`]/[`MemoryServer`] — a read/write request–reply
+//!   service.
+//! * [`StreamSender`]/[`StreamReceiver`] — a flow-controlled data stream
+//!   with end-to-end credits.
+//! * [`ReliableSender`]/[`ReliableReceiver`] — §2.5's "end-to-end
+//!   checking with retry": CRC-32 over the payload, sequence numbers,
+//!   acknowledgements, and timeout retransmission.
+
+pub mod codec;
+pub mod crc;
+pub mod gateway;
+pub mod logical_wire;
+pub mod memory;
+pub mod retry;
+pub mod route_table;
+pub mod stream;
+
+pub use codec::{Header, Message, ServiceKind};
+pub use crc::crc32;
+pub use gateway::{GatewayDatagram, GatewayEndpoint, GlobalAddress};
+pub use logical_wire::{LogicalWireRx, LogicalWireTx};
+pub use memory::{MemoryClient, MemoryOp, MemoryReply, MemoryServer};
+pub use retry::{ReliableReceiver, ReliableSender, RetryConfig};
+pub use route_table::RouteTable;
+pub use stream::{StreamReceiver, StreamSender};

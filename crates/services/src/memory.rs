@@ -1,0 +1,318 @@
+//! A memory read/write service layered on datagrams (paper §2.2).
+//!
+//! A [`MemoryClient`] on a processor tile issues read and write requests
+//! to a [`MemoryServer`] tile, which models a memory subsystem with a
+//! fixed access latency and replies over the network. Requests are
+//! matched to replies by transaction id, so many can be in flight.
+
+use std::collections::HashMap;
+
+use ocin_core::flit::ServiceClass;
+use ocin_core::ids::{Cycle, NodeId};
+use ocin_core::interface::DeliveredPacket;
+
+use crate::codec::{Header, Message, ServiceKind};
+
+const OP_READ_REQ: u8 = 0;
+const OP_WRITE_REQ: u8 = 1;
+const OP_READ_REPLY: u8 = 2;
+const OP_WRITE_ACK: u8 = 3;
+
+/// A memory operation issued by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryOp {
+    /// Read the word at `addr`.
+    Read {
+        /// Word address.
+        addr: u32,
+    },
+    /// Write `value` to `addr`.
+    Write {
+        /// Word address.
+        addr: u32,
+        /// Value to store.
+        value: u64,
+    },
+}
+
+/// A completed memory transaction, as seen by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReply {
+    /// Transaction id.
+    pub txn: u16,
+    /// Address.
+    pub addr: u32,
+    /// Read data (`None` for write acknowledgements).
+    pub data: Option<u64>,
+    /// Round-trip latency in cycles.
+    pub latency: Cycle,
+}
+
+/// The processor-side endpoint.
+#[derive(Debug)]
+pub struct MemoryClient {
+    server: NodeId,
+    next_txn: u16,
+    outstanding: HashMap<u16, Cycle>,
+    /// Completed transactions.
+    pub completed: Vec<MemoryReply>,
+}
+
+impl MemoryClient {
+    /// Creates a client talking to the memory at `server`.
+    pub fn new(server: NodeId) -> MemoryClient {
+        MemoryClient {
+            server,
+            next_txn: 0,
+            outstanding: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Transactions awaiting replies.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Issues an operation; returns the request message and transaction
+    /// id.
+    pub fn issue(&mut self, op: MemoryOp, now: Cycle) -> (Message, u16) {
+        let txn = self.next_txn;
+        self.next_txn = self.next_txn.wrapping_add(1);
+        self.outstanding.insert(txn, now);
+        let msg = match op {
+            MemoryOp::Read { addr } => Message::single_flit(
+                self.server,
+                Header {
+                    service: ServiceKind::Memory,
+                    opcode: OP_READ_REQ,
+                    seq: txn,
+                    aux: addr,
+                },
+                &[],
+                ServiceClass::Bulk,
+            ),
+            MemoryOp::Write { addr, value } => Message::single_flit(
+                self.server,
+                Header {
+                    service: ServiceKind::Memory,
+                    opcode: OP_WRITE_REQ,
+                    seq: txn,
+                    aux: addr,
+                },
+                &[value],
+                ServiceClass::Bulk,
+            ),
+        };
+        (msg, txn)
+    }
+
+    /// Consumes a delivered packet if it is a reply to this client.
+    /// Returns the completed transaction, if any.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket, now: Cycle) -> Option<MemoryReply> {
+        let h = Header::from_payloads(&packet.payloads)?;
+        if h.service != ServiceKind::Memory {
+            return None;
+        }
+        let issued = self.outstanding.remove(&h.seq)?;
+        let reply = MemoryReply {
+            txn: h.seq,
+            addr: h.aux,
+            data: (h.opcode == OP_READ_REPLY).then(|| packet.payloads[0].0[1]),
+            latency: now - issued,
+        };
+        self.completed.push(reply);
+        Some(reply)
+    }
+}
+
+/// The memory-subsystem tile: services requests after a fixed latency.
+#[derive(Debug)]
+pub struct MemoryServer {
+    store: HashMap<u32, u64>,
+    access_latency: Cycle,
+    /// Requests in service: (ready_cycle, reply_to, header, write value).
+    in_service: Vec<(Cycle, NodeId, Header, Option<u64>)>,
+    /// Requests served.
+    pub requests_served: u64,
+}
+
+impl MemoryServer {
+    /// Creates a server with the given access latency in cycles.
+    pub fn new(access_latency: Cycle) -> MemoryServer {
+        MemoryServer {
+            store: HashMap::new(),
+            access_latency,
+            in_service: Vec::new(),
+            requests_served: 0,
+        }
+    }
+
+    /// Reads directly (test/debug backdoor).
+    pub fn peek(&self, addr: u32) -> u64 {
+        self.store.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Accepts a delivered request packet.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket, now: Cycle) {
+        let Some(h) = Header::from_payloads(&packet.payloads) else {
+            return;
+        };
+        if h.service != ServiceKind::Memory
+            || (h.opcode != OP_READ_REQ && h.opcode != OP_WRITE_REQ)
+        {
+            return;
+        }
+        let value = (h.opcode == OP_WRITE_REQ).then(|| packet.payloads[0].0[1]);
+        self.in_service
+            .push((now + self.access_latency, packet.src, h, value));
+    }
+
+    /// Emits replies whose access latency has elapsed.
+    pub fn poll(&mut self, now: Cycle) -> Vec<Message> {
+        let mut out = Vec::new();
+        let mut remaining = Vec::with_capacity(self.in_service.len());
+        let in_service = std::mem::take(&mut self.in_service);
+        for (ready, client, h, value) in in_service {
+            if ready > now {
+                remaining.push((ready, client, h, value));
+                continue;
+            }
+            self.requests_served += 1;
+            let reply = if let Some(v) = value {
+                self.store.insert(h.aux, v);
+                Message::single_flit(
+                    client,
+                    Header {
+                        opcode: OP_WRITE_ACK,
+                        ..h
+                    },
+                    &[],
+                    ServiceClass::Bulk,
+                )
+            } else {
+                let data = self.peek(h.aux);
+                Message::single_flit(
+                    client,
+                    Header {
+                        opcode: OP_READ_REPLY,
+                        ..h
+                    },
+                    &[data],
+                    ServiceClass::Bulk,
+                )
+            };
+            out.push(reply);
+        }
+        self.in_service = remaining;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::ids::PacketId;
+
+    fn deliver(msg: &Message, src: NodeId, now: Cycle) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(0),
+            src,
+            dst: msg.dst,
+            class: msg.class,
+            flow: None,
+            created_at: now,
+            injected_at: now,
+            delivered_at: now,
+            num_flits: msg.payloads.len(),
+            payloads: msg.payloads.clone(),
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut client = MemoryClient::new(8.into());
+        let mut server = MemoryServer::new(4);
+
+        // Write 0xFEED to address 0x10.
+        let (wmsg, _) = client.issue(
+            MemoryOp::Write {
+                addr: 0x10,
+                value: 0xFEED,
+            },
+            0,
+        );
+        server.on_packet(&deliver(&wmsg, 2.into(), 3), 3);
+        assert!(server.poll(5).is_empty(), "latency not yet elapsed");
+        let replies = server.poll(7);
+        assert_eq!(replies.len(), 1);
+        let ack = client.on_packet(&deliver(&replies[0], 8.into(), 10), 10).unwrap();
+        assert_eq!(ack.data, None);
+        assert_eq!(ack.latency, 10);
+
+        // Read it back.
+        let (rmsg, txn) = client.issue(MemoryOp::Read { addr: 0x10 }, 20);
+        server.on_packet(&deliver(&rmsg, 2.into(), 22), 22);
+        let replies = server.poll(26);
+        assert_eq!(replies.len(), 1);
+        let got = client.on_packet(&deliver(&replies[0], 8.into(), 28), 28).unwrap();
+        assert_eq!(got.txn, txn);
+        assert_eq!(got.data, Some(0xFEED));
+        assert_eq!(got.latency, 8);
+        assert_eq!(client.outstanding(), 0);
+        assert_eq!(server.requests_served, 2);
+    }
+
+    #[test]
+    fn unknown_address_reads_zero() {
+        let mut client = MemoryClient::new(1.into());
+        let mut server = MemoryServer::new(0);
+        let (rmsg, _) = client.issue(MemoryOp::Read { addr: 999 }, 0);
+        server.on_packet(&deliver(&rmsg, 0.into(), 0), 0);
+        let replies = server.poll(0);
+        let got = client.on_packet(&deliver(&replies[0], 1.into(), 1), 1).unwrap();
+        assert_eq!(got.data, Some(0));
+    }
+
+    #[test]
+    fn multiple_outstanding_transactions() {
+        let mut client = MemoryClient::new(1.into());
+        let mut server = MemoryServer::new(2);
+        let mut msgs = Vec::new();
+        for i in 0..5u32 {
+            let (m, _) = client.issue(
+                MemoryOp::Write {
+                    addr: i,
+                    value: i as u64 * 10,
+                },
+                0,
+            );
+            msgs.push(m);
+        }
+        assert_eq!(client.outstanding(), 5);
+        for m in &msgs {
+            server.on_packet(&deliver(m, 0.into(), 1), 1);
+        }
+        for r in server.poll(10) {
+            client.on_packet(&deliver(&r, 1.into(), 12), 12);
+        }
+        assert_eq!(client.outstanding(), 0);
+        assert_eq!(client.completed.len(), 5);
+        for i in 0..5u32 {
+            assert_eq!(server.peek(i), i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn foreign_packets_are_ignored() {
+        let mut client = MemoryClient::new(1.into());
+        let mut server = MemoryServer::new(0);
+        // A logical-wire packet must not disturb either side.
+        let mut tx = crate::logical_wire::LogicalWireTx::new(1.into(), 0, 8);
+        let m = tx.observe(1).unwrap();
+        server.on_packet(&deliver(&m, 0.into(), 0), 0);
+        assert!(server.poll(10).is_empty());
+        assert!(client.on_packet(&deliver(&m, 1.into(), 0), 0).is_none());
+    }
+}

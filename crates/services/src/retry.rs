@@ -1,0 +1,394 @@
+//! End-to-end checking with retry (paper §2.5).
+//!
+//! "Modules that required transient fault tolerance could employ
+//! end-to-end checking with retry by layering the checking protocol on
+//! top of the network interfaces."
+//!
+//! [`ReliableSender`] stamps each datagram with a sequence number and a
+//! CRC-32 of its data, keeps a copy until acknowledged, and retransmits
+//! on timeout. [`ReliableReceiver`] verifies the CRC, acknowledges good
+//! data (re-acknowledging duplicates), and discards corrupt packets so
+//! the sender's timeout recovers them. This restores reliable delivery
+//! over both transient link faults and dropping flow control.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ocin_core::flit::ServiceClass;
+use ocin_core::ids::{Cycle, NodeId};
+use ocin_core::interface::DeliveredPacket;
+
+use crate::codec::{Header, Message, ServiceKind};
+use crate::crc::crc32_words;
+
+/// The end-to-end check covers the sequence number and channel id as
+/// well as the data, so header upsets are also caught and retried.
+fn header_aware_crc(channel: u8, seq: u16, data: &[u64]) -> u32 {
+    let mut words = Vec::with_capacity(data.len() + 1);
+    words.push((channel as u64) << 16 | seq as u64);
+    words.extend_from_slice(data);
+    crc32_words(&words)
+}
+
+const OP_DATA: u8 = 0;
+const OP_ACK: u8 = 1;
+
+/// Retry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Cycles to wait for an acknowledgement before retransmitting.
+    pub timeout: Cycle,
+    /// Maximum unacknowledged packets in flight.
+    pub window: usize,
+    /// Give up after this many transmissions of one packet (0 = never).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: 200,
+            window: 8,
+            max_attempts: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    data: Vec<u64>,
+    sent_at: Cycle,
+    attempts: u32,
+}
+
+/// The sending half of a reliable channel.
+#[derive(Debug)]
+pub struct ReliableSender {
+    dst: NodeId,
+    channel: u8,
+    cfg: RetryConfig,
+    next_seq: u16,
+    queue: VecDeque<Vec<u64>>,
+    in_flight: BTreeMap<u16, InFlight>,
+    /// Packets retransmitted.
+    pub retransmissions: u64,
+    /// Packets abandoned after `max_attempts`.
+    pub abandoned: u64,
+    /// Packets acknowledged.
+    pub acknowledged: u64,
+}
+
+impl ReliableSender {
+    /// Creates a sender on logical channel `channel` to `dst`.
+    pub fn new(dst: NodeId, channel: u8, cfg: RetryConfig) -> ReliableSender {
+        ReliableSender {
+            dst,
+            channel,
+            cfg,
+            next_seq: 0,
+            queue: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            retransmissions: 0,
+            abandoned: 0,
+            acknowledged: 0,
+        }
+    }
+
+    /// Queues a datagram (up to 2 data words; word 3 carries the CRC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds 2 words.
+    pub fn send(&mut self, data: Vec<u64>) {
+        assert!(data.len() <= 2, "reliable datagrams carry up to 2 words");
+        self.queue.push_back(data);
+    }
+
+    /// Unacknowledged + unqueued work remaining.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
+    /// Emits transmissions and retransmissions due at `now`.
+    pub fn poll(&mut self, now: Cycle) -> Vec<Message> {
+        let mut out = Vec::new();
+        // Retransmit timeouts.
+        let mut expired: Vec<u16> = Vec::new();
+        for (&seq, inf) in &self.in_flight {
+            if now >= inf.sent_at + self.cfg.timeout {
+                expired.push(seq);
+            }
+        }
+        for seq in expired {
+            let give_up = {
+                let inf = self.in_flight.get_mut(&seq).expect("expired entry");
+                self.cfg.max_attempts != 0 && inf.attempts >= self.cfg.max_attempts
+            };
+            if give_up {
+                self.in_flight.remove(&seq);
+                self.abandoned += 1;
+                continue;
+            }
+            let inf = self.in_flight.get_mut(&seq).expect("expired entry");
+            inf.sent_at = now;
+            inf.attempts += 1;
+            self.retransmissions += 1;
+            out.push(Self::data_message(self.dst, self.channel, seq, &inf.data));
+        }
+        // New transmissions within the window.
+        while self.in_flight.len() < self.cfg.window {
+            let Some(data) = self.queue.pop_front() else { break };
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            out.push(Self::data_message(self.dst, self.channel, seq, &data));
+            self.in_flight.insert(
+                seq,
+                InFlight {
+                    data,
+                    sent_at: now,
+                    attempts: 1,
+                },
+            );
+        }
+        out
+    }
+
+    fn data_message(dst: NodeId, channel: u8, seq: u16, data: &[u64]) -> Message {
+        let crc = header_aware_crc(channel, seq, data);
+        let mut words = data.to_vec();
+        words.push(crc as u64);
+        Message::single_flit(
+            dst,
+            Header {
+                service: ServiceKind::Reliable,
+                opcode: OP_DATA,
+                seq,
+                aux: (channel as u32) << 8 | data.len() as u32,
+            },
+            &words,
+            ServiceClass::Bulk,
+        )
+    }
+
+    /// Consumes an acknowledgement.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket) -> bool {
+        let Some(h) = Header::from_payloads(&packet.payloads) else {
+            return false;
+        };
+        if h.service != ServiceKind::Reliable
+            || h.opcode != OP_ACK
+            || (h.aux >> 8) as u8 != self.channel
+        {
+            return false;
+        }
+        if self.in_flight.remove(&h.seq).is_some() {
+            self.acknowledged += 1;
+        }
+        true
+    }
+}
+
+/// The receiving half of a reliable channel.
+#[derive(Debug)]
+pub struct ReliableReceiver {
+    src: NodeId,
+    channel: u8,
+    seen: BTreeMap<u16, ()>,
+    delivered: VecDeque<Vec<u64>>,
+    /// Packets whose CRC failed (dropped; sender's timeout recovers).
+    pub crc_failures: u64,
+    /// Duplicate transmissions re-acknowledged.
+    pub duplicates: u64,
+}
+
+impl ReliableReceiver {
+    /// Creates a receiver for channel `channel` from `src`.
+    pub fn new(src: NodeId, channel: u8) -> ReliableReceiver {
+        ReliableReceiver {
+            src,
+            channel,
+            seen: BTreeMap::new(),
+            delivered: VecDeque::new(),
+            crc_failures: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Consumes a data packet; returns the acknowledgement to send, if
+    /// the packet passed its CRC.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket) -> Option<Message> {
+        let h = Header::from_payloads(&packet.payloads)?;
+        if h.service != ServiceKind::Reliable
+            || h.opcode != OP_DATA
+            || (h.aux >> 8) as u8 != self.channel
+        {
+            return None;
+        }
+        let n = (h.aux & 0xFF) as usize;
+        if n > 2 {
+            // A corrupted length field; treat as a check failure.
+            self.crc_failures += 1;
+            return None;
+        }
+        let words = Message::extract_data(&packet.payloads, n + 1);
+        let (data, crc) = words.split_at(n);
+        if header_aware_crc(self.channel, h.seq, data) as u64 != crc[0] {
+            self.crc_failures += 1;
+            return None; // silent drop; the sender will retry
+        }
+        if self.seen.insert(h.seq, ()).is_some() {
+            self.duplicates += 1;
+        } else {
+            self.delivered.push_back(data.to_vec());
+        }
+        Some(Message::single_flit(
+            self.src,
+            Header {
+                service: ServiceKind::Reliable,
+                opcode: OP_ACK,
+                seq: h.seq,
+                aux: (self.channel as u32) << 8,
+            },
+            &[],
+            ServiceClass::Priority,
+        ))
+    }
+
+    /// Drains datagrams delivered exactly once, in arrival order.
+    pub fn drain(&mut self) -> Vec<Vec<u64>> {
+        self.delivered.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::flit::Payload;
+    use ocin_core::ids::PacketId;
+
+    fn deliver(msg: &Message, src: NodeId) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(0),
+            src,
+            dst: msg.dst,
+            class: msg.class,
+            flow: None,
+            created_at: 0,
+            injected_at: 0,
+            delivered_at: 0,
+            num_flits: msg.payloads.len(),
+            payloads: msg.payloads.clone(),
+            corrupted: false,
+        }
+    }
+
+    fn pair() -> (ReliableSender, ReliableReceiver) {
+        (
+            ReliableSender::new(1.into(), 0, RetryConfig::default()),
+            ReliableReceiver::new(0.into(), 0),
+        )
+    }
+
+    #[test]
+    fn clean_channel_delivers_once() {
+        let (mut tx, mut rx) = pair();
+        tx.send(vec![0xAA, 0xBB]);
+        let msgs = tx.poll(0);
+        assert_eq!(msgs.len(), 1);
+        let ack = rx.on_packet(&deliver(&msgs[0], 0.into())).unwrap();
+        assert!(tx.on_packet(&deliver(&ack, 1.into())));
+        assert_eq!(rx.drain(), vec![vec![0xAA, 0xBB]]);
+        assert_eq!(tx.pending(), 0);
+        assert_eq!(tx.acknowledged, 1);
+        assert_eq!(tx.retransmissions, 0);
+    }
+
+    #[test]
+    fn lost_packet_is_retransmitted() {
+        let (mut tx, mut rx) = pair();
+        tx.send(vec![7]);
+        let first = tx.poll(0);
+        assert_eq!(first.len(), 1);
+        // The packet is lost; nothing reaches rx. Timeout expires:
+        assert!(tx.poll(100).is_empty(), "not yet timed out");
+        let retry = tx.poll(200);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(tx.retransmissions, 1);
+        let ack = rx.on_packet(&deliver(&retry[0], 0.into())).unwrap();
+        tx.on_packet(&deliver(&ack, 1.into()));
+        assert_eq!(rx.drain(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn corrupt_packet_is_dropped_and_recovered() {
+        let (mut tx, mut rx) = pair();
+        tx.send(vec![0x1234]);
+        let msgs = tx.poll(0);
+        // Corrupt a payload bit in flight.
+        let mut bad = deliver(&msgs[0], 0.into());
+        let mut p: Payload = bad.payloads[0];
+        p.flip_bit(70);
+        bad.payloads[0] = p;
+        assert!(rx.on_packet(&bad).is_none());
+        assert_eq!(rx.crc_failures, 1);
+        assert!(rx.drain().is_empty());
+        // Retransmission succeeds.
+        let retry = tx.poll(500);
+        assert_eq!(retry.len(), 1);
+        let ack = rx.on_packet(&deliver(&retry[0], 0.into())).unwrap();
+        tx.on_packet(&deliver(&ack, 1.into()));
+        assert_eq!(rx.drain(), vec![vec![0x1234]]);
+    }
+
+    #[test]
+    fn duplicates_are_reacked_but_delivered_once() {
+        let (mut tx, mut rx) = pair();
+        tx.send(vec![9]);
+        let msgs = tx.poll(0);
+        let d = deliver(&msgs[0], 0.into());
+        let ack1 = rx.on_packet(&d).unwrap();
+        // The ack is lost; sender retries; receiver sees a duplicate.
+        let retry = tx.poll(300);
+        let ack2 = rx.on_packet(&deliver(&retry[0], 0.into())).unwrap();
+        assert_eq!(rx.duplicates, 1);
+        assert_eq!(rx.drain(), vec![vec![9]]);
+        tx.on_packet(&deliver(&ack1, 1.into()));
+        tx.on_packet(&deliver(&ack2, 1.into()));
+        assert_eq!(tx.pending(), 0);
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let mut tx = ReliableSender::new(
+            1.into(),
+            0,
+            RetryConfig {
+                window: 2,
+                ..RetryConfig::default()
+            },
+        );
+        for i in 0..5u64 {
+            tx.send(vec![i]);
+        }
+        assert_eq!(tx.poll(0).len(), 2);
+        assert_eq!(tx.pending(), 5);
+    }
+
+    #[test]
+    fn max_attempts_abandons() {
+        let mut tx = ReliableSender::new(
+            1.into(),
+            0,
+            RetryConfig {
+                timeout: 10,
+                window: 1,
+                max_attempts: 2,
+            },
+        );
+        tx.send(vec![1]);
+        assert_eq!(tx.poll(0).len(), 1); // attempt 1
+        assert_eq!(tx.poll(10).len(), 1); // attempt 2
+        assert_eq!(tx.poll(20).len(), 0); // abandoned
+        assert_eq!(tx.abandoned, 1);
+        assert_eq!(tx.pending(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Destination→route translation (paper §2.2).
+//!
+//! "Local logic can also provide a translation from a destination node to
+//! a route." Clients address peers by node id; the per-tile route table
+//! holds the precompiled 16-bit source route for every destination, the
+//! way boot-time configuration software would program it.
+
+use std::collections::HashMap;
+
+use ocin_core::ids::NodeId;
+use ocin_core::route::{RouteError, SourceRoute};
+use ocin_core::topology::Topology;
+
+/// A per-tile table of precompiled source routes.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    src: NodeId,
+    routes: HashMap<NodeId, SourceRoute>,
+}
+
+impl RouteTable {
+    /// Compiles routes from `src` to every other node of `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RouteError`] (minimal routes on the shipped
+    /// topologies always compile; custom topologies might not).
+    pub fn build(topo: &dyn Topology, src: NodeId) -> Result<RouteTable, RouteError> {
+        let mut routes = HashMap::new();
+        for d in 0..topo.num_nodes() {
+            let dst = NodeId::new(d as u16);
+            if dst == src {
+                continue;
+            }
+            routes.insert(dst, SourceRoute::compile(&topo.route_dirs(src, dst))?);
+        }
+        Ok(RouteTable { src, routes })
+    }
+
+    /// The tile this table serves.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The precompiled route to `dst` (`None` for self or unknown nodes).
+    pub fn lookup(&self, dst: NodeId) -> Option<SourceRoute> {
+        self.routes.get(&dst).copied()
+    }
+
+    /// Number of reachable destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty (single-node network).
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Whether every stored route fits the paper's 16-bit field.
+    pub fn fits_paper_field(&self) -> bool {
+        self.routes.values().all(SourceRoute::fits_paper_field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::{FoldedTorus2D, Mesh2D};
+
+    #[test]
+    fn table_covers_all_destinations() {
+        let topo = FoldedTorus2D::new(4);
+        let t = RouteTable::build(&topo, NodeId::new(5)).unwrap();
+        assert_eq!(t.len(), 15);
+        assert!(t.lookup(NodeId::new(5)).is_none());
+        assert!(t.lookup(NodeId::new(0)).is_some());
+        assert!(t.fits_paper_field());
+    }
+
+    #[test]
+    fn routes_walk_to_their_destination() {
+        let topo = FoldedTorus2D::new(4);
+        let src = NodeId::new(2);
+        let t = RouteTable::build(&topo, src).unwrap();
+        for d in 0..16u16 {
+            let dst = NodeId::new(d);
+            let Some(route) = t.lookup(dst) else { continue };
+            let mut node = src;
+            for dir in route.walk() {
+                node = topo.neighbor(node, dir).unwrap();
+            }
+            assert_eq!(node, dst);
+        }
+    }
+
+    #[test]
+    fn large_mesh_routes_exceed_paper_field() {
+        let topo = Mesh2D::new(8);
+        let t = RouteTable::build(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(t.len(), 63);
+        // Corner-to-corner on an 8x8 mesh is 14 hops: beyond 16 bits.
+        assert!(!t.fits_paper_field());
+    }
+}

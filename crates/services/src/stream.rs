@@ -1,0 +1,241 @@
+//! A flow-controlled data stream over datagrams (paper §2.2).
+//!
+//! End-to-end credits keep the sender from overrunning the receiver: the
+//! receiver grants credits as its client consumes words, and the sender
+//! only transmits while it holds credit. Per-VC in-order delivery of the
+//! underlying network keeps the stream ordered.
+
+use std::collections::VecDeque;
+
+use ocin_core::flit::ServiceClass;
+use ocin_core::ids::NodeId;
+use ocin_core::interface::DeliveredPacket;
+
+use crate::codec::{Header, Message, ServiceKind};
+
+const OP_DATA: u8 = 0;
+const OP_CREDIT: u8 = 1;
+
+/// The sending endpoint of a stream.
+#[derive(Debug)]
+pub struct StreamSender {
+    dst: NodeId,
+    stream: u8,
+    credits: u32,
+    seq: u16,
+    queue: VecDeque<u64>,
+    /// Words transmitted.
+    pub words_sent: u64,
+}
+
+impl StreamSender {
+    /// Creates a sender with an initial credit window of `initial_credits`
+    /// words.
+    pub fn new(dst: NodeId, stream: u8, initial_credits: u32) -> StreamSender {
+        StreamSender {
+            dst,
+            stream,
+            credits: initial_credits,
+            seq: 0,
+            queue: VecDeque::new(),
+            words_sent: 0,
+        }
+    }
+
+    /// Queues words for transmission.
+    pub fn offer(&mut self, words: impl IntoIterator<Item = u64>) {
+        self.queue.extend(words);
+    }
+
+    /// Words waiting for credit.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current credit balance.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Emits the next data packet if credit and data are available
+    /// (up to 3 words per single-flit packet).
+    pub fn poll(&mut self) -> Option<Message> {
+        if self.queue.is_empty() || self.credits == 0 {
+            return None;
+        }
+        let n = self.queue.len().min(self.credits as usize).min(3);
+        let words: Vec<u64> = self.queue.drain(..n).collect();
+        self.credits -= n as u32;
+        self.seq = self.seq.wrapping_add(1);
+        self.words_sent += n as u64;
+        Some(Message::single_flit(
+            self.dst,
+            Header {
+                service: ServiceKind::Stream,
+                opcode: OP_DATA,
+                seq: self.seq,
+                aux: (self.stream as u32) << 8 | n as u32,
+            },
+            &words,
+            ServiceClass::Bulk,
+        ))
+    }
+
+    /// Consumes a credit grant addressed to this stream.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket) -> bool {
+        let Some(h) = Header::from_payloads(&packet.payloads) else {
+            return false;
+        };
+        if h.service != ServiceKind::Stream
+            || h.opcode != OP_CREDIT
+            || (h.aux >> 8) as u8 != self.stream
+        {
+            return false;
+        }
+        self.credits += h.aux & 0xFF;
+        true
+    }
+}
+
+/// The receiving endpoint of a stream.
+#[derive(Debug)]
+pub struct StreamReceiver {
+    src: NodeId,
+    stream: u8,
+    buffer: VecDeque<u64>,
+    capacity: u32,
+    pending_credits: u32,
+    /// Words received in order.
+    pub words_received: u64,
+}
+
+impl StreamReceiver {
+    /// Creates a receiver buffering up to `capacity` words from `src`.
+    /// `capacity` must equal the sender's initial credit window.
+    pub fn new(src: NodeId, stream: u8, capacity: u32) -> StreamReceiver {
+        StreamReceiver {
+            src,
+            stream,
+            buffer: VecDeque::new(),
+            capacity,
+            pending_credits: 0,
+            words_received: 0,
+        }
+    }
+
+    /// Consumes a data packet for this stream.
+    pub fn on_packet(&mut self, packet: &DeliveredPacket) -> bool {
+        let Some(h) = Header::from_payloads(&packet.payloads) else {
+            return false;
+        };
+        if h.service != ServiceKind::Stream
+            || h.opcode != OP_DATA
+            || (h.aux >> 8) as u8 != self.stream
+        {
+            return false;
+        }
+        let n = (h.aux & 0xFF) as usize;
+        debug_assert!(
+            self.buffer.len() + n <= self.capacity as usize,
+            "sender violated the credit window"
+        );
+        for w in Message::extract_data(&packet.payloads, n) {
+            self.buffer.push_back(w);
+        }
+        self.words_received += n as u64;
+        true
+    }
+
+    /// The client reads buffered words, freeing credit.
+    pub fn read(&mut self, max_words: usize) -> Vec<u64> {
+        let n = self.buffer.len().min(max_words);
+        let words: Vec<u64> = self.buffer.drain(..n).collect();
+        self.pending_credits += n as u32;
+        words
+    }
+
+    /// Emits a credit grant if the client has freed buffer space.
+    pub fn poll_credits(&mut self) -> Option<Message> {
+        if self.pending_credits == 0 {
+            return None;
+        }
+        let grant = self.pending_credits.min(0xFF);
+        self.pending_credits -= grant;
+        Some(Message::single_flit(
+            self.src,
+            Header {
+                service: ServiceKind::Stream,
+                opcode: OP_CREDIT,
+                seq: 0,
+                aux: (self.stream as u32) << 8 | grant,
+            },
+            &[],
+            ServiceClass::Priority,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::ids::PacketId;
+
+    fn deliver(msg: &Message, src: NodeId) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(0),
+            src,
+            dst: msg.dst,
+            class: msg.class,
+            flow: None,
+            created_at: 0,
+            injected_at: 0,
+            delivered_at: 0,
+            num_flits: msg.payloads.len(),
+            payloads: msg.payloads.clone(),
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn data_flows_within_the_credit_window() {
+        let mut tx = StreamSender::new(1.into(), 0, 6);
+        let mut rx = StreamReceiver::new(0.into(), 0, 6);
+        tx.offer(0..10u64);
+        // 6 credits = two 3-word packets.
+        let m1 = tx.poll().unwrap();
+        let m2 = tx.poll().unwrap();
+        assert!(tx.poll().is_none(), "out of credit");
+        assert_eq!(tx.backlog(), 4);
+        assert!(rx.on_packet(&deliver(&m1, 0.into())));
+        assert!(rx.on_packet(&deliver(&m2, 0.into())));
+        assert_eq!(rx.read(100), (0..6u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn credits_restart_the_sender() {
+        let mut tx = StreamSender::new(1.into(), 0, 3);
+        let mut rx = StreamReceiver::new(0.into(), 0, 3);
+        tx.offer(0..6u64);
+        let m1 = tx.poll().unwrap();
+        assert!(tx.poll().is_none());
+        rx.on_packet(&deliver(&m1, 0.into()));
+        assert_eq!(rx.read(3), vec![0, 1, 2]);
+        let credit = rx.poll_credits().unwrap();
+        assert!(rx.poll_credits().is_none());
+        assert!(tx.on_packet(&deliver(&credit, 1.into())));
+        let m2 = tx.poll().unwrap();
+        rx.on_packet(&deliver(&m2, 0.into()));
+        assert_eq!(rx.read(3), vec![3, 4, 5]);
+        assert_eq!(tx.words_sent, 6);
+        assert_eq!(rx.words_received, 6);
+    }
+
+    #[test]
+    fn streams_are_isolated_by_id() {
+        let mut tx = StreamSender::new(1.into(), 1, 3);
+        let mut rx = StreamReceiver::new(0.into(), 2, 3);
+        tx.offer([42]);
+        let m = tx.poll().unwrap();
+        assert!(!rx.on_packet(&deliver(&m, 0.into())));
+    }
+}

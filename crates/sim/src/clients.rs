@@ -1,0 +1,237 @@
+//! Harness for `ocin-services` clients: tiles running protocol logic.
+//!
+//! [`ServiceSim`] owns a network and one optional [`Client`] per tile.
+//! Each cycle it delivers arrived packets to clients, lets every client
+//! act, and injects the messages they produced (with per-node retry
+//! queues, since the tile port may be momentarily out of credits).
+
+use std::collections::VecDeque;
+
+use ocin_core::ids::{Cycle, NodeId};
+use ocin_core::interface::DeliveredPacket;
+use ocin_core::network::{Network, PacketSpec};
+use ocin_core::{Error, NetworkConfig};
+use ocin_services::Message;
+
+/// A per-tile protocol agent.
+pub trait Client: std::any::Any {
+    /// Called once per cycle; emit messages through `ctx`.
+    fn on_cycle(&mut self, now: Cycle, ctx: &mut ClientCtx);
+
+    /// Called for each packet delivered to this tile.
+    fn on_packet(&mut self, packet: &DeliveredPacket, now: Cycle, ctx: &mut ClientCtx);
+
+    /// Upcast for downcasting concrete clients back out of the harness.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Outbox handed to clients.
+#[derive(Debug, Default)]
+pub struct ClientCtx {
+    outbox: Vec<Message>,
+}
+
+impl ClientCtx {
+    /// Queues a message for injection from this tile.
+    pub fn send(&mut self, msg: Message) {
+        self.outbox.push(msg);
+    }
+}
+
+/// A network plus per-tile service clients.
+pub struct ServiceSim {
+    net: Network,
+    clients: Vec<Option<Box<dyn Client>>>,
+    pending: Vec<VecDeque<PacketSpec>>,
+}
+
+impl ServiceSim {
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn new(cfg: NetworkConfig) -> Result<ServiceSim, Error> {
+        let net = Network::new(cfg)?;
+        let n = net.topology().num_nodes();
+        Ok(ServiceSim {
+            net,
+            clients: (0..n).map(|_| None).collect(),
+            pending: vec![VecDeque::new(); n],
+        })
+    }
+
+    /// Installs a client on `node`, replacing any previous one.
+    pub fn set_client(&mut self, node: NodeId, client: Box<dyn Client>) {
+        self.clients[node.index()] = Some(client);
+    }
+
+    /// Access to the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access (fault injection, direct injection, ...).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Borrows a client for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client is installed at `node`.
+    pub fn client(&self, node: NodeId) -> &dyn Client {
+        self.clients[node.index()]
+            .as_deref()
+            .expect("no client installed")
+    }
+
+    /// Runs one cycle: deliver → act → inject → step.
+    pub fn step(&mut self) {
+        let now = self.net.cycle();
+        let n = self.clients.len();
+        for node in 0..n {
+            let delivered = self.net.drain_delivered(NodeId::new(node as u16));
+            let Some(mut client) = self.clients[node].take() else {
+                continue;
+            };
+            let mut ctx = ClientCtx::default();
+            for pkt in &delivered {
+                client.on_packet(pkt, now, &mut ctx);
+            }
+            client.on_cycle(now, &mut ctx);
+            for msg in ctx.outbox {
+                self.pending[node].push_back(
+                    PacketSpec::new(NodeId::new(node as u16), msg.dst)
+                        .payload_bits(msg.payload_bits)
+                        .class(msg.class)
+                        .data(msg.payloads),
+                );
+            }
+            self.clients[node] = Some(client);
+        }
+        for node in 0..n {
+            while let Some(spec) = self.pending[node].front() {
+                match self.net.inject(spec.clone()) {
+                    Ok(_) => {
+                        self.pending[node].pop_front();
+                    }
+                    Err(Error::InjectionBackpressure { .. }) => break,
+                    Err(e) => panic!("client produced an unroutable message: {e}"),
+                }
+            }
+        }
+        self.net.step();
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Removes the client at `node` for direct inspection (reinstall with
+    /// [`ServiceSim::set_client`]).
+    pub fn take_client(&mut self, node: NodeId) -> Option<Box<dyn Client>> {
+        self.clients[node.index()].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_services::{MemoryClient, MemoryOp, MemoryServer};
+
+    /// A processor issuing one write then one read to remote memory.
+    struct Cpu {
+        mem: MemoryClient,
+        issued: bool,
+        read_issued: bool,
+        pub value_read: Option<u64>,
+    }
+
+    impl Client for Cpu {
+        fn on_cycle(&mut self, now: Cycle, ctx: &mut ClientCtx) {
+            if !self.issued {
+                self.issued = true;
+                let (m, _) = self.mem.issue(
+                    MemoryOp::Write {
+                        addr: 4,
+                        value: 0xCAFE,
+                    },
+                    now,
+                );
+                ctx.send(m);
+            }
+        }
+
+        fn on_packet(&mut self, pkt: &DeliveredPacket, now: Cycle, ctx: &mut ClientCtx) {
+            if let Some(reply) = self.mem.on_packet(pkt, now) {
+                if reply.data.is_none() && !self.read_issued {
+                    self.read_issued = true;
+                    let (m, _) = self.mem.issue(MemoryOp::Read { addr: 4 }, now);
+                    ctx.send(m);
+                } else if let Some(v) = reply.data {
+                    self.value_read = Some(v);
+                }
+            }
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A memory tile.
+    struct Mem {
+        server: MemoryServer,
+    }
+
+    impl Client for Mem {
+        fn on_cycle(&mut self, now: Cycle, ctx: &mut ClientCtx) {
+            for m in self.server.poll(now) {
+                ctx.send(m);
+            }
+        }
+
+        fn on_packet(&mut self, pkt: &DeliveredPacket, now: Cycle, _ctx: &mut ClientCtx) {
+            self.server.on_packet(pkt, now);
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn memory_write_read_over_the_network() {
+        let mut sim = ServiceSim::new(NetworkConfig::paper_baseline()).unwrap();
+        sim.set_client(
+            0.into(),
+            Box::new(Cpu {
+                mem: MemoryClient::new(10.into()),
+                issued: false,
+                read_issued: false,
+                value_read: None,
+            }),
+        );
+        sim.set_client(
+            10.into(),
+            Box::new(Mem {
+                server: MemoryServer::new(6),
+            }),
+        );
+        sim.run(300);
+        let cpu = sim.take_client(0.into()).unwrap();
+        let cpu = cpu.as_any().downcast_ref::<Cpu>().unwrap();
+        assert_eq!(cpu.value_read, Some(0xCAFE));
+        let stats = sim.network().stats();
+        assert!(
+            stats.packets_delivered >= 4,
+            "delivered {}",
+            stats.packets_delivered
+        );
+    }
+}

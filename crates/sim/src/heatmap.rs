@@ -1,0 +1,139 @@
+//! ASCII link-utilization heatmaps.
+//!
+//! Renders a `k × k` chip with per-direction link utilizations so
+//! congestion patterns (the hot wrap links of a tornado, the center bias
+//! of a mesh) are visible at a glance in experiment output.
+
+use ocin_core::ids::Direction;
+use ocin_core::network::{LinkLoad, Network};
+
+/// Maps a utilization in [0, 1] to a density glyph.
+fn glyph(u: f64) -> char {
+    match u {
+        u if u < 0.02 => '.',
+        u if u < 0.15 => '-',
+        u if u < 0.35 => '=',
+        u if u < 0.60 => '*',
+        u if u < 0.85 => '#',
+        _ => '@',
+    }
+}
+
+/// Renders the per-link utilizations of `net` as a text grid.
+///
+/// Each tile shows its eastbound (`>`), westbound (`<`), northbound
+/// (`^`), and southbound (`v`) output-link glyphs. Legend:
+/// `. <2%  - <15%  = <35%  * <60%  # <85%  @ >=85%`.
+pub fn render_link_heatmap(net: &Network) -> String {
+    let k = net.topology().radix();
+    let loads = net.link_loads();
+    let lookup = |node: usize, dir: Direction| -> Option<f64> {
+        loads
+            .iter()
+            .find(|l| l.node.index() == node && l.dir == dir)
+            .map(|l| l.utilization)
+    };
+    let cell = |node: usize, dir: Direction| -> char {
+        lookup(node, dir).map_or(' ', glyph)
+    };
+    let mut out = String::new();
+    for y in (0..k).rev() {
+        // Northbound row.
+        out.push_str("   ");
+        for x in 0..k {
+            let n = y * k + x;
+            out.push_str(&format!("  ^{}   ", cell(n, Direction::North)));
+        }
+        out.push('\n');
+        // Tile row with east/west.
+        out.push_str("   ");
+        for x in 0..k {
+            let n = y * k + x;
+            out.push_str(&format!(
+                "{}[{:>2}]{} ",
+                cell(n, Direction::West),
+                n,
+                cell(n, Direction::East)
+            ));
+        }
+        out.push('\n');
+        // Southbound row.
+        out.push_str("   ");
+        for x in 0..k {
+            let n = y * k + x;
+            out.push_str(&format!("  v{}   ", cell(n, Direction::South)));
+        }
+        out.push('\n');
+    }
+    out.push_str("   legend: . <2%  - <15%  = <35%  * <60%  # <85%  @ >=85%\n");
+    out
+}
+
+/// Summarizes the hottest links (top `n`) as text lines.
+pub fn hottest_links(net: &Network, n: usize) -> Vec<String> {
+    let mut loads: Vec<LinkLoad> = net.link_loads();
+    loads.sort_by(|a, b| b.utilization.total_cmp(&a.utilization));
+    loads
+        .iter()
+        .take(n)
+        .map(|l| format!("{}:{} {:.1}%", l.node, l.dir, 100.0 * l.utilization))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::{Network, NetworkConfig, PacketSpec};
+
+    fn loaded_network() -> Network {
+        let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        for _ in 0..50 {
+            let _ = net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64));
+            net.run(3);
+        }
+        net.drain(500);
+        net
+    }
+
+    #[test]
+    fn glyphs_are_monotone() {
+        let order = ['.', '-', '=', '*', '#', '@'];
+        let mut last = 0;
+        for u in [0.0, 0.1, 0.2, 0.5, 0.7, 0.9] {
+            let g = glyph(u);
+            let pos = order.iter().position(|&c| c == g).unwrap();
+            assert!(pos >= last);
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn heatmap_covers_every_tile() {
+        let net = loaded_network();
+        let map = render_link_heatmap(&net);
+        for n in 0..16 {
+            assert!(map.contains(&format!("[{n:>2}]")), "missing tile {n}\n{map}");
+        }
+        assert!(map.contains("legend"));
+        // The 0->1 route is hot enough to register something besides '.'.
+        assert!(map.chars().any(|c| "-=*#@".contains(c)), "{map}");
+    }
+
+    #[test]
+    fn hottest_links_are_sorted() {
+        let net = loaded_network();
+        let hot = hottest_links(&net, 5);
+        assert_eq!(hot.len(), 5);
+        let pct = |s: &String| -> f64 {
+            s.rsplit(' ')
+                .next()
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        for w in hot.windows(2) {
+            assert!(pct(&w[0]) >= pct(&w[1]));
+        }
+    }
+}

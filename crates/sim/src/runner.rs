@@ -1,0 +1,427 @@
+//! The workload-driven simulation runner: warmup, measurement, drain.
+
+use std::collections::{HashMap, VecDeque};
+
+
+use ocin_core::ids::{FlowId, NodeId};
+use ocin_core::network::{EnergyCounters, Network, PacketSpec};
+use ocin_core::reservation::StaticFlowSpec;
+use ocin_core::{Error, NetworkConfig};
+use ocin_traffic::{MatrixGenerator, TrafficMatrix, Workload, WorkloadGenerator};
+
+use crate::stats::{LatencyReport, Samples};
+
+/// Simulation phases, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cycles before measurement starts (fills pipelines).
+    pub warmup_cycles: u64,
+    /// Cycles during which packets are tagged for measurement.
+    pub measure_cycles: u64,
+    /// Maximum extra cycles to let tagged packets drain.
+    pub drain_cycles: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A short run for tests and examples.
+    pub fn quick() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            drain_cycles: 2_000,
+            seed: 1,
+        }
+    }
+
+    /// A standard experiment run.
+    pub fn standard() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 10_000,
+            drain_cycles: 20_000,
+            seed: 1,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::standard()
+    }
+}
+
+/// What one simulation run measured.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total cycles simulated (including warmup and drain).
+    pub cycles: u64,
+    /// Measurement-window length, cycles.
+    pub window: u64,
+    /// Offered load, flits/node/cycle (0 if no workload).
+    pub offered_flit_rate: f64,
+    /// Delivered flits/node/cycle for measurement-window packets.
+    pub accepted_flit_rate: f64,
+    /// Network latency (injection to tail delivery) of measured packets.
+    pub network_latency: LatencyReport,
+    /// Total latency (offer to tail delivery) of measured packets.
+    pub total_latency: LatencyReport,
+    /// Latency by service class priority (0 bulk, 1 priority, 2 reserved).
+    pub class_latency: HashMap<u8, LatencyReport>,
+    /// Per-flow latency spread (jitter) for pre-scheduled flows.
+    pub flow_jitter: HashMap<FlowId, f64>,
+    /// Per-flow latency report.
+    pub flow_latency: HashMap<FlowId, LatencyReport>,
+    /// Packets delivered (measured window).
+    pub packets_delivered: u64,
+    /// Packets injected (measured window).
+    pub packets_injected: u64,
+    /// Packets dropped network-wide over the whole run.
+    pub packets_dropped: u64,
+    /// Deflections network-wide over the whole run.
+    pub deflections: u64,
+    /// Energy counters accumulated during the measurement window.
+    pub energy: EnergyCounters,
+    /// Mean link utilization over the run.
+    pub avg_link_utilization: f64,
+    /// Peak link utilization over the run.
+    pub max_link_utilization: f64,
+    /// Packets left unfinished when the drain budget expired.
+    pub unfinished_packets: u64,
+}
+
+/// A warmup/measure/drain simulation of one network configuration.
+pub struct Simulation {
+    net: Network,
+    cfg: SimConfig,
+    generator: Option<WorkloadGenerator>,
+    matrix: Option<MatrixGenerator>,
+    offered_rate: f64,
+    /// Per-node source queues holding offered packets the tile port has
+    /// not yet accepted (unbounded, so offered load is preserved even
+    /// past saturation).
+    pending: Vec<VecDeque<PacketSpec>>,
+    flows: Vec<(FlowId, StaticFlowSpec)>,
+    reservation_period: u64,
+}
+
+impl Simulation {
+    /// Builds the network and harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ocin_core::Error`] from network construction.
+    pub fn new(net_cfg: NetworkConfig, cfg: SimConfig) -> Result<Simulation, Error> {
+        let reservation_period = net_cfg.reservation_period;
+        let net = Network::new(net_cfg)?;
+        let n = net.topology().num_nodes();
+        let flows = net
+            .reservation_table()
+            .map(|t| {
+                t.flows()
+                    .iter()
+                    .map(|f| (f.id, f.spec))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        Ok(Simulation {
+            net,
+            cfg,
+            generator: None,
+            matrix: None,
+            offered_rate: 0.0,
+            pending: vec![VecDeque::new(); n],
+            flows,
+            reservation_period,
+        })
+    }
+
+    /// Attaches a dynamic workload.
+    pub fn with_workload(mut self, workload: Workload) -> Simulation {
+        self.offered_rate = workload.offered_flit_rate();
+        self.generator = Some(workload.generator(self.cfg.seed));
+        self
+    }
+
+    /// Attaches a per-pair traffic matrix (may be combined with a
+    /// pattern workload; offered rates add).
+    pub fn with_traffic_matrix(mut self, matrix: TrafficMatrix) -> Simulation {
+        self.offered_rate += matrix.mean_load();
+        self.matrix = Some(matrix.generator(self.cfg.seed ^ 0x5EED));
+        self
+    }
+
+    /// Read access to the network (e.g. for fault injection before
+    /// running).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Runs warmup, measurement, and drain; returns the report.
+    pub fn run(&mut self) -> SimReport {
+        let warm_end = self.cfg.warmup_cycles;
+        let meas_end = warm_end + self.cfg.measure_cycles;
+        let hard_end = meas_end + self.cfg.drain_cycles;
+
+        let mut lat_net = Samples::new();
+        let mut lat_total = Samples::new();
+        let mut class_samples: HashMap<u8, Samples> = HashMap::new();
+        let mut flow_samples: HashMap<FlowId, Samples> = HashMap::new();
+        let mut delivered_flits = 0u64;
+        let mut delivered_packets = 0u64;
+        let mut injected_packets = 0u64;
+        let mut energy_start = EnergyCounters::default();
+        let mut energy_end = EnergyCounters::default();
+        let mut measured_outstanding: u64 = 0;
+
+        let n = self.net.topology().num_nodes();
+        loop {
+            let now = self.net.cycle();
+            if now == warm_end {
+                energy_start = self.net.stats().energy;
+            }
+            if now == meas_end {
+                energy_end = self.net.stats().energy;
+            }
+            if now >= hard_end {
+                break;
+            }
+
+            // Offer static-flow packets at their phases.
+            if now < meas_end {
+                for (id, spec) in &self.flows {
+                    if now % self.reservation_period == spec.phase {
+                        let ps = PacketSpec::new(spec.src, spec.dst)
+                            .payload_bits(spec.payload_bits.max(1))
+                            .flow(*id);
+                        self.pending[spec.src.index()].push_back(ps);
+                    }
+                }
+                // Offer dynamic packets.
+                if let Some(generation) = self.generator.as_mut() {
+                    for node in 0..n {
+                        if let Some(req) = generation.next_request(now, NodeId::new(node as u16)) {
+                            self.pending[node].push_back(
+                                PacketSpec::new(NodeId::new(node as u16), req.dst)
+                                    .payload_bits(req.payload_bits)
+                                    .class(req.class),
+                            );
+                        }
+                    }
+                }
+                if let Some(matrix) = self.matrix.as_mut() {
+                    for node in 0..n {
+                        for req in matrix.requests_for(NodeId::new(node as u16)) {
+                            self.pending[node].push_back(
+                                PacketSpec::new(NodeId::new(node as u16), req.dst)
+                                    .payload_bits(req.payload_bits)
+                                    .class(req.class),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Drain source queues into the tile ports.
+            let in_window = now >= warm_end && now < meas_end;
+            for node in 0..n {
+                while let Some(spec) = self.pending[node].front() {
+                    match self.net.inject(spec.clone()) {
+                        Ok(_) => {
+                            self.pending[node].pop_front();
+                            if in_window {
+                                injected_packets += 1;
+                                measured_outstanding += 1;
+                            }
+                        }
+                        Err(Error::InjectionBackpressure { .. }) => break,
+                        Err(e) => panic!("workload produced an unroutable packet: {e}"),
+                    }
+                }
+            }
+
+            self.net.step();
+
+            // Collect deliveries.
+            for node in 0..n {
+                for pkt in self.net.drain_delivered(NodeId::new(node as u16)) {
+                    let measured = pkt.created_at >= warm_end && pkt.created_at < meas_end;
+                    if !measured {
+                        continue;
+                    }
+                    measured_outstanding = measured_outstanding.saturating_sub(1);
+                    delivered_packets += 1;
+                    delivered_flits += pkt.num_flits as u64;
+                    lat_net.push(pkt.network_latency() as f64);
+                    lat_total.push(pkt.total_latency() as f64);
+                    class_samples
+                        .entry(pkt.class.priority())
+                        .or_default()
+                        .push(pkt.network_latency() as f64);
+                    if let Some(f) = pkt.flow {
+                        flow_samples
+                            .entry(f)
+                            .or_default()
+                            .push(pkt.network_latency() as f64);
+                    }
+                }
+            }
+
+            let now = self.net.cycle();
+            if now >= hard_end || (now >= meas_end && measured_outstanding == 0) {
+                if energy_end == EnergyCounters::default() {
+                    energy_end = self.net.stats().energy;
+                }
+                break;
+            }
+        }
+
+        let stats = self.net.stats();
+        let loads = self.net.link_loads();
+        let avg_u = if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().map(|l| l.utilization).sum::<f64>() / loads.len() as f64
+        };
+        let max_u = loads.iter().map(|l| l.utilization).fold(0.0, f64::max);
+
+        SimReport {
+            cycles: self.net.cycle(),
+            window: self.cfg.measure_cycles,
+            offered_flit_rate: self.offered_rate,
+            accepted_flit_rate: delivered_flits as f64
+                / (n as f64 * self.cfg.measure_cycles as f64),
+            network_latency: lat_net.report(),
+            total_latency: lat_total.report(),
+            class_latency: class_samples
+                .iter()
+                .map(|(k, v)| (*k, v.report()))
+                .collect(),
+            flow_jitter: flow_samples.iter().map(|(k, v)| (*k, v.spread())).collect(),
+            flow_latency: flow_samples
+                .iter()
+                .map(|(k, v)| (*k, v.report()))
+                .collect(),
+            packets_delivered: delivered_packets,
+            packets_injected: injected_packets,
+            packets_dropped: stats.packets_dropped,
+            deflections: stats.deflections,
+            energy: EnergyCounters {
+                flit_hops: energy_end.flit_hops - energy_start.flit_hops,
+                hop_bits: energy_end.hop_bits - energy_start.hop_bits,
+                link_flits: energy_end.link_flits - energy_start.link_flits,
+                link_bit_pitches: energy_end.link_bit_pitches - energy_start.link_bit_pitches,
+            },
+            avg_link_utilization: avg_u,
+            max_link_utilization: max_u,
+            unfinished_packets: measured_outstanding,
+        }
+    }
+
+    /// Measured energy events per delivered packet: `(hop_bits,
+    /// link_bit_pitches)`. Convert to joules with
+    /// `ocin_phys::NetworkEnergyModel::total_energy_pj`.
+    pub fn energy_per_packet(report: &SimReport) -> (f64, f64) {
+        let delivered = report.packets_delivered.max(1) as f64;
+        (
+            report.energy.hop_bits as f64 / delivered,
+            report.energy.link_bit_pitches / delivered,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::TopologySpec;
+    use ocin_traffic::{InjectionProcess, TrafficPattern};
+
+    fn quick_sim(rate: f64) -> SimReport {
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: rate });
+        Simulation::new(NetworkConfig::paper_baseline(), SimConfig::quick())
+            .unwrap()
+            .with_workload(wl)
+            .run()
+    }
+
+    #[test]
+    fn light_load_accepts_all_offered_traffic() {
+        let r = quick_sim(0.05);
+        assert!(r.packets_delivered > 0);
+        assert!(
+            (r.accepted_flit_rate - 0.05).abs() < 0.015,
+            "accepted {} vs offered 0.05",
+            r.accepted_flit_rate
+        );
+        assert_eq!(r.unfinished_packets, 0);
+        assert!(r.network_latency.mean >= 5.0);
+    }
+
+    #[test]
+    fn heavy_load_saturates_below_offered() {
+        let light = quick_sim(0.05);
+        let heavy = quick_sim(0.95);
+        assert!(heavy.accepted_flit_rate < 0.95);
+        assert!(heavy.network_latency.mean > light.network_latency.mean);
+    }
+
+    #[test]
+    fn mesh_saturates_before_torus() {
+        // The torus's doubled bisection bandwidth binds at k = 8 under
+        // uniform traffic: the mesh saturates near 0.5 flits/node/cycle
+        // while the torus keeps accepting.
+        let run = |spec| {
+            let wl = Workload::new(64, 8, TrafficPattern::Uniform)
+                .injection(InjectionProcess::Bernoulli { flit_rate: 0.7 });
+            Simulation::new(
+                NetworkConfig::paper_baseline().with_topology(spec),
+                SimConfig::quick(),
+            )
+            .unwrap()
+            .with_workload(wl)
+            .run()
+        };
+        let torus = run(TopologySpec::FoldedTorus { k: 8 });
+        let mesh = run(TopologySpec::Mesh { k: 8 });
+        assert!(
+            torus.accepted_flit_rate > 1.15 * mesh.accepted_flit_rate,
+            "torus {} vs mesh {}",
+            torus.accepted_flit_rate,
+            mesh.accepted_flit_rate
+        );
+    }
+
+    #[test]
+    fn reserved_flow_has_low_jitter() {
+        let cfg = NetworkConfig::paper_baseline()
+            .with_static_flow(StaticFlowSpec::new(0.into(), 5.into(), 0, 256))
+            .with_reservation_period(8);
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: 0.3 });
+        let r = Simulation::new(cfg, SimConfig::quick())
+            .unwrap()
+            .with_workload(wl)
+            .run();
+        let jitter = r.flow_jitter.get(&FlowId(0)).copied().unwrap_or(99.0);
+        assert!(jitter <= 1.0, "reserved flow jitter {jitter}");
+        let fl = r.flow_latency[&FlowId(0)];
+        assert!(fl.count > 0);
+    }
+
+    #[test]
+    fn report_energy_window_is_positive() {
+        let r = quick_sim(0.1);
+        assert!(r.energy.flit_hops > 0);
+        assert!(r.energy.link_bit_pitches > 0.0);
+        assert!(r.avg_link_utilization > 0.0);
+        assert!(r.max_link_utilization <= 1.0);
+    }
+}

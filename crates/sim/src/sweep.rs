@@ -1,0 +1,120 @@
+//! Offered-load sweeps: latency–throughput curves and saturation search.
+
+use ocin_core::NetworkConfig;
+use ocin_traffic::{InjectionProcess, Workload};
+
+use crate::runner::{SimConfig, SimReport, Simulation};
+
+/// One point on a latency–load curve.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Offered load, flits/node/cycle.
+    pub offered: f64,
+    /// Accepted throughput, flits/node/cycle.
+    pub accepted: f64,
+    /// Mean network latency, cycles.
+    pub mean_latency: f64,
+    /// 99th-percentile network latency, cycles.
+    pub p99_latency: f64,
+    /// The full report.
+    pub report: SimReport,
+}
+
+/// Sweeps offered load over a network/workload template.
+pub struct LoadSweep {
+    net_cfg: NetworkConfig,
+    sim_cfg: SimConfig,
+    workload_template: Workload,
+}
+
+impl LoadSweep {
+    /// Creates a sweep; the workload's injection process is replaced at
+    /// each point by `Bernoulli { flit_rate: load }`.
+    pub fn new(net_cfg: NetworkConfig, sim_cfg: SimConfig, workload: Workload) -> LoadSweep {
+        LoadSweep {
+            net_cfg,
+            sim_cfg,
+            workload_template: workload,
+        }
+    }
+
+    /// Runs one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is invalid (programmer error
+    /// in the sweep setup).
+    pub fn point(&self, load: f64) -> LoadPoint {
+        let wl = self
+            .workload_template
+            .clone()
+            .injection(InjectionProcess::Bernoulli { flit_rate: load });
+        let report = Simulation::new(self.net_cfg.clone(), self.sim_cfg)
+            .expect("sweep configuration must be valid")
+            .with_workload(wl)
+            .run();
+        LoadPoint {
+            offered: load,
+            accepted: report.accepted_flit_rate,
+            mean_latency: report.network_latency.mean,
+            p99_latency: report.network_latency.p99,
+            report,
+        }
+    }
+
+    /// Runs every load in `loads`.
+    pub fn run(&self, loads: &[f64]) -> Vec<LoadPoint> {
+        loads.iter().map(|&l| self.point(l)).collect()
+    }
+
+    /// Binary-searches the saturation throughput: the highest offered
+    /// load (within `tol`) whose accepted throughput stays within 95% of
+    /// offered.
+    pub fn saturation_load(&self, tol: f64) -> f64 {
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while hi - lo > tol {
+            let mid = (lo + hi) / 2.0;
+            let p = self.point(mid);
+            if p.accepted >= 0.95 * p.offered {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::TopologySpec;
+    use ocin_traffic::TrafficPattern;
+
+    fn sweep(spec: TopologySpec) -> LoadSweep {
+        LoadSweep::new(
+            NetworkConfig::paper_baseline().with_topology(spec),
+            SimConfig::quick(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
+        )
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let s = sweep(TopologySpec::FoldedTorus { k: 4 });
+        let pts = s.run(&[0.05, 0.4]);
+        assert!(pts[1].mean_latency > pts[0].mean_latency);
+        assert!(pts[0].accepted <= pts[0].offered + 0.02);
+    }
+
+    #[test]
+    fn torus_saturation_beats_mesh() {
+        let torus = sweep(TopologySpec::FoldedTorus { k: 4 }).saturation_load(0.1);
+        let mesh = sweep(TopologySpec::Mesh { k: 4 }).saturation_load(0.1);
+        assert!(
+            torus > mesh * 0.99,
+            "torus saturation {torus} vs mesh {mesh}"
+        );
+    }
+}

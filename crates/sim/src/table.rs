@@ -1,0 +1,157 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table with CSV export.
+///
+/// ```
+/// use ocin_sim::Table;
+/// let mut t = Table::new(&["topology", "latency"]);
+/// t.row(&["mesh4".into(), "12.5".into()]);
+/// t.row(&["ftorus4".into(), "10.1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ftorus4"));
+/// assert!(t.to_csv().starts_with("topology,latency"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_of(&mut self, cells: &[&dyn fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders comma-separated values (no quoting; keep cells simple).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float with `prec` decimals (helper for table cells).
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_separator() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.row(&["xxxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("------"));
+        // Columns align: "long_header" starts at the same offset in all lines.
+        let off = lines[0].find("long_header").unwrap();
+        assert_eq!(lines[2].len().min(off), off.min(lines[2].len()));
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(&["only"]).row(&["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn row_of_displayables() {
+        let mut t = Table::new(&["n", "f"]);
+        t.row_of(&[&42, &1.5]);
+        assert!(t.render().contains("42"));
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,213 @@
+//! Floorplans: which module occupies which tile.
+
+use ocin_core::ids::NodeId;
+
+/// A network client occupying one tile (the paper's Figure 1 mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// A general-purpose processor.
+    Cpu,
+    /// A digital signal processor.
+    Dsp,
+    /// A memory subsystem / DRAM controller.
+    Memory,
+    /// A camera or other video input.
+    VideoIn,
+    /// An MPEG (or similar) encoder.
+    VideoEncoder,
+    /// A peripheral controller (UART/USB/disk/...).
+    Peripheral,
+    /// A gateway to a network on another chip.
+    Gateway,
+    /// Custom logic.
+    Custom,
+    /// Unoccupied silicon ("empty silicon is not vulnerable to
+    /// defects", §4.3).
+    Empty,
+}
+
+impl Module {
+    /// Short label for floorplan rendering.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Module::Cpu => "CPU",
+            Module::Dsp => "DSP",
+            Module::Memory => "MEM",
+            Module::VideoIn => "CAM",
+            Module::VideoEncoder => "ENC",
+            Module::Peripheral => "PER",
+            Module::Gateway => "GW",
+            Module::Custom => "LOG",
+            Module::Empty => "---",
+        }
+    }
+}
+
+/// An assignment of modules to the tiles of a `k × k` chip.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    k: usize,
+    tiles: Vec<Module>,
+}
+
+impl Floorplan {
+    /// An empty `k × k` floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Floorplan {
+        assert!(k >= 2, "floorplans need at least a 2x2 chip");
+        Floorplan {
+            k,
+            tiles: vec![Module::Empty; k * k],
+        }
+    }
+
+    /// The paper's motivating consumer-device mix on the 4×4 baseline:
+    /// a camera streaming to an MPEG encoder, two CPUs and a DSP over
+    /// two memory controllers, peripherals, and an off-chip gateway.
+    pub fn set_top_box() -> Floorplan {
+        let mut p = Floorplan::new(4);
+        // Row 3 (top):    CAM  ENC  MEM  GW
+        // Row 2:          CPU  LOG  MEM  PER
+        // Row 1:          CPU  DSP  LOG  PER
+        // Row 0 (bottom): ---  LOG  ---  ---
+        let layout = [
+            (12, Module::VideoIn),
+            (13, Module::VideoEncoder),
+            (14, Module::Memory),
+            (15, Module::Gateway),
+            (8, Module::Cpu),
+            (9, Module::Custom),
+            (10, Module::Memory),
+            (11, Module::Peripheral),
+            (4, Module::Cpu),
+            (5, Module::Dsp),
+            (6, Module::Custom),
+            (7, Module::Peripheral),
+            (1, Module::Custom),
+        ];
+        for (tile, m) in layout {
+            p.place(NodeId::new(tile), m);
+        }
+        p
+    }
+
+    /// A compute-oriented mix: twelve CPUs around four memory
+    /// controllers (processor–memory interconnect, the workload the
+    /// paper says inter-chip networks were built for).
+    pub fn multicore_compute() -> Floorplan {
+        let mut p = Floorplan::new(4);
+        for t in 0..16u16 {
+            p.place(NodeId::new(t), Module::Cpu);
+        }
+        // Memories on the inner tiles minimize average distance.
+        for t in [5u16, 6, 9, 10] {
+            p.place(NodeId::new(t), Module::Memory);
+        }
+        p
+    }
+
+    /// Chip radix.
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Places `module` on `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of range.
+    pub fn place(&mut self, tile: NodeId, module: Module) -> &mut Self {
+        self.tiles[tile.index()] = module;
+        self
+    }
+
+    /// The module on `tile`.
+    pub fn module_at(&self, tile: NodeId) -> Module {
+        self.tiles[tile.index()]
+    }
+
+    /// All tiles holding `module`.
+    pub fn tiles_of(&self, module: Module) -> Vec<NodeId> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| **m == module)
+            .map(|(i, _)| NodeId::new(i as u16))
+            .collect()
+    }
+
+    /// Fraction of tiles occupied by real logic.
+    pub fn occupancy(&self) -> f64 {
+        let used = self.tiles.iter().filter(|m| **m != Module::Empty).count();
+        used as f64 / self.tiles.len() as f64
+    }
+
+    /// Renders the floorplan as a text grid (row `k−1` on top, like the
+    /// paper's Figure 1).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for y in (0..self.k).rev() {
+            out.push_str("  ");
+            for x in 0..self.k {
+                let m = self.tiles[y * self.k + x];
+                out.push_str(&format!("[{:^5}]", m.label()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_top_box_has_the_paper_mix() {
+        let p = Floorplan::set_top_box();
+        assert_eq!(p.tiles_of(Module::Cpu).len(), 2);
+        assert_eq!(p.tiles_of(Module::Memory).len(), 2);
+        assert_eq!(p.tiles_of(Module::VideoIn).len(), 1);
+        assert_eq!(p.tiles_of(Module::VideoEncoder).len(), 1);
+        assert_eq!(p.tiles_of(Module::Gateway).len(), 1);
+        assert!(p.occupancy() > 0.7);
+    }
+
+    #[test]
+    fn multicore_mix() {
+        let p = Floorplan::multicore_compute();
+        assert_eq!(p.tiles_of(Module::Cpu).len(), 12);
+        assert_eq!(p.tiles_of(Module::Memory).len(), 4);
+        assert_eq!(p.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn placement_and_query() {
+        let mut p = Floorplan::new(2);
+        p.place(NodeId::new(3), Module::Dsp);
+        assert_eq!(p.module_at(NodeId::new(3)), Module::Dsp);
+        assert_eq!(p.module_at(NodeId::new(0)), Module::Empty);
+        assert_eq!(p.occupancy(), 0.25);
+    }
+
+    #[test]
+    fn render_shows_every_tile() {
+        let p = Floorplan::set_top_box();
+        let r = p.render();
+        assert_eq!(r.lines().count(), 4);
+        assert!(r.contains("CAM"));
+        assert!(r.contains("ENC"));
+        // The camera row renders above the CPU rows.
+        let cam_line = r.lines().position(|l| l.contains("CAM")).unwrap();
+        let dsp_line = r.lines().position(|l| l.contains("DSP")).unwrap();
+        assert!(cam_line < dsp_line);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ocin-soc — systems-on-chip over the on-chip network
+//!
+//! The paper's opening move (Figure 1) is a chip "composed of a number
+//! of network clients: processors, DSPs, memories, peripheral
+//! controllers, gateways to networks on other chips, and custom logic",
+//! each dropped into a tile and wired to nothing but the network. This
+//! crate turns that picture into runnable scenarios: a [`Floorplan`]
+//! places [`Module`]s on tiles, and [`SocWorkload`] derives the traffic
+//! each module mix generates — pre-scheduled video flows, CPU/DSP memory
+//! request–reply rates, peripheral control traffic — ready to feed
+//! `ocin_sim::Simulation`.
+//!
+//! ```
+//! use ocin_soc::{Floorplan, SocWorkload};
+//!
+//! # fn main() -> Result<(), ocin_core::Error> {
+//! let plan = Floorplan::set_top_box();
+//! let workload = SocWorkload::for_floorplan(&plan);
+//! let (cfg, matrix) = workload.build(1.0)?;
+//! let report = ocin_sim::Simulation::new(cfg, ocin_sim::SimConfig::quick())?
+//!     .with_traffic_matrix(matrix)
+//!     .run();
+//! assert!(report.packets_delivered > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod floorplan;
+pub mod workload;
+
+pub use floorplan::{Floorplan, Module};
+pub use workload::SocWorkload;

@@ -1,0 +1,192 @@
+//! Deriving network traffic from a module mix.
+//!
+//! Each module pair implies traffic (paper §2.6): the camera→encoder
+//! video flow is "entirely static and requires high-bandwidth with
+//! predictable delay", processor memory references "cannot be predicted
+//! before run-time", and encoders stream frames out to memory. The
+//! derived workload is a set of pre-scheduled flows plus a dynamic
+//! [`TrafficMatrix`].
+
+use ocin_core::reservation::StaticFlowSpec;
+use ocin_core::{Error, NetworkConfig, TopologySpec};
+use ocin_traffic::TrafficMatrix;
+
+use crate::floorplan::{Floorplan, Module};
+
+/// Per-module-pair traffic intensities (flits/cycle), scaled at build
+/// time.
+#[derive(Debug, Clone)]
+pub struct SocWorkload {
+    floorplan: Floorplan,
+    /// CPU → each memory, request rate.
+    pub cpu_memory_rate: f64,
+    /// DSP → each memory, request rate.
+    pub dsp_memory_rate: f64,
+    /// Memory → requester reply rate (per request stream).
+    pub reply_rate: f64,
+    /// Encoder → memory frame write rate.
+    pub encoder_memory_rate: f64,
+    /// Peripheral ↔ CPU control rate.
+    pub peripheral_rate: f64,
+    /// Gateway ↔ everything rate (off-chip DMA).
+    pub gateway_rate: f64,
+    /// Video slot period (cycles per camera sample); one reserved flit
+    /// per period.
+    pub video_period: u64,
+}
+
+impl SocWorkload {
+    /// Default intensities for a floorplan.
+    pub fn for_floorplan(plan: &Floorplan) -> SocWorkload {
+        SocWorkload {
+            floorplan: plan.clone(),
+            cpu_memory_rate: 0.08,
+            dsp_memory_rate: 0.06,
+            reply_rate: 0.08,
+            encoder_memory_rate: 0.05,
+            peripheral_rate: 0.01,
+            gateway_rate: 0.02,
+            video_period: 8,
+        }
+    }
+
+    /// The floorplan this workload was derived from.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Builds the network configuration (with the video flows admitted
+    /// into the reservation registers) and the dynamic traffic matrix,
+    /// with every dynamic rate multiplied by `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservation-admission failures (e.g. too many video
+    /// flows for the slot table) via network construction later; this
+    /// method itself fails only if the floorplan has no valid topology.
+    pub fn build(&self, scale: f64) -> Result<(NetworkConfig, TrafficMatrix), Error> {
+        let plan = &self.floorplan;
+        let k = plan.radix();
+        let mut cfg = NetworkConfig::paper_baseline()
+            .with_topology(TopologySpec::FoldedTorus { k })
+            .with_reservation_period(self.video_period);
+
+        // Pre-scheduled video: each camera streams to the nearest
+        // encoder, staggered phases.
+        let encoders = plan.tiles_of(Module::VideoEncoder);
+        for (i, cam) in plan.tiles_of(Module::VideoIn).iter().enumerate() {
+            if let Some(enc) = encoders.get(i % encoders.len().max(1)) {
+                cfg = cfg.with_static_flow(StaticFlowSpec::new(
+                    *cam,
+                    *enc,
+                    (i as u64 * 3) % self.video_period,
+                    256,
+                ));
+            }
+        }
+
+        // Dynamic traffic matrix.
+        let mut m = TrafficMatrix::new(plan.tiles());
+        let memories = plan.tiles_of(Module::Memory);
+        let cpus = plan.tiles_of(Module::Cpu);
+        let mut add = |src: ocin_core::NodeId, dst: ocin_core::NodeId, rate: f64| {
+            if src != dst && rate > 0.0 {
+                let existing = m.rate(src, dst);
+                m.set(src, dst, existing + rate * scale);
+            }
+        };
+        if !memories.is_empty() {
+            let share = 1.0 / memories.len() as f64;
+            for cpu in &cpus {
+                for mem in &memories {
+                    add(*cpu, *mem, self.cpu_memory_rate * share);
+                    add(*mem, *cpu, self.reply_rate * share);
+                }
+            }
+            for dsp in plan.tiles_of(Module::Dsp) {
+                for mem in &memories {
+                    add(dsp, *mem, self.dsp_memory_rate * share);
+                    add(*mem, dsp, self.reply_rate * share);
+                }
+            }
+            for enc in plan.tiles_of(Module::VideoEncoder) {
+                for mem in &memories {
+                    add(enc, *mem, self.encoder_memory_rate * share);
+                }
+            }
+            for gw in plan.tiles_of(Module::Gateway) {
+                for mem in &memories {
+                    add(gw, *mem, self.gateway_rate * share);
+                    add(*mem, gw, self.gateway_rate * share);
+                }
+            }
+        }
+        if !cpus.is_empty() {
+            let share = 1.0 / cpus.len() as f64;
+            for per in plan.tiles_of(Module::Peripheral) {
+                for cpu in &cpus {
+                    add(per, *cpu, self.peripheral_rate * share);
+                    add(*cpu, per, self.peripheral_rate * share);
+                }
+            }
+        }
+        Ok((cfg, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocin_core::ids::NodeId;
+    use ocin_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn set_top_box_traffic_is_admissible() {
+        let wl = SocWorkload::for_floorplan(&Floorplan::set_top_box());
+        let (_, m) = wl.build(1.0).unwrap();
+        assert!(m.admissible(1.0).is_ok());
+        assert!(m.mean_load() > 0.01);
+    }
+
+    #[test]
+    fn video_flows_are_reserved() {
+        let wl = SocWorkload::for_floorplan(&Floorplan::set_top_box());
+        let (cfg, _) = wl.build(1.0).unwrap();
+        assert_eq!(cfg.static_flows.len(), 1);
+        assert_eq!(cfg.static_flows[0].src, NodeId::new(12));
+        assert_eq!(cfg.static_flows[0].dst, NodeId::new(13));
+    }
+
+    #[test]
+    fn scale_multiplies_dynamic_rates_only() {
+        let wl = SocWorkload::for_floorplan(&Floorplan::set_top_box());
+        let (_, base) = wl.build(1.0).unwrap();
+        let (cfg2, double) = wl.build(2.0).unwrap();
+        assert!((double.mean_load() - 2.0 * base.mean_load()).abs() < 1e-9);
+        assert_eq!(cfg2.static_flows.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_simulation_runs() {
+        let wl = SocWorkload::for_floorplan(&Floorplan::set_top_box());
+        let (cfg, m) = wl.build(1.0).unwrap();
+        let report = Simulation::new(cfg, SimConfig::quick())
+            .unwrap()
+            .with_traffic_matrix(m)
+            .run();
+        assert!(report.packets_delivered > 100);
+        // The video flow is jitter-free among the dynamic traffic.
+        let jitter = report.flow_jitter.values().copied().fold(0.0, f64::max);
+        assert!(jitter <= 1.0, "video jitter {jitter}");
+        assert_eq!(report.unfinished_packets, 0);
+    }
+
+    #[test]
+    fn compute_mix_builds_too() {
+        let wl = SocWorkload::for_floorplan(&Floorplan::multicore_compute());
+        let (cfg, m) = wl.build(1.0).unwrap();
+        assert!(cfg.static_flows.is_empty(), "no video in the compute mix");
+        assert!(m.mean_load() > 0.05);
+        assert!(m.admissible(1.0).is_ok());
+    }
+}

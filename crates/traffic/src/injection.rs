@@ -1,0 +1,187 @@
+//! Injection processes: when each node offers a packet.
+
+use rand::Rng;
+
+/// A per-node stochastic process deciding, cycle by cycle, whether a new
+/// packet is offered to the network.
+///
+/// Rates are expressed in *flits per node per cycle* so that offered load
+/// is comparable across packet-length distributions; the workload
+/// generator divides by the mean packet length to get the packet rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionProcess {
+    /// Memoryless: a packet is offered each cycle with probability
+    /// `flit_rate / mean_packet_flits`.
+    Bernoulli {
+        /// Offered load in flits/node/cycle (0.0–1.0).
+        flit_rate: f64,
+    },
+    /// Deterministic: one packet every `period` cycles, at `phase`.
+    Periodic {
+        /// Cycles between packets.
+        period: u64,
+        /// Offset within the period.
+        phase: u64,
+    },
+    /// A two-state Markov-modulated process: bursts of `flit_rate_on`
+    /// separated by silences. Produces the same average load as
+    /// Bernoulli at `flit_rate_on × p_on` but with bursty arrivals.
+    BurstyOnOff {
+        /// Offered load while in the ON state, flits/node/cycle.
+        flit_rate_on: f64,
+        /// Probability of switching ON → OFF each cycle.
+        p_on_to_off: f64,
+        /// Probability of switching OFF → ON each cycle.
+        p_off_to_on: f64,
+    },
+}
+
+impl InjectionProcess {
+    /// Long-run average offered load in flits/node/cycle.
+    pub fn mean_flit_rate(&self, mean_packet_flits: f64) -> f64 {
+        match *self {
+            InjectionProcess::Bernoulli { flit_rate } => flit_rate,
+            InjectionProcess::Periodic { period, .. } => mean_packet_flits / period as f64,
+            InjectionProcess::BurstyOnOff {
+                flit_rate_on,
+                p_on_to_off,
+                p_off_to_on,
+            } => {
+                let p_on = p_off_to_on / (p_off_to_on + p_on_to_off);
+                flit_rate_on * p_on
+            }
+        }
+    }
+
+    /// Creates the per-node state machine.
+    pub fn state(&self) -> InjectionState {
+        InjectionState { on: true }
+    }
+
+    /// Whether a packet is offered at `cycle`.
+    pub fn offers<R: Rng>(
+        &self,
+        state: &mut InjectionState,
+        cycle: u64,
+        mean_packet_flits: f64,
+        rng: &mut R,
+    ) -> bool {
+        match *self {
+            InjectionProcess::Bernoulli { flit_rate } => {
+                let p = (flit_rate / mean_packet_flits).clamp(0.0, 1.0);
+                p > 0.0 && rng.gen_bool(p)
+            }
+            InjectionProcess::Periodic { period, phase } => cycle % period == phase % period,
+            InjectionProcess::BurstyOnOff {
+                flit_rate_on,
+                p_on_to_off,
+                p_off_to_on,
+            } => {
+                if state.on {
+                    if rng.gen_bool(p_on_to_off.clamp(0.0, 1.0)) {
+                        state.on = false;
+                    }
+                } else if rng.gen_bool(p_off_to_on.clamp(0.0, 1.0)) {
+                    state.on = true;
+                }
+                let p = (flit_rate_on / mean_packet_flits).clamp(0.0, 1.0);
+                state.on && p > 0.0 && rng.gen_bool(p)
+            }
+        }
+    }
+}
+
+/// Per-node injection state (burst phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionState {
+    on: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_hits_target_rate() {
+        let p = InjectionProcess::Bernoulli { flit_rate: 0.25 };
+        let mut st = p.state();
+        let mut rng = StdRng::seed_from_u64(1);
+        let offers = (0..100_000)
+            .filter(|&c| p.offers(&mut st, c, 1.0, &mut rng))
+            .count();
+        let rate = offers as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_accounts_for_packet_length() {
+        // 4-flit packets at 0.2 flits/cycle => 0.05 packets/cycle.
+        let p = InjectionProcess::Bernoulli { flit_rate: 0.2 };
+        let mut st = p.state();
+        let mut rng = StdRng::seed_from_u64(2);
+        let offers = (0..100_000)
+            .filter(|&c| p.offers(&mut st, c, 4.0, &mut rng))
+            .count();
+        let rate = offers as f64 / 100_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let p = InjectionProcess::Periodic { period: 10, phase: 3 };
+        let mut st = p.state();
+        let mut rng = StdRng::seed_from_u64(3);
+        let offers: Vec<u64> = (0..50)
+            .filter(|&c| p.offers(&mut st, c, 1.0, &mut rng))
+            .collect();
+        assert_eq!(offers, vec![3, 13, 23, 33, 43]);
+        assert!((p.mean_flit_rate(1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_matches_mean_rate() {
+        let p = InjectionProcess::BurstyOnOff {
+            flit_rate_on: 0.5,
+            p_on_to_off: 0.02,
+            p_off_to_on: 0.02,
+        };
+        let mut st = p.state();
+        let mut rng = StdRng::seed_from_u64(4);
+        let offers = (0..200_000)
+            .filter(|&c| p.offers(&mut st, c, 1.0, &mut rng))
+            .count();
+        let rate = offers as f64 / 200_000.0;
+        let expected = p.mean_flit_rate(1.0);
+        assert!((rate - expected).abs() < 0.03, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn bursty_is_actually_bursty() {
+        // Inter-arrival variance should exceed Bernoulli's at equal mean.
+        let bursty = InjectionProcess::BurstyOnOff {
+            flit_rate_on: 0.8,
+            p_on_to_off: 0.05,
+            p_off_to_on: 0.0125,
+        };
+        let bern = InjectionProcess::Bernoulli {
+            flit_rate: bursty.mean_flit_rate(1.0),
+        };
+        let gaps = |p: &InjectionProcess, seed: u64| -> f64 {
+            let mut st = p.state();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut last = 0u64;
+            let mut gaps = Vec::new();
+            for c in 0..100_000u64 {
+                if p.offers(&mut st, c, 1.0, &mut rng) {
+                    gaps.push((c - last) as f64);
+                    last = c;
+                }
+            }
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64
+        };
+        assert!(gaps(&bursty, 5) > 2.0 * gaps(&bern, 5));
+    }
+}

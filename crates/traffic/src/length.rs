@@ -1,0 +1,113 @@
+//! Packet-length distributions.
+
+use ocin_core::flit::FLIT_DATA_BITS;
+use rand::Rng;
+
+/// Distribution of packet lengths, in flits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDist {
+    /// Every packet has the same length.
+    Fixed {
+        /// Flits per packet.
+        flits: usize,
+    },
+    /// Short control packets mixed with long data packets — the paper's
+    /// "long, low priority packet" vs "short, high-priority packet" mix.
+    Bimodal {
+        /// Length of the short packets, flits.
+        short_flits: usize,
+        /// Length of the long packets, flits.
+        long_flits: usize,
+        /// Fraction of packets that are long.
+        long_fraction: f64,
+    },
+    /// Uniform over an inclusive range.
+    UniformRange {
+        /// Minimum flits.
+        min_flits: usize,
+        /// Maximum flits.
+        max_flits: usize,
+    },
+}
+
+impl LengthDist {
+    /// Mean packet length in flits.
+    pub fn mean_flits(&self) -> f64 {
+        match *self {
+            LengthDist::Fixed { flits } => flits as f64,
+            LengthDist::Bimodal {
+                short_flits,
+                long_flits,
+                long_fraction,
+            } => short_flits as f64 * (1.0 - long_fraction) + long_flits as f64 * long_fraction,
+            LengthDist::UniformRange { min_flits, max_flits } => {
+                (min_flits + max_flits) as f64 / 2.0
+            }
+        }
+    }
+
+    /// Samples a packet length and converts it to payload bits.
+    pub fn sample_bits<R: Rng>(&self, rng: &mut R) -> usize {
+        let flits = match *self {
+            LengthDist::Fixed { flits } => flits,
+            LengthDist::Bimodal {
+                short_flits,
+                long_flits,
+                long_fraction,
+            } => {
+                if rng.gen_bool(long_fraction.clamp(0.0, 1.0)) {
+                    long_flits
+                } else {
+                    short_flits
+                }
+            }
+            LengthDist::UniformRange { min_flits, max_flits } => {
+                rng.gen_range(min_flits..=max_flits)
+            }
+        };
+        flits.max(1) * FLIT_DATA_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LengthDist::Fixed { flits: 3 };
+        assert_eq!(d.sample_bits(&mut rng), 3 * 256);
+        assert!((d.mean_flits() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LengthDist::Bimodal {
+            short_flits: 1,
+            long_flits: 8,
+            long_fraction: 0.25,
+        };
+        let longs = (0..10_000)
+            .filter(|_| d.sample_bits(&mut rng) == 8 * 256)
+            .count();
+        assert!((2_000..3_000).contains(&longs), "longs {longs}");
+        assert!((d.mean_flits() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LengthDist::UniformRange {
+            min_flits: 2,
+            max_flits: 5,
+        };
+        for _ in 0..1000 {
+            let bits = d.sample_bits(&mut rng);
+            assert!((2 * 256..=5 * 256).contains(&bits));
+        }
+    }
+}

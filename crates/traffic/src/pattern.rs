@@ -1,0 +1,291 @@
+//! Spatial traffic patterns.
+//!
+//! The standard suite used to evaluate interconnection networks: benign
+//! (uniform, nearest-neighbor), permutation (transpose, bit-complement,
+//! bit-reverse, shuffle), adversarial (tornado), and hotspot patterns.
+
+use ocin_core::ids::{Coord, NodeId};
+use rand::Rng;
+
+/// A spatial traffic pattern: maps a source to a destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform random: every other node equally likely.
+    Uniform,
+    /// Matrix transpose: `(x, y) → (y, x)`. Stresses the network
+    /// diagonal.
+    Transpose,
+    /// Bit complement: node index → bitwise complement.
+    BitComplement,
+    /// Bit reverse: node index → bit-reversed index.
+    BitReverse,
+    /// Perfect shuffle: rotate the index bits left by one.
+    Shuffle,
+    /// Tornado: halfway around each ring — worst case for minimal
+    /// routing on a torus.
+    Tornado,
+    /// Nearest neighbor: one hop east (benign, exercises locality).
+    Neighbor,
+    /// A fraction of traffic targets one hot node; the rest is uniform.
+    Hotspot {
+        /// The hot node.
+        target: NodeId,
+        /// Fraction of packets sent to it (0.0–1.0).
+        fraction: f64,
+    },
+    /// An explicit permutation table (`dst[i]` for source `i`).
+    Permutation(Vec<NodeId>),
+}
+
+impl TrafficPattern {
+    /// The destination for a packet from `src` on a `k`-radix,
+    /// `num_nodes`-node network.
+    ///
+    /// Returns `None` when the pattern maps `src` to itself (such packets
+    /// never enter the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range, or if `Permutation` tables do not
+    /// cover `num_nodes`.
+    pub fn destination<R: Rng>(
+        &self,
+        src: NodeId,
+        k: usize,
+        num_nodes: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        assert!(src.index() < num_nodes, "source out of range");
+        let n = num_nodes;
+        let s = src.index();
+        let dst = match self {
+            TrafficPattern::Uniform => {
+                if n < 2 {
+                    return None;
+                }
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= s {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Transpose => {
+                let c = coord_of(s, k);
+                node_of(Coord::new(c.y, c.x), k)
+            }
+            TrafficPattern::BitComplement => !s & (n - 1),
+            TrafficPattern::BitReverse => {
+                let bits = n.trailing_zeros();
+                let mut v = 0usize;
+                for b in 0..bits {
+                    if s >> b & 1 == 1 {
+                        v |= 1 << (bits - 1 - b);
+                    }
+                }
+                v
+            }
+            TrafficPattern::Shuffle => {
+                let bits = n.trailing_zeros() as usize;
+                (s << 1 | s >> (bits - 1)) & (n - 1)
+            }
+            TrafficPattern::Tornado => {
+                let c = coord_of(s, k);
+                let shift = (k.div_ceil(2) - 1) as u8;
+                node_of(
+                    Coord::new(
+                        (c.x + shift) % k as u8,
+                        (c.y + shift) % k as u8,
+                    ),
+                    k,
+                )
+            }
+            TrafficPattern::Neighbor => {
+                let c = coord_of(s, k);
+                node_of(Coord::new((c.x + 1) % k as u8, c.y), k)
+            }
+            TrafficPattern::Hotspot { target, fraction } => {
+                if rng.gen_bool((*fraction).clamp(0.0, 1.0)) && target.index() != s {
+                    target.index()
+                } else {
+                    if n < 2 {
+                        return None;
+                    }
+                    let mut d = rng.gen_range(0..n - 1);
+                    if d >= s {
+                        d += 1;
+                    }
+                    d
+                }
+            }
+            TrafficPattern::Permutation(table) => {
+                assert_eq!(table.len(), n, "permutation table must cover all nodes");
+                table[s].index()
+            }
+        };
+        if dst == s {
+            None
+        } else {
+            Some(NodeId::new(dst as u16))
+        }
+    }
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bitcomp",
+            TrafficPattern::BitReverse => "bitrev",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Neighbor => "neighbor",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Permutation(_) => "permutation",
+        }
+    }
+}
+
+fn coord_of(index: usize, k: usize) -> Coord {
+    Coord::new((index % k) as u8, (index / k) as u8)
+}
+
+fn node_of(c: Coord, k: usize) -> usize {
+    c.y as usize * k + c.x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_never_self_and_covers_nodes() {
+        let mut r = rng();
+        let mut seen = [false; 16];
+        for _ in 0..500 {
+            let d = TrafficPattern::Uniform
+                .destination(NodeId::new(5), 4, 16, &mut r)
+                .unwrap();
+            assert_ne!(d.index(), 5);
+            seen[d.index()] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut r = rng();
+        for s in 0..16u16 {
+            let p = TrafficPattern::Transpose;
+            match p.destination(NodeId::new(s), 4, 16, &mut r) {
+                Some(d) => {
+                    let back = p.destination(d, 4, 16, &mut r).unwrap();
+                    assert_eq!(back, NodeId::new(s));
+                }
+                None => {
+                    // Diagonal nodes map to themselves.
+                    let c = coord_of(s as usize, 4);
+                    assert_eq!(c.x, c.y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_pairs_up() {
+        let mut r = rng();
+        let d = TrafficPattern::BitComplement
+            .destination(NodeId::new(0), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), 15);
+        let d = TrafficPattern::BitComplement
+            .destination(NodeId::new(5), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), 10);
+    }
+
+    #[test]
+    fn bit_reverse_known_values() {
+        let mut r = rng();
+        // 16 nodes = 4 bits; 0b0001 -> 0b1000.
+        let d = TrafficPattern::BitReverse
+            .destination(NodeId::new(1), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), 8);
+        // 0b0010 -> 0b0100.
+        assert_eq!(
+            TrafficPattern::BitReverse
+                .destination(NodeId::new(2), 4, 16, &mut r)
+                .unwrap()
+                .index(),
+            4
+        );
+        // Palindromic indices (0b0110, 0b1001) self-map and are skipped.
+        for pal in [6u16, 9] {
+            assert!(TrafficPattern::BitReverse
+                .destination(NodeId::new(pal), 4, 16, &mut r)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_bits() {
+        let mut r = rng();
+        // 0b0011 -> 0b0110.
+        let d = TrafficPattern::Shuffle
+            .destination(NodeId::new(3), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), 6);
+    }
+
+    #[test]
+    fn tornado_shifts_half_way() {
+        let mut r = rng();
+        // k=4: shift = 1 in each dimension.
+        let d = TrafficPattern::Tornado
+            .destination(NodeId::new(0), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), node_of(Coord::new(1, 1), 4));
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let mut r = rng();
+        let d = TrafficPattern::Neighbor
+            .destination(NodeId::new(3), 4, 16, &mut r)
+            .unwrap();
+        assert_eq!(d.index(), 0);
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            target: NodeId::new(7),
+            fraction: 0.5,
+        };
+        let hits = (0..1000)
+            .filter(|_| {
+                p.destination(NodeId::new(0), 4, 16, &mut r)
+                    .is_some_and(|d| d.index() == 7)
+            })
+            .count();
+        assert!((400..700).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn permutation_table() {
+        let mut r = rng();
+        let table: Vec<NodeId> = (0..16u16).rev().map(NodeId::new).collect();
+        let p = TrafficPattern::Permutation(table);
+        assert_eq!(
+            p.destination(NodeId::new(0), 4, 16, &mut r).unwrap(),
+            NodeId::new(15)
+        );
+    }
+}

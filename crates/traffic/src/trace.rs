@@ -1,0 +1,163 @@
+//! Traffic trace record and replay.
+//!
+//! Traces decouple workload generation from simulation: an experiment can
+//! record the exact packet stream one configuration saw and replay it
+//! against another (e.g. the same offered traffic against mesh and torus,
+//! or against different flow-control methods).
+
+use ocin_core::flit::ServiceClass;
+use ocin_core::ids::{Cycle, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Offer cycle.
+    pub cycle: Cycle,
+    /// Source tile index.
+    pub src: u16,
+    /// Destination tile index.
+    pub dst: u16,
+    /// Payload bits.
+    pub payload_bits: usize,
+    /// Service class priority (0 = bulk, 1 = priority, 2 = reserved).
+    pub class: u8,
+}
+
+impl TraceEvent {
+    /// Creates an event.
+    pub fn new(cycle: Cycle, src: NodeId, dst: NodeId, payload_bits: usize, class: ServiceClass) -> Self {
+        TraceEvent {
+            cycle,
+            src: src.into(),
+            dst: dst.into(),
+            payload_bits,
+            class: class.priority(),
+        }
+    }
+
+    /// The service class this event was recorded with.
+    pub fn service_class(&self) -> ServiceClass {
+        match self.class {
+            0 => ServiceClass::Bulk,
+            1 => ServiceClass::Priority,
+            _ => ServiceClass::Reserved,
+        }
+    }
+}
+
+/// An ordered sequence of offered packets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event (events must be recorded in cycle order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event.cycle` precedes the last recorded cycle.
+    pub fn record(&mut self, event: TraceEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(event.cycle >= last.cycle, "trace must be in cycle order");
+        }
+        self.events.push(event);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events offered at exactly `cycle` (for replay drivers).
+    pub fn at_cycle(&self, cycle: Cycle) -> impl Iterator<Item = &TraceEvent> {
+        let start = self.events.partition_point(|e| e.cycle < cycle);
+        self.events[start..]
+            .iter()
+            .take_while(move |e| e.cycle == cycle)
+    }
+
+    /// The last cycle with an event, if any.
+    pub fn last_cycle(&self) -> Option<Cycle> {
+        self.events.last().map(|e| e.cycle)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Trace {
+        let mut t = Trace::new();
+        for e in iter {
+            t.record(e);
+        }
+        t
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.record(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: Cycle, src: u16, dst: u16) -> TraceEvent {
+        TraceEvent::new(cycle, src.into(), dst.into(), 256, ServiceClass::Bulk)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let t: Trace = [ev(0, 0, 1), ev(0, 2, 3), ev(5, 1, 0)].into_iter().collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.at_cycle(0).count(), 2);
+        assert_eq!(t.at_cycle(3).count(), 0);
+        assert_eq!(t.at_cycle(5).count(), 1);
+        assert_eq!(t.last_cycle(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle order")]
+    fn out_of_order_panics() {
+        let mut t = Trace::new();
+        t.record(ev(5, 0, 1));
+        t.record(ev(4, 0, 1));
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for c in [ServiceClass::Bulk, ServiceClass::Priority, ServiceClass::Reserved] {
+            let e = TraceEvent::new(0, 0.into(), 1.into(), 64, c);
+            assert_eq!(e.service_class(), c);
+        }
+    }
+
+    #[test]
+    fn serde_derives_exist() {
+        // Compile-time check that Trace is (De)Serializable for users who
+        // persist traces; behavioural round-trip is covered by the serde
+        // derive contract.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<Trace>();
+        assert_serde::<TraceEvent>();
+    }
+}

@@ -1,0 +1,102 @@
+//! Fault tolerance end to end (paper §2.5): a link has a stuck-at wire
+//! fault and steering is initially off. The end-to-end CRC layer keeps
+//! every corrupt delivery out of the data stream (a permanent fault
+//! corrupts every retry, so the stream stalls rather than corrupts);
+//! once the steering registers are set, the spare wire masks the fault
+//! and the retry layer's backlog drains with nothing lost.
+//!
+//! ```text
+//! cargo run --release --example fault_recovery
+//! ```
+
+use ocin::core::fault::{FaultKind, LinkFault};
+use ocin::core::ids::NodeId;
+use ocin::core::{Network, NetworkConfig, PacketSpec};
+use ocin::services::{ReliableReceiver, ReliableSender, RetryConfig};
+
+fn main() -> Result<(), ocin::core::Error> {
+    let mut net = Network::new(NetworkConfig::paper_baseline())?;
+    let src = NodeId::new(0);
+    let dst = NodeId::new(3);
+
+    let mut tx = ReliableSender::new(
+        dst,
+        0,
+        RetryConfig {
+            timeout: 64,
+            window: 4,
+            max_attempts: 0,
+        },
+    );
+    let mut rx = ReliableReceiver::new(src, 0);
+    for i in 0..40u64 {
+        tx.send(vec![0xBEEF_0000 + i, i]);
+    }
+
+    // Phase 1 (cycles 0-500): a stuck-at fault appears on the first link
+    // of the route but steering is OFF (fuses not yet blown): the CRC
+    // layer must carry the stream by retrying.
+    let dir = net.topology().route_dirs(src, dst)[0];
+    // Wire 70 carries a data bit whose corruption the CRC check catches.
+    net.inject_link_fault(
+        src,
+        dir,
+        LinkFault {
+            wire: 70,
+            kind: FaultKind::StuckAtOne,
+        },
+    )?;
+    net.set_steering(false);
+
+    let mut received = 0usize;
+    let mut steered_at = None;
+    for now in 0..6_000u64 {
+        if now == 500 && steered_at.is_none() {
+            // Phase 2: boot-time steering registers are set; the spare
+            // wire takes over and the fault is fully masked.
+            net.set_steering(true);
+            steered_at = Some((now, tx.retransmissions, rx.crc_failures));
+        }
+        for msg in tx.poll(now) {
+            let _ = net.inject(
+                PacketSpec::new(src, msg.dst)
+                    .payload_bits(msg.payload_bits)
+                    .class(msg.class)
+                    .data(msg.payloads),
+            );
+        }
+        net.step();
+        for pkt in net.drain_delivered(dst) {
+            if let Some(ack) = rx.on_packet(&pkt) {
+                let _ = net.inject(
+                    PacketSpec::new(dst, ack.dst)
+                        .payload_bits(ack.payload_bits)
+                        .class(ack.class)
+                        .data(ack.payloads),
+                );
+            }
+        }
+        for pkt in net.drain_delivered(src) {
+            tx.on_packet(&pkt);
+        }
+        received += rx.drain().len();
+        if received == 40 && tx.pending() == 0 {
+            break;
+        }
+    }
+
+    let (at, retrans_before, crc_before) = steered_at.expect("steering phase reached");
+    println!(
+        "phase 1 (steering off): {crc_before} corrupt arrivals caught by CRC, \
+         {retrans_before} retransmissions — nothing corrupt was accepted"
+    );
+    println!("phase 2 (steering on at cycle {at}): fault masked by the spare wire; backlog drains");
+    println!(
+        "total: {received}/40 datagrams delivered exactly once; {} retransmissions, {} CRC drops",
+        tx.retransmissions, rx.crc_failures
+    );
+    assert_eq!(received, 40);
+    assert!(crc_before > 0, "phase 1 must exercise the CRC check");
+    println!("\nno corrupt data was ever accepted and nothing was lost — §2.5's layered fault tolerance.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The paper's §2.6 motivating scenario: "a flow of video data from a
+//! camera input to an MPEG encoder is entirely static and requires
+//! high-bandwidth with predictable delay. Such static traffic must share
+//! the network with dynamic traffic, such as processor memory references."
+//!
+//! A camera tile streams pre-scheduled frames to an encoder tile over the
+//! reserved virtual channel while four CPU tiles hammer a memory tile
+//! with dynamic requests. The video flow's latency stays constant —
+//! zero jitter — regardless.
+//!
+//! ```text
+//! cargo run --release --example video_pipeline
+//! ```
+
+use ocin::core::ids::FlowId;
+use ocin::core::{NetworkConfig, StaticFlowSpec};
+use ocin::sim::{SimConfig, Simulation};
+use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
+
+fn main() -> Result<(), ocin::core::Error> {
+    const CAMERA: u16 = 0;
+    const ENCODER: u16 = 15;
+
+    // Reserve a slot every 8 cycles on each link of the camera->encoder
+    // route: a 256-bit sample every 8 cycles = 32 bits/cycle of
+    // guaranteed bandwidth.
+    let cfg = NetworkConfig::paper_baseline()
+        .with_reservation_period(8)
+        .with_static_flow(StaticFlowSpec::new(CAMERA.into(), ENCODER.into(), 0, 256));
+
+    // Dynamic background: every tile issues memory-reference-like
+    // single-flit packets to random destinations at 0.35 flits/cycle.
+    let dynamic = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: 0.35 });
+
+    let report = Simulation::new(cfg, SimConfig::standard())?
+        .with_workload(dynamic)
+        .run();
+
+    let video = report.flow_latency[&FlowId(0)];
+    let jitter = report.flow_jitter[&FlowId(0)];
+    println!("video flow (camera t{CAMERA} -> encoder t{ENCODER}), sharing with dynamic load 0.35:");
+    println!(
+        "  frames delivered: {}   latency: {:.1} cycles (min {:.0}, max {:.0})   jitter: {:.0}",
+        video.count, video.mean, video.min, video.max, jitter
+    );
+    let bulk = report.class_latency[&0];
+    println!(
+        "dynamic traffic:   accepted {:.3} flits/node/cycle, mean latency {:.1}, p99 {:.0}",
+        report.accepted_flit_rate, bulk.mean, bulk.p99
+    );
+
+    assert!(jitter <= 1.0, "pre-scheduled video must be jitter-free");
+    println!("\nthe reserved channel kept the video stream jitter-free under load — paper §2.6");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! # ocin — on-chip interconnection networks
+//!
+//! Umbrella crate re-exporting the `ocin` workspace: a reproduction of
+//! Dally & Towles, *"Route Packets, Not Wires: On-Chip Interconnection
+//! Networks"* (DAC 2001).
+
+pub use ocin_core as core;
+pub use ocin_phys as phys;
+pub use ocin_services as services;
+pub use ocin_sim as sim;
+pub use ocin_traffic as traffic;

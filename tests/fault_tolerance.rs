@@ -1,0 +1,135 @@
+//! Fault-tolerance matrix (paper §2.5) over the full network.
+
+use ocin::core::fault::{FaultKind, LinkFault};
+use ocin::core::flit::Payload;
+use ocin::core::{Network, NetworkConfig, PacketSpec};
+
+/// Sends a marked packet across every pair and returns (delivered,
+/// corrupted counts).
+fn census(net: &mut Network) -> (usize, usize) {
+    let n = net.topology().num_nodes() as u16;
+    let mut sent = 0;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                // Alternating pattern exercises both stuck-at polarities.
+                let p = Payload([0xAAAA_AAAA_5555_5555; 4]);
+                net.inject(PacketSpec::new(s.into(), d.into()).data(vec![p]))
+                    .expect("baseline accepts all pairs");
+                sent += 1;
+            }
+        }
+    }
+    assert!(net.drain(50_000));
+    let mut delivered = 0;
+    let mut corrupted = 0;
+    for d in 0..n {
+        for pkt in net.drain_delivered(d.into()) {
+            delivered += 1;
+            if pkt.corrupted || pkt.payloads[0] != Payload([0xAAAA_AAAA_5555_5555; 4]) {
+                corrupted += 1;
+            }
+        }
+    }
+    assert_eq!(delivered, sent);
+    (delivered, corrupted)
+}
+
+fn fault_every_link(net: &mut Network, wires: &[usize]) {
+    for (node, dir) in net.topology().channels() {
+        for (i, &w) in wires.iter().enumerate() {
+            net.inject_link_fault(
+                node,
+                dir,
+                LinkFault {
+                    wire: w,
+                    kind: if i % 2 == 0 {
+                        FaultKind::StuckAtOne
+                    } else {
+                        FaultKind::StuckAtZero
+                    },
+                },
+            )
+            .unwrap();
+        }
+    }
+}
+
+#[test]
+fn healthy_network_delivers_intact() {
+    let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+    let (_, corrupted) = census(&mut net);
+    assert_eq!(corrupted, 0);
+}
+
+#[test]
+fn single_fault_per_link_is_masked_by_steering() {
+    let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+    fault_every_link(&mut net, &[77]);
+    let (_, corrupted) = census(&mut net);
+    assert_eq!(corrupted, 0, "spare + steering must mask one fault/link");
+}
+
+#[test]
+fn without_steering_the_chip_corrupts() {
+    let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+    fault_every_link(&mut net, &[77]);
+    net.set_steering(false);
+    let (delivered, corrupted) = census(&mut net);
+    assert!(corrupted > delivered / 2, "corrupted {corrupted}/{delivered}");
+}
+
+#[test]
+fn two_faults_exceed_one_spare() {
+    let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+    // After the spare absorbs wire 40, logical bit 90 lands on faulty
+    // wire 91; the census pattern has bit 90 set, so the stuck-at-0
+    // shows.
+    fault_every_link(&mut net, &[40, 91]);
+    let (_, corrupted) = census(&mut net);
+    assert!(corrupted > 0, "second fault must spill past the single spare");
+}
+
+#[test]
+fn corruption_is_always_flagged() {
+    // Whenever payload bits differ from what was sent, the corrupted
+    // flag must be set (the fault model never corrupts silently).
+    let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+    fault_every_link(&mut net, &[13]);
+    net.set_steering(false);
+    let n = net.topology().num_nodes() as u16;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                net.inject(
+                    PacketSpec::new(s.into(), d.into()).data(vec![Payload([u64::MAX; 4])]),
+                )
+                .unwrap();
+            }
+        }
+    }
+    assert!(net.drain(50_000));
+    for d in 0..n {
+        for pkt in net.drain_delivered(d.into()) {
+            if pkt.payloads[0] != Payload([u64::MAX; 4]) {
+                assert!(pkt.corrupted, "silent corruption of {:?}", pkt.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_rate_zero_is_clean_and_deterministic() {
+    let run = |rate: f64| {
+        let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        net.set_transient_fault_rate(rate);
+        census(&mut net)
+    };
+    let (_, clean) = run(0.0);
+    assert_eq!(clean, 0);
+    let (_, noisy) = run(0.25);
+    assert!(noisy > 0, "a 25% upset rate must corrupt something");
+    // Determinism: same seed, same corruption count.
+    let (_, noisy2) = run(0.25);
+    assert_eq!(noisy, noisy2);
+}

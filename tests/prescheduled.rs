@@ -1,0 +1,116 @@
+//! Pre-scheduled traffic guarantees (paper §2.6), end to end.
+
+use ocin::core::ids::FlowId;
+use ocin::core::{
+    Error, Network, NetworkConfig, ReservationPolicy, StaticFlowSpec, TopologySpec,
+};
+use ocin::sim::{SimConfig, Simulation};
+use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
+
+fn cfg_with_flows(policy: ReservationPolicy) -> NetworkConfig {
+    NetworkConfig::paper_baseline()
+        .with_reservation_period(8)
+        .with_reservation_policy(policy)
+        .with_static_flow(StaticFlowSpec::new(0.into(), 10.into(), 0, 256))
+        .with_static_flow(StaticFlowSpec::new(5.into(), 6.into(), 3, 128))
+}
+
+#[test]
+fn reserved_flows_are_jitter_free_at_every_load() {
+    for load in [0.0, 0.2, 0.5, 0.8] {
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: load });
+        let report = Simulation::new(cfg_with_flows(ReservationPolicy::WorkConserving), SimConfig::quick())
+            .unwrap()
+            .with_workload(wl)
+            .run();
+        for flow in [FlowId(0), FlowId(1)] {
+            let jitter = report.flow_jitter[&flow];
+            assert!(
+                jitter <= 1.0,
+                "flow {flow} jitter {jitter} at load {load}"
+            );
+            assert!(report.flow_latency[&flow].count > 50);
+        }
+    }
+}
+
+#[test]
+fn reserved_latency_is_load_independent() {
+    let lat_at = |load: f64| {
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: load });
+        Simulation::new(cfg_with_flows(ReservationPolicy::WorkConserving), SimConfig::quick())
+            .unwrap()
+            .with_workload(wl)
+            .run()
+            .flow_latency[&FlowId(0)]
+            .mean
+    };
+    let idle = lat_at(0.0);
+    let busy = lat_at(0.7);
+    assert!(
+        (idle - busy).abs() <= 1.0,
+        "reserved latency moved from {idle} to {busy} under load"
+    );
+}
+
+#[test]
+fn strict_policy_idles_unused_slots() {
+    // With strict reservations the dynamic traffic loses the reserved
+    // cycles even when the flow is idle, so dynamic latency under strict
+    // is at least as high as under work-conserving.
+    let run = |policy| {
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: 0.5 });
+        Simulation::new(cfg_with_flows(policy), SimConfig::quick())
+            .unwrap()
+            .with_workload(wl)
+            .run()
+    };
+    let wc = run(ReservationPolicy::WorkConserving);
+    let strict = run(ReservationPolicy::Strict);
+    assert!(strict.accepted_flit_rate <= wc.accepted_flit_rate + 0.02);
+    // The reserved flow is perfect in both.
+    assert!(strict.flow_jitter[&FlowId(0)] <= 1.0);
+    assert!(wc.flow_jitter[&FlowId(0)] <= 1.0);
+}
+
+#[test]
+fn oversubscription_is_rejected_at_admission() {
+    // Same source, same phase: first link conflicts.
+    let cfg = NetworkConfig::paper_baseline()
+        .with_reservation_period(8)
+        .with_static_flow(StaticFlowSpec::new(0.into(), 2.into(), 0, 64))
+        .with_static_flow(StaticFlowSpec::new(0.into(), 2.into(), 0, 64));
+    match Network::new(cfg) {
+        Err(Error::Reservation(_)) => {}
+        other => panic!("expected reservation conflict, got {other:?}"),
+    }
+}
+
+#[test]
+fn flows_admit_on_mesh_too() {
+    let cfg = NetworkConfig::paper_baseline()
+        .with_topology(TopologySpec::Mesh { k: 4 })
+        .with_reservation_period(8)
+        .with_static_flow(StaticFlowSpec::new(0.into(), 15.into(), 0, 256));
+    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: 0.3 });
+    let report = Simulation::new(cfg, SimConfig::quick())
+        .unwrap()
+        .with_workload(wl)
+        .run();
+    assert!(report.flow_jitter[&FlowId(0)] <= 1.0);
+}
+
+#[test]
+fn reservation_fraction_reported() {
+    let net = Network::new(cfg_with_flows(ReservationPolicy::WorkConserving)).unwrap();
+    let table = net.reservation_table().expect("flows configured");
+    assert_eq!(table.flows().len(), 2);
+    // Total reservations = sum of route lengths.
+    let hops: usize = table.flows().iter().map(|f| f.route.len()).sum();
+    assert_eq!(table.total_reservations(), hops);
+    assert_eq!(table.period(), 8);
+}

@@ -1,0 +1,179 @@
+//! Property-based tests over the core invariants.
+
+use ocin::core::fault::{FaultKind, LinkFault, SteeredLink};
+use ocin::core::flit::{Payload, SizeCode};
+use ocin::core::ids::NodeId;
+use ocin::core::route::SourceRoute;
+use ocin::core::{
+    Error, FoldedTorus2D, Mesh2D, Network, NetworkConfig, PacketSpec, ReservationTable, Ring,
+    StaticFlowSpec, Topology, TopologySpec,
+};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = (Box<dyn Topology>, TopologySpec)> {
+    prop_oneof![
+        (2usize..=8).prop_map(|k| (
+            Box::new(Mesh2D::new(k)) as Box<dyn Topology>,
+            TopologySpec::Mesh { k }
+        )),
+        (2usize..=8).prop_map(|k| (
+            Box::new(FoldedTorus2D::new(k)) as Box<dyn Topology>,
+            TopologySpec::FoldedTorus { k }
+        )),
+        (2usize..=32).prop_map(|k| (
+            Box::new(Ring::new(k)) as Box<dyn Topology>,
+            TopologySpec::Ring { k }
+        )),
+    ]
+}
+
+proptest! {
+    /// Any route between distinct nodes compiles to turns and walks the
+    /// topology back to the destination.
+    #[test]
+    fn routes_compile_and_walk((topo, _) in topologies(), s in 0usize..1024, d in 0usize..1024) {
+        let n = topo.num_nodes();
+        let (src, dst) = (NodeId::new((s % n) as u16), NodeId::new((d % n) as u16));
+        prop_assume!(src != dst);
+        let dirs = topo.route_dirs(src, dst);
+        let route = SourceRoute::compile(&dirs).expect("minimal routes never reverse");
+        // Walking the compiled route reproduces the hop list.
+        prop_assert_eq!(route.walk(), dirs.clone());
+        let mut node = src;
+        for dir in dirs {
+            node = topo.neighbor(node, dir).expect("route uses real channels");
+        }
+        prop_assert_eq!(node, dst);
+    }
+
+    /// Minimal routes never exceed the topology diameter.
+    #[test]
+    fn routes_are_minimal_length((topo, _) in topologies(), s in 0usize..1024, d in 0usize..1024) {
+        let n = topo.num_nodes();
+        let k = topo.radix();
+        let (src, dst) = (NodeId::new((s % n) as u16), NodeId::new((d % n) as u16));
+        let hops = topo.route_dirs(src, dst).len();
+        let diameter = match topo.name() {
+            name if name.starts_with("mesh") => 2 * (k - 1),
+            name if name.starts_with("ftorus") => 2 * (k / 2),
+            _ => k / 2, // ring
+        };
+        prop_assert!(hops <= diameter.max(1), "hops {} > diameter {}", hops, diameter);
+    }
+
+    /// Size codes round-trip for every legal payload width.
+    #[test]
+    fn size_codes_cover_payloads(bits in 1usize..=256) {
+        let code = SizeCode::for_bits(bits).expect("1..=256 always encodes");
+        prop_assert!(code.bits() >= bits);
+        prop_assert!(code.bits() < 2 * bits.next_power_of_two().max(2));
+    }
+
+    /// Steering is the identity as long as faults fit the spare budget.
+    #[test]
+    fn steering_masks_within_budget(
+        wires in proptest::collection::btree_set(0usize..256, 0..=3),
+        word in any::<u64>(),
+    ) {
+        let spares = wires.len();
+        let mut link = SteeredLink::new(256, spares);
+        for &w in &wires {
+            link.inject_fault(LinkFault { wire: w, kind: FaultKind::StuckAtOne });
+        }
+        let data = Payload::from_u64(word);
+        let (out, corrupted) = link.transmit(&data);
+        prop_assert!(!corrupted);
+        prop_assert_eq!(out, data);
+    }
+
+    /// Reservation tables never double-book a (link, slot).
+    #[test]
+    fn reservations_never_conflict(
+        phases in proptest::collection::vec(0u64..16, 1..6),
+        seed in 0u16..100,
+    ) {
+        let topo = FoldedTorus2D::new(4);
+        let flows: Vec<StaticFlowSpec> = phases
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let src = NodeId::new(seed.wrapping_mul(7).wrapping_add(i as u16 * 3) % 16);
+                let dst = NodeId::new(seed.wrapping_mul(11).wrapping_add(i as u16 * 5 + 1) % 16);
+                StaticFlowSpec::new(src, dst, p, 64)
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        if let Ok(table) = ReservationTable::build(&topo, 16, 2, 2, &flows) {
+            // Count reservations two ways; they must agree and each
+            // (link, slot) appears at most once by construction of the
+            // query API.
+            let per_flow: usize = table.flows().iter().map(|f| f.route.len()).sum();
+            prop_assert_eq!(table.total_reservations(), per_flow);
+        }
+        // An admission error is also a valid outcome (conflict).
+    }
+
+    /// Any batch of sub-saturation packets drains completely on the
+    /// baseline network, and payloads arrive intact.
+    #[test]
+    fn packets_always_drain_and_arrive_intact(
+        pairs in proptest::collection::vec((0u16..16, 0u16..16, 1usize..=3), 1..40),
+    ) {
+        let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let mut expected = Vec::new();
+        for (i, &(s, d, flits)) in pairs.iter().enumerate() {
+            if s == d {
+                continue;
+            }
+            let data: Vec<Payload> =
+                (0..flits).map(|f| Payload::from_u64((i * 8 + f) as u64)).collect();
+            match net.inject(
+                PacketSpec::new(s.into(), d.into())
+                    .payload_bits(flits * 256)
+                    .data(data.clone()),
+            ) {
+                Ok(id) => expected.push((id, d, data)),
+                Err(Error::InjectionBackpressure { .. }) => {
+                    // Let the network make space, then continue.
+                    net.step();
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        prop_assert!(net.drain(50_000), "network failed to drain");
+        let mut delivered = 0;
+        for d in 0..16u16 {
+            for pkt in net.drain_delivered(d.into()) {
+                let (_, dst, data) = expected
+                    .iter()
+                    .find(|(id, _, _)| *id == pkt.id)
+                    .expect("only injected packets arrive");
+                prop_assert_eq!(*dst, u16::from(pkt.dst));
+                prop_assert_eq!(&pkt.payloads, data);
+                prop_assert!(!pkt.corrupted);
+                delivered += 1;
+            }
+        }
+        prop_assert_eq!(delivered, expected.len());
+    }
+
+    /// The folded physical placement never stretches a link beyond two
+    /// tile pitches.
+    #[test]
+    fn folded_links_bounded((topo, _) in topologies()) {
+        for (node, dir) in topo.channels() {
+            let len = topo.link_length_pitches(node, dir);
+            prop_assert!((1.0..=2.0).contains(&len));
+        }
+    }
+
+    /// Neighbor relations are symmetric on every topology.
+    #[test]
+    fn neighbors_symmetric((topo, _) in topologies()) {
+        for (node, dir) in topo.channels() {
+            let nb = topo.neighbor(node, dir).expect("listed");
+            prop_assert_eq!(topo.neighbor(nb, dir.opposite()), Some(node));
+        }
+    }
+}
