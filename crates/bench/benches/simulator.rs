@@ -1,5 +1,6 @@
 //! Criterion benches over the simulator's hot paths: network stepping
-//! under each flow-control method and topology, route compilation, the
+//! under each flow-control method and topology, the parallel sweep
+//! engine (serial vs pooled vs cached), route compilation, the
 //! fault-steering datapath, CRC, and reservation lookups.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -8,11 +9,13 @@ use ocin_core::flit::Payload;
 use ocin_core::ids::Direction;
 use ocin_core::route::SourceRoute;
 use ocin_core::{
-    FlowControl, Network, NetworkConfig, PacketSpec, ReservationTable, StaticFlowSpec,
-    Topology, TopologySpec,
+    FlowControl, Network, NetworkConfig, PacketSpec, ReservationTable, StaticFlowSpec, Topology,
+    TopologySpec,
 };
 use ocin_services::crc::crc32_words;
+use ocin_sim::{LoadSweep, SimConfig, SimPool};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+use std::sync::Arc;
 
 /// Steps a loaded network for `cycles`, reinjecting continuously.
 fn run_network(cfg: NetworkConfig, cycles: u64) -> u64 {
@@ -60,6 +63,32 @@ fn bench_step(c: &mut Criterion) {
             b.iter(|| run_network(NetworkConfig::paper_baseline().with_topology(spec), 1_000));
         });
     }
+    g.finish();
+}
+
+fn bench_sweep_engine(c: &mut Criterion) {
+    let loads = [0.05, 0.1, 0.2, 0.3];
+    let sweep = || {
+        LoadSweep::new(
+            NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 4 }),
+            SimConfig::quick(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
+        )
+    };
+    let mut g = c.benchmark_group("sweep_engine_4pt_quick");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("serial", |b| b.iter(|| sweep().run_serial(&loads)));
+    g.bench_function("pool_cold", |b| {
+        // Fresh pool per iteration: measures the parallel path itself.
+        b.iter(|| sweep().with_pool(Arc::new(SimPool::new())).run(&loads))
+    });
+    g.bench_function("pool_cached", |b| {
+        let s = sweep();
+        s.run(&loads); // prime the cache
+        b.iter(|| s.run(&loads))
+    });
     g.finish();
 }
 
@@ -125,5 +154,11 @@ fn bench_components(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_step, bench_routing, bench_components);
+criterion_group!(
+    benches,
+    bench_step,
+    bench_sweep_engine,
+    bench_routing,
+    bench_components
+);
 criterion_main!(benches);

@@ -44,14 +44,23 @@ fn main() {
     ]);
     summary.row(&["strip width (um)".into(), "< 50".into(), f2(strip)]);
     println!("{summary}");
-    check((0.54..=0.64).contains(&total), "total area within 0.59mm^2 +/- 8%");
+    check(
+        (0.54..=0.64).contains(&total),
+        "total area within 0.59mm^2 +/- 8%",
+    );
     check((0.060..=0.070).contains(&frac), "fraction within 6.0-7.0%");
     check(strip < 50.0, "strip narrower than 50um");
 
     // Area vs buffering: the paper's §3.2 motivation for cheaper flow
     // control.
     println!("\nrouter area vs flow-control buffering (flit = {FLIT_TOTAL_BITS} b):\n");
-    let mut sweep = Table::new(&["flow control", "vcs x depth", "buffer bits/edge", "mm^2 total", "% of tile"]);
+    let mut sweep = Table::new(&[
+        "flow control",
+        "vcs x depth",
+        "buffer bits/edge",
+        "mm^2 total",
+        "% of tile",
+    ]);
     for (name, vcs, depth) in [
         ("virtual channel (paper)", 8usize, 4usize),
         ("virtual channel, half buffers", 8, 2),

@@ -4,7 +4,9 @@
 //! dedicated, optimally repeated full-swing wire.
 
 use ocin_bench::{banner, check, f1, f2};
-use ocin_phys::{RepeaterDesign, RepeaterDevice, SerialLinkModel, SignalingScheme, Technology, WireModel};
+use ocin_phys::{
+    RepeaterDesign, RepeaterDevice, SerialLinkModel, SignalingScheme, Technology, WireModel,
+};
 use ocin_sim::Table;
 
 fn main() {

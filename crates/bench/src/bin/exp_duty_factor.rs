@@ -20,7 +20,11 @@ fn main() {
     let duty = DutyFactorModel::paper_baseline();
     let slow = SerialLinkModel::new(&Technology::dac2001_slow());
 
-    let loads: &[f64] = if quick_mode() { &[0.3] } else { &[0.1, 0.3, 0.5, 0.7] };
+    let loads: &[f64] = if quick_mode() {
+        &[0.3]
+    } else {
+        &[0.1, 0.3, 0.5, 0.7]
+    };
     let serial = slow.bits_per_cycle_per_wire(); // 20 at 200 MHz
     let mut t = Table::new(&[
         "offered load",

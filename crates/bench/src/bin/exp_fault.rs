@@ -7,9 +7,9 @@
 
 use ocin_bench::{banner, check};
 use ocin_core::fault::{FaultKind, LinkFault};
+use ocin_core::flit::Payload;
 use ocin_core::ids::NodeId;
 use ocin_core::{Network, NetworkConfig, PacketSpec};
-use ocin_core::flit::Payload;
 use ocin_services::{ReliableReceiver, ReliableSender, RetryConfig};
 use ocin_sim::Table;
 
@@ -171,7 +171,10 @@ fn main() {
         rx.crc_failures,
         tx.retransmissions
     );
-    check(received.len() == 20, "retry recovers every datagram exactly once");
+    check(
+        received.len() == 20,
+        "retry recovers every datagram exactly once",
+    );
     let mut seen: Vec<u64> = received.iter().map(|d| d[1]).collect();
     seen.sort_unstable();
     check(
@@ -191,7 +194,10 @@ fn main() {
         "2-hop latency (cycles)",
     ]);
     let mut rows = Vec::new();
-    for protection in [ocin_core::LinkProtection::None, ocin_core::LinkProtection::Secded] {
+    for protection in [
+        ocin_core::LinkProtection::None,
+        ocin_core::LinkProtection::Secded,
+    ] {
         let cfg = NetworkConfig::paper_baseline().with_link_protection(protection);
         let mut net = Network::new(cfg).expect("valid");
         net.set_transient_fault_rate(0.02);

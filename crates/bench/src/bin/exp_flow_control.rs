@@ -6,11 +6,13 @@
 //! misrouting protocols reduce performance and increase wire loading and
 //! hence power dissipation."
 
+use std::sync::Arc;
+
 use ocin_bench::{banner, check, f1, f2, f3, quick_mode, sim_config};
 use ocin_core::{FlowControl, NetworkConfig};
 use ocin_phys::{RouterAreaModel, Technology};
-use ocin_sim::{Simulation, Table};
-use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+use ocin_sim::{LoadSweep, SimPool, Simulation, Table};
+use ocin_traffic::{TrafficPattern, Workload};
 
 struct Row {
     name: &'static str,
@@ -21,17 +23,18 @@ struct Row {
     buffer_bits: usize,
 }
 
-fn run(fc: FlowControl, load: f64) -> (f64, f64, f64, f64) {
-    let cfg = NetworkConfig::paper_baseline().with_flow_control(fc);
-    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
-        .injection(InjectionProcess::Bernoulli { flit_rate: load });
-    let report = Simulation::new(cfg, sim_config())
-        .expect("valid config")
-        .with_workload(wl)
-        .run();
+fn run(pool: &Arc<SimPool>, cfg: NetworkConfig, load: f64) -> (f64, f64, f64, f64) {
+    let point = LoadSweep::new(
+        cfg,
+        sim_config(),
+        Workload::new(16, 4, TrafficPattern::Uniform),
+    )
+    .with_pool(Arc::clone(pool))
+    .point(load);
+    let report = &point.report;
     let injected = report.packets_injected.max(1) as f64;
     let delivered_frac = report.packets_delivered as f64 / injected;
-    let (_, bit_pitches) = Simulation::energy_per_packet(&report);
+    let (_, bit_pitches) = Simulation::energy_per_packet(report);
     (
         report.accepted_flit_rate,
         delivered_frac,
@@ -47,17 +50,28 @@ fn main() {
         "dropping/misrouting need little buffer but lose performance and load the wires",
     );
     let tech = Technology::dac2001();
-    let loads: &[f64] = if quick_mode() { &[0.2] } else { &[0.1, 0.2, 0.3] };
+    let loads: &[f64] = if quick_mode() {
+        &[0.2]
+    } else {
+        &[0.1, 0.2, 0.3]
+    };
+    let pool = Arc::new(SimPool::new());
 
     for &load in loads {
         println!("\n--- uniform single-flit traffic at {load} flits/node/cycle ---\n");
         let mut rows = Vec::new();
         for (name, fc, vcs, depth) in [
-            ("virtual-channel", FlowControl::VirtualChannel, 8usize, 4usize),
+            (
+                "virtual-channel",
+                FlowControl::VirtualChannel,
+                8usize,
+                4usize,
+            ),
             ("dropping", FlowControl::Dropping, 1, 1),
             ("deflection", FlowControl::Deflection, 1, 1),
         ] {
-            let (accepted, delivered_frac, latency, pitches) = run(fc, load);
+            let cfg = NetworkConfig::paper_baseline().with_flow_control(fc);
+            let (accepted, delivered_frac, latency, pitches) = run(&pool, cfg, load);
             rows.push(Row {
                 name,
                 accepted,
@@ -126,19 +140,20 @@ fn main() {
     let mut by_depth = Vec::new();
     for depth in [1usize, 2, 4, 8] {
         let cfg = NetworkConfig::paper_baseline().with_buf_depth(depth);
-        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
-            .injection(InjectionProcess::Bernoulli { flit_rate: 0.5 });
-        let report = Simulation::new(cfg, sim_config())
-            .expect("valid")
-            .with_workload(wl)
-            .run();
+        let point = LoadSweep::new(
+            cfg,
+            sim_config(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
+        )
+        .with_pool(Arc::clone(&pool))
+        .point(0.5);
         let area = RouterAreaModel::with_buffering(8, depth, 300);
-        by_depth.push((depth, report.accepted_flit_rate, report.network_latency.mean));
+        by_depth.push((depth, point.accepted, point.mean_latency));
         ab.row(&[
             depth.to_string(),
             (8 * depth * 300).to_string(),
-            f3(report.accepted_flit_rate),
-            f1(report.network_latency.mean),
+            f3(point.accepted),
+            f1(point.mean_latency),
             format!("{:.1}%", 100.0 * area.fraction_of_tile(&tech)),
         ]);
     }
@@ -152,7 +167,12 @@ fn main() {
     );
 
     println!("\nrouter area by flow control (from exp_area's model):\n");
-    let mut area = Table::new(&["flow control", "buffer bits/edge", "router mm^2", "% of tile"]);
+    let mut area = Table::new(&[
+        "flow control",
+        "buffer bits/edge",
+        "router mm^2",
+        "% of tile",
+    ]);
     for (name, vcs, depth) in [
         ("virtual-channel", 8usize, 4usize),
         ("dropping", 1, 1),

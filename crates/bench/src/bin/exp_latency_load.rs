@@ -7,17 +7,26 @@
 //! saturation throughput; the crossover binds at k = 8 under uniform
 //! traffic and is extreme under the adversarial tornado pattern.
 
+use std::sync::Arc;
+
 use ocin_bench::{banner, check, f1, f3, quick_mode, sim_config};
 use ocin_core::{NetworkConfig, RoutingAlg, TopologySpec};
-use ocin_sim::{LoadSweep, Table};
+use ocin_sim::{LoadSweep, SimPool, Table};
 use ocin_traffic::{TrafficPattern, Workload};
 
-fn sweep(spec: TopologySpec, nodes: usize, k: usize, pattern: TrafficPattern) -> LoadSweep {
+fn sweep(
+    pool: &Arc<SimPool>,
+    spec: TopologySpec,
+    nodes: usize,
+    k: usize,
+    pattern: TrafficPattern,
+) -> LoadSweep {
     LoadSweep::new(
         NetworkConfig::paper_baseline().with_topology(spec),
         sim_config(),
         Workload::new(nodes, k, pattern),
     )
+    .with_pool(Arc::clone(pool))
 }
 
 fn main() {
@@ -32,6 +41,10 @@ fn main() {
     } else {
         &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
     };
+
+    // One pool for the whole experiment: curve points computed here are
+    // reused by the saturation searches below.
+    let pool = Arc::new(SimPool::new());
 
     for (title, k, pattern) in [
         ("uniform, k = 4", 4usize, TrafficPattern::Uniform),
@@ -48,14 +61,18 @@ fn main() {
             "torus mean lat",
             "torus p99",
         ]);
-        let mesh = sweep(TopologySpec::Mesh { k }, n, k, pattern.clone());
-        let torus = sweep(TopologySpec::FoldedTorus { k }, n, k, pattern.clone());
+        let mesh = sweep(&pool, TopologySpec::Mesh { k }, n, k, pattern.clone());
+        let torus = sweep(
+            &pool,
+            TopologySpec::FoldedTorus { k },
+            n,
+            k,
+            pattern.clone(),
+        );
         let mut last: Option<(f64, f64)> = None;
-        for &load in loads {
-            let pm = mesh.point(load);
-            let pt = torus.point(load);
+        for (pm, pt) in mesh.run(loads).iter().zip(torus.run(loads).iter()) {
             t.row(&[
-                f3(load),
+                f3(pm.offered),
                 f3(pm.accepted),
                 f1(pm.mean_latency),
                 f1(pm.p99_latency),
@@ -90,21 +107,33 @@ fn main() {
             "torus minimal accepted",
             "torus valiant accepted",
         ]);
-        let mesh = sweep(TopologySpec::Mesh { k }, n, k, TrafficPattern::Tornado);
-        let tmin = sweep(TopologySpec::FoldedTorus { k }, n, k, TrafficPattern::Tornado);
+        let mesh = sweep(
+            &pool,
+            TopologySpec::Mesh { k },
+            n,
+            k,
+            TrafficPattern::Tornado,
+        );
+        let tmin = sweep(
+            &pool,
+            TopologySpec::FoldedTorus { k },
+            n,
+            k,
+            TrafficPattern::Tornado,
+        );
         let tval = LoadSweep::new(
             NetworkConfig::paper_baseline()
                 .with_topology(TopologySpec::FoldedTorus { k })
                 .with_routing(RoutingAlg::Valiant),
             sim_config(),
             Workload::new(n, k, TrafficPattern::Tornado),
-        );
+        )
+        .with_pool(Arc::clone(&pool));
         let mut last = (0.0, 0.0, 0.0);
-        for &load in loads {
-            let a = mesh.point(load).accepted;
-            let b = tmin.point(load).accepted;
-            let c = tval.point(load).accepted;
-            t.row(&[f3(load), f3(a), f3(b), f3(c)]);
+        let (pm, pb, pc) = (mesh.run(loads), tmin.run(loads), tval.run(loads));
+        for i in 0..loads.len() {
+            let (a, b, c) = (pm[i].accepted, pb[i].accepted, pc[i].accepted);
+            t.row(&[f3(loads[i]), f3(a), f3(b), f3(c)]);
             last = (a, b, c);
         }
         println!("{t}");
@@ -125,14 +154,23 @@ fn main() {
                 ("mesh", TopologySpec::Mesh { k }),
                 ("ftorus", TopologySpec::FoldedTorus { k }),
             ] {
-                let s = sweep(spec, n, k, TrafficPattern::Uniform).saturation_load(0.05);
+                let s = sweep(&pool, spec, n, k, TrafficPattern::Uniform).saturation_load(0.05);
                 sat.row(&[name.into(), k.to_string(), f3(s)]);
                 results.push((name, k, s));
             }
         }
         println!("{sat}");
-        let mesh8 = results.iter().find(|r| r.0 == "mesh" && r.1 == 8).expect("ran").2;
-        let torus8 = results.iter().find(|r| r.0 == "ftorus" && r.1 == 8).expect("ran").2;
+        println!("(pool: {} distinct points cached)", pool.cached_points());
+        let mesh8 = results
+            .iter()
+            .find(|r| r.0 == "mesh" && r.1 == 8)
+            .expect("ran")
+            .2;
+        let torus8 = results
+            .iter()
+            .find(|r| r.0 == "ftorus" && r.1 == 8)
+            .expect("ran")
+            .2;
         check(
             torus8 > 1.3 * mesh8,
             "k=8 torus saturation well above the mesh (bisection-limited)",

@@ -78,7 +78,11 @@ fn main() {
         "8-bit logical wire carried as single-flit packets; latency competitive with dedicated wires",
     );
 
-    let loads: &[f64] = if quick_mode() { &[0.0, 0.3] } else { &[0.0, 0.1, 0.3, 0.5] };
+    let loads: &[f64] = if quick_mode() {
+        &[0.0, 0.3]
+    } else {
+        &[0.0, 0.1, 0.3, 0.5]
+    };
     let mut t = Table::new(&["background load", "mean update latency", "p99", "max"]);
     let mut zero_load_mean = 0.0;
     for &load in loads {
@@ -89,7 +93,10 @@ fn main() {
         t.row(&[format!("{load}"), f1(mean), f1(p99), f1(max)]);
     }
     println!("\n{t}");
-    check(zero_load_mean <= 12.0, "zero-load wire update completes within a few hops");
+    check(
+        zero_load_mean <= 12.0,
+        "zero-load wire update completes within a few hops",
+    );
 
     // Compare against a dedicated wire in wall-clock terms.
     let tech = Technology::dac2001();

@@ -10,11 +10,13 @@
 //! transfers stop wasting the unused width — at the cost of duplicated
 //! control overhead on every partition.
 
+use std::sync::Arc;
+
 use ocin_bench::{banner, check, f1, f2, f3, sim_config};
 use ocin_core::flit::{FLIT_DATA_BITS, FLIT_OVERHEAD_BITS};
 use ocin_core::NetworkConfig;
-use ocin_sim::{Simulation, Table};
-use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+use ocin_sim::{LoadSweep, SimPool, Table};
+use ocin_traffic::{TrafficPattern, Workload};
 
 /// Wire-bits consumed to deliver `payload` bits on an interface of
 /// `partitions` × `width`-bit networks (each partition carries its own
@@ -114,24 +116,26 @@ fn main() {
     ]);
     let mut widest_latency = 0.0f64;
     let mut narrowest_latency = 0.0f64;
+    let pool = Arc::new(SimPool::new());
     for phits in [1u64, 2, 4, 8] {
         let width = FLIT_DATA_BITS as u64 / phits;
         let cfg = NetworkConfig::paper_baseline().with_channel_phits(phits);
-        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
-            .injection(InjectionProcess::Bernoulli { flit_rate: 0.1 });
-        let report = Simulation::new(cfg, sim_config())
-            .expect("valid")
-            .with_workload(wl)
-            .run();
+        let point = LoadSweep::new(
+            cfg,
+            sim_config(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
+        )
+        .with_pool(Arc::clone(&pool))
+        .point(0.1);
         if phits == 1 {
-            widest_latency = report.network_latency.mean;
+            widest_latency = point.mean_latency;
         }
-        narrowest_latency = report.network_latency.mean;
+        narrowest_latency = point.mean_latency;
         sweep.row(&[
             width.to_string(),
             (2 * 2 * (width + FLIT_OVERHEAD_BITS as u64)).to_string(),
-            f3(report.accepted_flit_rate),
-            f1(report.network_latency.mean),
+            f3(point.accepted),
+            f1(point.mean_latency),
         ]);
     }
     println!("{sweep}");

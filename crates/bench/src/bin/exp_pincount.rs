@@ -34,7 +34,12 @@ fn main() {
 
     // Channel width needed for one 256-bit flit per cycle, per clock.
     println!("\nwires per 256-bit-flit channel at the paper's per-wire rate (4 Gb/s):\n");
-    let mut widths = Table::new(&["router clock", "bits/cycle/wire", "wires needed", "% of one edge"]);
+    let mut widths = Table::new(&[
+        "router clock",
+        "bits/cycle/wire",
+        "wires needed",
+        "% of one edge",
+    ]);
     for (name, t) in [
         ("200 MHz (slow)", Technology::dac2001_slow()),
         ("1 GHz", Technology::dac2001()),

@@ -10,11 +10,13 @@
 //! Reproduced three ways: the paper's closed forms, exact all-pairs
 //! topology enumeration, and flit-level simulation with energy counters.
 
+use std::sync::Arc;
+
 use ocin_bench::{banner, check, f2, f3, sim_config};
 use ocin_core::{NetworkConfig, TopologySpec};
 use ocin_phys::{NetworkEnergyModel, SignalingScheme, Technology, TopologyPowerModel};
-use ocin_sim::{Simulation, Table};
-use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+use ocin_sim::{LoadSweep, SimPool, Simulation, Table};
+use ocin_traffic::{TrafficPattern, Workload};
 
 fn main() {
     banner(
@@ -89,9 +91,18 @@ fn main() {
         ls.wire_to_hop_ratio(),
         ratio_ls
     );
-    check(fs.wire_to_hop_ratio() > 1.0, "wire power dominates hop power (paper's estimate)");
-    check(ratio_fs < 1.15, "torus overhead below 15% at the design point");
-    check(ratio_ls < 1.0, "with low-swing wires the torus wins outright");
+    check(
+        fs.wire_to_hop_ratio() > 1.0,
+        "wire power dominates hop power (paper's estimate)",
+    );
+    check(
+        ratio_fs < 1.15,
+        "torus overhead below 15% at the design point",
+    );
+    check(
+        ratio_ls < 1.0,
+        "with low-swing wires the torus wins outright",
+    );
 
     // Simulated energy per flit at equal accepted load.
     println!("\nflit-level simulation, uniform traffic at 0.2 flits/node/cycle:\n");
@@ -103,17 +114,19 @@ fn main() {
         "pJ/packet low-swing",
     ]);
     let mut measured: Vec<(f64, f64)> = Vec::new();
-    for spec in [TopologySpec::Mesh { k: 4 }, TopologySpec::FoldedTorus { k: 4 }] {
-        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
-            .injection(InjectionProcess::Bernoulli { flit_rate: 0.2 });
-        let report = Simulation::new(
+    let pool = Arc::new(SimPool::new());
+    for spec in [
+        TopologySpec::Mesh { k: 4 },
+        TopologySpec::FoldedTorus { k: 4 },
+    ] {
+        let point = LoadSweep::new(
             NetworkConfig::paper_baseline().with_topology(spec),
             sim_config(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
         )
-        .expect("valid config")
-        .with_workload(wl)
-        .run();
-        let (hop_bits, bit_pitches) = Simulation::energy_per_packet(&report);
+        .with_pool(Arc::clone(&pool))
+        .point(0.2);
+        let (hop_bits, bit_pitches) = Simulation::energy_per_packet(&point.report);
         let pj_fs = fs.total_energy_pj(hop_bits as u64, bit_pitches);
         let pj_ls = ls.total_energy_pj(hop_bits as u64, bit_pitches);
         measured.push((pj_fs, pj_ls));

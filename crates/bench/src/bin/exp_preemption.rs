@@ -61,10 +61,10 @@ fn main() {
     t.row(&["bulk (waits behind the stream)".into(), bulk.to_string()]);
     t.row(&["priority (preempts per §2.1)".into(), pri.to_string()]);
     println!("\n{t}");
-    println!(
-        "speedup from preemption: {}x",
-        f1(bulk as f64 / pri as f64)
+    println!("speedup from preemption: {}x", f1(bulk as f64 / pri as f64));
+    check(
+        pri < bulk / 2,
+        "priority probe at least 2x faster than bulk probe",
     );
-    check(pri < bulk / 2, "priority probe at least 2x faster than bulk probe");
     check(pri <= 16, "priority probe sees near-zero-load latency");
 }

@@ -31,11 +31,7 @@ fn run(policy: ReservationPolicy, load: f64) -> (f64, f64, f64, f64) {
         .run();
     let f0 = report.flow_latency[&FlowId(0)];
     let j0 = report.flow_jitter[&FlowId(0)];
-    let bulk = report
-        .class_latency
-        .get(&0)
-        .map(|r| r.mean)
-        .unwrap_or(0.0);
+    let bulk = report.class_latency.get(&0).map(|r| r.mean).unwrap_or(0.0);
     (f0.mean, j0, bulk, report.accepted_flit_rate)
 }
 

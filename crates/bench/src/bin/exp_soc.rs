@@ -9,8 +9,8 @@
 //! the network runs out.
 
 use ocin_bench::{banner, check, f1, f3, quick_mode, sim_config};
-use ocin_soc::{Floorplan, SocWorkload};
 use ocin_sim::{Simulation, Table};
+use ocin_soc::{Floorplan, SocWorkload};
 
 fn main() {
     banner(
@@ -20,10 +20,17 @@ fn main() {
     );
 
     let plan = Floorplan::set_top_box();
-    println!("\nfloorplan (the paper's Figure 1 client mix):\n\n{}", plan.render());
+    println!(
+        "\nfloorplan (the paper's Figure 1 client mix):\n\n{}",
+        plan.render()
+    );
     let workload = SocWorkload::for_floorplan(&plan);
 
-    let scales: &[f64] = if quick_mode() { &[1.0, 4.0] } else { &[1.0, 2.0, 4.0, 6.0, 8.0] };
+    let scales: &[f64] = if quick_mode() {
+        &[1.0, 4.0]
+    } else {
+        &[1.0, 2.0, 4.0, 6.0, 8.0]
+    };
     let mut t = Table::new(&[
         "dynamic scale",
         "offered (flits/node/cyc)",

@@ -38,7 +38,10 @@ fn main() {
         .map(|lx| t.physical_position(t.node_at(Coord::new(lx, 0))).x)
         .collect();
     println!("row ring visits physical columns: {walk:?}");
-    check(walk == vec![0, 2, 3, 1], "matches the paper's order 0,2,3,1");
+    check(
+        walk == vec![0, 2, 3, 1],
+        "matches the paper's order 0,2,3,1",
+    );
 
     // Link length census.
     let mut table = Table::new(&["link length (pitches)", "mm", "count"]);

@@ -20,11 +20,7 @@ fn main() {
     let cfg = NetworkConfig::paper_baseline();
     let mut inventory = Table::new(&["structure", "quantity", "bits"]);
     let vcs = cfg.vc_plan.num_vcs;
-    inventory.row(&[
-        "input controllers / router".into(),
-        "5".into(),
-        "-".into(),
-    ]);
+    inventory.row(&["input controllers / router".into(), "5".into(), "-".into()]);
     inventory.row(&[
         "virtual channels / input".into(),
         vcs.to_string(),

@@ -63,9 +63,15 @@ fn main() {
     // 4x4 torus (diameter 4 = 5 entries of 2 bits).
     use Direction::*;
     let route = SourceRoute::compile(&[East, East, North, North]).expect("minimal route");
-    println!("example route E,E,N,N encodes as {route:?} ({} entries, {} bits)",
-        route.num_entries(), 2 * route.num_entries());
-    check(route.fits_paper_field(), "diameter route fits the 16-bit field");
+    println!(
+        "example route E,E,N,N encodes as {route:?} ({} entries, {} bits)",
+        route.num_entries(),
+        2 * route.num_entries()
+    );
+    check(
+        route.fits_paper_field(),
+        "diameter route fits the 16-bit field",
+    );
     let too_long = SourceRoute::compile(&[East; 8]).expect("compiles");
     check(
         !too_long.fits_paper_field(),
@@ -75,7 +81,10 @@ fn main() {
     // VC mask semantics.
     let bulk = VcMask::new(0b0000_1111);
     let pri = VcMask::new(0b0011_0000);
-    check(bulk.and(pri).is_empty(), "bulk and priority classes are disjoint VC masks");
+    check(
+        bulk.and(pri).is_empty(),
+        "bulk and priority classes are disjoint VC masks",
+    );
     println!(
         "\nclass-of-service masks: bulk {:#010b}, priority {:#010b}, reserved {:#010b}",
         bulk.bits(),

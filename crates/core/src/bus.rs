@@ -146,8 +146,7 @@ impl SharedBus {
 
     /// Requests waiting across all clients.
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum::<usize>()
-            + usize::from(self.current.is_some())
+        self.queues.iter().map(VecDeque::len).sum::<usize>() + usize::from(self.current.is_some())
     }
 
     /// Advances one cycle: the current transfer moves one beat; when it
@@ -239,9 +238,7 @@ mod tests {
             bus.step();
         }
         // All eight 1-beat transfers complete in 8 cycles, two per client.
-        let total: usize = (0..4u16)
-            .map(|c| bus.drain_delivered(c.into()).len())
-            .sum();
+        let total: usize = (0..4u16).map(|c| bus.drain_delivered(c.into()).len()).sum();
         assert_eq!(total, 8);
     }
 

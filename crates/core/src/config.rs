@@ -127,11 +127,11 @@ impl VcPlan {
     pub const fn paper_baseline() -> VcPlan {
         VcPlan {
             num_vcs: 8,
-            bulk_class0: VcMask::new(0b0000_0011),     // VCs 0,1
-            bulk_class1: VcMask::new(0b0000_1100),     // VCs 2,3
+            bulk_class0: VcMask::new(0b0000_0011), // VCs 0,1
+            bulk_class1: VcMask::new(0b0000_1100), // VCs 2,3
             priority_class0: VcMask::new(0b0001_0000), // VC 4
             priority_class1: VcMask::new(0b0010_0000), // VC 5
-            reserved: VcMask::new(0b1000_0000),        // VC 7
+            reserved: VcMask::new(0b1000_0000),    // VC 7
         }
     }
 
@@ -141,7 +141,12 @@ impl VcPlan {
     ///
     /// On topologies without wraparound the dateline split is unnecessary
     /// and both halves are usable.
-    pub fn mask_for(&self, class: ServiceClass, dateline_class: u8, dateline_aware: bool) -> VcMask {
+    pub fn mask_for(
+        &self,
+        class: ServiceClass,
+        dateline_class: u8,
+        dateline_aware: bool,
+    ) -> VcMask {
         let (c0, c1) = match class {
             ServiceClass::Bulk => (self.bulk_class0, self.bulk_class1),
             ServiceClass::Priority => (self.priority_class0, self.priority_class1),
@@ -439,13 +444,17 @@ impl NetworkConfig {
             return Err(Error::Config("channel_latency must be at least 1".into()));
         }
         if self.inject_queue_flits == 0 {
-            return Err(Error::Config("inject_queue_flits must be at least 1".into()));
+            return Err(Error::Config(
+                "inject_queue_flits must be at least 1".into(),
+            ));
         }
         if self.eject_capacity == 0 {
             return Err(Error::Config("eject_capacity must be at least 1".into()));
         }
         if self.reservation_period == 0 {
-            return Err(Error::Config("reservation_period must be at least 1".into()));
+            return Err(Error::Config(
+                "reservation_period must be at least 1".into(),
+            ));
         }
         if self.flow_control == FlowControl::Dropping && self.buf_depth != 1 {
             return Err(Error::Config(

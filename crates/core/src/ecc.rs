@@ -117,7 +117,10 @@ mod tests {
         let mut rx = p;
         rx.flip_bit(0);
         // Flipping bit 0 contributes 0x100 exactly.
-        assert_eq!(decode(&mut rx, encode(&p)), EccOutcome::Corrected { bit: 0 });
+        assert_eq!(
+            decode(&mut rx, encode(&p)),
+            EccOutcome::Corrected { bit: 0 }
+        );
         assert_eq!(rx, Payload::ZERO);
     }
 

@@ -171,7 +171,9 @@ impl VcMask {
 
     /// Iterates over the allowed VCs in ascending order.
     pub fn iter(self) -> impl Iterator<Item = VcId> {
-        (0..8u8).filter(move |v| self.0 & (1 << v) != 0).map(VcId::new)
+        (0..8u8)
+            .filter(move |v| self.0 & (1 << v) != 0)
+            .map(VcId::new)
     }
 }
 
@@ -382,7 +384,10 @@ mod tests {
         assert!(m.allows(VcId::new(1)));
         assert!(m.allows(VcId::new(2)));
         assert!(!m.allows(VcId::new(0)));
-        assert_eq!(m.iter().collect::<Vec<_>>(), vec![VcId::new(1), VcId::new(2)]);
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![VcId::new(1), VcId::new(2)]
+        );
         assert!(m.and(VcMask::new(0b1000)).is_empty());
         assert_eq!(m.or(VcMask::new(0b1)).bits(), 0b0111);
         assert_eq!(VcMask::single(VcId::new(7)).bits(), 0x80);

@@ -354,10 +354,7 @@ mod tests {
     #[test]
     fn four_lefts_make_a_circle() {
         for d in Direction::ALL {
-            assert_eq!(
-                d.turned_left().turned_left().turned_left().turned_left(),
-                d
-            );
+            assert_eq!(d.turned_left().turned_left().turned_left().turned_left(), d);
             assert_eq!(d.turned_left().turned_right(), d);
             // Two lefts = two rights = opposite.
             assert_eq!(d.turned_left().turned_left(), d.opposite());

@@ -412,7 +412,7 @@ mod tests {
         let allowed = VcMask::new(0b0011);
         let vc = i.choose_vc(allowed.iter(), 1).unwrap();
         assert_eq!(vc, VcId::new(1)); // vc0 has one flit queued
-        // Demand more space than any queue has.
+                                      // Demand more space than any queue has.
         assert!(i.choose_vc(allowed.iter(), 100).is_none());
     }
 }

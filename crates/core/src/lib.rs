@@ -70,8 +70,7 @@ mod util;
 
 pub use bus::{BusPacket, BusStats, SharedBus};
 pub use config::{
-    FlowControl, LinkProtection, NetworkConfig, ReservationPolicy, RoutingAlg, TopologySpec,
-    VcPlan,
+    FlowControl, LinkProtection, NetworkConfig, ReservationPolicy, RoutingAlg, TopologySpec, VcPlan,
 };
 pub use ecc::EccOutcome;
 pub use error::Error;

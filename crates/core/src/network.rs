@@ -12,7 +12,9 @@ use std::collections::VecDeque;
 use crate::config::{FlowControl, NetworkConfig, RoutingAlg};
 use crate::error::Error;
 use crate::fault::{LinkFault, SteeredLink};
-use crate::flit::{Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask, FLIT_DATA_BITS};
+use crate::flit::{
+    Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask, FLIT_DATA_BITS,
+};
 use crate::ids::{Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
 use crate::interface::{DeliveredPacket, TileInterface};
 use crate::reservation::ReservationTable;
@@ -239,9 +241,7 @@ impl Network {
                         cfg.channel_phits,
                     ))),
                     FlowControl::Dropping => RouterCore::Dropping(DroppingRouter::new(node)),
-                    FlowControl::Deflection => {
-                        RouterCore::Deflection(DeflectionRouter::new(node))
-                    }
+                    FlowControl::Deflection => RouterCore::Deflection(DeflectionRouter::new(node)),
                 }
             })
             .collect();
@@ -440,15 +440,22 @@ impl Network {
         // class permits. Injection itself always happens in class 0 (for
         // two-segment routes, the segment-0 pre-dateline tier).
         let inject_mask = if valiant_boundary != 0 {
-            self.cfg.vc_plan.mask_for_two_segment(0, 0, self.dateline_aware)
+            self.cfg
+                .vc_plan
+                .mask_for_two_segment(0, 0, self.dateline_aware)
         } else {
-            self.cfg.vc_plan.injection_mask(spec.class, self.dateline_aware)
+            self.cfg
+                .vc_plan
+                .injection_mask(spec.class, self.dateline_aware)
         };
         let packet_mask = self
             .cfg
             .vc_plan
             .mask_for(spec.class, 0, self.dateline_aware)
-            .or(self.cfg.vc_plan.mask_for(spec.class, 1, self.dateline_aware));
+            .or(self
+                .cfg
+                .vc_plan
+                .mask_for(spec.class, 1, self.dateline_aware));
         if inject_mask.is_empty() {
             return Err(Error::EmptyVcMask {
                 mask: inject_mask.bits(),
@@ -665,10 +672,13 @@ impl Network {
         // 4. Router evaluation.
         for node in 0..self.routers.len() {
             let offered = if self.routers[node].pulls_injection() {
-                self.interfaces[node].peek_injection().copied().map(|mut f| {
-                    f.meta.injected_at = now;
-                    f
-                })
+                self.interfaces[node]
+                    .peek_injection()
+                    .copied()
+                    .map(|mut f| {
+                        f.meta.injected_at = now;
+                        f
+                    })
             } else {
                 None
             };
@@ -788,7 +798,10 @@ impl Network {
 
     /// Flits currently inside the network (buffers, staging, and pipes).
     pub fn flits_in_flight(&self) -> usize {
-        self.routers.iter().map(RouterCore::occupancy).sum::<usize>()
+        self.routers
+            .iter()
+            .map(RouterCore::occupancy)
+            .sum::<usize>()
             + self.channels.iter().map(|c| c.flits.len()).sum::<usize>()
             + self.inject_pipes.iter().map(VecDeque::len).sum::<usize>()
             + self.eject_pipes.iter().map(VecDeque::len).sum::<usize>()
@@ -884,9 +897,7 @@ mod tests {
                 }
             }
             assert!(net.drain(5_000), "{spec:?} failed to drain");
-            let delivered: usize = (0..n)
-                .map(|d| net.drain_delivered(d.into()).len())
-                .sum();
+            let delivered: usize = (0..n).map(|d| net.drain_delivered(d.into()).len()).sum();
             assert_eq!(delivered, expected, "{spec:?}");
         }
     }
@@ -1049,7 +1060,10 @@ mod tests {
             (corrupted, net.stats())
         };
         let (raw_corrupted, _) = run(LinkProtection::None);
-        assert!(raw_corrupted > 0, "30% upsets must corrupt unprotected links");
+        assert!(
+            raw_corrupted > 0,
+            "30% upsets must corrupt unprotected links"
+        );
         let (ecc_corrupted, stats) = run(LinkProtection::Secded);
         assert_eq!(ecc_corrupted, 0, "SEC-DED repairs single upsets per hop");
         assert!(stats.ecc_corrections > 0);

@@ -95,7 +95,11 @@ impl fmt::Display for ReservationError {
                 f,
                 "slot {slot} on link {node}:{dir} already reserved by {holder} (rejected {loser})"
             ),
-            ReservationError::PhaseOutOfRange { flow, phase, period } => {
+            ReservationError::PhaseOutOfRange {
+                flow,
+                phase,
+                period,
+            } => {
                 write!(f, "flow {flow} phase {phase} outside period {period}")
             }
             ReservationError::SelfFlow { flow } => {
@@ -222,9 +226,7 @@ impl ReservationTable {
     pub fn link_reserved_fraction(&self, node: NodeId, dir: Direction) -> f64 {
         match self.slots.get(&(node, dir)) {
             None => 0.0,
-            Some(entry) => {
-                entry.iter().filter(|s| s.is_some()).count() as f64 / self.period as f64
-            }
+            Some(entry) => entry.iter().filter(|s| s.is_some()).count() as f64 / self.period as f64,
         }
     }
 

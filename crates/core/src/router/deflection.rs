@@ -112,9 +112,7 @@ impl DeflectionRouter {
                 .iter()
                 .copied()
                 .find(|d| free[d.index()])
-                .or_else(|| {
-                    Direction::ALL.iter().copied().find(|d| free[d.index()])
-                });
+                .or_else(|| Direction::ALL.iter().copied().find(|d| free[d.index()]));
             let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
             if !productive.contains(&d) {
                 self.deflections += 1;

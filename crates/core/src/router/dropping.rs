@@ -159,7 +159,10 @@ mod tests {
     fn uncontended_packet_passes() {
         let topo = FoldedTorus2D::new(4);
         let mut r = DroppingRouter::new(NodeId::new(0));
-        r.receive(Port::Tile, test_flit(FlitKind::HeadTail, &[Direction::East]));
+        r.receive(
+            Port::Tile,
+            test_flit(FlitKind::HeadTail, &[Direction::East]),
+        );
         let out = r.evaluate(&env(&topo));
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
@@ -241,6 +244,8 @@ mod tests {
         r.evaluate(&env(&topo));
         assert_eq!(r.flits_discarded, 3);
         // The discard window closed with the tail.
-        assert!(r.inputs[Port::Dir(Direction::West).index()].dropping.is_none());
+        assert!(r.inputs[Port::Dir(Direction::West).index()]
+            .dropping
+            .is_none());
     }
 }

@@ -234,8 +234,11 @@ impl VcRouter {
                 self.dateline_aware,
             )
         } else {
-            self.plan
-                .mask_for(flit.meta.class, flit.meta.dateline_class, self.dateline_aware)
+            self.plan.mask_for(
+                flit.meta.class,
+                flit.meta.dateline_class,
+                self.dateline_aware,
+            )
         };
         flit.vc_mask.and(plan_mask)
     }
@@ -263,8 +266,7 @@ impl VcRouter {
                             "router {}: body flit at head of an idle VC",
                             self.node
                         );
-                        ivc.out_port =
-                            Some(front.resolved_port.expect("head resolved at receive"));
+                        ivc.out_port = Some(front.resolved_port.expect("head resolved at receive"));
                     }
                 }
             }
@@ -398,8 +400,7 @@ impl VcRouter {
             // one is a launch candidate.
             let mut candidates: Vec<(u8, usize, bool)> = Vec::new();
             for i in 0..Port::COUNT {
-                for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)]
-                {
+                for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)] {
                     if let Some(f) = &bank[i] {
                         candidates.push((f.meta.class.priority(), i, reserved));
                     }

@@ -90,11 +90,19 @@ impl Topology for Mesh2D {
         let mut dirs = Vec::new();
         let dx = d.x as isize - s.x as isize;
         let dy = d.y as isize - s.y as isize;
-        let xdir = if dx > 0 { Direction::East } else { Direction::West };
+        let xdir = if dx > 0 {
+            Direction::East
+        } else {
+            Direction::West
+        };
         for _ in 0..dx.unsigned_abs() {
             dirs.push(xdir);
         }
-        let ydir = if dy > 0 { Direction::North } else { Direction::South };
+        let ydir = if dy > 0 {
+            Direction::North
+        } else {
+            Direction::South
+        };
         for _ in 0..dy.unsigned_abs() {
             dirs.push(ydir);
         }

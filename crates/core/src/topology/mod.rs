@@ -112,7 +112,9 @@ pub trait Topology: Send + Sync + std::fmt::Debug {
                 let mut node = NodeId::new(s as u16);
                 for dir in self.route_dirs(node, NodeId::new(d as u16)) {
                     total += self.link_length_pitches(node, dir);
-                    node = self.neighbor(node, dir).expect("route walks existing channels");
+                    node = self
+                        .neighbor(node, dir)
+                        .expect("route walks existing channels");
                 }
                 pairs += 1;
             }

@@ -109,18 +109,10 @@ impl Topology for FoldedTorus2D {
         let c = self.coord(node);
         let k = self.k;
         match dir {
-            Direction::East => {
-                folded_link_pitches(c.x as usize, (c.x as usize + 1) % k, k)
-            }
-            Direction::West => {
-                folded_link_pitches(c.x as usize, (c.x as usize + k - 1) % k, k)
-            }
-            Direction::North => {
-                folded_link_pitches(c.y as usize, (c.y as usize + 1) % k, k)
-            }
-            Direction::South => {
-                folded_link_pitches(c.y as usize, (c.y as usize + k - 1) % k, k)
-            }
+            Direction::East => folded_link_pitches(c.x as usize, (c.x as usize + 1) % k, k),
+            Direction::West => folded_link_pitches(c.x as usize, (c.x as usize + k - 1) % k, k),
+            Direction::North => folded_link_pitches(c.y as usize, (c.y as usize + 1) % k, k),
+            Direction::South => folded_link_pitches(c.y as usize, (c.y as usize + k - 1) % k, k),
         }
     }
 
@@ -138,11 +130,19 @@ impl Topology for FoldedTorus2D {
     fn route_dirs(&self, src: NodeId, dst: NodeId) -> Vec<Direction> {
         let (dx, dy) = self.min_offsets(src, dst);
         let mut dirs = Vec::new();
-        let xdir = if dx > 0 { Direction::East } else { Direction::West };
+        let xdir = if dx > 0 {
+            Direction::East
+        } else {
+            Direction::West
+        };
         for _ in 0..dx.unsigned_abs() {
             dirs.push(xdir);
         }
-        let ydir = if dy > 0 { Direction::North } else { Direction::South };
+        let ydir = if dy > 0 {
+            Direction::North
+        } else {
+            Direction::South
+        };
         for _ in 0..dy.unsigned_abs() {
             dirs.push(ydir);
         }

@@ -130,7 +130,11 @@ impl WiringBudget {
     /// Tracks used on this edge.
     pub fn tracks_used(&self) -> usize {
         let signals = self.wires_per_channel * (self.channels + self.turn_paths);
-        let wires = if self.differential { 2 * signals } else { signals };
+        let wires = if self.differential {
+            2 * signals
+        } else {
+            signals
+        };
         (wires as f64 * (1.0 + self.shield_fraction)).round() as usize
     }
 

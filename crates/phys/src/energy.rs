@@ -136,7 +136,11 @@ mod tests {
         // Paper: "wire transmission power is significantly greater than
         // per hop power for our 16 tile network."
         let m = fs_model();
-        assert!(m.wire_to_hop_ratio() > 2.0, "ratio {}", m.wire_to_hop_ratio());
+        assert!(
+            m.wire_to_hop_ratio() > 2.0,
+            "ratio {}",
+            m.wire_to_hop_ratio()
+        );
     }
 
     #[test]

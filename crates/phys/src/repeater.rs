@@ -73,12 +73,7 @@ impl RepeaterDesign {
     /// Delay of one `len_mm` segment driven by a size-`s` repeater, ps.
     /// (R in Ω, C in fF ⇒ R·C in attoseconds·10³ = 10⁻³ ps·10³ = fs·10³;
     /// Ω·fF = fs, so divide by 1000 for ps.)
-    pub fn segment_delay_ps(
-        tech: &Technology,
-        dev: &RepeaterDevice,
-        s: f64,
-        len_mm: f64,
-    ) -> f64 {
+    pub fn segment_delay_ps(tech: &Technology, dev: &RepeaterDevice, s: f64, len_mm: f64) -> f64 {
         let r = tech.wire_r_ohm_mm;
         let c = tech.wire_c_pf_mm * 1_000.0; // fF/mm
         let fs = 0.7 * (dev.r0_ohm / s) * (s * dev.c0_ff + c * len_mm)
@@ -149,7 +144,8 @@ mod tests {
             "simplified {simple} ps/mm vs first-principles {} ps/mm",
             design.delay_per_mm_ps
         );
-        let spacing_ratio = wire.repeater_spacing_mm(SignalingScheme::FullSwing) / design.spacing_mm;
+        let spacing_ratio =
+            wire.repeater_spacing_mm(SignalingScheme::FullSwing) / design.spacing_mm;
         assert!(
             (0.3..=3.0).contains(&spacing_ratio),
             "spacing mismatch: {spacing_ratio}"
@@ -162,7 +158,10 @@ mod tests {
         // In a 0.1 um process: spacing around 1 mm, velocity tens of
         // ps/mm, sizes in the tens-to-hundreds of minimum.
         assert!((0.3..=3.0).contains(&design.spacing_mm), "{design:?}");
-        assert!((20.0..=150.0).contains(&design.delay_per_mm_ps), "{design:?}");
+        assert!(
+            (20.0..=150.0).contains(&design.delay_per_mm_ps),
+            "{design:?}"
+        );
         assert!(design.size > 10.0, "{design:?}");
         // A 3 mm tile needs at least one full-swing repeater.
         assert!(design.repeaters_for(3.0) >= 1);

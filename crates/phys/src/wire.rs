@@ -184,7 +184,9 @@ mod tests {
         assert!((d6 / d3 - 2.0).abs() < 1e-9);
         // Beyond the repeater spacing, repeated wires win.
         let long = 3.0 * w.repeater_spacing_mm(SignalingScheme::FullSwing);
-        assert!(w.repeated_delay_ps(long, SignalingScheme::FullSwing) < w.unrepeated_delay_ps(long));
+        assert!(
+            w.repeated_delay_ps(long, SignalingScheme::FullSwing) < w.unrepeated_delay_ps(long)
+        );
     }
 
     #[test]

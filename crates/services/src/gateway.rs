@@ -60,7 +60,10 @@ pub struct GatewayDatagram {
 ///
 /// Panics if more than 4 payload words are supplied (one inner flit).
 pub fn encapsulate(gateway: NodeId, dgram: &GatewayDatagram) -> Message {
-    assert!(dgram.words.len() <= 4, "one inner flit per gateway datagram");
+    assert!(
+        dgram.words.len() <= 4,
+        "one inner flit per gateway datagram"
+    );
     let header = Header {
         service: ServiceKind::Gateway,
         opcode: dgram.words.len() as u8,
@@ -79,10 +82,7 @@ pub fn decapsulate(packet: &DeliveredPacket) -> Option<GatewayDatagram> {
     let words = Message::extract_data(&packet.payloads, h.opcode as usize);
     Some(GatewayDatagram {
         src: GlobalAddress::new((h.seq >> 8) as u8, NodeId::new(h.seq & 0xFF)),
-        dst: GlobalAddress::new(
-            (h.aux >> 16) as u8,
-            NodeId::new((h.aux & 0xFFFF) as u16),
-        ),
+        dst: GlobalAddress::new((h.aux >> 16) as u8, NodeId::new((h.aux & 0xFFFF) as u16)),
         words,
     })
 }
@@ -120,7 +120,10 @@ impl GatewayEndpoint {
         let Some(dgram) = decapsulate(packet) else {
             return false;
         };
-        debug_assert_ne!(dgram.dst.chip, self.chip, "local traffic never hits the gateway");
+        debug_assert_ne!(
+            dgram.dst.chip, self.chip,
+            "local traffic never hits the gateway"
+        );
         self.outbound.push_back(dgram);
         true
     }

@@ -140,7 +140,7 @@ fn mask(width: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use ocin_core::ids::PacketId;
 
     fn deliver(msg: &Message, now: Cycle) -> DeliveredPacket {

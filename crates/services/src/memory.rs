@@ -158,8 +158,7 @@ impl MemoryServer {
         let Some(h) = Header::from_payloads(&packet.payloads) else {
             return;
         };
-        if h.service != ServiceKind::Memory
-            || (h.opcode != OP_READ_REQ && h.opcode != OP_WRITE_REQ)
+        if h.service != ServiceKind::Memory || (h.opcode != OP_READ_REQ && h.opcode != OP_WRITE_REQ)
         {
             return;
         }
@@ -247,7 +246,9 @@ mod tests {
         assert!(server.poll(5).is_empty(), "latency not yet elapsed");
         let replies = server.poll(7);
         assert_eq!(replies.len(), 1);
-        let ack = client.on_packet(&deliver(&replies[0], 8.into(), 10), 10).unwrap();
+        let ack = client
+            .on_packet(&deliver(&replies[0], 8.into(), 10), 10)
+            .unwrap();
         assert_eq!(ack.data, None);
         assert_eq!(ack.latency, 10);
 
@@ -256,7 +257,9 @@ mod tests {
         server.on_packet(&deliver(&rmsg, 2.into(), 22), 22);
         let replies = server.poll(26);
         assert_eq!(replies.len(), 1);
-        let got = client.on_packet(&deliver(&replies[0], 8.into(), 28), 28).unwrap();
+        let got = client
+            .on_packet(&deliver(&replies[0], 8.into(), 28), 28)
+            .unwrap();
         assert_eq!(got.txn, txn);
         assert_eq!(got.data, Some(0xFEED));
         assert_eq!(got.latency, 8);
@@ -271,7 +274,9 @@ mod tests {
         let (rmsg, _) = client.issue(MemoryOp::Read { addr: 999 }, 0);
         server.on_packet(&deliver(&rmsg, 0.into(), 0), 0);
         let replies = server.poll(0);
-        let got = client.on_packet(&deliver(&replies[0], 1.into(), 1), 1).unwrap();
+        let got = client
+            .on_packet(&deliver(&replies[0], 1.into(), 1), 1)
+            .unwrap();
         assert_eq!(got.data, Some(0));
     }
 

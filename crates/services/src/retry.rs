@@ -136,7 +136,9 @@ impl ReliableSender {
         }
         // New transmissions within the window.
         while self.in_flight.len() < self.cfg.window {
-            let Some(data) = self.queue.pop_front() else { break };
+            let Some(data) = self.queue.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             self.next_seq = self.next_seq.wrapping_add(1);
             out.push(Self::data_message(self.dst, self.channel, seq, &data));

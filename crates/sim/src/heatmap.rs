@@ -33,9 +33,7 @@ pub fn render_link_heatmap(net: &Network) -> String {
             .find(|l| l.node.index() == node && l.dir == dir)
             .map(|l| l.utilization)
     };
-    let cell = |node: usize, dir: Direction| -> char {
-        lookup(node, dir).map_or(' ', glyph)
-    };
+    let cell = |node: usize, dir: Direction| -> char { lookup(node, dir).map_or(' ', glyph) };
     let mut out = String::new();
     for y in (0..k).rev() {
         // Northbound row.
@@ -112,7 +110,10 @@ mod tests {
         let net = loaded_network();
         let map = render_link_heatmap(&net);
         for n in 0..16 {
-            assert!(map.contains(&format!("[{n:>2}]")), "missing tile {n}\n{map}");
+            assert!(
+                map.contains(&format!("[{n:>2}]")),
+                "missing tile {n}\n{map}"
+            );
         }
         assert!(map.contains("legend"));
         // The 0->1 route is hot enough to register something besides '.'.

@@ -29,6 +29,7 @@
 pub mod clients;
 pub mod heatmap;
 pub mod multichip;
+pub mod pool;
 pub mod runner;
 pub mod stats;
 pub mod sweep;
@@ -37,6 +38,7 @@ pub mod table;
 pub use clients::{Client, ClientCtx, ServiceSim};
 pub use heatmap::{hottest_links, render_link_heatmap};
 pub use multichip::{GlobalDelivery, MultiChipSim};
+pub use pool::{derive_seed, PointSpec, SimPool};
 pub use runner::{SimConfig, SimReport, Simulation};
 pub use stats::{LatencyReport, Samples};
 pub use sweep::{LoadPoint, LoadSweep};

@@ -301,7 +301,11 @@ mod tests {
     fn link_serialization_limits_cross_chip_bandwidth() {
         let mut sys = system(); // 4 cycles per datagram
         for i in 0..20u64 {
-            sys.send(addr(0, (i % 3) as u16), addr(1, 8 + (i % 4) as u16), vec![i]);
+            sys.send(
+                addr(0, (i % 3) as u16),
+                addr(1, 8 + (i % 4) as u16),
+                vec![i],
+            );
         }
         sys.run(30);
         // In 30 cycles the link can carry at most ~30/4 datagrams.

@@ -54,11 +54,7 @@ impl Samples {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
             / (self.values.len() - 1) as f64;
         var.sqrt()
     }
@@ -72,23 +68,30 @@ impl Samples {
 
     /// The `p`-th percentile (nearest-rank; 0 when empty).
     ///
+    /// Sorts the samples in place on first use; repeated percentile
+    /// queries between pushes reuse the sorted order (`sorted` flag).
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `0.0..=100.0`.
-    pub fn percentile(&self, p: f64) -> f64 {
+    pub fn percentile(&mut self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut s = self.clone();
-        s.ensure_sorted();
-        let rank = ((p / 100.0 * s.values.len() as f64).ceil() as usize).clamp(1, s.values.len());
-        s.values[rank - 1]
+        self.ensure_sorted();
+        let rank =
+            ((p / 100.0 * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        self.values[rank - 1]
     }
 
     /// Minimum (0 when empty).
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_zero()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_zero()
     }
 
     /// Maximum (0 when empty).
@@ -110,7 +113,7 @@ impl Samples {
     }
 
     /// Summarizes into a [`LatencyReport`].
-    pub fn report(&self) -> LatencyReport {
+    pub fn report(&mut self) -> LatencyReport {
         LatencyReport {
             count: self.len(),
             mean: self.mean(),
@@ -189,7 +192,7 @@ mod tests {
 
     #[test]
     fn empty_is_safe() {
-        let s = Samples::new();
+        let mut s = Samples::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(99.0), 0.0);
@@ -201,7 +204,7 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let s: Samples = (1..=100).map(|v| v as f64).collect();
+        let mut s: Samples = (1..=100).map(|v| v as f64).collect();
         assert_eq!(s.len(), 100);
         assert!((s.mean() - 50.5).abs() < 1e-12);
         assert_eq!(s.percentile(50.0), 50.0);
@@ -222,7 +225,7 @@ mod tests {
 
     #[test]
     fn report_matches_fields() {
-        let s: Samples = [2.0, 4.0, 6.0].into_iter().collect();
+        let mut s: Samples = [2.0, 4.0, 6.0].into_iter().collect();
         let r = s.report();
         assert_eq!(r.count, 3);
         assert_eq!(r.mean, 4.0);
@@ -236,5 +239,30 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn bad_percentile_panics() {
         Samples::new().percentile(101.0);
+    }
+
+    #[test]
+    fn percentile_sorts_unsorted_input() {
+        let mut s: Samples = [9.0, 1.0, 5.0, 3.0, 7.0].into_iter().collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 5.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        // A push after sorting must invalidate the cached order.
+        s.push(0.5);
+        assert_eq!(s.percentile(0.0), 0.5);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn percentile_handles_duplicates_and_singletons() {
+        let mut dup: Samples = [4.0, 4.0, 4.0, 2.0, 4.0].into_iter().collect();
+        assert_eq!(dup.percentile(50.0), 4.0);
+        assert_eq!(dup.percentile(10.0), 2.0);
+
+        let mut one: Samples = [3.5].into_iter().collect();
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 3.5);
+        }
     }
 }

@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn periodic_is_exact() {
-        let p = InjectionProcess::Periodic { period: 10, phase: 3 };
+        let p = InjectionProcess::Periodic {
+            period: 10,
+            phase: 3,
+        };
         let mut st = p.state();
         let mut rng = StdRng::seed_from_u64(3);
         let offers: Vec<u64> = (0..50)

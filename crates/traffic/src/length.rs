@@ -40,9 +40,10 @@ impl LengthDist {
                 long_flits,
                 long_fraction,
             } => short_flits as f64 * (1.0 - long_fraction) + long_flits as f64 * long_fraction,
-            LengthDist::UniformRange { min_flits, max_flits } => {
-                (min_flits + max_flits) as f64 / 2.0
-            }
+            LengthDist::UniformRange {
+                min_flits,
+                max_flits,
+            } => (min_flits + max_flits) as f64 / 2.0,
         }
     }
 
@@ -61,9 +62,10 @@ impl LengthDist {
                     short_flits
                 }
             }
-            LengthDist::UniformRange { min_flits, max_flits } => {
-                rng.gen_range(min_flits..=max_flits)
-            }
+            LengthDist::UniformRange {
+                min_flits,
+                max_flits,
+            } => rng.gen_range(min_flits..=max_flits),
         };
         flits.max(1) * FLIT_DATA_BITS
     }

@@ -25,8 +25,8 @@
 //! ```
 
 pub mod injection;
-pub mod matrix;
 pub mod length;
+pub mod matrix;
 pub mod pattern;
 pub mod trace;
 pub mod workload;

@@ -92,10 +92,7 @@ impl TrafficPattern {
                 let c = coord_of(s, k);
                 let shift = (k.div_ceil(2) - 1) as u8;
                 node_of(
-                    Coord::new(
-                        (c.x + shift) % k as u8,
-                        (c.y + shift) % k as u8,
-                    ),
+                    Coord::new((c.x + shift) % k as u8, (c.y + shift) % k as u8),
                     k,
                 )
             }

@@ -7,10 +7,9 @@
 
 use ocin_core::flit::ServiceClass;
 use ocin_core::ids::{Cycle, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// One offered packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Offer cycle.
     pub cycle: Cycle,
@@ -26,7 +25,13 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// Creates an event.
-    pub fn new(cycle: Cycle, src: NodeId, dst: NodeId, payload_bits: usize, class: ServiceClass) -> Self {
+    pub fn new(
+        cycle: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        payload_bits: usize,
+        class: ServiceClass,
+    ) -> Self {
         TraceEvent {
             cycle,
             src: src.into(),
@@ -47,7 +52,7 @@ impl TraceEvent {
 }
 
 /// An ordered sequence of offered packets.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -97,6 +102,67 @@ impl Trace {
     pub fn last_cycle(&self) -> Option<Cycle> {
         self.events.last().map(|e| e.cycle)
     }
+
+    /// Serializes the trace to its text form: one
+    /// `cycle src dst payload_bits class` line per event, preceded by a
+    /// version header. Stable across releases; parse with
+    /// [`Trace::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(16 + self.events.len() * 24);
+        out.push_str("ocin-trace v1\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                e.cycle, e.src, e.dst, e.payload_bits, e.class
+            ));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line (wrong header,
+    /// wrong field count, unparsable number, or out-of-order cycle).
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("ocin-trace v1") => {}
+            other => return Err(format!("bad trace header: {other:?}")),
+        }
+        let mut trace = Trace::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_ascii_whitespace();
+            let mut next = |what: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {what}", i + 2))
+            };
+            let event = TraceEvent {
+                cycle: parse(next("cycle")?, i)?,
+                src: parse(next("src")?, i)?,
+                dst: parse(next("dst")?, i)?,
+                payload_bits: parse(next("payload_bits")?, i)?,
+                class: parse(next("class")?, i)?,
+            };
+            if let Some(last) = trace.events.last() {
+                if event.cycle < last.cycle {
+                    return Err(format!("line {}: cycle out of order", i + 2));
+                }
+            }
+            trace.events.push(event);
+        }
+        Ok(trace)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("line {}: bad field {s:?}", line + 2))
 }
 
 impl FromIterator<TraceEvent> for Trace {
@@ -127,7 +193,9 @@ mod tests {
 
     #[test]
     fn record_and_query() {
-        let t: Trace = [ev(0, 0, 1), ev(0, 2, 3), ev(5, 1, 0)].into_iter().collect();
+        let t: Trace = [ev(0, 0, 1), ev(0, 2, 3), ev(5, 1, 0)]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 3);
         assert_eq!(t.at_cycle(0).count(), 2);
         assert_eq!(t.at_cycle(3).count(), 0);
@@ -145,19 +213,35 @@ mod tests {
 
     #[test]
     fn class_roundtrip() {
-        for c in [ServiceClass::Bulk, ServiceClass::Priority, ServiceClass::Reserved] {
+        for c in [
+            ServiceClass::Bulk,
+            ServiceClass::Priority,
+            ServiceClass::Reserved,
+        ] {
             let e = TraceEvent::new(0, 0.into(), 1.into(), 64, c);
             assert_eq!(e.service_class(), c);
         }
     }
 
     #[test]
-    fn serde_derives_exist() {
-        // Compile-time check that Trace is (De)Serializable for users who
-        // persist traces; behavioural round-trip is covered by the serde
-        // derive contract.
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Trace>();
-        assert_serde::<TraceEvent>();
+    fn text_form_round_trips() {
+        let t: Trace = [ev(0, 0, 1), ev(0, 2, 3), ev(5, 1, 0)]
+            .into_iter()
+            .collect();
+        let text = t.to_text();
+        assert!(text.starts_with("ocin-trace v1\n"));
+        assert_eq!(Trace::from_text(&text), Ok(t));
+        assert_eq!(Trace::from_text("ocin-trace v1\n"), Ok(Trace::new()));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("not a trace\n").is_err());
+        assert!(Trace::from_text("ocin-trace v1\n1 2 3\n").is_err());
+        assert!(Trace::from_text("ocin-trace v1\n1 2 3 x 0\n").is_err());
+        // Out-of-order cycles are rejected at parse time, matching
+        // `record`'s invariant.
+        assert!(Trace::from_text("ocin-trace v1\n5 0 1 256 0\n4 0 1 256 0\n").is_err());
     }
 }

@@ -122,7 +122,13 @@ impl WorkloadGenerator {
             for n in 0..self.workload.num_nodes {
                 let node = NodeId::new(n as u16);
                 if let Some(req) = self.next_request(c, node) {
-                    trace.record(TraceEvent::new(c, node, req.dst, req.payload_bits, req.class));
+                    trace.record(TraceEvent::new(
+                        c,
+                        node,
+                        req.dst,
+                        req.payload_bits,
+                        req.class,
+                    ));
                 }
             }
         }
@@ -173,8 +179,11 @@ mod tests {
 
     #[test]
     fn trace_replays_the_same_requests() {
-        let wl = Workload::new(16, 4, TrafficPattern::Transpose)
-            .injection(InjectionProcess::Periodic { period: 7, phase: 0 });
+        let wl =
+            Workload::new(16, 4, TrafficPattern::Transpose).injection(InjectionProcess::Periodic {
+                period: 7,
+                phase: 0,
+            });
         let trace = wl.generator(5).record_trace(100);
         assert!(!trace.is_empty());
         // Transpose from node 1 always goes to node 4 on a 4x4.
@@ -188,7 +197,10 @@ mod tests {
     #[test]
     fn class_is_propagated() {
         let wl = Workload::new(16, 4, TrafficPattern::Neighbor)
-            .injection(InjectionProcess::Periodic { period: 1, phase: 0 })
+            .injection(InjectionProcess::Periodic {
+                period: 1,
+                phase: 0,
+            })
             .class(ServiceClass::Priority);
         let mut gen = wl.generator(0);
         let req = gen.next_request(0, 0.into()).unwrap();

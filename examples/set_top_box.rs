@@ -12,7 +12,10 @@ use ocin_soc::{Floorplan, SocWorkload};
 
 fn main() -> Result<(), ocin::core::Error> {
     let plan = Floorplan::set_top_box();
-    println!("set-top-box floorplan on the 4x4 folded torus:\n\n{}", plan.render());
+    println!(
+        "set-top-box floorplan on the 4x4 folded torus:\n\n{}",
+        plan.render()
+    );
 
     let workload = SocWorkload::for_floorplan(&plan);
     let (cfg, matrix) = workload.build(1.0)?;
@@ -45,7 +48,10 @@ fn main() -> Result<(), ocin::core::Error> {
         "  links           : avg utilization {:.3}, max {:.3}",
         report.avg_link_utilization, report.max_link_utilization
     );
-    assert_eq!(report.unfinished_packets, 0, "design load must have headroom");
+    assert_eq!(
+        report.unfinished_packets, 0,
+        "design load must have headroom"
+    );
     println!("\nevery module talks only to the network — no dedicated top-level wires anywhere.");
     Ok(())
 }

@@ -18,25 +18,29 @@ fn main() -> Result<(), ocin::core::Error> {
     // Gateways at tile 3 of each chip. The off-chip channel serializes a
     // 256-bit datagram over 8 cycles (a 32-bit pin interface) and takes
     // 20 cycles of board flight time.
-    let mut sys = MultiChipSim::new(
-        NetworkConfig::paper_baseline(),
-        NodeId::new(3),
-        8,
-        20,
-    )?;
+    let mut sys = MultiChipSim::new(NetworkConfig::paper_baseline(), NodeId::new(3), 8, 20)?;
 
     // A burst of cross-chip and local traffic.
     let mut expected = 0;
     for i in 0..12u64 {
         let (src, dst) = if i % 3 == 0 {
             // Local on chip 0.
-            (GlobalAddress::new(0, ((i % 16) as u16).into()), GlobalAddress::new(0, 9.into()))
+            (
+                GlobalAddress::new(0, ((i % 16) as u16).into()),
+                GlobalAddress::new(0, 9.into()),
+            )
         } else if i % 3 == 1 {
             // Chip 0 -> chip 1.
-            (GlobalAddress::new(0, 1.into()), GlobalAddress::new(1, (8 + (i % 4) as u16).into()))
+            (
+                GlobalAddress::new(0, 1.into()),
+                GlobalAddress::new(1, (8 + (i % 4) as u16).into()),
+            )
         } else {
             // Chip 1 -> chip 0.
-            (GlobalAddress::new(1, 5.into()), GlobalAddress::new(0, ((i % 8) as u16).into()))
+            (
+                GlobalAddress::new(1, 5.into()),
+                GlobalAddress::new(0, ((i % 8) as u16).into()),
+            )
         };
         if src.chip == dst.chip && src.node == dst.node {
             continue;

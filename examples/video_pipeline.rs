@@ -39,7 +39,9 @@ fn main() -> Result<(), ocin::core::Error> {
 
     let video = report.flow_latency[&FlowId(0)];
     let jitter = report.flow_jitter[&FlowId(0)];
-    println!("video flow (camera t{CAMERA} -> encoder t{ENCODER}), sharing with dynamic load 0.35:");
+    println!(
+        "video flow (camera t{CAMERA} -> encoder t{ENCODER}), sharing with dynamic load 0.35:"
+    );
     println!(
         "  frames delivered: {}   latency: {:.1} cycles (min {:.0}, max {:.0})   jitter: {:.0}",
         video.count, video.mean, video.min, video.max, jitter

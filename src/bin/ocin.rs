@@ -153,8 +153,14 @@ fn cmd_info() {
     println!("ocin — Dally & Towles, \"Route Packets, Not Wires\" (DAC 2001) in Rust\n");
     println!("paper baseline:");
     println!("  topology        : 4x4 folded torus (rows cyclically 0,2,3,1), 3mm tiles");
-    println!("  flit            : 256 data bits + {} control bits", ocin::core::flit::FLIT_OVERHEAD_BITS);
-    println!("  virtual channels: {} x {}-flit buffers per input", cfg.vc_plan.num_vcs, cfg.buf_depth);
+    println!(
+        "  flit            : 256 data bits + {} control bits",
+        ocin::core::flit::FLIT_OVERHEAD_BITS
+    );
+    println!(
+        "  virtual channels: {} x {}-flit buffers per input",
+        cfg.vc_plan.num_vcs, cfg.buf_depth
+    );
     println!("  buffer bits/edge: {}", cfg.buffer_bits_per_input());
     println!("  routes          : 2 bits/hop source routes (straight/left/right/extract)");
     println!("\nsee `cargo run -p ocin-bench --bin <experiment>` for the paper's tables,");
@@ -172,9 +178,16 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         opts.pattern,
         opts.load,
         opts.flow_control,
-        if opts.valiant { "  routing=valiant" } else { "" }
+        if opts.valiant {
+            "  routing=valiant"
+        } else {
+            ""
+        }
     );
-    println!("  accepted        : {:.4} flits/node/cycle", report.accepted_flit_rate);
+    println!(
+        "  accepted        : {:.4} flits/node/cycle",
+        report.accepted_flit_rate
+    );
     println!("  network latency : {}", report.network_latency);
     println!("  total latency   : {}", report.total_latency);
     println!(
@@ -190,7 +203,10 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     if opts.heatmap {
         println!("\nlink utilization heatmap:\n");
         print!("{}", ocin::sim::render_link_heatmap(sim.network_mut()));
-        println!("hottest links: {}", ocin::sim::hottest_links(sim.network_mut(), 5).join("  "));
+        println!(
+            "hottest links: {}",
+            ocin::sim::hottest_links(sim.network_mut(), 5).join("  ")
+        );
     }
     Ok(())
 }

@@ -2,8 +2,7 @@
 //! delivers traffic correctly under sustained load.
 
 use ocin::core::{
-    Error, FlowControl, Network, NetworkConfig, PacketSpec, RoutingAlg, ServiceClass,
-    TopologySpec,
+    Error, FlowControl, Network, NetworkConfig, PacketSpec, RoutingAlg, ServiceClass, TopologySpec,
 };
 use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
 
@@ -16,9 +15,9 @@ fn drive(net: &mut Network, wl: &Workload, cycles: u64, seed: u64) -> (u64, u64)
     for now in 0..cycles {
         for node in 0..n as u16 {
             if let Some(req) = generation.next_request(now, node.into()) {
-                match net.inject(
-                    PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits),
-                ) {
+                match net
+                    .inject(PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits))
+                {
                     Ok(_) => injected += 1,
                     Err(Error::InjectionBackpressure { .. }) => {}
                     Err(e) => panic!("unroutable workload packet: {e}"),
@@ -99,7 +98,10 @@ fn adversarial_patterns_do_not_deadlock() {
         TrafficPattern::BitReverse,
         TrafficPattern::Shuffle,
     ] {
-        for spec in [TopologySpec::FoldedTorus { k: 8 }, TopologySpec::Mesh { k: 8 }] {
+        for spec in [
+            TopologySpec::FoldedTorus { k: 8 },
+            TopologySpec::Mesh { k: 8 },
+        ] {
             let cfg = NetworkConfig::paper_baseline().with_topology(spec);
             let mut net = Network::new(cfg).unwrap();
             let wl = Workload::new(64, 8, pattern.clone())
@@ -110,14 +112,22 @@ fn adversarial_patterns_do_not_deadlock() {
                 "{spec:?}/{} did not drain (possible deadlock)",
                 pattern.name()
             );
-            assert_eq!(net.stats().packets_delivered, injected, "{}", pattern.name());
+            assert_eq!(
+                net.stats().packets_delivered,
+                injected,
+                "{}",
+                pattern.name()
+            );
         }
     }
 }
 
 #[test]
 fn valiant_routing_delivers_everything() {
-    for spec in [TopologySpec::FoldedTorus { k: 8 }, TopologySpec::Mesh { k: 8 }] {
+    for spec in [
+        TopologySpec::FoldedTorus { k: 8 },
+        TopologySpec::Mesh { k: 8 },
+    ] {
         let cfg = NetworkConfig::paper_baseline()
             .with_topology(spec)
             .with_routing(RoutingAlg::Valiant);

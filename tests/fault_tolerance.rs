@@ -76,7 +76,10 @@ fn without_steering_the_chip_corrupts() {
     fault_every_link(&mut net, &[77]);
     net.set_steering(false);
     let (delivered, corrupted) = census(&mut net);
-    assert!(corrupted > delivered / 2, "corrupted {corrupted}/{delivered}");
+    assert!(
+        corrupted > delivered / 2,
+        "corrupted {corrupted}/{delivered}"
+    );
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn two_faults_exceed_one_spare() {
     // shows.
     fault_every_link(&mut net, &[40, 91]);
     let (_, corrupted) = census(&mut net);
-    assert!(corrupted > 0, "second fault must spill past the single spare");
+    assert!(
+        corrupted > 0,
+        "second fault must spill past the single spare"
+    );
 }
 
 #[test]
@@ -101,10 +107,8 @@ fn corruption_is_always_flagged() {
     for s in 0..n {
         for d in 0..n {
             if s != d {
-                net.inject(
-                    PacketSpec::new(s.into(), d.into()).data(vec![Payload([u64::MAX; 4])]),
-                )
-                .unwrap();
+                net.inject(PacketSpec::new(s.into(), d.into()).data(vec![Payload([u64::MAX; 4])]))
+                    .unwrap();
             }
         }
     }

@@ -95,11 +95,17 @@ fn simulated_energy_matches_analytic_within_tolerance() {
         let sim_hops = hop_bits / 300.0;
         let expected_hops = topo.avg_min_hops() + 1.0;
         let err = (sim_hops - expected_hops).abs() / expected_hops;
-        assert!(err < 0.05, "{spec:?}: sim hops {sim_hops} vs {expected_hops}");
+        assert!(
+            err < 0.05,
+            "{spec:?}: sim hops {sim_hops} vs {expected_hops}"
+        );
         let sim_dist = bit_pitches / 300.0;
         let expected_dist = topo.avg_min_distance_pitches();
         let err = (sim_dist - expected_dist).abs() / expected_dist;
-        assert!(err < 0.05, "{spec:?}: sim dist {sim_dist} vs {expected_dist}");
+        assert!(
+            err < 0.05,
+            "{spec:?}: sim dist {sim_dist} vs {expected_dist}"
+        );
         // And the joule conversion is finite and positive.
         let pj = model.total_energy_pj(hop_bits as u64, bit_pitches);
         assert!(pj > 0.0 && pj.is_finite());

@@ -1,0 +1,72 @@
+//! The parallel sweep engine must be bit-identical to the serial path.
+//!
+//! Every simulation point derives its RNG seed from `(base seed, load)`
+//! alone, so evaluation order, worker count, and cache hits must not
+//! change a single bit of any report. These tests pin that contract.
+
+use std::sync::Arc;
+
+use ocin::core::{NetworkConfig, TopologySpec};
+use ocin::sim::{derive_seed, LoadSweep, SimConfig, SimPool};
+use ocin::traffic::{TrafficPattern, Workload};
+
+const LOADS: [f64; 9] = [0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.55, 0.7];
+
+fn sweep(pool: &Arc<SimPool>, spec: TopologySpec) -> LoadSweep {
+    LoadSweep::new(
+        NetworkConfig::paper_baseline().with_topology(spec),
+        SimConfig::quick(),
+        Workload::new(16, 4, TrafficPattern::Uniform),
+    )
+    .with_pool(Arc::clone(pool))
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_serial() {
+    let pool = Arc::new(SimPool::with_workers(4));
+    let s = sweep(&pool, TopologySpec::FoldedTorus { k: 4 });
+    let parallel = s.run(&LOADS);
+    let serial = s.run_serial(&LOADS);
+    assert_eq!(parallel.len(), LOADS.len());
+    // Full-report equality: every latency percentile, energy counter,
+    // and per-flow statistic must match, not just the headline numbers.
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn cached_and_single_point_paths_agree() {
+    let pool = Arc::new(SimPool::with_workers(3));
+    let s = sweep(&pool, TopologySpec::Mesh { k: 4 });
+    let batch = s.run(&LOADS);
+    // Re-running the batch serves from cache; single points must agree.
+    assert_eq!(s.run(&LOADS), batch);
+    for (i, &load) in LOADS.iter().enumerate() {
+        assert_eq!(s.point(load), batch[i]);
+    }
+    assert_eq!(pool.cached_points(), LOADS.len());
+}
+
+#[test]
+fn pools_share_points_across_sweeps() {
+    let pool = Arc::new(SimPool::with_workers(2));
+    let a = sweep(&pool, TopologySpec::FoldedTorus { k: 4 });
+    let b = sweep(&pool, TopologySpec::FoldedTorus { k: 4 });
+    a.run(&LOADS[..4]);
+    let before = pool.cached_points();
+    // Same template, same loads: nothing new to compute.
+    b.run(&LOADS[..4]);
+    assert_eq!(pool.cached_points(), before);
+}
+
+#[test]
+fn seed_derivation_is_order_free() {
+    let per_load: Vec<u64> = LOADS.iter().map(|&l| derive_seed(7, l)).collect();
+    let reversed: Vec<u64> = LOADS.iter().rev().map(|&l| derive_seed(7, l)).collect();
+    assert_eq!(per_load, reversed.into_iter().rev().collect::<Vec<_>>());
+    // Distinct loads get distinct streams.
+    for (i, a) in per_load.iter().enumerate() {
+        for b in &per_load[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -1,9 +1,7 @@
 //! Pre-scheduled traffic guarantees (paper §2.6), end to end.
 
 use ocin::core::ids::FlowId;
-use ocin::core::{
-    Error, Network, NetworkConfig, ReservationPolicy, StaticFlowSpec, TopologySpec,
-};
+use ocin::core::{Error, Network, NetworkConfig, ReservationPolicy, StaticFlowSpec, TopologySpec};
 use ocin::sim::{SimConfig, Simulation};
 use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
 
@@ -20,16 +18,16 @@ fn reserved_flows_are_jitter_free_at_every_load() {
     for load in [0.0, 0.2, 0.5, 0.8] {
         let wl = Workload::new(16, 4, TrafficPattern::Uniform)
             .injection(InjectionProcess::Bernoulli { flit_rate: load });
-        let report = Simulation::new(cfg_with_flows(ReservationPolicy::WorkConserving), SimConfig::quick())
-            .unwrap()
-            .with_workload(wl)
-            .run();
+        let report = Simulation::new(
+            cfg_with_flows(ReservationPolicy::WorkConserving),
+            SimConfig::quick(),
+        )
+        .unwrap()
+        .with_workload(wl)
+        .run();
         for flow in [FlowId(0), FlowId(1)] {
             let jitter = report.flow_jitter[&flow];
-            assert!(
-                jitter <= 1.0,
-                "flow {flow} jitter {jitter} at load {load}"
-            );
+            assert!(jitter <= 1.0, "flow {flow} jitter {jitter} at load {load}");
             assert!(report.flow_latency[&flow].count > 50);
         }
     }
@@ -40,11 +38,14 @@ fn reserved_latency_is_load_independent() {
     let lat_at = |load: f64| {
         let wl = Workload::new(16, 4, TrafficPattern::Uniform)
             .injection(InjectionProcess::Bernoulli { flit_rate: load });
-        Simulation::new(cfg_with_flows(ReservationPolicy::WorkConserving), SimConfig::quick())
-            .unwrap()
-            .with_workload(wl)
-            .run()
-            .flow_latency[&FlowId(0)]
+        Simulation::new(
+            cfg_with_flows(ReservationPolicy::WorkConserving),
+            SimConfig::quick(),
+        )
+        .unwrap()
+        .with_workload(wl)
+        .run()
+        .flow_latency[&FlowId(0)]
             .mean
     };
     let idle = lat_at(0.0);

@@ -4,8 +4,8 @@ use ocin::core::ids::{Cycle, NodeId};
 use ocin::core::interface::DeliveredPacket;
 use ocin::core::{Network, NetworkConfig, PacketSpec};
 use ocin::services::{
-    LogicalWireRx, LogicalWireTx, MemoryClient, MemoryOp, MemoryServer, Message,
-    ReliableReceiver, ReliableSender, RetryConfig, StreamReceiver, StreamSender,
+    LogicalWireRx, LogicalWireTx, MemoryClient, MemoryOp, MemoryServer, Message, ReliableReceiver,
+    ReliableSender, RetryConfig, StreamReceiver, StreamSender,
 };
 
 fn send(net: &mut Network, src: NodeId, msg: &Message) {

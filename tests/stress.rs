@@ -41,7 +41,17 @@ fn scenarios() -> impl Strategy<Value = Scenario> {
         0u64..1000,
     )
         .prop_map(
-            |(topology, phits, protection, valiant, buf_depth, load, transient, stuck_fault, seed)| {
+            |(
+                topology,
+                phits,
+                protection,
+                valiant,
+                buf_depth,
+                load,
+                transient,
+                stuck_fault,
+                seed,
+            )| {
                 Scenario {
                     topology,
                     phits,

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of criterion's API that ocin's benches use —
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros
+//! — backed by a simple wall-clock measurement loop: warm up briefly,
+//! then time batches until the measurement budget is spent, and report
+//! the mean and best time per iteration (plus throughput when
+//! configured).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput units for a benchmark, reported as rate per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Filled in by [`Bencher::iter`]; read by the caller for reporting.
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly until the measurement
+    /// budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        // Measure one iteration to size batches so that each batch is
+        // long enough for the clock to be meaningful.
+        let t0 = Instant::now();
+        black_box(routine());
+        let probe = t0.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples = Vec::new();
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.settings.measurement_time
+            || samples.len() < self.settings.sample_size.min(3)
+        {
+            let b0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(b0.elapsed() / batch as u32);
+            total_iters += batch;
+            if samples.len() >= self.settings.sample_size
+                && start.elapsed() >= self.settings.measurement_time
+            {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let best = samples.iter().min().copied().unwrap_or(mean);
+        self.result = Some(Measurement {
+            mean,
+            best,
+            iters: total_iters,
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+fn report(id: &str, settings: &Settings, m: Measurement) {
+    let rate = settings.throughput.map(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) => n,
+            Throughput::Bytes(n) => n,
+        };
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        let secs = m.mean.as_secs_f64().max(1e-12);
+        format!("  {:.3e} {unit}", per_iter as f64 / secs)
+    });
+    println!(
+        "bench: {id:<44} mean {:>12?}  best {:>12?}  ({} iters){}",
+        m.mean,
+        m.best,
+        m.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warmup budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            settings: &self.settings,
+            result: None,
+        };
+        routine(&mut b, input);
+        if let Some(m) = b.result {
+            report(&format!("{}/{}", self.name, id), &self.settings, m);
+        }
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            settings: &self.settings,
+            result: None,
+        };
+        routine(&mut b);
+        if let Some(m) = b.result {
+            report(&format!("{}/{}", self.name, id), &self.settings, m);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the stand-in; kept
+    /// for `criterion_main!` compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a settings-sharing group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: Settings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` under `id` with default settings.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = Settings::default();
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        routine(&mut b);
+        if let Some(m) = b.result {
+            report(id, &settings, m);
+        }
+        self
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        acc
+    }
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("work", 100), &100u64, |b, &n| {
+            b.iter(|| work(n));
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| work(10)));
+    }
+}
