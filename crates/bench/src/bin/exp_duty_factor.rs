@@ -5,8 +5,8 @@
 //! across many signals. ... over 100% if we transmit several bits per
 //! cycle."
 
-use ocin_bench::{banner, check, f2, f3, quick_mode, sim_config};
-use ocin_core::NetworkConfig;
+use ocin_bench::{banner, check, f2, f3, probe_enabled, quick_mode, sim_config, write_metrics};
+use ocin_core::{NetworkConfig, ProbeConfig};
 use ocin_phys::{DutyFactorModel, SerialLinkModel, Technology};
 use ocin_sim::{Simulation, Table};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
@@ -39,10 +39,19 @@ fn main() {
     for &load in loads {
         let wl = Workload::new(16, 4, TrafficPattern::Uniform)
             .injection(InjectionProcess::Bernoulli { flit_rate: load });
-        let report = Simulation::new(NetworkConfig::paper_baseline(), sim_config())
+        let mut sim = Simulation::new(NetworkConfig::paper_baseline(), sim_config())
             .expect("valid")
-            .with_workload(wl)
-            .run();
+            .with_workload(wl);
+        if probe_enabled() {
+            sim = sim.with_probe(ProbeConfig::counters());
+        }
+        let report = sim.run();
+        if let Some(metrics) = report.metrics.as_ref() {
+            // The probe's per-port flit counters are the duty-factor
+            // measurement taken a second way: write the last load's
+            // snapshot for offline inspection.
+            write_metrics(metrics);
+        }
         let u = report.avg_link_utilization;
         let d1 = duty.network_duty(u, 1.0);
         let ds = duty.network_duty(u, serial);

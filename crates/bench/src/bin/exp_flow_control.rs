@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use ocin_bench::{banner, check, f1, f2, f3, quick_mode, sim_config};
+use ocin_bench::{banner, check, f1, f2, f3, probe_enabled, quick_mode, sim_config, write_metrics};
 use ocin_core::{FlowControl, NetworkConfig};
 use ocin_phys::{RouterAreaModel, Technology};
 use ocin_sim::{LoadSweep, SimPool, Simulation, Table};
@@ -124,6 +124,44 @@ fn main() {
             drop.buffer_bits < vc.buffer_bits / 10,
             "dropping needs <10% of the VC router's buffer bits",
         );
+    }
+
+    if probe_enabled() {
+        // Probed reference points: the drop and misroute counters come
+        // straight from the routers, cross-checking the report's
+        // aggregate drop/deflection statistics.
+        println!(
+            "\n--- probe: dropping vs deflection at {} flits/node/cycle ---\n",
+            loads[0]
+        );
+        for (name, fc) in [
+            ("dropping", FlowControl::Dropping),
+            ("deflection", FlowControl::Deflection),
+        ] {
+            let point = LoadSweep::new(
+                NetworkConfig::paper_baseline().with_flow_control(fc),
+                sim_config(),
+                Workload::new(16, 4, TrafficPattern::Uniform),
+            )
+            .with_pool(Arc::clone(&pool))
+            .with_probe(true)
+            .point(loads[0]);
+            let metrics = point
+                .report
+                .metrics
+                .as_ref()
+                .expect("probed run carries metrics");
+            println!(
+                "{name:>10}: forwarded {}  dropped {}  misrouted {}  delivered {}",
+                metrics.totals.flits_forwarded,
+                metrics.totals.packets_dropped,
+                metrics.totals.misroutes,
+                metrics.totals.packets_delivered,
+            );
+            if name == "deflection" {
+                write_metrics(metrics);
+            }
+        }
     }
 
     // Ablation: how much buffering does the VC router actually need?

@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use ocin_bench::{banner, check, f1, f3, quick_mode, sim_config};
+use ocin_bench::{banner, check, f1, f3, probe_enabled, quick_mode, sim_config, write_metrics};
 use ocin_core::{NetworkConfig, RoutingAlg, TopologySpec};
-use ocin_sim::{LoadSweep, SimPool, Table};
+use ocin_sim::{render_metrics_heatmap, LoadSweep, SimPool, Table};
 use ocin_traffic::{TrafficPattern, Workload};
 
 fn sweep(
@@ -142,6 +142,41 @@ fn main() {
             tval_acc > tmin_acc,
             "Valiant routing recovers tornado throughput that minimal routing loses on the torus",
         );
+    }
+
+    if probe_enabled() {
+        // Probed reference point: torus k = 4, uniform, highest swept
+        // load. Counters ride along without touching the measurements,
+        // so the table above is bit-identical with or without --probe.
+        println!(
+            "\n--- probe: torus k = 4, uniform, load {} ---\n",
+            loads[loads.len() - 1]
+        );
+        let point = sweep(
+            &pool,
+            TopologySpec::FoldedTorus { k: 4 },
+            16,
+            4,
+            TrafficPattern::Uniform,
+        )
+        .with_probe(true)
+        .point(loads[loads.len() - 1]);
+        let metrics = point
+            .report
+            .metrics
+            .as_ref()
+            .expect("probed run carries metrics");
+        println!(
+            "forwarded {}  vc allocs {}  conflicts {}  credit stalls {}  delivered {}",
+            metrics.totals.flits_forwarded,
+            metrics.totals.vc_allocations,
+            metrics.totals.alloc_conflicts,
+            metrics.totals.credit_stalls,
+            metrics.totals.packets_delivered,
+        );
+        println!("\nper-link utilization from probe counters:\n");
+        println!("{}", render_metrics_heatmap(metrics, 4));
+        write_metrics(metrics);
     }
 
     if !quick_mode() {

@@ -1,0 +1,80 @@
+//! Deterministic probe artifact dump for the CI determinism gate.
+//!
+//! Runs one fixed-seed probed simulation (torus k = 4, uniform
+//! Bernoulli traffic, trace ring enabled) and writes its
+//! [`NetworkMetrics`] JSON and event-trace text to an output directory
+//! (first argument, default `target/probe`). The run is configured
+//! identically regardless of `OCIN_QUICK`, so two invocations anywhere
+//! must produce byte-identical files — CI runs it twice and diffs.
+//!
+//! [`NetworkMetrics`]: ocin_core::NetworkMetrics
+
+use std::path::PathBuf;
+
+use ocin_core::{EventTrace, NetworkConfig, ProbeConfig, TopologySpec};
+use ocin_sim::{SimConfig, Simulation};
+use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/probe"));
+
+    // Fixed configuration: never varies with the environment.
+    let net_cfg = NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 4 });
+    let sim_cfg = SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 1_000,
+        drain_cycles: 2_000,
+        seed: 0xC0FFEE,
+    };
+    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: 0.3 });
+
+    let report = Simulation::new(net_cfg, sim_cfg)
+        .expect("fixed configuration is valid")
+        .with_workload(wl)
+        .with_probe(ProbeConfig::counters().with_trace(4096))
+        .run();
+    let metrics = report.metrics.as_ref().expect("probed run carries metrics");
+
+    // Cross-layer invariants the determinism gate relies on: the probe
+    // counted the same events the simulator reported.
+    assert_eq!(
+        metrics.totals.packets_dropped, report.packets_dropped,
+        "probe drop counter disagrees with SimReport"
+    );
+    assert_eq!(
+        metrics.totals.misroutes, report.deflections,
+        "probe misroute counter disagrees with SimReport"
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let json_path = out_dir.join("metrics.json");
+    let events_path = out_dir.join("events.txt");
+    let json = metrics.to_json();
+    let events = metrics.trace.to_text();
+    // The trace must survive its own text format round-trip.
+    let reread = EventTrace::from_text(&events).expect("trace round-trips");
+    assert_eq!(reread.len(), metrics.trace.len());
+    std::fs::write(&json_path, &json).expect("write metrics.json");
+    std::fs::write(&events_path, &events).expect("write events.txt");
+
+    println!(
+        "wrote {} ({} bytes) and {} ({} events retained of {} recorded)",
+        json_path.display(),
+        json.len(),
+        events_path.display(),
+        metrics.trace.len(),
+        metrics.trace_recorded,
+    );
+    println!(
+        "totals: forwarded {} injected {} delivered {} stalls {} conflicts {}",
+        metrics.totals.flits_forwarded,
+        metrics.totals.packets_injected,
+        metrics.totals.packets_delivered,
+        metrics.totals.credit_stalls,
+        metrics.totals.alloc_conflicts,
+    );
+}

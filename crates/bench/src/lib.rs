@@ -13,6 +13,7 @@
 //! Set `OCIN_QUICK=1` to shorten simulation windows (used by the test
 //! suite to smoke-run every experiment).
 
+use ocin_core::NetworkMetrics;
 use ocin_sim::SimConfig;
 
 /// Simulation phases for experiments: standard, or quick when
@@ -33,6 +34,46 @@ pub fn sim_config() -> SimConfig {
 /// Whether `OCIN_QUICK=1` (shorter runs, same shapes).
 pub fn quick_mode() -> bool {
     std::env::var("OCIN_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Whether probing was requested: `--probe` on the command line or
+/// `OCIN_PROBE=1`. Probed runs attach an observability probe and write
+/// a `metrics.json` snapshot (see [`write_metrics`]).
+pub fn probe_enabled() -> bool {
+    std::env::args().any(|a| a == "--probe") || std::env::var("OCIN_PROBE").is_ok_and(|v| v == "1")
+}
+
+/// Where probed experiments write their metrics snapshot:
+/// `OCIN_METRICS_OUT` if set, else `metrics.json` in the working
+/// directory.
+pub fn metrics_path() -> std::path::PathBuf {
+    std::env::var_os("OCIN_METRICS_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("metrics.json"))
+}
+
+/// Writes `metrics` as deterministic JSON to [`metrics_path`] and
+/// prints a one-line summary.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (the experiment's output is the
+/// point of the run).
+pub fn write_metrics(metrics: &NetworkMetrics) {
+    let path = metrics_path();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create metrics output directory");
+    }
+    std::fs::write(&path, metrics.to_json()).expect("write metrics.json");
+    let lat = metrics.aggregate_latency();
+    println!(
+        "probe: wrote {} ({} routers, {} flits forwarded, {} delivered, mean latency {:.2})",
+        path.display(),
+        metrics.nodes,
+        metrics.totals.flits_forwarded,
+        metrics.totals.packets_delivered,
+        lat.mean(),
+    );
 }
 
 /// Prints the experiment banner: id, paper section, and the claim being

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use crate::error::Error;
 use crate::flit::{Flit, Payload, ServiceClass};
 use crate::ids::{Cycle, FlowId, NodeId, PacketId, VcId};
+use crate::probe::Probe;
 
 /// A packet delivered by the network to a tile's output port.
 #[derive(Debug, Clone)]
@@ -208,13 +209,13 @@ impl TileInterface {
     }
 
     /// Accepts a flit from the tile output port, reassembling packets per
-    /// virtual channel.
+    /// virtual channel. Completed packets are reported to `probe`.
     ///
     /// # Panics
     ///
     /// Panics on protocol violations (body flit with no open packet),
     /// which indicate a router bug.
-    pub fn receive(&mut self, flit: Flit, now: Cycle) {
+    pub fn receive(&mut self, flit: Flit, now: Cycle, probe: &mut dyn Probe) {
         let v = flit.link_vc.index();
         if flit.kind.is_head() {
             assert!(
@@ -232,6 +233,13 @@ impl TileInterface {
         if flit.kind.is_tail() {
             let r = self.reassembly[v].take().expect("open packet");
             let head = r.flits[0];
+            probe.packet_delivered(
+                now,
+                head.meta.src,
+                self.node,
+                head.meta.packet,
+                now - head.meta.injected_at,
+            );
             self.delivered.push_back(DeliveredPacket {
                 id: head.meta.packet,
                 src: head.meta.src,
@@ -265,6 +273,7 @@ mod tests {
     use super::*;
     use crate::flit::{FlitKind, FlitMeta, SizeCode, VcMask};
     use crate::ids::Direction;
+    use crate::probe::NoProbe;
     use crate::route::SourceRoute;
 
     fn flit(kind: FlitKind, class: ServiceClass, packet: u64, idx: u16) -> Flit {
@@ -370,10 +379,10 @@ mod tests {
         h2.link_vc = VcId::new(1);
         let mut t2 = flit(FlitKind::Tail, ServiceClass::Bulk, 2, 1);
         t2.link_vc = VcId::new(1);
-        i.receive(h1, 10);
-        i.receive(h2, 11);
-        i.receive(t2, 12);
-        i.receive(t1, 13);
+        i.receive(h1, 10, &mut NoProbe);
+        i.receive(h2, 11, &mut NoProbe);
+        i.receive(t2, 12, &mut NoProbe);
+        i.receive(t1, 13, &mut NoProbe);
         let d = i.drain_delivered();
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].id, PacketId(2));
@@ -388,8 +397,8 @@ mod tests {
         let mut h = flit(FlitKind::Head, ServiceClass::Bulk, 1, 0);
         h.meta.corrupted = true;
         let t = flit(FlitKind::Tail, ServiceClass::Bulk, 1, 1);
-        i.receive(h, 0);
-        i.receive(t, 1);
+        i.receive(h, 0, &mut NoProbe);
+        i.receive(t, 1, &mut NoProbe);
         assert!(i.drain_delivered()[0].corrupted);
     }
 

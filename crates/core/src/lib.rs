@@ -62,6 +62,7 @@ pub mod flit;
 pub mod ids;
 pub mod interface;
 pub mod network;
+pub mod probe;
 pub mod reservation;
 pub mod route;
 pub mod router;
@@ -79,6 +80,10 @@ pub use flit::{Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask
 pub use ids::{Coord, Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
 pub use interface::{DeliveredPacket, TileInterface};
 pub use network::{EnergyCounters, LinkLoad, Network, NetworkStats, PacketSpec};
+pub use probe::{
+    EventKind, EventTrace, LatencyHistogram, MetricsTotals, NetworkMetrics, NetworkProbe, NoProbe,
+    PairLatency, Probe, ProbeConfig, ProbeEvent, RouterProbe,
+};
 pub use reservation::{ReservationError, ReservationTable, StaticFlowSpec};
 pub use route::{RouteError, SourceRoute, Turn};
 pub use topology::{FoldedTorus2D, Mesh2D, Ring, Topology};

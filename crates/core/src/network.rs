@@ -17,6 +17,7 @@ use crate::flit::{
 };
 use crate::ids::{Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
 use crate::interface::{DeliveredPacket, TileInterface};
+use crate::probe::{NetworkProbe, NoProbe, Probe};
 use crate::reservation::ReservationTable;
 use crate::route::{RouteError, SourceRoute};
 use crate::router::{DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, VcRouter};
@@ -183,6 +184,8 @@ pub struct Network {
     stats: NetworkStats,
     /// Per-link-traversal probability of a transient single-bit upset.
     transient_rate: f64,
+    /// Attached observability collector; `None` costs only the check.
+    probe: Option<Box<NetworkProbe>>,
 }
 
 impl std::fmt::Debug for Network {
@@ -288,9 +291,27 @@ impl Network {
             rng: XorShift64::new(cfg.seed),
             stats: NetworkStats::default(),
             transient_rate: 0.0,
+            probe: None,
             topo,
             cfg,
         })
+    }
+
+    /// Attaches an observability probe; subsequent cycles report into it.
+    /// Replaces any previously attached probe. Probes are purely
+    /// observational: attaching one never changes simulation behaviour.
+    pub fn attach_probe(&mut self, probe: NetworkProbe) {
+        self.probe = Some(Box::new(probe));
+    }
+
+    /// Detaches and returns the probe, if one is attached.
+    pub fn take_probe(&mut self) -> Option<NetworkProbe> {
+        self.probe.take().map(|b| *b)
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&NetworkProbe> {
+        self.probe.as_deref()
     }
 
     /// The active configuration.
@@ -475,6 +496,9 @@ impl Network {
         let flits = Self::flitize(&spec, id, route, self.cycle, packet_mask, valiant_boundary);
         iface.enqueue_packet(vc, flits).expect("space was checked");
         self.stats.packets_injected += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            Probe::packet_injected(p, self.cycle, spec.src, spec.dst, id);
+        }
         Ok(id)
     }
 
@@ -579,6 +603,14 @@ impl Network {
     /// Advances the network one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+        // The probe moves out of `self` for the cycle so routers and
+        // interfaces can borrow it alongside the rest of the network.
+        let mut probe_slot = self.probe.take();
+        let mut noop = NoProbe;
+        let probe: &mut dyn Probe = match probe_slot.as_deref_mut() {
+            Some(p) => p,
+            None => &mut noop,
+        };
 
         // 1. Channel deliveries: flits reach downstream routers.
         for ci in 0..self.channels.len() {
@@ -649,7 +681,7 @@ impl Network {
                 }
                 let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
                 let vc = flit.link_vc;
-                self.interfaces[node].receive(flit, now);
+                self.interfaces[node].receive(flit, now, probe);
                 self.routers[node].credit_arrived(Port::Tile, vc);
             }
         }
@@ -690,7 +722,7 @@ impl Network {
                     .map(|t| (t, self.cfg.reservation_policy)),
                 topo: self.topo.as_ref(),
             };
-            let (output, consumed) = self.routers[node].evaluate(&env, offered);
+            let (output, consumed) = self.routers[node].evaluate(&env, offered, probe);
             if consumed {
                 // The router used its copy of the peeked flit; remove the
                 // original from the interface queue.
@@ -698,9 +730,17 @@ impl Network {
                     .pick_injection(now)
                     .expect("peeked flit still queued");
             }
-            self.apply_router_output(node, output, now);
+            self.apply_router_output(node, output, now, probe);
         }
 
+        // Per-cycle buffer-occupancy integral, sampled only when a probe
+        // is attached so unprobed runs skip the per-router walk entirely.
+        if let Some(p) = probe_slot.as_deref_mut() {
+            for (i, r) in self.routers.iter().enumerate() {
+                Probe::buffer_sample(p, NodeId::new(i as u16), r.occupancy());
+            }
+        }
+        self.probe = probe_slot;
         self.cycle = now + 1;
     }
 
@@ -709,6 +749,7 @@ impl Network {
         node: usize,
         output: crate::router::RouterOutput,
         now: Cycle,
+        probe: &mut dyn Probe,
     ) {
         let secded = self.cfg.link_protection == crate::config::LinkProtection::Secded;
         // SEC-DED decode costs one extra cycle per link traversal, and a
@@ -724,6 +765,13 @@ impl Network {
             let bits = flit.active_bits() as u64;
             self.stats.energy.flit_hops += 1;
             self.stats.energy.hop_bits += bits;
+            probe.flit_forwarded(
+                now,
+                NodeId::new(node as u16),
+                port,
+                flit.link_vc,
+                flit.meta.packet,
+            );
             match port {
                 Port::Dir(d) => {
                     let ci = self.chan_idx[node][d.index()]

@@ -1,0 +1,1057 @@
+//! Cycle-accurate observability: per-router/per-port/per-VC counters, a
+//! bounded event trace, and per-source→destination latency histograms.
+//!
+//! The paper's arguments (§3–§4) are about *where* cycles and energy go —
+//! channel utilization, VC occupancy, blocking at the switch allocator —
+//! so the simulator exposes those locations directly instead of only
+//! end-to-end aggregates.
+//!
+//! The design has two halves:
+//!
+//! * [`Probe`] is the observation interface threaded through
+//!   [`crate::network::Network`], the three router cores, and
+//!   [`crate::interface::TileInterface`]. Every method has a no-op
+//!   default, and [`NoProbe`] implements exactly those defaults, so an
+//!   uninstrumented simulation pays only a handful of never-taken
+//!   branches: probes observe and never mutate simulation state, which is
+//!   what keeps a probed run bit-identical to an unprobed one.
+//! * [`NetworkProbe`] is the concrete collector: per-router
+//!   [`RouterProbe`] counter blocks, an optional bounded ring-buffer
+//!   [`EventTrace`], and per-(src, dst) [`LatencyHistogram`]s. A finished
+//!   run is snapshotted into a [`NetworkMetrics`] value that serializes
+//!   to deterministic JSON (`metrics.json`) and to the same versioned
+//!   text convention the traffic traces use.
+//!
+//! ```
+//! use ocin_core::{Network, NetworkConfig, PacketSpec};
+//! use ocin_core::probe::{NetworkProbe, ProbeConfig};
+//!
+//! # fn main() -> Result<(), ocin_core::Error> {
+//! let mut net = Network::new(NetworkConfig::paper_baseline())?;
+//! net.attach_probe(NetworkProbe::for_network(
+//!     net.config(),
+//!     ProbeConfig::counters().with_trace(256),
+//! ));
+//! net.inject(PacketSpec::new(0.into(), 10.into()))?;
+//! net.drain(200);
+//! let metrics = net.take_probe().expect("attached above").into_metrics(net.cycle());
+//! assert_eq!(metrics.totals.packets_delivered, 1);
+//! assert_eq!(metrics.totals.flits_forwarded, net.stats().energy.flit_hops);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::config::NetworkConfig;
+use crate::ids::{Cycle, NodeId, PacketId, Port, VcId};
+
+/// Number of power-of-two latency buckets ([`LatencyHistogram`]).
+///
+/// Bucket `i` holds latencies in `[2^(i-1), 2^i)` (bucket 0 holds 0);
+/// 32 buckets cover every latency below 2³¹ cycles.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The observation interface the network and routers report into.
+///
+/// All methods default to no-ops; implementors override the events they
+/// care about. Probes must be *passive*: nothing the simulator does may
+/// depend on a probe's state, so instrumented and uninstrumented runs of
+/// the same seed stay bit-identical.
+pub trait Probe {
+    /// A packet was accepted at its source tile port.
+    fn packet_injected(&mut self, _now: Cycle, _src: NodeId, _dst: NodeId, _packet: PacketId) {}
+
+    /// A flit launched from `node` through output `port` on channel `vc`.
+    fn flit_forwarded(
+        &mut self,
+        _now: Cycle,
+        _node: NodeId,
+        _port: Port,
+        _vc: VcId,
+        _packet: PacketId,
+    ) {
+    }
+
+    /// A waiting head flit was granted output virtual channel `vc`.
+    fn vc_allocated(&mut self, _now: Cycle, _node: NodeId, _port: Port, _vc: VcId) {}
+
+    /// A head flit requested an output VC on `port` and none was free.
+    fn alloc_conflict(&mut self, _now: Cycle, _node: NodeId, _port: Port) {}
+
+    /// A flit was ready to traverse the switch but its output VC had no
+    /// downstream credit.
+    fn credit_stall(&mut self, _now: Cycle, _node: NodeId, _port: Port, _vc: VcId) {}
+
+    /// A higher-class flit took the link while a lower-class flit sat
+    /// staged for the same output (the paper's §2.2 preemption).
+    fn preemption(&mut self, _now: Cycle, _node: NodeId, _port: Port) {}
+
+    /// A packet was dropped at `node` (dropping flow control).
+    fn packet_dropped(&mut self, _now: Cycle, _node: NodeId, _packet: PacketId) {}
+
+    /// A flit was deflected out a non-productive port at `node`.
+    fn misroute(&mut self, _now: Cycle, _node: NodeId, _packet: PacketId) {}
+
+    /// A packet's tail reached its destination tile port.
+    fn packet_delivered(
+        &mut self,
+        _now: Cycle,
+        _src: NodeId,
+        _dst: NodeId,
+        _packet: PacketId,
+        _network_latency: Cycle,
+    ) {
+    }
+
+    /// Per-cycle sample of the flits buffered inside `node`'s router.
+    fn buffer_sample(&mut self, _node: NodeId, _occupancy: usize) {}
+}
+
+/// The always-disabled probe: every event is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// What a [`NetworkProbe`] collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Ring-buffer capacity of the event trace (0 disables tracing;
+    /// counters and histograms are always collected).
+    pub trace_capacity: usize,
+}
+
+impl ProbeConfig {
+    /// Counters and histograms only, no event trace.
+    pub fn counters() -> ProbeConfig {
+        ProbeConfig { trace_capacity: 0 }
+    }
+
+    /// Adds a bounded event trace of at most `capacity` records (the
+    /// oldest records are evicted first).
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> ProbeConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig::counters()
+    }
+}
+
+/// Counter block for one output port of one router.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Flits launched through this port.
+    pub flits_forwarded: u64,
+    /// Flits launched per output VC (indexed by VC id).
+    pub per_vc_forwarded: Vec<u64>,
+    /// Output VCs granted to waiting head flits.
+    pub vc_allocations: u64,
+    /// VC requests that found every permitted output VC taken.
+    pub alloc_conflicts: u64,
+    /// Switch-traversal attempts blocked on a missing downstream credit.
+    pub credit_stalls: u64,
+    /// Link grants that bypassed a staged lower-class flit.
+    pub preemptions: u64,
+}
+
+/// Counter block for one router.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterProbe {
+    /// Per-output-port counters (indexed by [`Port::index`]).
+    pub ports: Vec<PortCounters>,
+    /// Sum over cycles of flits buffered in this router — divide by the
+    /// simulated cycles for the mean buffer occupancy.
+    pub occupancy_integral: u64,
+    /// Packets dropped here (dropping flow control).
+    pub packets_dropped: u64,
+    /// Deflections assigned here (deflection flow control).
+    pub misroutes: u64,
+}
+
+impl RouterProbe {
+    fn new(num_vcs: usize) -> RouterProbe {
+        RouterProbe {
+            ports: (0..Port::COUNT)
+                .map(|_| PortCounters {
+                    per_vc_forwarded: vec![0; num_vcs],
+                    ..PortCounters::default()
+                })
+                .collect(),
+            ..RouterProbe::default()
+        }
+    }
+
+    /// Total flits launched from this router (all ports).
+    pub fn flits_forwarded(&self) -> u64 {
+        self.ports.iter().map(|p| p.flits_forwarded).sum()
+    }
+}
+
+/// The kind of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Packet accepted at its source tile port.
+    Inject,
+    /// Flit launched through a router output port.
+    Hop,
+    /// Output virtual channel granted.
+    VcAlloc,
+    /// Packet tail delivered to its destination tile.
+    Deliver,
+    /// Packet dropped (dropping flow control).
+    Drop,
+    /// Flit deflected (deflection flow control).
+    Misroute,
+}
+
+impl EventKind {
+    /// One-letter code used by the text serialization.
+    pub const fn code(self) -> char {
+        match self {
+            EventKind::Inject => 'I',
+            EventKind::Hop => 'H',
+            EventKind::VcAlloc => 'V',
+            EventKind::Deliver => 'D',
+            EventKind::Drop => 'X',
+            EventKind::Misroute => 'M',
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    pub fn from_code(c: char) -> Option<EventKind> {
+        Some(match c {
+            'I' => EventKind::Inject,
+            'H' => EventKind::Hop,
+            'V' => EventKind::VcAlloc,
+            'D' => EventKind::Deliver,
+            'X' => EventKind::Drop,
+            'M' => EventKind::Misroute,
+            _ => return None,
+        })
+    }
+}
+
+/// One traced event, cycle-stamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// Cycle the event occurred.
+    pub cycle: Cycle,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Router/tile where the event occurred (the *source* for
+    /// [`EventKind::Inject`], the *destination* for
+    /// [`EventKind::Deliver`]).
+    pub node: u16,
+    /// Output port index ([`Port::index`]); 0 where not meaningful.
+    pub port: u8,
+    /// Virtual channel; 0 where not meaningful.
+    pub vc: u8,
+    /// Packet the event belongs to; 0 where not meaningful.
+    pub packet: u64,
+}
+
+/// A bounded ring buffer of [`ProbeEvent`]s: pushing beyond capacity
+/// evicts the oldest record, so memory stays constant however long the
+/// simulation runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTrace {
+    capacity: usize,
+    events: VecDeque<ProbeEvent>,
+    /// Events observed in total, including those evicted.
+    pub recorded: u64,
+}
+
+impl EventTrace {
+    /// A trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventTrace {
+        EventTrace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. No-op when the
+    /// capacity is 0.
+    pub fn push(&mut self, event: ProbeEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.recorded += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ProbeEvent> {
+        self.events.iter()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serializes to the versioned text form: a header line followed by
+    /// one `cycle kind node port vc packet` line per event. Stable across
+    /// releases; parse with [`EventTrace::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(24 + self.events.len() * 24);
+        out.push_str("ocin-events v1\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{} {} {} {} {} {}\n",
+                e.cycle,
+                e.kind.code(),
+                e.node,
+                e.port,
+                e.vc,
+                e.packet
+            ));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`EventTrace::to_text`]. The
+    /// resulting trace's capacity equals its event count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<EventTrace, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("ocin-events v1") => {}
+            other => return Err(format!("bad events header: {other:?}")),
+        }
+        let mut events = VecDeque::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_ascii_whitespace();
+            let mut next = |what: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {what}", i + 2))
+            };
+            let parse_num = |s: &str| -> Result<u64, String> {
+                s.parse()
+                    .map_err(|_| format!("line {}: bad field {s:?}", i + 2))
+            };
+            let cycle = parse_num(next("cycle")?)?;
+            let kind_field = next("kind")?;
+            let kind = kind_field
+                .chars()
+                .next()
+                .and_then(EventKind::from_code)
+                .filter(|_| kind_field.len() == 1)
+                .ok_or_else(|| format!("line {}: bad kind {kind_field:?}", i + 2))?;
+            let node = parse_num(next("node")?)? as u16;
+            let port = parse_num(next("port")?)? as u8;
+            let vc = parse_num(next("vc")?)? as u8;
+            let packet = parse_num(next("packet")?)?;
+            events.push_back(ProbeEvent {
+                cycle,
+                kind,
+                node,
+                port,
+                vc,
+                packet,
+            });
+        }
+        Ok(EventTrace {
+            capacity: events.len(),
+            recorded: events.len() as u64,
+            events,
+        })
+    }
+}
+
+/// A power-of-two-bucket latency histogram: constant memory however many
+/// packets are observed, exact count/sum/min/max, and bucket-resolution
+/// percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples (for the exact mean).
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Bucket `i` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts 0.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index for `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i` (the value a percentile estimate
+    /// reports).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution `p`-th percentile: the floor of the bucket
+    /// containing the nearest-rank sample (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// The concrete probe: per-router counters, per-pair latency histograms,
+/// and an optional bounded event trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProbe {
+    cfg: ProbeConfig,
+    /// Per-router counter blocks, indexed by node.
+    pub routers: Vec<RouterProbe>,
+    /// Latency histograms keyed by (source, destination); a `BTreeMap`
+    /// so every serialization of the same run is byte-identical.
+    pub pair_latency: BTreeMap<(NodeId, NodeId), LatencyHistogram>,
+    /// The bounded event trace (empty unless configured).
+    pub trace: EventTrace,
+    /// Packets accepted at source tile ports.
+    pub packets_injected: u64,
+    /// Packet tails delivered to destination tiles.
+    pub packets_delivered: u64,
+}
+
+impl NetworkProbe {
+    /// A probe for a network of `nodes` routers with `num_vcs` virtual
+    /// channels each.
+    pub fn new(nodes: usize, num_vcs: usize, cfg: ProbeConfig) -> NetworkProbe {
+        NetworkProbe {
+            cfg,
+            routers: (0..nodes).map(|_| RouterProbe::new(num_vcs)).collect(),
+            pair_latency: BTreeMap::new(),
+            trace: EventTrace::new(cfg.trace_capacity),
+            packets_injected: 0,
+            packets_delivered: 0,
+        }
+    }
+
+    /// A probe sized for `net_cfg`'s topology and VC plan.
+    pub fn for_network(net_cfg: &NetworkConfig, cfg: ProbeConfig) -> NetworkProbe {
+        NetworkProbe::new(
+            net_cfg.topology.build().num_nodes(),
+            net_cfg.vc_plan.num_vcs,
+            cfg,
+        )
+    }
+
+    /// The configuration this probe was built with.
+    pub fn config(&self) -> ProbeConfig {
+        self.cfg
+    }
+
+    /// Total flits forwarded network-wide (all routers, all ports).
+    pub fn total_forwarded(&self) -> u64 {
+        self.routers.iter().map(RouterProbe::flits_forwarded).sum()
+    }
+
+    /// Consumes the probe into a serializable [`NetworkMetrics`]
+    /// snapshot; `cycles` is the simulated-cycle count the occupancy
+    /// integral and utilizations are normalized by.
+    pub fn into_metrics(self, cycles: Cycle) -> NetworkMetrics {
+        NetworkMetrics::from_probe(self, cycles)
+    }
+}
+
+impl Probe for NetworkProbe {
+    fn packet_injected(&mut self, now: Cycle, src: NodeId, _dst: NodeId, packet: PacketId) {
+        self.packets_injected += 1;
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Inject,
+            node: src.index() as u16,
+            port: 0,
+            vc: 0,
+            packet: packet.0,
+        });
+    }
+
+    fn flit_forwarded(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
+        let pc = &mut self.routers[node.index()].ports[port.index()];
+        pc.flits_forwarded += 1;
+        if let Some(slot) = pc.per_vc_forwarded.get_mut(vc.index()) {
+            *slot += 1;
+        }
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Hop,
+            node: node.index() as u16,
+            port: port.index() as u8,
+            vc: vc.index() as u8,
+            packet: packet.0,
+        });
+    }
+
+    fn vc_allocated(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId) {
+        self.routers[node.index()].ports[port.index()].vc_allocations += 1;
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::VcAlloc,
+            node: node.index() as u16,
+            port: port.index() as u8,
+            vc: vc.index() as u8,
+            packet: 0,
+        });
+    }
+
+    fn alloc_conflict(&mut self, _now: Cycle, node: NodeId, port: Port) {
+        self.routers[node.index()].ports[port.index()].alloc_conflicts += 1;
+    }
+
+    fn credit_stall(&mut self, _now: Cycle, node: NodeId, port: Port, _vc: VcId) {
+        self.routers[node.index()].ports[port.index()].credit_stalls += 1;
+    }
+
+    fn preemption(&mut self, _now: Cycle, node: NodeId, port: Port) {
+        self.routers[node.index()].ports[port.index()].preemptions += 1;
+    }
+
+    fn packet_dropped(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.routers[node.index()].packets_dropped += 1;
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Drop,
+            node: node.index() as u16,
+            port: 0,
+            vc: 0,
+            packet: packet.0,
+        });
+    }
+
+    fn misroute(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.routers[node.index()].misroutes += 1;
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Misroute,
+            node: node.index() as u16,
+            port: 0,
+            vc: 0,
+            packet: packet.0,
+        });
+    }
+
+    fn packet_delivered(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        packet: PacketId,
+        network_latency: Cycle,
+    ) {
+        self.packets_delivered += 1;
+        self.pair_latency
+            .entry((src, dst))
+            .or_default()
+            .record(network_latency);
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Deliver,
+            node: dst.index() as u16,
+            port: Port::Tile.index() as u8,
+            vc: 0,
+            packet: packet.0,
+        });
+    }
+
+    fn buffer_sample(&mut self, node: NodeId, occupancy: usize) {
+        self.routers[node.index()].occupancy_integral += occupancy as u64;
+    }
+}
+
+/// Network-wide counter totals (sums of the per-router blocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsTotals {
+    /// Flits launched through router output ports.
+    pub flits_forwarded: u64,
+    /// Output VCs granted.
+    pub vc_allocations: u64,
+    /// VC requests denied for lack of a free output VC.
+    pub alloc_conflicts: u64,
+    /// Switch traversals blocked on downstream credits.
+    pub credit_stalls: u64,
+    /// Link grants that bypassed a staged lower-class flit.
+    pub preemptions: u64,
+    /// Packets dropped (dropping flow control).
+    pub packets_dropped: u64,
+    /// Deflections (deflection flow control).
+    pub misroutes: u64,
+    /// Packets accepted at source tile ports.
+    pub packets_injected: u64,
+    /// Packet tails delivered.
+    pub packets_delivered: u64,
+    /// Sum over cycles and routers of buffered flits.
+    pub occupancy_integral: u64,
+}
+
+/// Latency summary for one (source, destination) pair, derived from its
+/// [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairLatency {
+    /// Source tile.
+    pub src: u16,
+    /// Destination tile.
+    pub dst: u16,
+    /// Packets measured.
+    pub count: u64,
+    /// Exact mean latency, cycles.
+    pub mean: f64,
+    /// Minimum latency, cycles.
+    pub min: u64,
+    /// Maximum latency, cycles.
+    pub max: u64,
+    /// Median (bucket resolution), cycles.
+    pub p50: u64,
+    /// 99th percentile (bucket resolution), cycles.
+    pub p99: u64,
+}
+
+/// A finished run's observability snapshot: totals, per-router counter
+/// blocks, per-pair latency summaries, and the event-trace size.
+///
+/// Serializes to deterministic JSON with [`NetworkMetrics::to_json`] —
+/// same run, same bytes — which is what the CI golden-trace gate diffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkMetrics {
+    /// Cycles the probed network simulated.
+    pub cycles: Cycle,
+    /// Router count.
+    pub nodes: usize,
+    /// Network-wide totals.
+    pub totals: MetricsTotals,
+    /// Per-router counter blocks, indexed by node.
+    pub routers: Vec<RouterProbe>,
+    /// Per-(src, dst) latency summaries, sorted by (src, dst).
+    pub pairs: Vec<PairLatency>,
+    /// Full per-pair histograms, sorted by (src, dst).
+    pub pair_histograms: Vec<((NodeId, NodeId), LatencyHistogram)>,
+    /// Events the trace observed in total (including evicted records).
+    pub trace_recorded: u64,
+    /// The retained event trace.
+    pub trace: EventTrace,
+}
+
+impl NetworkMetrics {
+    fn from_probe(probe: NetworkProbe, cycles: Cycle) -> NetworkMetrics {
+        let mut totals = MetricsTotals {
+            packets_injected: probe.packets_injected,
+            packets_delivered: probe.packets_delivered,
+            ..MetricsTotals::default()
+        };
+        for r in &probe.routers {
+            for p in &r.ports {
+                totals.flits_forwarded += p.flits_forwarded;
+                totals.vc_allocations += p.vc_allocations;
+                totals.alloc_conflicts += p.alloc_conflicts;
+                totals.credit_stalls += p.credit_stalls;
+                totals.preemptions += p.preemptions;
+            }
+            totals.packets_dropped += r.packets_dropped;
+            totals.misroutes += r.misroutes;
+            totals.occupancy_integral += r.occupancy_integral;
+        }
+        let pairs = probe
+            .pair_latency
+            .iter()
+            .map(|(&(src, dst), h)| PairLatency {
+                src: src.index() as u16,
+                dst: dst.index() as u16,
+                count: h.count,
+                mean: h.mean(),
+                min: if h.count == 0 { 0 } else { h.min },
+                max: h.max,
+                p50: h.percentile(50.0),
+                p99: h.percentile(99.0),
+            })
+            .collect();
+        NetworkMetrics {
+            cycles,
+            nodes: probe.routers.len(),
+            totals,
+            routers: probe.routers,
+            pairs,
+            pair_histograms: probe.pair_latency.into_iter().collect(),
+            trace_recorded: probe.trace.recorded,
+            trace: probe.trace,
+        }
+    }
+
+    /// Latency histogram aggregated over every (src, dst) pair.
+    pub fn aggregate_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for (_, h) in &self.pair_histograms {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// Measured utilization (flits/cycle) of the link leaving `node`
+    /// through direction-port index `port` (`None` if out of range).
+    pub fn link_utilization(&self, node: usize, port: usize) -> Option<f64> {
+        let cycles = self.cycles.max(1) as f64;
+        self.routers
+            .get(node)
+            .and_then(|r| r.ports.get(port))
+            .map(|p| p.flits_forwarded as f64 / cycles)
+    }
+
+    /// Serializes to deterministic JSON: fixed key order, sorted pairs,
+    /// no floating-point noise (`mean` is printed with 6 decimals). Two
+    /// identical runs serialize to identical bytes — the property the CI
+    /// determinism gate checks.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(4096);
+        let t = &self.totals;
+        let _ = write!(
+            s,
+            "{{\n  \"version\": 1,\n  \"cycles\": {},\n  \"nodes\": {},\n  \"totals\": {{\
+             \"flits_forwarded\": {}, \"vc_allocations\": {}, \"alloc_conflicts\": {}, \
+             \"credit_stalls\": {}, \"preemptions\": {}, \"packets_dropped\": {}, \
+             \"misroutes\": {}, \"packets_injected\": {}, \"packets_delivered\": {}, \
+             \"occupancy_integral\": {}}},\n  \"routers\": [",
+            self.cycles,
+            self.nodes,
+            t.flits_forwarded,
+            t.vc_allocations,
+            t.alloc_conflicts,
+            t.credit_stalls,
+            t.preemptions,
+            t.packets_dropped,
+            t.misroutes,
+            t.packets_injected,
+            t.packets_delivered,
+            t.occupancy_integral,
+        );
+        for (i, r) in self.routers.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let per_port: Vec<String> = r
+                .ports
+                .iter()
+                .map(|p| p.flits_forwarded.to_string())
+                .collect();
+            let per_vc = r.ports.iter().fold(
+                vec![0u64; r.ports.first().map_or(0, |p| p.per_vc_forwarded.len())],
+                |mut acc, p| {
+                    for (a, b) in acc.iter_mut().zip(p.per_vc_forwarded.iter()) {
+                        *a += b;
+                    }
+                    acc
+                },
+            );
+            let per_vc: Vec<String> = per_vc.iter().map(u64::to_string).collect();
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"node\": {i}, \"forwarded_per_port\": [{}], \
+                 \"forwarded_per_vc\": [{}], \"vc_allocations\": {}, \"alloc_conflicts\": {}, \
+                 \"credit_stalls\": {}, \"preemptions\": {}, \"drops\": {}, \"misroutes\": {}, \
+                 \"occupancy_integral\": {}}}",
+                per_port.join(", "),
+                per_vc.join(", "),
+                r.ports.iter().map(|p| p.vc_allocations).sum::<u64>(),
+                r.ports.iter().map(|p| p.alloc_conflicts).sum::<u64>(),
+                r.ports.iter().map(|p| p.credit_stalls).sum::<u64>(),
+                r.ports.iter().map(|p| p.preemptions).sum::<u64>(),
+                r.packets_dropped,
+                r.misroutes,
+                r.occupancy_integral,
+            );
+        }
+        s.push_str("\n  ],\n  \"pairs\": [");
+        for (i, p) in self.pairs.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"src\": {}, \"dst\": {}, \"count\": {}, \"mean\": {:.6}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+                p.src, p.dst, p.count, p.mean, p.min, p.max, p.p50, p.p99,
+            );
+        }
+        let _ = write!(
+            s,
+            "\n  ],\n  \"trace_recorded\": {},\n  \"trace_retained\": {}\n}}\n",
+            self.trace_recorded,
+            self.trace.len(),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(cycle: Cycle, kind: EventKind, packet: u64) -> ProbeEvent {
+        ProbeEvent {
+            cycle,
+            kind,
+            node: 3,
+            port: 1,
+            vc: 2,
+            packet,
+        }
+    }
+
+    #[test]
+    fn no_probe_is_inert() {
+        let mut p = NoProbe;
+        p.packet_injected(0, 0.into(), 1.into(), PacketId(0));
+        p.flit_forwarded(0, 0.into(), Port::Tile, VcId::new(0), PacketId(0));
+        p.buffer_sample(0.into(), 7);
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_evicts_oldest() {
+        let mut t = EventTrace::new(3);
+        for i in 0..10 {
+            t.push(event(i, EventKind::Hop, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded, 10);
+        let cycles: Vec<Cycle> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        // Capacity 0 records nothing.
+        let mut z = EventTrace::new(0);
+        z.push(event(0, EventKind::Hop, 0));
+        assert!(z.is_empty());
+        assert_eq!(z.recorded, 0);
+    }
+
+    #[test]
+    fn event_text_round_trips() {
+        let mut t = EventTrace::new(8);
+        t.push(event(1, EventKind::Inject, 10));
+        t.push(event(2, EventKind::Hop, 10));
+        t.push(event(3, EventKind::VcAlloc, 0));
+        t.push(event(9, EventKind::Deliver, 10));
+        let text = t.to_text();
+        assert!(text.starts_with("ocin-events v1\n"));
+        let back = EventTrace::from_text(&text).unwrap();
+        assert_eq!(
+            back.events().copied().collect::<Vec<_>>(),
+            t.events().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn malformed_event_text_is_rejected() {
+        assert!(EventTrace::from_text("").is_err());
+        assert!(EventTrace::from_text("nope\n").is_err());
+        assert!(EventTrace::from_text("ocin-events v1\n1 Q 0 0 0 0\n").is_err());
+        assert!(EventTrace::from_text("ocin-events v1\n1 H 0 0\n").is_err());
+        assert!(EventTrace::from_text("ocin-events v1\n1 H x 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn event_codes_round_trip() {
+        for k in [
+            EventKind::Inject,
+            EventKind::Hop,
+            EventKind::VcAlloc,
+            EventKind::Deliver,
+            EventKind::Drop,
+            EventKind::Misroute,
+        ] {
+            assert_eq!(EventKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(EventKind::from_code('Z'), None);
+    }
+
+    #[test]
+    fn histogram_accounts_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [5, 5, 6, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 125);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 25.0);
+        // 5, 6, 9 share the [4,8)/[8,16) buckets; percentile floors are
+        // bucket-resolution but clamp to the true min.
+        assert_eq!(h.percentile(0.0), 5);
+        assert!(h.percentile(50.0) >= 4 && h.percentile(50.0) <= 9);
+        assert!(h.percentile(99.0) >= 64);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_floor(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor(3), 4);
+        // Huge values saturate into the last bucket.
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            HISTOGRAM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LatencyHistogram::new();
+        a.record(3);
+        let mut b = LatencyHistogram::new();
+        b.record(8);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 3);
+        assert_eq!(a.max, 8);
+    }
+
+    #[test]
+    fn probe_counters_accumulate() {
+        let mut p = NetworkProbe::new(4, 8, ProbeConfig::counters().with_trace(16));
+        p.packet_injected(0, 0.into(), 3.into(), PacketId(1));
+        p.flit_forwarded(
+            1,
+            0.into(),
+            Port::Dir(crate::ids::Direction::East),
+            VcId::new(2),
+            PacketId(1),
+        );
+        p.flit_forwarded(2, 0.into(), Port::Tile, VcId::new(0), PacketId(1));
+        p.vc_allocated(1, 0.into(), Port::Tile, VcId::new(0));
+        p.alloc_conflict(1, 1.into(), Port::Tile);
+        p.credit_stall(1, 1.into(), Port::Tile, VcId::new(0));
+        p.preemption(1, 2.into(), Port::Tile);
+        p.packet_dropped(3, 2.into(), PacketId(9));
+        p.misroute(3, 3.into(), PacketId(9));
+        p.packet_delivered(9, 0.into(), 3.into(), PacketId(1), 8);
+        p.buffer_sample(0.into(), 4);
+        p.buffer_sample(0.into(), 2);
+
+        assert_eq!(p.total_forwarded(), 2);
+        let m = p.into_metrics(10);
+        assert_eq!(m.totals.flits_forwarded, 2);
+        assert_eq!(m.totals.vc_allocations, 1);
+        assert_eq!(m.totals.alloc_conflicts, 1);
+        assert_eq!(m.totals.credit_stalls, 1);
+        assert_eq!(m.totals.preemptions, 1);
+        assert_eq!(m.totals.packets_dropped, 1);
+        assert_eq!(m.totals.misroutes, 1);
+        assert_eq!(m.totals.packets_injected, 1);
+        assert_eq!(m.totals.packets_delivered, 1);
+        assert_eq!(m.totals.occupancy_integral, 6);
+        assert_eq!(m.pairs.len(), 1);
+        assert_eq!(m.pairs[0].count, 1);
+        assert_eq!(m.pairs[0].mean, 8.0);
+        assert_eq!(m.trace.len(), 7); // inject, 2 hops, vcalloc, drop, misroute, deliver
+        assert_eq!(m.link_utilization(0, 1), Some(0.1));
+        assert_eq!(m.link_utilization(9, 0), None);
+    }
+
+    #[test]
+    fn metrics_json_is_deterministic_and_structured() {
+        let build = || {
+            let mut p = NetworkProbe::new(2, 4, ProbeConfig::counters());
+            p.packet_injected(0, 0.into(), 1.into(), PacketId(0));
+            p.flit_forwarded(1, 0.into(), Port::Tile, VcId::new(1), PacketId(0));
+            p.packet_delivered(5, 0.into(), 1.into(), PacketId(0), 5);
+            p.into_metrics(6).to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.starts_with("{\n  \"version\": 1"));
+        assert!(a.contains("\"pairs\": ["));
+        assert!(a.contains("\"mean\": 5.000000"));
+        assert!(a.trim_end().ends_with('}'));
+    }
+}

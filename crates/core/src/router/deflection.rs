@@ -14,6 +14,7 @@
 
 use crate::flit::Flit;
 use crate::ids::{Direction, NodeId, Port};
+use crate::probe::Probe;
 use crate::topology::Topology;
 
 use super::{EvalEnv, RouterOutput};
@@ -81,8 +82,13 @@ impl DeflectionRouter {
     /// Evaluates one cycle: ejects at most one local flit, matches the
     /// rest (oldest first) to outputs, and pulls in an injection if an
     /// output remains free. Returns the output and whether the offered
-    /// injection was consumed.
-    pub fn evaluate(&mut self, env: &EvalEnv<'_>, inject: Option<Flit>) -> (RouterOutput, bool) {
+    /// injection was consumed. Deflections are reported to `probe`.
+    pub fn evaluate(
+        &mut self,
+        env: &EvalEnv<'_>,
+        inject: Option<Flit>,
+        probe: &mut dyn Probe,
+    ) -> (RouterOutput, bool) {
         let mut out = RouterOutput::default();
         let mut flits = std::mem::take(&mut self.arrivals);
         // Oldest first; ties by packet id for determinism.
@@ -116,6 +122,7 @@ impl DeflectionRouter {
             let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
             if !productive.contains(&d) {
                 self.deflections += 1;
+                probe.misroute(env.now, self.node, f.meta.packet);
             }
             free[d.index()] = false;
             f.heading = d;
@@ -131,6 +138,7 @@ mod tests {
     use super::*;
     use crate::flit::FlitKind;
     use crate::ids::PacketId;
+    use crate::probe::NoProbe;
     use crate::router::tests::test_flit;
     use crate::topology::FoldedTorus2D;
 
@@ -155,7 +163,7 @@ mod tests {
         let topo = FoldedTorus2D::new(4);
         let mut r = DeflectionRouter::new(NodeId::new(5));
         r.receive(Port::Dir(Direction::West), flit_to(5, 1, 0));
-        let (out, _) = r.evaluate(&env(&topo), None);
+        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Tile);
     }
@@ -166,7 +174,7 @@ mod tests {
         let mut r = DeflectionRouter::new(NodeId::new(0));
         // Node 1 is one hop east of node 0.
         r.receive(Port::Dir(Direction::West), flit_to(1, 1, 0));
-        let (out, _) = r.evaluate(&env(&topo), None);
+        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
         assert_eq!(r.deflections, 0);
@@ -179,7 +187,7 @@ mod tests {
         // Both want East (dst = 1); only one productive direction exists.
         r.receive(Port::Dir(Direction::West), flit_to(1, 1, 5)); // younger
         r.receive(Port::Dir(Direction::North), flit_to(1, 2, 1)); // older
-        let (out, _) = r.evaluate(&env(&topo), None);
+        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
         assert_eq!(out.launches.len(), 2);
         // The older flit (packet 2) gets East.
         let east = out
@@ -198,11 +206,11 @@ mod tests {
         for p in 0..4 {
             r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(2, p, 0));
         }
-        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)));
+        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)), &mut NoProbe);
         assert!(!consumed, "all outputs taken by transit flits");
         assert_eq!(out.launches.len(), 4);
         // Next cycle is empty: injection succeeds.
-        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)));
+        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)), &mut NoProbe);
         assert!(consumed);
         assert_eq!(out.launches.len(), 1);
     }
@@ -214,7 +222,7 @@ mod tests {
         for p in 0..4u64 {
             r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(1, p, p));
         }
-        let (out, _) = r.evaluate(&env(&topo), None);
+        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
         // All four leave on four distinct outputs.
         assert_eq!(out.launches.len(), 4);
         let mut ports: Vec<usize> = out.launches.iter().map(|(p, _)| p.index()).collect();

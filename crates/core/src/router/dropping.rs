@@ -11,6 +11,7 @@
 
 use crate::flit::Flit;
 use crate::ids::{NodeId, PacketId, Port};
+use crate::probe::Probe;
 
 use super::{resolve_route, EvalEnv, RouterOutput};
 
@@ -92,8 +93,8 @@ impl DroppingRouter {
     }
 
     /// Evaluates one cycle: every buffered flit either launches or (heads
-    /// only) is dropped; nothing waits.
-    pub fn evaluate(&mut self, _env: &EvalEnv<'_>) -> RouterOutput {
+    /// only) is dropped; nothing waits. Drops are reported to `probe`.
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, probe: &mut dyn Probe) -> RouterOutput {
         let mut out = RouterOutput::default();
         // Outputs driven this cycle: a link carries one flit per cycle,
         // so a head contending with a single-flit packet that launched
@@ -110,6 +111,7 @@ impl DroppingRouter {
                     // Contention: drop the packet.
                     self.packets_dropped += 1;
                     self.flits_discarded += 1;
+                    probe.packet_dropped(env.now, self.node, flit.meta.packet);
                     out.dropped_packets.push(flit.meta.packet);
                     out.dropped_flits += 1;
                     if !flit.kind.is_tail() {
@@ -144,6 +146,7 @@ mod tests {
     use super::*;
     use crate::flit::FlitKind;
     use crate::ids::Direction;
+    use crate::probe::NoProbe;
     use crate::router::tests::test_flit;
     use crate::topology::{FoldedTorus2D, Topology};
 
@@ -163,7 +166,7 @@ mod tests {
             Port::Tile,
             test_flit(FlitKind::HeadTail, &[Direction::East]),
         );
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
         assert_eq!(r.packets_dropped, 0);
@@ -177,7 +180,7 @@ mod tests {
         let mut h = test_flit(FlitKind::Head, &[Direction::East]);
         h.meta.packet = PacketId(1);
         r.receive(Port::Tile, h);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         // A second head for East arrives on another input: dropped.
         let mut h2 = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::East]);
@@ -192,7 +195,7 @@ mod tests {
             .1;
         f.heading = Direction::East;
         r.receive(Port::Dir(Direction::West), f);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert!(out.launches.is_empty());
         assert_eq!(out.dropped_packets, vec![PacketId(2)]);
         assert_eq!(r.packets_dropped, 1);
@@ -200,13 +203,13 @@ mod tests {
         let mut t = test_flit(FlitKind::Tail, &[Direction::East]);
         t.meta.packet = PacketId(1);
         r.receive(Port::Tile, t);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         // Now East is free again.
         let mut h3 = test_flit(FlitKind::HeadTail, &[Direction::East]);
         h3.meta.packet = PacketId(3);
         r.receive(Port::Tile, h3);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
     }
 
@@ -218,7 +221,7 @@ mod tests {
         let mut h = test_flit(FlitKind::Head, &[Direction::East]);
         h.meta.packet = PacketId(1);
         r.receive(Port::Tile, h);
-        r.evaluate(&env(&topo));
+        r.evaluate(&env(&topo), &mut NoProbe);
         // Packet 2 (3 flits) arrives on the West input wanting East.
         let straight = crate::route::SourceRoute::compile(&[Direction::East, Direction::East])
             .unwrap()
@@ -230,18 +233,18 @@ mod tests {
         h2.route = straight;
         h2.heading = Direction::East;
         r.receive(Port::Dir(Direction::West), h2);
-        r.evaluate(&env(&topo));
+        r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(r.packets_dropped, 1);
         // Its body and tail are silently discarded.
         let mut b = test_flit(FlitKind::Body, &[Direction::East]);
         b.meta.packet = PacketId(2);
         r.receive(Port::Dir(Direction::West), b);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert!(out.launches.is_empty());
         let mut t = test_flit(FlitKind::Tail, &[Direction::East]);
         t.meta.packet = PacketId(2);
         r.receive(Port::Dir(Direction::West), t);
-        r.evaluate(&env(&topo));
+        r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(r.flits_discarded, 3);
         // The discard window closed with the tail.
         assert!(r.inputs[Port::Dir(Direction::West).index()]

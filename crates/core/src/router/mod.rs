@@ -24,6 +24,7 @@ pub use vc::VcRouter;
 use crate::config::ReservationPolicy;
 use crate::flit::Flit;
 use crate::ids::{Cycle, PacketId, Port, VcId};
+use crate::probe::Probe;
 use crate::reservation::ReservationTable;
 use crate::route::Turn;
 use crate::topology::Topology;
@@ -162,12 +163,18 @@ impl RouterCore {
 
     /// Evaluates one cycle. `inject` offers the tile's next flit to cores
     /// that pull injections (deflection); the `bool` reports whether it
-    /// was consumed.
-    pub fn evaluate(&mut self, env: &EvalEnv<'_>, inject: Option<Flit>) -> (RouterOutput, bool) {
+    /// was consumed. Allocation, stall, drop, and misroute events are
+    /// reported to `probe` ([`crate::probe::NoProbe`] when disabled).
+    pub fn evaluate(
+        &mut self,
+        env: &EvalEnv<'_>,
+        inject: Option<Flit>,
+        probe: &mut dyn Probe,
+    ) -> (RouterOutput, bool) {
         match self {
-            RouterCore::Vc(r) => (r.evaluate(env), false),
-            RouterCore::Dropping(r) => (r.evaluate(env), false),
-            RouterCore::Deflection(r) => r.evaluate(env, inject),
+            RouterCore::Vc(r) => (r.evaluate(env, probe), false),
+            RouterCore::Dropping(r) => (r.evaluate(env, probe), false),
+            RouterCore::Deflection(r) => r.evaluate(env, inject, probe),
         }
     }
 

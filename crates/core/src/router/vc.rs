@@ -15,7 +15,8 @@ use std::collections::VecDeque;
 
 use crate::config::{ReservationPolicy, VcPlan};
 use crate::flit::{Flit, VcMask};
-use crate::ids::{NodeId, Port, VcId};
+use crate::ids::{Cycle, NodeId, Port, VcId};
+use crate::probe::Probe;
 
 use super::{resolve_route, EvalEnv, RouterOutput};
 
@@ -245,12 +246,14 @@ impl VcRouter {
 
     /// Evaluates one router cycle: VC allocation, switch traversal, and
     /// link arbitration (the first two proceed in parallel per the paper).
-    pub fn evaluate(&mut self, env: &EvalEnv<'_>) -> RouterOutput {
+    /// Allocation grants/conflicts, credit stalls, and preemptions are
+    /// reported to `probe`; the probe never influences any decision.
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, probe: &mut dyn Probe) -> RouterOutput {
         let mut out = RouterOutput::default();
         self.load_routes();
-        self.allocate_vcs();
-        self.traverse_switch(&mut out);
-        self.arbitrate_links(env, &mut out);
+        self.allocate_vcs(env.now, probe);
+        self.traverse_switch(env.now, &mut out, probe);
+        self.arbitrate_links(env, &mut out, probe);
         out
     }
 
@@ -275,7 +278,7 @@ impl VcRouter {
 
     /// Grants free output VCs to waiting head flits, highest class first,
     /// round-robin among equals.
-    fn allocate_vcs(&mut self) {
+    fn allocate_vcs(&mut self, now: Cycle, probe: &mut dyn Probe) {
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
             // Gather requests: (priority, input port, input vc, mask).
@@ -311,6 +314,9 @@ impl VcRouter {
                     self.outputs[o].owner[ov] = Some((i, v));
                     self.inputs[i].vcs[v].out_vc = Some(VcId::new(ov as u8));
                     granted_any = true;
+                    probe.vc_allocated(now, self.node, port, VcId::new(ov as u8));
+                } else {
+                    probe.alloc_conflict(now, self.node, port);
                 }
             }
             if granted_any {
@@ -329,7 +335,7 @@ impl VcRouter {
     /// slot from coupling virtual-channel classes (a credit-starved
     /// class-0 flit parked in staging would otherwise block the class-1
     /// escape VCs and reintroduce torus deadlock).
-    fn traverse_switch(&mut self, out: &mut RouterOutput) {
+    fn traverse_switch(&mut self, now: Cycle, out: &mut RouterOutput, probe: &mut dyn Probe) {
         for i in 0..Port::COUNT {
             let num_vcs = self.num_vcs;
             let rr = self.inputs[i].rr;
@@ -346,6 +352,7 @@ impl VcRouter {
                 };
                 let octrl = &self.outputs[op.index()];
                 if octrl.credits[ovc.index()] == 0 {
+                    probe.credit_stall(now, self.node, op, ovc);
                     continue;
                 }
                 let reserved = front.meta.class == crate::flit::ServiceClass::Reserved;
@@ -386,7 +393,12 @@ impl VcRouter {
     /// Staged flits with downstream credit arbitrate for each link; a
     /// reserved slot hands the link to its flow's flit without
     /// arbitration.
-    fn arbitrate_links(&mut self, env: &EvalEnv<'_>, out: &mut RouterOutput) {
+    fn arbitrate_links(
+        &mut self,
+        env: &EvalEnv<'_>,
+        out: &mut RouterOutput,
+        probe: &mut dyn Probe,
+    ) {
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
             let octrl = &self.outputs[o];
@@ -443,6 +455,14 @@ impl VcRouter {
                 &mut octrl.staging
             };
             let flit = bank[winner].take().expect("winner staged");
+            // A lower-class flit left staged while a higher-class one took
+            // the link is the paper's §2.2 preemption in action.
+            if candidates
+                .iter()
+                .any(|&(pri, _, _)| pri < flit.meta.class.priority())
+            {
+                probe.preemption(env.now, self.node, port);
+            }
             if flit.kind.is_tail() {
                 octrl.owner[flit.link_vc.index()] = None;
             }
@@ -458,6 +478,7 @@ mod tests {
     use super::*;
     use crate::flit::{FlitKind, ServiceClass};
     use crate::ids::Direction;
+    use crate::probe::NoProbe;
     use crate::router::tests::test_flit;
     use crate::topology::{FoldedTorus2D, Topology};
 
@@ -483,7 +504,7 @@ mod tests {
         let mut r = router();
         let f = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::East]);
         r.receive(Port::Tile, f);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         let (port, f) = &out.launches[0];
         assert_eq!(*port, Port::Dir(Direction::East));
@@ -503,7 +524,7 @@ mod tests {
         super::super::resolve_route(&mut f, Port::Tile);
         f.resolved_port = None;
         r.receive(Port::Dir(Direction::West), f);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Tile);
     }
@@ -519,13 +540,13 @@ mod tests {
         f2.link_vc = VcId::new(1);
         r.receive(Port::Tile, f1);
         r.receive(Port::Tile, f2);
-        let out = r.evaluate(&env_at(&topo, 0));
+        let out = r.evaluate(&env_at(&topo, 0), &mut NoProbe);
         // Both may stage over two cycles, but only vc-credit-backed flits
         // launch. Baseline plan gives bulk class0 = {vc0, vc1}; depth 1
         // each, so two launches are possible across cycles but at most
         // one flit per cycle leaves the single East link.
         assert_eq!(out.launches.len(), 1);
-        let out2 = r.evaluate(&env_at(&topo, 1));
+        let out2 = r.evaluate(&env_at(&topo, 1), &mut NoProbe);
         assert_eq!(out2.launches.len(), 1);
         // Now both downstream VCs are out of credits.
         let f3 = {
@@ -534,11 +555,11 @@ mod tests {
             f
         };
         r.receive(Port::Tile, f3);
-        let out3 = r.evaluate(&env_at(&topo, 2));
+        let out3 = r.evaluate(&env_at(&topo, 2), &mut NoProbe);
         assert_eq!(out3.launches.len(), 0, "no credits, no launch");
         // A credit arrives; the flit moves.
         r.credit_arrived(Port::Dir(Direction::East), VcId::new(0));
-        let out4 = r.evaluate(&env_at(&topo, 3));
+        let out4 = r.evaluate(&env_at(&topo, 3), &mut NoProbe);
         assert_eq!(out4.launches.len(), 1);
     }
 
@@ -568,7 +589,7 @@ mod tests {
                 .1;
             f
         });
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         let north: Vec<_> = out
             .launches
             .iter()
@@ -598,7 +619,7 @@ mod tests {
             if let Some(f) = pending.pop_front() {
                 r.receive(Port::Tile, f);
             }
-            let out = r.evaluate(&env_at(&topo, now));
+            let out = r.evaluate(&env_at(&topo, now), &mut NoProbe);
             launched.extend(out.launches);
         }
         assert_eq!(launched.len(), 3);
@@ -618,7 +639,7 @@ mod tests {
         f.meta.dateline_class = 1; // has crossed a wrap link
         f.link_vc = VcId::new(2);
         r.receive(Port::Tile, f);
-        let out = r.evaluate(&env(&topo));
+        let out = r.evaluate(&env(&topo), &mut NoProbe);
         assert_eq!(out.launches.len(), 1);
         // Bulk class-1 VCs are 2 and 3.
         let vc = out.launches[0].1.link_vc.index();

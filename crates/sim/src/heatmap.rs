@@ -6,6 +6,7 @@
 
 use ocin_core::ids::Direction;
 use ocin_core::network::{LinkLoad, Network};
+use ocin_core::probe::NetworkMetrics;
 
 /// Maps a utilization in [0, 1] to a density glyph.
 fn glyph(u: f64) -> char {
@@ -33,7 +34,25 @@ pub fn render_link_heatmap(net: &Network) -> String {
             .find(|l| l.node.index() == node && l.dir == dir)
             .map(|l| l.utilization)
     };
-    let cell = |node: usize, dir: Direction| -> char { lookup(node, dir).map_or(' ', glyph) };
+    render_grid(k, &|node, dir| lookup(node, dir).map_or(' ', glyph))
+}
+
+/// Renders the same grid as [`render_link_heatmap`] from a probe
+/// [`NetworkMetrics`] snapshot — for post-hoc rendering when only the
+/// metrics of a `k × k` run survive (e.g. read back from
+/// `metrics.json`). Utilizations are per-output-port flits/cycle over
+/// the whole run.
+pub fn render_metrics_heatmap(metrics: &NetworkMetrics, k: usize) -> String {
+    render_grid(k, &|node, dir| {
+        metrics
+            .link_utilization(node, dir.index())
+            .map_or(' ', glyph)
+    })
+}
+
+/// Shared grid renderer: `cell` supplies the glyph for each tile's
+/// output link in each direction.
+fn render_grid(k: usize, cell: &dyn Fn(usize, Direction) -> char) -> String {
     let mut out = String::new();
     for y in (0..k).rev() {
         // Northbound row.

@@ -36,7 +36,7 @@ pub mod sweep;
 pub mod table;
 
 pub use clients::{Client, ClientCtx, ServiceSim};
-pub use heatmap::{hottest_links, render_link_heatmap};
+pub use heatmap::{hottest_links, render_link_heatmap, render_metrics_heatmap};
 pub use multichip::{GlobalDelivery, MultiChipSim};
 pub use pool::{derive_seed, PointSpec, SimPool};
 pub use runner::{SimConfig, SimReport, Simulation};

@@ -60,6 +60,11 @@ pub struct PointSpec {
     pub workload: Workload,
     /// Offered load, flits/node/cycle.
     pub load: f64,
+    /// Attach a counters-only probe and carry [`ocin_core::NetworkMetrics`]
+    /// in the report. Part of the cache key: probed and unprobed runs of
+    /// the same point are distinct entries (their reports differ in the
+    /// `metrics` field, never in the measurements).
+    pub probe: bool,
 }
 
 impl PointSpec {
@@ -70,18 +75,26 @@ impl PointSpec {
             sim_cfg,
             workload,
             load,
+            probe: false,
         }
+    }
+
+    /// Enables (or disables) the counters-only probe for this point.
+    pub fn with_probe(mut self, probe: bool) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// The memoization key: the full point description. Two specs with
     /// equal keys produce bit-identical reports.
     fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:016x}",
+            "{:?}|{:?}|{:?}|{:016x}|probe:{}",
             self.net_cfg,
             self.sim_cfg,
             self.workload,
-            self.load.to_bits()
+            self.load.to_bits(),
+            self.probe
         )
     }
 
@@ -104,10 +117,13 @@ impl PointSpec {
             seed: derive_seed(self.sim_cfg.seed, self.load),
             ..self.sim_cfg
         };
-        let report = Simulation::new(self.net_cfg.clone(), sim_cfg)
+        let mut sim = Simulation::new(self.net_cfg.clone(), sim_cfg)
             .expect("point configuration must be valid")
-            .with_workload(wl)
-            .run();
+            .with_workload(wl);
+        if self.probe {
+            sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters());
+        }
+        let report = sim.run();
         LoadPoint {
             offered: self.load,
             accepted: report.accepted_flit_rate,

@@ -4,6 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use ocin_core::ids::{FlowId, NodeId};
 use ocin_core::network::{EnergyCounters, Network, PacketSpec};
+use ocin_core::probe::{NetworkMetrics, NetworkProbe, ProbeConfig};
 use ocin_core::reservation::StaticFlowSpec;
 use ocin_core::{Error, NetworkConfig};
 use ocin_traffic::{MatrixGenerator, TrafficMatrix, Workload, WorkloadGenerator};
@@ -98,6 +99,10 @@ pub struct SimReport {
     pub max_link_utilization: f64,
     /// Packets left unfinished when the drain budget expired.
     pub unfinished_packets: u64,
+    /// Probe metrics snapshot (`None` unless the run was probed via
+    /// [`Simulation::with_probe`]). Kept last so probe-free reports
+    /// compare equal regardless of how they were produced.
+    pub metrics: Option<NetworkMetrics>,
 }
 
 /// A warmup/measure/drain simulation of one network configuration.
@@ -113,6 +118,7 @@ pub struct Simulation {
     pending: Vec<VecDeque<PacketSpec>>,
     flows: Vec<(FlowId, StaticFlowSpec)>,
     reservation_period: u64,
+    probe_cfg: Option<ProbeConfig>,
 }
 
 impl Simulation {
@@ -138,6 +144,7 @@ impl Simulation {
             pending: vec![VecDeque::new(); n],
             flows,
             reservation_period,
+            probe_cfg: None,
         })
     }
 
@@ -156,6 +163,15 @@ impl Simulation {
         self
     }
 
+    /// Attaches an observability probe; the run's [`SimReport::metrics`]
+    /// carries the resulting [`NetworkMetrics`] snapshot. Probes are
+    /// purely observational: every other report field is bit-identical
+    /// to an unprobed run of the same configuration and seed.
+    pub fn with_probe(mut self, cfg: ProbeConfig) -> Simulation {
+        self.probe_cfg = Some(cfg);
+        self
+    }
+
     /// Read access to the network (e.g. for fault injection before
     /// running).
     pub fn network_mut(&mut self) -> &mut Network {
@@ -164,6 +180,10 @@ impl Simulation {
 
     /// Runs warmup, measurement, and drain; returns the report.
     pub fn run(&mut self) -> SimReport {
+        if let Some(pc) = self.probe_cfg {
+            self.net
+                .attach_probe(NetworkProbe::for_network(self.net.config(), pc));
+        }
         let warm_end = self.cfg.warmup_cycles;
         let meas_end = warm_end + self.cfg.measure_cycles;
         let hard_end = meas_end + self.cfg.drain_cycles;
@@ -324,6 +344,10 @@ impl Simulation {
             avg_link_utilization: avg_u,
             max_link_utilization: max_u,
             unfinished_packets: measured_outstanding,
+            metrics: self
+                .net
+                .take_probe()
+                .map(|p| p.into_metrics(self.net.cycle())),
         }
     }
 

@@ -176,6 +176,28 @@ pub struct LatencyReport {
     pub max: f64,
 }
 
+impl LatencyReport {
+    /// Summarizes a probe latency histogram.
+    ///
+    /// The mean, min, max, and count are exact; percentiles carry the
+    /// histogram's log₂-bucket resolution (each reported as its
+    /// bucket's floor, clamped below by the true minimum).
+    pub fn from_histogram(h: &ocin_core::LatencyHistogram) -> LatencyReport {
+        if h.count == 0 {
+            return LatencyReport::default();
+        }
+        LatencyReport {
+            count: h.count as usize,
+            mean: h.mean(),
+            p50: h.percentile(50.0) as f64,
+            p95: h.percentile(95.0) as f64,
+            p99: h.percentile(99.0) as f64,
+            min: h.min as f64,
+            max: h.max as f64,
+        }
+    }
+}
+
 impl std::fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

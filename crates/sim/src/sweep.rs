@@ -41,6 +41,7 @@ pub struct LoadSweep {
     sim_cfg: SimConfig,
     workload_template: Workload,
     pool: Arc<SimPool>,
+    probe: bool,
 }
 
 impl LoadSweep {
@@ -53,7 +54,17 @@ impl LoadSweep {
             sim_cfg,
             workload_template: workload,
             pool: Arc::new(SimPool::new()),
+            probe: false,
         }
+    }
+
+    /// Attaches counters-only probes to every point of the sweep; each
+    /// point's report then carries [`ocin_core::NetworkMetrics`].
+    /// Measurements are unchanged — probes are purely observational.
+    #[must_use]
+    pub fn with_probe(mut self, probe: bool) -> LoadSweep {
+        self.probe = probe;
+        self
     }
 
     /// Shares a pool (and hence its point cache) with other sweeps in
@@ -77,6 +88,7 @@ impl LoadSweep {
             self.workload_template.clone(),
             load,
         )
+        .with_probe(self.probe)
     }
 
     /// Runs one point (through the pool's cache).

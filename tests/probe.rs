@@ -1,0 +1,167 @@
+//! Probe observability: zero perturbation when attached, exact
+//! accounting when read.
+//!
+//! The contract under test is the one the whole subsystem rests on:
+//! probes observe, they never decide. A probed run must produce a
+//! report whose every measurement is bit-identical to the unprobed run
+//! of the same configuration and seed, and the probe's own counters
+//! must reconcile exactly with the simulator's independent statistics.
+
+use ocin_core::ids::NodeId;
+use ocin_core::{
+    EventKind, FlowControl, Network, NetworkConfig, NetworkProbe, PacketSpec, ProbeConfig,
+    TopologySpec,
+};
+use ocin_sim::{LatencyReport, LoadSweep, SimConfig, SimReport, Simulation};
+use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+
+fn quick_cfg() -> NetworkConfig {
+    NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 4 })
+}
+
+fn quick_run(net_cfg: NetworkConfig, probe: Option<ProbeConfig>) -> SimReport {
+    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: 0.35 });
+    let mut sim = Simulation::new(net_cfg, SimConfig::quick())
+        .expect("valid config")
+        .with_workload(wl);
+    if let Some(pc) = probe {
+        sim = sim.with_probe(pc);
+    }
+    sim.run()
+}
+
+/// The probe-overhead regression gate: attaching a full probe (counters
+/// *and* trace) must not change a single measured bit.
+#[test]
+fn probed_report_is_bit_identical_to_unprobed() {
+    for fc in [
+        FlowControl::VirtualChannel,
+        FlowControl::Dropping,
+        FlowControl::Deflection,
+    ] {
+        let cfg = quick_cfg().with_flow_control(fc);
+        let bare = quick_run(cfg.clone(), None);
+        let mut probed = quick_run(cfg, Some(ProbeConfig::counters().with_trace(1024)));
+        assert!(probed.metrics.is_some(), "probed run must carry metrics");
+        probed.metrics = None;
+        assert_eq!(bare, probed, "probe perturbed the simulation ({fc:?})");
+    }
+}
+
+/// Per-router probe counters must sum to the simulator's own global
+/// statistics, for every flow-control method.
+#[test]
+fn probe_counters_reconcile_with_sim_report() {
+    for fc in [
+        FlowControl::VirtualChannel,
+        FlowControl::Dropping,
+        FlowControl::Deflection,
+    ] {
+        let report = quick_run(
+            quick_cfg().with_flow_control(fc),
+            Some(ProbeConfig::counters()),
+        );
+        let metrics = report.metrics.as_ref().expect("probed");
+        assert_eq!(
+            metrics.totals.flits_forwarded,
+            metrics.routers.iter().map(|r| r.flits_forwarded()).sum(),
+            "totals must be the sum of the per-router blocks ({fc:?})"
+        );
+        assert_eq!(
+            metrics.totals.packets_dropped, report.packets_dropped,
+            "probe drops vs SimReport ({fc:?})"
+        );
+        assert_eq!(
+            metrics.totals.misroutes, report.deflections,
+            "probe misroutes vs SimReport ({fc:?})"
+        );
+        // Whole-run conservation: everything injected either arrived,
+        // was dropped, or is still in flight at the horizon.
+        assert!(
+            metrics.totals.packets_delivered + metrics.totals.packets_dropped
+                <= metrics.totals.packets_injected,
+            "delivered {} + dropped {} exceeds injected {} ({fc:?})",
+            metrics.totals.packets_delivered,
+            metrics.totals.packets_dropped,
+            metrics.totals.packets_injected,
+        );
+    }
+}
+
+/// Counter and histogram accounting at a known tiny workload: one
+/// packet from node 0 to its east neighbour takes exactly 5 cycles and
+/// 2 hops (tile-out at the source, tile-in at the destination).
+#[test]
+fn single_packet_accounting_is_exact() {
+    let mut net = Network::new(quick_cfg()).expect("valid config");
+    net.attach_probe(NetworkProbe::for_network(
+        net.config(),
+        ProbeConfig::counters().with_trace(64),
+    ));
+    net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64))
+        .expect("inject");
+    net.drain(100);
+    let cycles = net.cycle();
+    let metrics = net.take_probe().expect("attached").into_metrics(cycles);
+
+    assert_eq!(metrics.totals.packets_injected, 1);
+    assert_eq!(metrics.totals.packets_delivered, 1);
+    // One hop east plus the launch out of the source router.
+    assert_eq!(metrics.totals.flits_forwarded, net.stats().energy.flit_hops);
+    let (pair, hist) = &metrics.pair_histograms[0];
+    assert_eq!(*pair, (NodeId::new(0), NodeId::new(1)));
+    assert_eq!(hist.count, 1);
+    assert_eq!(hist.min, 5, "zero-load latency of one hop is 5 cycles");
+    assert_eq!(hist.max, 5);
+    assert_eq!(hist.mean(), 5.0);
+
+    // The trace saw the full life of the packet, in causal order.
+    let kinds: Vec<EventKind> = metrics.trace.events().map(|e| e.kind).collect();
+    assert_eq!(kinds.first(), Some(&EventKind::Inject));
+    assert_eq!(kinds.last(), Some(&EventKind::Deliver));
+    assert!(kinds.contains(&EventKind::Hop));
+
+    // The histogram summary survives the conversion into a sim-layer
+    // latency report.
+    let lr = LatencyReport::from_histogram(hist);
+    assert_eq!(lr.count, 1);
+    assert_eq!(lr.mean, 5.0);
+    assert_eq!(lr.min, 5.0);
+    assert_eq!(lr.max, 5.0);
+}
+
+/// Probed sweep points carry metrics without disturbing determinism:
+/// the same sweep without probes produces the same measurements, and
+/// the pool caches probed and unprobed points separately.
+#[test]
+fn probed_sweep_matches_unprobed_measurements() {
+    let sweep = |probe: bool| {
+        LoadSweep::new(
+            quick_cfg(),
+            SimConfig::quick(),
+            Workload::new(16, 4, TrafficPattern::Uniform),
+        )
+        .with_probe(probe)
+        .run(&[0.1, 0.3])
+    };
+    let bare = sweep(false);
+    let probed = sweep(true);
+    assert_eq!(bare.len(), probed.len());
+    for (b, p) in bare.iter().zip(&probed) {
+        assert!(p.report.metrics.is_some() && b.report.metrics.is_none());
+        let mut stripped = p.report.clone();
+        stripped.metrics = None;
+        assert_eq!(b.report, stripped, "probe changed a sweep measurement");
+        // The probe's aggregate histogram mean agrees with the sampled
+        // mean to within histogram arithmetic (both are exact means of
+        // the same packet population over the whole run vs the window,
+        // so require the window population to be a subset: the probe
+        // observed at least as many packets).
+        let metrics = p.report.metrics.as_ref().unwrap();
+        assert!(
+            metrics.totals.packets_delivered >= p.report.packets_delivered,
+            "probe saw fewer deliveries than the measurement window"
+        );
+    }
+}
