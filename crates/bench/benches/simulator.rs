@@ -26,7 +26,7 @@ fn run_network(cfg: NetworkConfig, cycles: u64) -> u64 {
     for now in 0..cycles {
         for node in 0..16u16 {
             if let Some(req) = generation.next_request(now, node.into()) {
-                let _ = net.inject(PacketSpec::new(node.into(), req.dst).payload_bits(256));
+                let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
             }
         }
         net.step();
@@ -82,12 +82,12 @@ fn bench_sweep_engine(c: &mut Criterion) {
     g.bench_function("serial", |b| b.iter(|| sweep().run_serial(&loads)));
     g.bench_function("pool_cold", |b| {
         // Fresh pool per iteration: measures the parallel path itself.
-        b.iter(|| sweep().with_pool(Arc::new(SimPool::new())).run(&loads))
+        b.iter(|| sweep().with_pool(Arc::new(SimPool::new())).run(&loads));
     });
     g.bench_function("pool_cached", |b| {
         let s = sweep();
         s.run(&loads); // prime the cache
-        b.iter(|| s.run(&loads))
+        b.iter(|| s.run(&loads));
     });
     g.finish();
 }

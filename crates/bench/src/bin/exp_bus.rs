@@ -78,7 +78,7 @@ fn main() {
             .injection(InjectionProcess::Bernoulli { flit_rate: load });
         let net = Simulation::new(NetworkConfig::paper_baseline(), cfg)
             .expect("valid")
-            .with_workload(wl)
+            .with_workload(&wl)
             .run();
         t.row(&[
             f3(load),
@@ -113,7 +113,7 @@ fn main() {
         .injection(InjectionProcess::Bernoulli { flit_rate: 0.05 });
     let net = Simulation::new(NetworkConfig::paper_baseline(), cfg)
         .expect("valid")
-        .with_workload(wl)
+        .with_workload(&wl)
         .run();
     let (hop_bits, bit_pitches) = Simulation::energy_per_packet(&net);
     let net_fs_pj = fs.total_energy_pj(hop_bits as u64, bit_pitches);

@@ -41,7 +41,7 @@ fn main() {
             .injection(InjectionProcess::Bernoulli { flit_rate: load });
         let mut sim = Simulation::new(NetworkConfig::paper_baseline(), sim_config())
             .expect("valid")
-            .with_workload(wl);
+            .with_workload(&wl);
         if probe_enabled() {
             sim = sim.with_probe(ProbeConfig::counters());
         }

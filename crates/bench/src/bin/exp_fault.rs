@@ -28,7 +28,7 @@ fn all_pairs_census(net: &mut Network) -> (usize, usize) {
             let payload =
                 Payload::from_u64((1u64 << 47) | 0x5A5A_0000 | ((s as u64) << 8) | d as u64);
             let id = net
-                .inject(PacketSpec::new(s.into(), d.into()).data(vec![payload]))
+                .inject(&PacketSpec::new(s.into(), d.into()).data(vec![payload]))
                 .expect("baseline accepts all-pairs");
             sent.push((id, d, payload));
         }
@@ -140,7 +140,7 @@ fn main() {
     for now in 0..30_000u64 {
         for msg in tx.poll(now) {
             let _ = net.inject(
-                PacketSpec::new(src, msg.dst)
+                &PacketSpec::new(src, msg.dst)
                     .payload_bits(msg.payload_bits)
                     .class(msg.class)
                     .data(msg.payloads),
@@ -150,7 +150,7 @@ fn main() {
         for pkt in net.drain_delivered(dst) {
             if let Some(ack) = rx.on_packet(&pkt) {
                 let _ = net.inject(
-                    PacketSpec::new(dst, ack.dst)
+                    &PacketSpec::new(dst, ack.dst)
                         .payload_bits(ack.payload_bits)
                         .class(ack.class)
                         .data(ack.payloads),
@@ -203,7 +203,7 @@ fn main() {
         net.set_transient_fault_rate(0.02);
         let data = vec![Payload::from_u64(0x00DD_BA11)];
         for _ in 0..300 {
-            net.inject(PacketSpec::new(0.into(), 2.into()).data(data.clone()))
+            net.inject(&PacketSpec::new(0.into(), 2.into()).data(data.clone()))
                 .ok();
             net.run(4);
         }

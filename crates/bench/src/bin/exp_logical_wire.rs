@@ -37,7 +37,7 @@ fn run(load: f64, toggle_period: u64) -> (f64, f64, f64) {
             if let Some(req) = generation.next_request(now, node.into()) {
                 if node != 0 || req.dst != dst {
                     let _ = net.inject(
-                        PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits),
+                        &PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits),
                     );
                 }
             }
@@ -47,7 +47,7 @@ fn run(load: f64, toggle_period: u64) -> (f64, f64, f64) {
             state = (state + 1) & 0xFF;
             if let Some(msg) = tx.observe(state) {
                 match net.inject(
-                    PacketSpec::new(src, msg.dst)
+                    &PacketSpec::new(src, msg.dst)
                         .payload_bits(msg.payload_bits)
                         .class(msg.class)
                         .data(msg.payloads),

@@ -142,8 +142,7 @@ fn main() {
     let sim_ratio_fs = measured[1].0 / measured[0].0;
     let sim_ratio_ls = measured[1].1 / measured[0].1;
     println!(
-        "simulated torus/mesh energy ratio: full-swing {:.3}, low-swing {:.3}",
-        sim_ratio_fs, sim_ratio_ls
+        "simulated torus/mesh energy ratio: full-swing {sim_ratio_fs:.3}, low-swing {sim_ratio_ls:.3}"
     );
     check(
         sim_ratio_fs < 1.2,

@@ -20,7 +20,7 @@ fn probe_latency(probe_class: ServiceClass) -> u64 {
     // Saturate the injection port with 6 long bulk packets (48 flits).
     for _ in 0..6 {
         net.inject(
-            PacketSpec::new(0.into(), 2.into())
+            &PacketSpec::new(0.into(), 2.into())
                 .payload_bits(8 * 256)
                 .class(ServiceClass::Bulk),
         )
@@ -29,7 +29,7 @@ fn probe_latency(probe_class: ServiceClass) -> u64 {
     net.run(4); // the bulk stream is mid-injection
     let probe = net
         .inject(
-            PacketSpec::new(0.into(), 2.into())
+            &PacketSpec::new(0.into(), 2.into())
                 .payload_bits(64)
                 .class(probe_class),
         )

@@ -27,11 +27,11 @@ fn run(policy: ReservationPolicy, load: f64) -> (f64, f64, f64, f64) {
         .injection(InjectionProcess::Bernoulli { flit_rate: load });
     let report = Simulation::new(cfg, sim_config())
         .expect("flows admit")
-        .with_workload(wl)
+        .with_workload(&wl)
         .run();
     let f0 = report.flow_latency[&FlowId(0)];
     let j0 = report.flow_jitter[&FlowId(0)];
-    let bulk = report.class_latency.get(&0).map(|r| r.mean).unwrap_or(0.0);
+    let bulk = report.class_latency.get(&0).map_or(0.0, |r| r.mean);
     (f0.mean, j0, bulk, report.accepted_flit_rate)
 }
 

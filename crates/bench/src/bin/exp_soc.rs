@@ -47,7 +47,7 @@ fn main() {
         let offered = matrix.mean_load();
         let report = Simulation::new(cfg, sim_config())
             .expect("valid")
-            .with_traffic_matrix(matrix)
+            .with_traffic_matrix(&matrix)
             .run();
         let jitter = report.flow_jitter.values().copied().fold(0.0, f64::max);
         if scale == 1.0 {

@@ -55,7 +55,7 @@ fn main() {
     // Trace a 3-flit packet 0 -> 2 (two eastward hops).
     println!("\ncycle-by-cycle trace of a 3-flit packet, tile 0 -> tile 2:\n");
     let mut net = Network::new(cfg).expect("baseline is valid");
-    net.inject(PacketSpec::new(0.into(), 2.into()).payload_bits(768))
+    net.inject(&PacketSpec::new(0.into(), 2.into()).payload_bits(768))
         .expect("route fits");
     let mut trace = Table::new(&["cycle", "flits in flight", "hops so far", "delivered"]);
     let mut delivered_at = None;

@@ -18,8 +18,7 @@ use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/probe"));
+        .map_or_else(|| PathBuf::from("target/probe"), PathBuf::from);
 
     // Fixed configuration: never varies with the environment.
     let net_cfg = NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 4 });
@@ -34,7 +33,7 @@ fn main() {
 
     let report = Simulation::new(net_cfg, sim_cfg)
         .expect("fixed configuration is valid")
-        .with_workload(wl)
+        .with_workload(&wl)
         .with_probe(ProbeConfig::counters().with_trace(4096))
         .run();
     let metrics = report.metrics.as_ref().expect("probed run carries metrics");

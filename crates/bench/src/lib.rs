@@ -47,9 +47,10 @@ pub fn probe_enabled() -> bool {
 /// `OCIN_METRICS_OUT` if set, else `metrics.json` in the working
 /// directory.
 pub fn metrics_path() -> std::path::PathBuf {
-    std::env::var_os("OCIN_METRICS_OUT")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("metrics.json"))
+    std::env::var_os("OCIN_METRICS_OUT").map_or_else(
+        || std::path::PathBuf::from("metrics.json"),
+        std::path::PathBuf::from,
+    )
 }
 
 /// Writes `metrics` as deterministic JSON to [`metrics_path`] and

@@ -39,7 +39,7 @@
 //! let spec = PacketSpec::new(0.into(), 10.into())
 //!     .payload_bits(256)
 //!     .class(ServiceClass::Bulk);
-//! net.inject(spec)?;
+//! net.inject(&spec)?;
 //!
 //! // Step the network until the packet is delivered.
 //! let mut delivered = Vec::new();

@@ -428,7 +428,7 @@ impl Network {
     ///   space — nothing is enqueued, so the caller can retry later.
     /// * [`Error::Config`] for multi-flit packets under deflection flow
     ///   control.
-    pub fn inject(&mut self, spec: PacketSpec) -> Result<PacketId, Error> {
+    pub fn inject(&mut self, spec: &PacketSpec) -> Result<PacketId, Error> {
         let n = self.topo.num_nodes();
         for node in [spec.src, spec.dst] {
             if node.index() >= n {
@@ -493,7 +493,7 @@ impl Network {
 
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
-        let flits = Self::flitize(&spec, id, route, self.cycle, packet_mask, valiant_boundary);
+        let flits = Self::flitize(spec, id, route, self.cycle, packet_mask, valiant_boundary);
         iface.enqueue_packet(vc, flits).expect("space was checked");
         self.stats.packets_injected += 1;
         if let Some(p) = self.probe.as_deref_mut() {
@@ -868,7 +868,7 @@ mod tests {
     #[test]
     fn single_packet_crosses_the_torus() {
         let mut net = baseline();
-        let id = net.inject(PacketSpec::new(0.into(), 10.into())).unwrap();
+        let id = net.inject(&PacketSpec::new(0.into(), 10.into())).unwrap();
         assert!(net.drain(200));
         let d = net.drain_delivered(10.into());
         assert_eq!(d.len(), 1);
@@ -883,7 +883,7 @@ mod tests {
         let mut net = baseline();
         let data: Vec<Payload> = (0..4).map(|i| Payload::from_u64(0xA0 + i)).collect();
         net.inject(
-            PacketSpec::new(3.into(), 12.into())
+            &PacketSpec::new(3.into(), 12.into())
                 .payload_bits(1024)
                 .data(data.clone()),
         )
@@ -898,7 +898,9 @@ mod tests {
     #[test]
     fn self_send_is_rejected() {
         let mut net = baseline();
-        let err = net.inject(PacketSpec::new(5.into(), 5.into())).unwrap_err();
+        let err = net
+            .inject(&PacketSpec::new(5.into(), 5.into()))
+            .unwrap_err();
         assert!(matches!(err, Error::Route(RouteError::Empty)));
     }
 
@@ -906,7 +908,7 @@ mod tests {
     fn out_of_range_node_is_rejected() {
         let mut net = baseline();
         let err = net
-            .inject(PacketSpec::new(0.into(), 99.into()))
+            .inject(&PacketSpec::new(0.into(), 99.into()))
             .unwrap_err();
         assert!(matches!(err, Error::NodeOutOfRange { .. }));
     }
@@ -917,7 +919,7 @@ mod tests {
         // queueing. hop latency = channel(1)+router(1) = 2.
         let mut net = baseline();
         // 0 -> 1 is one hop on the 4-torus.
-        net.inject(PacketSpec::new(0.into(), 1.into())).unwrap();
+        net.inject(&PacketSpec::new(0.into(), 1.into())).unwrap();
         assert!(net.drain(100));
         let d = net.drain_delivered(1.into());
         // inject pipe (2) + source router launch + 1 hop (2) + eject (1).
@@ -938,7 +940,7 @@ mod tests {
             for s in 0..n {
                 for d in 0..n {
                     if s != d {
-                        net.inject(PacketSpec::new(s.into(), d.into()).payload_bits(64))
+                        net.inject(&PacketSpec::new(s.into(), d.into()).payload_bits(64))
                             .unwrap();
                         expected += 1;
                     }
@@ -958,7 +960,7 @@ mod tests {
                 let s = i % 16;
                 let d = (i * 7 + 3) % 16;
                 if s != d {
-                    let _ = net.inject(PacketSpec::new(s.into(), d.into()));
+                    let _ = net.inject(&PacketSpec::new(s.into(), d.into()));
                 }
                 net.step();
             }
@@ -971,7 +973,7 @@ mod tests {
     #[test]
     fn energy_counters_accumulate() {
         let mut net = baseline();
-        net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+        net.inject(&PacketSpec::new(0.into(), 2.into())).unwrap();
         net.drain(100);
         let s = net.stats();
         assert!(s.energy.flit_hops >= 2);
@@ -983,7 +985,7 @@ mod tests {
     fn link_loads_reflect_traffic() {
         let mut net = baseline();
         for _ in 0..5 {
-            net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64))
+            net.inject(&PacketSpec::new(0.into(), 1.into()).payload_bits(64))
                 .unwrap();
             net.run(4);
         }
@@ -1007,7 +1009,7 @@ mod tests {
         )
         .unwrap();
         let data = vec![Payload::from_u64(0x1234_5678)];
-        net.inject(PacketSpec::new(0.into(), 1.into()).data(data.clone()))
+        net.inject(&PacketSpec::new(0.into(), 1.into()).data(data.clone()))
             .unwrap();
         net.drain(100);
         let d = net.drain_delivered(1.into());
@@ -1031,7 +1033,7 @@ mod tests {
         .unwrap();
         // Payload with bit 3 = 0 so the stuck-at-1 shows.
         let data = vec![Payload::ZERO];
-        net.inject(PacketSpec::new(0.into(), 1.into()).data(data))
+        net.inject(&PacketSpec::new(0.into(), 1.into()).data(data))
             .unwrap();
         net.drain(100);
         let d = net.drain_delivered(1.into());
@@ -1044,7 +1046,7 @@ mod tests {
         let latency = |phits: u64| {
             let cfg = NetworkConfig::paper_baseline().with_channel_phits(phits);
             let mut net = Network::new(cfg).unwrap();
-            net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+            net.inject(&PacketSpec::new(0.into(), 2.into())).unwrap();
             assert!(net.drain(500));
             net.drain_delivered(2.into())[0].network_latency()
         };
@@ -1061,7 +1063,7 @@ mod tests {
                 let src = (now % 16) as u16;
                 let dst = ((now * 7 + 1) % 16) as u16;
                 if src != dst {
-                    let _ = net.inject(PacketSpec::new(src.into(), dst.into()));
+                    let _ = net.inject(&PacketSpec::new(src.into(), dst.into()));
                 }
                 net.step();
                 for n in 0..16u16 {
@@ -1094,7 +1096,7 @@ mod tests {
             net.set_transient_fault_rate(0.3);
             let data = vec![Payload::from_u64(0xFACE_FEED)];
             for _ in 0..20 {
-                net.inject(PacketSpec::new(0.into(), 10.into()).data(data.clone()))
+                net.inject(&PacketSpec::new(0.into(), 10.into()).data(data.clone()))
                     .unwrap();
                 net.run(4);
             }
@@ -1123,7 +1125,7 @@ mod tests {
         let latency = |protection: LinkProtection| {
             let cfg = NetworkConfig::paper_baseline().with_link_protection(protection);
             let mut net = Network::new(cfg).unwrap();
-            net.inject(PacketSpec::new(0.into(), 2.into())).unwrap();
+            net.inject(&PacketSpec::new(0.into(), 2.into())).unwrap();
             assert!(net.drain(200));
             net.drain_delivered(2.into())[0].network_latency()
         };
@@ -1142,7 +1144,7 @@ mod tests {
         let mut accepted = 0;
         let mut rejected = 0;
         for _ in 0..20 {
-            match net.inject(PacketSpec::new(0.into(), 5.into()).payload_bits(512)) {
+            match net.inject(&PacketSpec::new(0.into(), 5.into()).payload_bits(512)) {
                 Ok(_) => accepted += 1,
                 Err(Error::InjectionBackpressure { .. }) => rejected += 1,
                 Err(e) => panic!("unexpected {e}"),

@@ -32,7 +32,7 @@
 //!     net.config(),
 //!     ProbeConfig::counters().with_trace(256),
 //! ));
-//! net.inject(PacketSpec::new(0.into(), 10.into()))?;
+//! net.inject(&PacketSpec::new(0.into(), 10.into()))?;
 //! net.drain(200);
 //! let metrics = net.take_probe().expect("attached above").into_metrics(net.cycle());
 //! assert_eq!(metrics.totals.packets_delivered, 1);

@@ -7,7 +7,7 @@
 //! link to link without arbitration delay; dynamic traffic arbitrates for
 //! the unreserved cycles.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::ids::{Cycle, Direction, FlowId, NodeId};
@@ -129,10 +129,16 @@ pub struct CompiledFlow {
 ///
 /// One register per output link; entry `slot` names the flow whose
 /// pre-scheduled flit owns cycle `c` whenever `c ≡ slot (mod period)`.
+///
+/// The registers are keyed by an ordered map so that any iteration
+/// (duty-factor accounting via [`ReservationTable::total_reservations`],
+/// debug rendering) visits links in `(node, direction)` order — never
+/// in hash order, which would vary across processes and poison the
+/// byte-diffed determinism contract.
 #[derive(Debug, Clone)]
 pub struct ReservationTable {
     period: u64,
-    slots: HashMap<(NodeId, Direction), Vec<Option<FlowId>>>,
+    slots: BTreeMap<(NodeId, Direction), Vec<Option<FlowId>>>,
     flows: Vec<CompiledFlow>,
 }
 
@@ -155,7 +161,7 @@ impl ReservationTable {
     ) -> Result<ReservationTable, ReservationError> {
         let mut table = ReservationTable {
             period,
-            slots: HashMap::new(),
+            slots: BTreeMap::new(),
             flows: Vec::new(),
         };
         for (i, spec) in specs.iter().enumerate() {

@@ -49,11 +49,15 @@ impl DeflectionRouter {
     /// Panics on multi-flit packets (deflection supports single-flit
     /// packets only) or if more flits arrive than the router has inputs.
     pub fn receive(&mut self, _port: Port, flit: Flit) {
+        // INVARIANT: the interface fragments every message into
+        // single-flit packets under deflection flow control.
         assert!(
             flit.kind.is_head() && flit.kind.is_tail(),
             "router {}: deflection requires single-flit packets",
             self.node
         );
+        // INVARIANT: each of the four neighbour links delivers at most
+        // one flit per cycle, and evaluate() drains all arrivals.
         assert!(
             self.arrivals.len() < 4,
             "router {}: more arrivals than inputs",
@@ -119,6 +123,8 @@ impl DeflectionRouter {
                 .copied()
                 .find(|d| free[d.index()])
                 .or_else(|| Direction::ALL.iter().copied().find(|d| free[d.index()]));
+            // INVARIANT: at most 4 flits reach routing (one ejected,
+            // injection gated on a free slot), so a free output exists.
             let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
             if !productive.contains(&d) {
                 self.deflections += 1;

@@ -79,6 +79,8 @@ impl DroppingRouter {
         if flit.kind.is_head() {
             resolve_route(&mut flit, port);
         }
+        // INVARIANT: upstream sends at most one flit per cycle and
+        // evaluate() drains the slot every cycle, so it is free here.
         assert!(
             input.buf.is_none(),
             "router {}: dropping-mode input {port} overrun",
@@ -106,6 +108,7 @@ impl DroppingRouter {
                 continue;
             };
             if flit.kind.is_head() {
+                // INVARIANT: receive() resolves every head's route.
                 let op = flit.resolved_port.expect("resolved at receive");
                 if self.outputs[op.index()].locked.is_some() || used[op.index()] {
                     // Contention: drop the packet.
@@ -126,6 +129,8 @@ impl DroppingRouter {
                 used[op.index()] = true;
                 out.launches.push((op, flit));
             } else {
+                // INVARIANT: links preserve flit order, so a surviving
+                // body flit's head locked an output before it arrived.
                 let op = self.inputs[i]
                     .current_out
                     .expect("body flit follows a locked head");

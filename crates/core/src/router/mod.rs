@@ -67,6 +67,8 @@ pub(crate) fn resolve_route(flit: &mut Flit, in_port: Port) {
     debug_assert!(flit.kind.is_head(), "only head flits carry routes");
     match in_port {
         Port::Tile => {
+            // INVARIANT: route compilation rejects empty routes, so a
+            // head entering at its source always has a first hop.
             let (dir, rest) = flit
                 .route
                 .strip_first_hop()
@@ -77,6 +79,8 @@ pub(crate) fn resolve_route(flit: &mut Flit, in_port: Port) {
             advance_hop(flit);
         }
         Port::Dir(_) => {
+            // INVARIANT: every compiled route ends in an Extract turn,
+            // so a flit still in flight has entries left to consume.
             let (turn, rest) = flit
                 .route
                 .strip_turn()

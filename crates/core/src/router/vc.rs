@@ -137,6 +137,8 @@ impl VcRouter {
         }
         let vc = flit.link_vc.index();
         let buf = &mut self.inputs[port.index()].vcs[vc].buf;
+        // INVARIANT: the credit protocol bounds in-flight flits per VC
+        // by the buffer depth; overflow means a credit was forged.
         assert!(
             buf.len() < self.buf_depth,
             "router {}: input {port} vc{vc} buffer overflow",
@@ -149,6 +151,9 @@ impl VcRouter {
     pub fn credit_arrived(&mut self, port: Port, vc: VcId) {
         let o = &mut self.outputs[port.index()];
         o.credits[vc.index()] += 1;
+        // INVARIANT: credit conservation — credits in hand never
+        // exceed the downstream buffer depth; each launch consumes one
+        // and each drained slot returns exactly one.
         debug_assert!(
             o.credits[vc.index()] <= o.max_credits,
             "router {}: credit overflow on {port} {vc:?}",
@@ -264,11 +269,14 @@ impl VcRouter {
             for ivc in &mut input.vcs {
                 if ivc.out_port.is_none() {
                     if let Some(front) = ivc.buf.front() {
+                        // INVARIANT: wormhole ordering — a VC with no
+                        // held route sees a head flit first.
                         assert!(
                             front.kind.is_head(),
                             "router {}: body flit at head of an idle VC",
                             self.node
                         );
+                        // INVARIANT: receive() resolves every head.
                         ivc.out_port = Some(front.resolved_port.expect("head resolved at receive"));
                     }
                 }
@@ -311,6 +319,20 @@ impl VcRouter {
                     mask.allows(VcId::new(ov as u8)) && self.outputs[o].owner[ov].is_none()
                 });
                 if let Some(ov) = free {
+                    // INVARIANT: VC allocation is exclusive — the scan
+                    // above only yields unowned output VCs, and a
+                    // requester holds no grant while it requests (it
+                    // leaves the request set the cycle it is granted).
+                    debug_assert!(
+                        self.outputs[o].owner[ov].is_none(),
+                        "router {}: output VC {ov} re-granted while held",
+                        self.node
+                    );
+                    debug_assert!(
+                        self.inputs[i].vcs[v].out_vc.is_none(),
+                        "router {}: input {i} vc{v} granted a second output VC",
+                        self.node
+                    );
                     self.outputs[o].owner[ov] = Some((i, v));
                     self.inputs[i].vcs[v].out_vc = Some(VcId::new(ov as u8));
                     granted_any = true;
@@ -371,6 +393,9 @@ impl VcRouter {
             }
             let Some((_, v)) = best else { continue };
             let ivc = &mut self.inputs[i].vcs[v];
+            // INVARIANT: the candidate scan above admitted this VC only
+            // with a buffered flit, a resolved output port, and an
+            // allocated output VC in hand.
             let mut flit = ivc.buf.pop_front().expect("candidate has a flit");
             let op = ivc.out_port.expect("candidate has a port");
             flit.link_vc = ivc.out_vc.expect("candidate has a VC");
@@ -379,6 +404,14 @@ impl VcRouter {
                 ivc.out_vc = None;
             }
             let octrl = &mut self.outputs[op.index()];
+            // INVARIANT: credit conservation — the candidate scan only
+            // admits VCs with a credit in hand, so the decrement here
+            // can never underflow (forging buffer space downstream).
+            debug_assert!(
+                octrl.credits[flit.link_vc.index()] > 0,
+                "router {}: launching into {op} without a credit",
+                self.node
+            );
             octrl.credits[flit.link_vc.index()] -= 1;
             if flit.meta.class == crate::flit::ServiceClass::Reserved {
                 octrl.reserved_staging[i] = Some(flit);
@@ -454,6 +487,8 @@ impl VcRouter {
             } else {
                 &mut octrl.staging
             };
+            // INVARIANT: the winner was drawn from the candidate list,
+            // which only names occupied staging slots.
             let flit = bank[winner].take().expect("winner staged");
             // A lower-class flit left staged while a higher-class one took
             // the link is the paper's §2.2 preemption in action.
@@ -464,6 +499,14 @@ impl VcRouter {
                 probe.preemption(env.now, self.node, port);
             }
             if flit.kind.is_tail() {
+                // INVARIANT: a tail releases a VC its head was granted;
+                // the grant stays held until this release, so the owner
+                // entry must still be present.
+                debug_assert!(
+                    octrl.owner[flit.link_vc.index()].is_some(),
+                    "router {}: tail releasing unowned VC on {port}",
+                    self.node
+                );
                 octrl.owner[flit.link_vc.index()] = None;
             }
             octrl.busy_until = env.now + self.phits;

@@ -1,0 +1,370 @@
+//! The analysis engine: file discovery, rule matching, suppression.
+//!
+//! The engine is deliberately allocation-light and fully deterministic:
+//! files are visited in sorted path order, findings are emitted sorted
+//! by `(path, line, rule)`, and nothing consults the clock, the
+//! environment, or any randomness — the linter obeys the same rules it
+//! enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{find_word, split_lines, LineView};
+use crate::rules::{all_rules, rule_named, CodeScope, Rule, Suppression};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name.
+    pub rule: String,
+    /// What fired and what to do about it.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Findings sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Directories scanned under the workspace root. `target/` (build
+/// output) and hidden directories are never entered; fixture trees are
+/// skipped so the linter's own test corpus of deliberate violations
+/// does not fail the self-check.
+const SCAN_ROOTS: &[&str] = &["crates", "examples", "src", "tests", "vendor"];
+const SKIP_DIR_NAMES: &[&str] = &["target", "fixtures"];
+
+/// Scans the workspace rooted at `root` with the shipped rule set.
+///
+/// # Errors
+///
+/// Returns an I/O error message when the root or a source file cannot
+/// be read.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let base = root.join(dir);
+        if base.is_dir() {
+            collect_rs_files(&base, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let rules = all_rules();
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let source =
+            fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        analyze_file(&rel, &source, &rules, &mut findings);
+    }
+    findings.sort();
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collects `.rs` files, skipping build output, hidden
+/// directories, and fixture corpora.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIR_NAMES.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// An allow comment parsed from one line.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: String,
+    justified: bool,
+}
+
+/// Runs every applicable rule over one file. Public within the crate
+/// so fixture tests can lint a single buffer without touching disk.
+pub fn analyze_file(rel_path: &str, source: &str, rules: &[Rule], findings: &mut Vec<Finding>) {
+    let lines = split_lines(source);
+    let allows = parse_allows(rel_path, &lines, findings);
+
+    // The first `#[cfg(test)]` marks the start of the file's test
+    // modules (workspace convention: tests live at the end).
+    let test_start = lines
+        .iter()
+        .find(|l| l.code.contains("#[cfg(test)]"))
+        .map_or(usize::MAX, |l| l.number);
+
+    for rule in rules.iter().filter(|r| r.applies_to(rel_path)) {
+        for line in &lines {
+            if rule.scope == CodeScope::OutsideTests && line.number >= test_start {
+                break;
+            }
+            for pat in rule.patterns {
+                if find_word(&line.code, pat).is_none() {
+                    continue;
+                }
+                if suppressed(rule, line.number, &lines, &allows) {
+                    continue;
+                }
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: line.number,
+                    rule: rule.name.to_string(),
+                    message: format!("`{pat}`: {}", rule.advice),
+                    snippet: line.raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether a finding of `rule` at `line` is covered by a suppression:
+/// an allow comment on the same line or the line directly above, or —
+/// for [`Suppression::AllowOrInvariant`] rules — an `INVARIANT:`
+/// comment attached to the statement.
+///
+/// "Attached" means: on the same line, or reachable by scanning
+/// upward through at most three code lines (a panic site often ends a
+/// multi-line method chain) and any contiguous run of comment lines.
+/// A fully blank line ends the scan, so an annotation never bleeds
+/// past the statement group it documents.
+fn suppressed(rule: &Rule, line: usize, lines: &[LineView], allows: &[Allow]) -> bool {
+    let allowed = allows
+        .iter()
+        .any(|a| a.rule == rule.name && a.justified && (a.line == line || a.line + 1 == line));
+    if allowed {
+        return true;
+    }
+    if rule.suppression != Suppression::AllowOrInvariant {
+        return false;
+    }
+    let idx = line - 1; // lines are 1-based and dense
+    if lines[idx].comment.contains("INVARIANT:") {
+        return true;
+    }
+    let mut code_budget = 3;
+    for l in lines[..idx].iter().rev() {
+        let has_code = !l.code.trim().is_empty();
+        let has_comment = !l.comment.trim().is_empty();
+        if l.comment.contains("INVARIANT:") {
+            return true;
+        }
+        if has_code {
+            if code_budget == 0 {
+                return false;
+            }
+            code_budget -= 1;
+        } else if !has_comment {
+            // Blank line: the annotation scope ends.
+            return false;
+        }
+    }
+    false
+}
+
+/// Extracts `ocin-lint: allow(<rule>) — <justification>` comments.
+///
+/// A malformed allow is itself a finding: naming an unknown rule or
+/// omitting the justification defeats the audit trail the mechanism
+/// exists to create.
+fn parse_allows(rel_path: &str, lines: &[LineView], findings: &mut Vec<Finding>) -> Vec<Allow> {
+    const MARKER: &str = "ocin-lint: allow(";
+    let mut allows = Vec::new();
+    for line in lines {
+        let Some(start) = line.comment.find(MARKER) else {
+            continue;
+        };
+        // An allow must *be* the comment, not be mentioned by one: only
+        // comment punctuation may precede the marker. This keeps doc
+        // text that quotes the syntax (like this crate's own docs) from
+        // parsing as a suppression.
+        if !line.comment[..start]
+            .chars()
+            .all(|c| matches!(c, '/' | '*' | '!' | ' ' | '\t'))
+        {
+            continue;
+        }
+        let rest = &line.comment[start + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line.number,
+                rule: "malformed-suppression".to_string(),
+                message: "unclosed `ocin-lint: allow(` comment".to_string(),
+                snippet: line.raw.trim().to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let justification = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim();
+        let known = rule_named(&rule).is_some();
+        let justified = !justification.is_empty();
+        if !known {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line.number,
+                rule: "malformed-suppression".to_string(),
+                message: format!("allow names unknown rule `{rule}`"),
+                snippet: line.raw.trim().to_string(),
+            });
+        }
+        if !justified {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: line.number,
+                rule: "malformed-suppression".to_string(),
+                message: format!(
+                    "allow({rule}) has no justification; write \
+                     `// ocin-lint: allow({rule}) — <why this is safe>`"
+                ),
+                snippet: line.raw.trim().to_string(),
+            });
+        }
+        allows.push(Allow {
+            line: line.number,
+            rule,
+            justified: justified && known,
+        });
+    }
+    allows
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — how the CLI finds the workspace root when
+/// invoked from a subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        analyze_file(path, src, &all_rules(), &mut findings);
+        findings.sort();
+        findings
+    }
+
+    #[test]
+    fn hashmap_in_core_is_flagged() {
+        let f = lint(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() -> HashMap<u8, u8> { HashMap::new() }\n",
+        );
+        // One finding per (line, pattern): the two uses on line 2
+        // collapse into a single report.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "nondeterministic-iteration"));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn hashmap_outside_scoped_crates_is_fine() {
+        assert!(lint("crates/phys/src/x.rs", "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "// ocin-lint: allow(nondeterministic-iteration) — keys only, never iterated\n\
+                   use std::collections::HashMap;\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let src =
+            "use std::collections::HashMap; // ocin-lint: allow(nondeterministic-iteration)\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "malformed-suppression"));
+        assert!(f.iter().any(|f| f.rule == "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_a_finding() {
+        let src = "// ocin-lint: allow(no-such-rule) — because\nfn f() {}\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "malformed-suppression");
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_do_not_fire() {
+        let src = "// HashMap is forbidden here\nfn f() -> &'static str { \"HashMap\" }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn invariant_comment_clears_hot_path_panic() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // INVARIANT: x is Some by construction.\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert!(lint("crates/core/src/router/vc.rs", src).is_empty());
+        let bare = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = lint("crates/core/src/router/vc.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "panic-in-router-hot-path");
+    }
+
+    #[test]
+    fn test_modules_are_exempt_where_scoped() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n fn t() { None::<u8>.unwrap(); todo!() }\n}\n";
+        assert!(lint("crates/core/src/router/vc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoping() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(lint("crates/sim/src/x.rs", src).len(), 1);
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_root_is_discoverable() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+}

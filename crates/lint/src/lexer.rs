@@ -1,0 +1,317 @@
+//! A small comment/string/raw-string-aware lexer for Rust sources.
+//!
+//! The rules in this crate match on *code* tokens only: a `HashMap`
+//! mentioned in a doc comment, a `panic!` quoted inside a string
+//! literal, or a `thread_rng` in a `r#"..."#` raw string must never
+//! fire a finding. Rather than parse Rust properly, the lexer splits
+//! every line of a file into two channels:
+//!
+//! * **code** — the source text with comments removed and the contents
+//!   of string/char literals blanked out (replaced by spaces, so byte
+//!   columns still line up with the original file), and
+//! * **comment** — the concatenated text of any comments on the line
+//!   (used to honour `// ocin-lint: allow(...)` suppressions and
+//!   `// INVARIANT:` annotations).
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals with escapes, byte strings, raw strings with any number of
+//! `#` guards, char literals, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `'a`). It deliberately does not tokenize beyond that:
+//! rules do their own word-boundary matching on the code channel.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineView {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (empty when there is none).
+    pub comment: String,
+    /// The raw source line (for report snippets).
+    pub raw: String,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a `"..."` string literal.
+    Str,
+    /// Inside a raw string, closed by `"` followed by `hashes` `#`s.
+    RawStr(u32),
+}
+
+/// Splits a whole file into per-line [`LineView`]s.
+pub fn split_lines(source: &str) -> Vec<LineView> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        comment.push_str("/*");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        mode = if depth > 1 {
+                            Mode::Block(depth - 1)
+                        } else {
+                            Mode::Code
+                        };
+                        comment.push_str("*/");
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        // An escape: blank it and whatever it escapes
+                        // (a trailing `\` continues the string onto the
+                        // next line and is handled by running out of
+                        // chars first).
+                        code.push(' ');
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"' {
+                        let h = hashes as usize;
+                        let closed = (0..h).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closed {
+                            code.push('"');
+                            for _ in 0..h {
+                                code.push('#');
+                            }
+                            mode = Mode::Code;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+                Mode::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&chars[i..].iter().collect::<String>());
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        comment.push_str("/*");
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                        // Possible raw / byte / raw-byte string prefix.
+                        if let Some((hashes, consumed)) = raw_string_open(&chars, i) {
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            mode = Mode::RawStr(hashes);
+                            i += consumed + 1;
+                        } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                            code.push(' ');
+                            code.push('"');
+                            mode = Mode::Str;
+                            i += 2;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal or lifetime?
+                        if let Some(len) = char_literal_len(&chars, i) {
+                            code.push('\'');
+                            for _ in 1..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            // A lifetime (or a stray quote): keep as-is.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A plain string literal cannot span lines without a trailing
+        // backslash; if we consumed one, stay in Str mode (the blanked
+        // escape above already ate the backslash).
+        out.push(LineView {
+            number: idx + 1,
+            code,
+            comment,
+            raw: raw.to_string(),
+        });
+    }
+    out
+}
+
+/// Whether `chars[i]` is preceded by an identifier character (so an
+/// `r` or `b` there is part of a name like `attr` rather than a raw
+/// string prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If a raw-string opener starts at `i` (`r"`, `r#"`, `br##"` …),
+/// returns `(hash_count, chars_before_the_quote)`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j - i))
+}
+
+/// If a char literal starts at `i`, returns its total length in chars;
+/// `None` for lifetimes. Handles `'x'`, `'\n'`, `'\u{…}'`, `b'x'` (the
+/// `b` is consumed by the caller as ordinary code).
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped: scan for the closing quote.
+        let mut j = i + 2;
+        while j < chars.len() {
+            if chars[j] == '\'' {
+                return Some(j - i + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one char then a closing quote.
+    (chars.get(i + 2) == Some(&'\'')).then_some(3)
+}
+
+/// Finds word-boundary occurrences of `needle` in `haystack` (the code
+/// channel). A match is rejected when the adjacent characters are
+/// identifier characters, so `HashMap` does not match `FxHashMap` and
+/// `unwrap` does not match `unwrap_or`. Multi-token needles such as
+/// `Instant::now` match literally (the workspace never spaces `::`).
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_move_to_the_comment_channel() {
+        let lines = split_lines("let x = 1; // HashMap here\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let code = code_of("let s = \"Instant::now inside\"; let t = 1;");
+        assert!(!code[0].contains("Instant::now"));
+        assert!(code[0].contains("let t = 1;"));
+        // Columns preserved.
+        assert_eq!(
+            code[0].len(),
+            "let s = \"Instant::now inside\"; let t = 1;".len()
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let code = code_of(r#"let s = "say \"HashMap\""; HashSet"#);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("HashSet"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let code = code_of("let s = r#\"thread_rng \"quoted\"\"#; thread_park();");
+        assert!(!code[0].contains("thread_rng"));
+        assert!(code[0].contains("thread_park"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let src = "a(); /* outer HashMap /* inner */\nstill comment */ b();";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("a();"));
+        assert!(!lines[1].code.contains("still"));
+        assert!(lines[1].code.contains("b();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let code = code_of("fn f<'a>(x: &'a str) { let c = 'h'; g(c) }");
+        assert!(code[0].contains("'a"), "lifetimes survive");
+        assert!(
+            !code[0].contains('h'),
+            "char literal contents blanked: {}",
+            code[0]
+        );
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(find_word("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_word("type M = FxHashMap<u8, u8>;", "HashMap").is_none());
+        assert!(find_word("x.unwrap_or(0)", "unwrap").is_none());
+        assert!(find_word("x.unwrap()", "unwrap").is_some());
+        assert!(find_word("Instant::now()", "Instant::now").is_some());
+    }
+}

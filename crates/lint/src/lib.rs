@@ -1,0 +1,32 @@
+//! `ocin-lint`: static analysis that keeps the simulator deterministic.
+//!
+//! The reproduction's claims (zero-load latency, saturation throughput,
+//! duty factors) are quantitative, so its value rests on bit-identical
+//! reruns: the sweep engine derives every seed from the point spec, CI
+//! byte-diffs probe dumps, and the test suite runs back to back. The
+//! rules that *keep* those properties true — no wall clocks in the
+//! simulation path, no unordered-map iteration feeding reports, no
+//! unseeded randomness — used to exist only as convention. This crate
+//! makes them machine-checked.
+//!
+//! The pass is self-contained and offline (std only, matching the
+//! workspace's vendored-stand-in policy). It lexes each Rust source
+//! into code and comment channels so rules fire on code tokens, never
+//! on doc text ([`lexer`]); applies a path-scoped rule set ([`rules`]);
+//! honours inline suppressions of the form
+//! `// ocin-lint: allow(<rule>) — <justification>` and, for the
+//! hot-path panic rule, `// INVARIANT:` annotations ([`engine`]); and
+//! renders a deterministic JSON report ([`report`]).
+//!
+//! Run it as `cargo run -p ocin-lint -- check`. The exit status is 0
+//! only when the workspace is clean, which is what the CI job gates on.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{analyze_workspace, find_workspace_root, Analysis, Finding};

@@ -1,0 +1,88 @@
+//! The `ocin-lint` CLI.
+//!
+//! ```text
+//! ocin-lint check [--root DIR] [--report FILE]   lint the workspace
+//! ocin-lint rules                                list the rule set
+//! ```
+//!
+//! `check` prints findings to stdout, writes the deterministic JSON
+//! report (default `target/ocin-lint.json`), and exits 0 only when the
+//! tree is clean — nonzero exits are what the CI job and the fixture
+//! tests assert on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ocin_lint::{analyze_workspace, find_workspace_root, report, rules};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for r in rules::all_rules() {
+                println!("{:<28} {}", r.name, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ocin-lint check [--root DIR] [--report FILE] | ocin-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--report" => report_path = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("ocin-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ocin-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ocin-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::to_text(&analysis));
+
+    let report_path = report_path.unwrap_or_else(|| root.join("target/ocin-lint.json"));
+    if let Some(parent) = report_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&report_path, report::to_json(&analysis)) {
+        eprintln!("ocin-lint: write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    println!("report: {}", report_path.display());
+
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic rendering of an [`Analysis`]: human text and JSON.
+//!
+//! The JSON report is the CI artifact and must be byte-identical
+//! across runs of the same tree: findings arrive pre-sorted from the
+//! engine, keys are emitted in a fixed order, and nothing volatile
+//! (timestamps, absolute paths, durations) is included.
+
+use crate::engine::Analysis;
+
+/// Renders the machine-readable report.
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"format\": \"ocin-lint v1\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n",
+        analysis.files_scanned
+    ));
+    out.push_str(&format!(
+        "  \"findings_total\": {},\n",
+        analysis.findings.len()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+        out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+        out.push_str(&format!("\"snippet\": {}", json_str(&f.snippet)));
+        out.push('}');
+    }
+    if !analysis.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the human-readable transcript printed by `ocin-lint check`.
+pub fn to_text(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.path, f.line, f.rule, f.message, f.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "ocin-lint: {} finding(s) in {} file(s) scanned\n",
+        analysis.findings.len(),
+        analysis.files_scanned
+    ));
+    out
+}
+
+/// JSON string escaping (the subset the findings can contain).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                path: "crates/core/src/x.rs".to_string(),
+                line: 7,
+                rule: "unseeded-rng".to_string(),
+                message: "`thread_rng`: seed it".to_string(),
+                snippet: "let mut rng = thread_rng(); // \"quoted\"".to_string(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let a = sample();
+        let j1 = to_json(&a);
+        let j2 = to_json(&a);
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\\\"quoted\\\""));
+        assert!(j1.contains("\"findings_total\": 1"));
+    }
+
+    #[test]
+    fn empty_report_renders_an_empty_array() {
+        let a = Analysis {
+            findings: vec![],
+            files_scanned: 9,
+        };
+        let j = to_json(&a);
+        assert!(j.contains("\"findings\": []"));
+        assert!(to_text(&a).contains("0 finding(s) in 9 file(s)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The rule set: what `ocin-lint` enforces and where.
+//!
+//! Every rule is a set of code-channel token patterns plus a path
+//! scope. Scopes are workspace-relative path prefixes, so a rule can
+//! target the deterministic simulation core (`crates/core`,
+//! `crates/sim`, …) while leaving measurement-harness crates
+//! (`crates/bench`, `vendor/criterion`) alone.
+//!
+//! Rules are data, not code: the engine owns matching, suppression,
+//! and reporting, so adding a rule means adding an entry to
+//! [`all_rules`] and a fixture under `tests/fixtures/`.
+
+/// Where, within a file, a rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeScope {
+    /// The whole file, test modules included (determinism rules: a
+    /// test that iterates a `HashMap` is as order-sensitive as
+    /// shipping code).
+    Everywhere,
+    /// Only code before the first `#[cfg(test)]` attribute. The
+    /// workspace convention keeps test modules at the end of each
+    /// file, which is what makes this line-based cutoff sound.
+    OutsideTests,
+}
+
+/// How a finding can be suppressed inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suppression {
+    /// Only the standard `// ocin-lint: allow(<rule>) — <why>` comment.
+    AllowComment,
+    /// The standard allow comment, or an `// INVARIANT:` comment
+    /// attached to the statement (same line, or above it through at
+    /// most three code lines and any run of comment lines) — used by
+    /// the hot-path panic rule, where the annotation documents *why*
+    /// the panic cannot fire rather than excusing it.
+    AllowOrInvariant,
+}
+
+/// One static-analysis rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable kebab-case name, used in reports and allow comments.
+    pub name: &'static str,
+    /// One-line description for `ocin-lint rules` and the docs table.
+    pub summary: &'static str,
+    /// Code-channel tokens that fire the rule (word-boundary matched).
+    pub patterns: &'static [&'static str],
+    /// Path prefixes the rule applies to (empty = the whole tree).
+    pub include: &'static [&'static str],
+    /// Path prefixes exempt from the rule.
+    pub exclude: &'static [&'static str],
+    /// Whether test modules are scanned.
+    pub scope: CodeScope,
+    /// Accepted suppression mechanisms.
+    pub suppression: Suppression,
+    /// Explanation attached to findings: what to do instead.
+    pub advice: &'static str,
+}
+
+impl Rule {
+    /// Whether this rule applies to the workspace-relative `path`
+    /// (forward-slash separated).
+    pub fn applies_to(&self, path: &str) -> bool {
+        let included = self.include.is_empty() || self.include.iter().any(|p| path.starts_with(p));
+        included && !self.exclude.iter().any(|p| path.starts_with(p))
+    }
+}
+
+/// The three router cores plus their shared route-resolution helper:
+/// code evaluated every cycle for every flit in flight.
+const ROUTER_HOT_PATHS: &[&str] = &[
+    "crates/core/src/router/vc.rs",
+    "crates/core/src/router/dropping.rs",
+    "crates/core/src/router/deflection.rs",
+    "crates/core/src/router/mod.rs",
+];
+
+/// The shipped rule set, in report order.
+pub fn all_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "nondeterministic-iteration",
+            summary: "HashMap/HashSet in simulation-facing crates",
+            patterns: &["HashMap", "HashSet"],
+            include: &[
+                "crates/core/",
+                "crates/sim/",
+                "crates/services/",
+                "crates/traffic/",
+            ],
+            exclude: &[],
+            scope: CodeScope::Everywhere,
+            suppression: Suppression::AllowComment,
+            advice: "iteration order feeds reports and scheduling; use \
+                     BTreeMap/BTreeSet, or justify why order can never escape",
+        },
+        Rule {
+            name: "wall-clock-in-sim",
+            summary: "Instant::now/SystemTime::now outside the bench harness",
+            patterns: &["Instant::now", "SystemTime::now"],
+            include: &[],
+            exclude: &["crates/bench/"],
+            scope: CodeScope::Everywhere,
+            suppression: Suppression::AllowComment,
+            advice: "simulation results must depend only on (config, seed); \
+                     wall-clock reads belong in crates/bench",
+        },
+        Rule {
+            name: "unseeded-rng",
+            summary: "thread_rng/from_entropy/OsRng anywhere",
+            patterns: &["thread_rng", "from_entropy", "OsRng"],
+            include: &[],
+            exclude: &[],
+            scope: CodeScope::Everywhere,
+            suppression: Suppression::AllowComment,
+            advice: "every RNG must be seeded from the run's SimConfig seed \
+                     (see ocin_sim::pool::derive_seed)",
+        },
+        Rule {
+            name: "panic-in-router-hot-path",
+            summary: "unannotated unwrap/expect/panic in the router cores",
+            patterns: &["unwrap", "expect", "panic!", "unreachable!", "assert!"],
+            include: ROUTER_HOT_PATHS,
+            exclude: &[],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowOrInvariant,
+            advice: "a panic in the per-cycle router paths must encode a \
+                     protocol invariant; state it in an // INVARIANT: comment \
+                     or handle the case",
+        },
+        Rule {
+            name: "todo-in-shipping-code",
+            summary: "todo!/unimplemented! outside tests",
+            patterns: &["todo!", "unimplemented!"],
+            include: &[],
+            exclude: &["tests/"],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowComment,
+            advice: "shipping code paths must be complete; finish the \
+                     implementation or return an Error",
+        },
+    ]
+}
+
+/// Looks a rule up by name (for allow-comment validation).
+pub fn rule_named(name: &str) -> Option<Rule> {
+    all_rules().into_iter().find(|r| r.name == name)
+}

@@ -1,0 +1,10 @@
+//! Fixture: `malformed-suppression` — an allow that names an unknown
+//! rule or omits its justification is itself a finding, and an
+//! unjustified allow does not suppress.
+
+// ocin-lint: allow(no-such-rule) — the rule name is wrong
+pub fn unknown_rule() {}
+
+pub struct Unjustified {
+    pub cache: std::collections::HashMap<u32, u32>, // ocin-lint: allow(nondeterministic-iteration)
+}

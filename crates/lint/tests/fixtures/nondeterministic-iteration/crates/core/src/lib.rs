@@ -1,0 +1,22 @@
+//! Fixture: `nondeterministic-iteration` — one finding per marked
+//! line, none for the suppressed or non-code cases.
+
+use std::collections::HashMap; // FINDING: line 4
+use std::collections::{BTreeMap, HashSet}; // FINDING: line 5
+
+/// Ordered maps never fire.
+pub fn fine() -> BTreeMap<u8, u8> {
+    BTreeMap::new()
+}
+
+/// A mention of HashMap in a doc comment does not fire, and neither
+/// does one in a string:
+pub fn also_fine() -> &'static str {
+    "HashMap and HashSet by name"
+}
+
+pub struct Suppressed {
+    // ocin-lint: allow(nondeterministic-iteration) — fixture: keys are looked up, never iterated
+    pub cache: HashMap<u32, u32>,
+    inner: HashSet<u8>, // FINDING: line 21 (the allow above covers only its own line and the next)
+}

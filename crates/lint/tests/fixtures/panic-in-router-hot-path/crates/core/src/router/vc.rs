@@ -1,0 +1,35 @@
+//! Fixture: `panic-in-router-hot-path` — unannotated panic sites in a
+//! router core fire; INVARIANT-annotated ones and test code do not.
+
+pub fn bare_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // FINDING: line 5
+}
+
+pub fn bare_panic(ok: bool) {
+    if !ok {
+        panic!("protocol violation"); // FINDING: line 10
+    }
+}
+
+pub fn annotated(x: Option<u8>) -> u8 {
+    // INVARIANT: x is Some by construction — the caller resolves the
+    // route before this point.
+    x.expect("resolved upstream")
+}
+
+pub fn annotated_chain(x: Option<u8>) -> u8 {
+    // INVARIANT: the annotation reaches through a multi-line chain.
+    x.map(|v| v + 1)
+        .filter(|v| *v > 0)
+        .expect("still covered")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert!(super::bare_unwrap(Some(3)) == 3);
+        None::<u8>.unwrap_or(0);
+        Some(1u8).unwrap();
+    }
+}

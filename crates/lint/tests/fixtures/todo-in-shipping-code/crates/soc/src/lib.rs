@@ -1,0 +1,22 @@
+//! Fixture: `todo-in-shipping-code` — stubs in shipping paths fire;
+//! suppressed sites and test code do not.
+
+pub fn stubbed() {
+    todo!() // FINDING: line 5
+}
+
+pub fn also_stubbed() {
+    unimplemented!("later") // FINDING: line 9
+}
+
+pub fn suppressed() {
+    // ocin-lint: allow(todo-in-shipping-code) — fixture: gated behind an unreleased feature flag
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        todo!()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: `unseeded-rng` — entropy-seeded generators fire anywhere
+//! in the tree; seeded construction and suppressed sites do not.
+
+pub fn bad_thread_rng() {
+    let _rng = rand::thread_rng(); // FINDING: line 5
+}
+
+pub fn bad_from_entropy() {
+    let _rng = StdRng::from_entropy(); // FINDING: line 9
+}
+
+pub fn fine_seeded() {
+    let _rng = StdRng::seed_from_u64(42);
+}
+
+pub fn suppressed() {
+    // ocin-lint: allow(unseeded-rng) — fixture: demo binary, results never compared
+    let _rng = rand::thread_rng();
+}

@@ -1,0 +1,22 @@
+//! Fixture: `wall-clock-in-sim` — wall-clock reads in a simulation
+//! crate fire; suppressed and quoted ones do not.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() // FINDING: line 7
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() // FINDING: line 11
+}
+
+pub fn suppressed() -> Instant {
+    // ocin-lint: allow(wall-clock-in-sim) — fixture: diagnostic-only timing, never in a report
+    Instant::now()
+}
+
+/// `Instant::now` in a doc comment or a string never fires.
+pub fn quoted() -> &'static str {
+    "Instant::now and SystemTime::now"
+}

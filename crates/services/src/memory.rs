@@ -5,7 +5,7 @@
 //! fixed access latency and replies over the network. Requests are
 //! matched to replies by transaction id, so many can be in flight.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ocin_core::flit::ServiceClass;
 use ocin_core::ids::{Cycle, NodeId};
@@ -53,7 +53,7 @@ pub struct MemoryReply {
 pub struct MemoryClient {
     server: NodeId,
     next_txn: u16,
-    outstanding: HashMap<u16, Cycle>,
+    outstanding: BTreeMap<u16, Cycle>,
     /// Completed transactions.
     pub completed: Vec<MemoryReply>,
 }
@@ -64,7 +64,7 @@ impl MemoryClient {
         MemoryClient {
             server,
             next_txn: 0,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             completed: Vec::new(),
         }
     }
@@ -129,7 +129,7 @@ impl MemoryClient {
 /// The memory-subsystem tile: services requests after a fixed latency.
 #[derive(Debug)]
 pub struct MemoryServer {
-    store: HashMap<u32, u64>,
+    store: BTreeMap<u32, u64>,
     access_latency: Cycle,
     /// Requests in service: (ready_cycle, reply_to, header, write value).
     in_service: Vec<(Cycle, NodeId, Header, Option<u64>)>,
@@ -141,7 +141,7 @@ impl MemoryServer {
     /// Creates a server with the given access latency in cycles.
     pub fn new(access_latency: Cycle) -> MemoryServer {
         MemoryServer {
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             access_latency,
             in_service: Vec::new(),
             requests_served: 0,

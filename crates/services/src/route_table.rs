@@ -5,7 +5,7 @@
 //! holds the precompiled 16-bit source route for every destination, the
 //! way boot-time configuration software would program it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ocin_core::ids::NodeId;
 use ocin_core::route::{RouteError, SourceRoute};
@@ -15,7 +15,9 @@ use ocin_core::topology::Topology;
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     src: NodeId,
-    routes: HashMap<NodeId, SourceRoute>,
+    /// Ordered by destination id, matching the paper's table layout
+    /// and keeping any future dump of the table order-stable.
+    routes: BTreeMap<NodeId, SourceRoute>,
 }
 
 impl RouteTable {
@@ -26,7 +28,7 @@ impl RouteTable {
     /// Returns the first [`RouteError`] (minimal routes on the shipped
     /// topologies always compile; custom topologies might not).
     pub fn build(topo: &dyn Topology, src: NodeId) -> Result<RouteTable, RouteError> {
-        let mut routes = HashMap::new();
+        let mut routes = BTreeMap::new();
         for d in 0..topo.num_nodes() {
             let dst = NodeId::new(d as u16);
             if dst == src {

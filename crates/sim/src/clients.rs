@@ -113,7 +113,7 @@ impl ServiceSim {
         }
         for node in 0..n {
             while let Some(spec) = self.pending[node].front() {
-                match self.net.inject(spec.clone()) {
+                match self.net.inject(spec) {
                     Ok(_) => {
                         self.pending[node].pop_front();
                     }

@@ -105,7 +105,7 @@ mod tests {
     fn loaded_network() -> Network {
         let mut net = Network::new(NetworkConfig::paper_baseline()).unwrap();
         for _ in 0..50 {
-            let _ = net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64));
+            let _ = net.inject(&PacketSpec::new(0.into(), 1.into()).payload_bits(64));
             net.run(3);
         }
         net.drain(500);

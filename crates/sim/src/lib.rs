@@ -18,7 +18,7 @@
 //!     NetworkConfig::paper_baseline(),
 //!     SimConfig::quick(),
 //! )?
-//! .with_workload(wl);
+//! .with_workload(&wl);
 //! let report = sim.run();
 //! assert!(report.packets_delivered > 0);
 //! assert!(report.network_latency.mean > 0.0);

@@ -120,7 +120,7 @@ impl MultiChipSim {
 
     fn inject(chip: &mut Network, src: NodeId, msg: &Message) -> bool {
         chip.inject(
-            PacketSpec::new(src, msg.dst)
+            &PacketSpec::new(src, msg.dst)
                 .payload_bits(msg.payload_bits)
                 .class(msg.class)
                 .data(msg.payloads.clone()),
@@ -181,8 +181,7 @@ impl MultiChipSim {
                             .sent_at
                             .iter()
                             .position(|(d, _)| *d == dgram)
-                            .map(|i| self.sent_at.remove(i).1)
-                            .unwrap_or(now);
+                            .map_or(now, |i| self.sent_at.remove(i).1);
                         self.delivered.push(GlobalDelivery {
                             dgram,
                             sent_at: sent,
@@ -222,8 +221,7 @@ impl MultiChipSim {
                     .sent_at
                     .iter()
                     .position(|(d, _)| *d == dgram)
-                    .map(|i| self.sent_at.remove(i).1)
-                    .unwrap_or(now);
+                    .map_or(now, |i| self.sent_at.remove(i).1);
                 self.delivered.push(GlobalDelivery {
                     dgram,
                     sent_at: sent,

@@ -15,7 +15,7 @@
 //!   with a saturation search, an ablation re-running its baseline)
 //!   compute it once per process.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -119,7 +119,7 @@ impl PointSpec {
         };
         let mut sim = Simulation::new(self.net_cfg.clone(), sim_cfg)
             .expect("point configuration must be valid")
-            .with_workload(wl);
+            .with_workload(&wl);
         if self.probe {
             sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters());
         }
@@ -142,7 +142,10 @@ impl PointSpec {
 /// single worker suffices), and results are returned in input order.
 pub struct SimPool {
     workers: usize,
-    cache: Mutex<HashMap<String, LoadPoint>>,
+    /// Memoized points keyed by the full spec rendering. Ordered so
+    /// that nothing downstream (cache statistics, future dump/debug
+    /// paths) can ever observe hash order.
+    cache: Mutex<BTreeMap<String, LoadPoint>>,
 }
 
 impl Default for SimPool {
@@ -154,7 +157,7 @@ impl Default for SimPool {
 impl SimPool {
     /// A pool sized to the machine's available parallelism.
     pub fn new() -> SimPool {
-        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZero::get);
         SimPool::with_workers(workers)
     }
 
@@ -162,7 +165,7 @@ impl SimPool {
     pub fn with_workers(workers: usize) -> SimPool {
         SimPool {
             workers: workers.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -190,7 +193,7 @@ impl SimPool {
         let mut misses: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().expect("cache lock");
-            let mut seen: HashSet<&str> = HashSet::new();
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
             for (i, k) in keys.iter().enumerate() {
                 if !cache.contains_key(k) && seen.insert(k) {
                     misses.push(i);

@@ -1,6 +1,6 @@
 //! The workload-driven simulation runner: warmup, measurement, drain.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ocin_core::ids::{FlowId, NodeId};
 use ocin_core::network::{EnergyCounters, Network, PacketSpec};
@@ -78,11 +78,15 @@ pub struct SimReport {
     /// Total latency (offer to tail delivery) of measured packets.
     pub total_latency: LatencyReport,
     /// Latency by service class priority (0 bulk, 1 priority, 2 reserved).
-    pub class_latency: HashMap<u8, LatencyReport>,
+    ///
+    /// Ordered maps, not hash maps: these feed serialized reports and
+    /// experiment transcripts, so iterating them must visit keys in a
+    /// stable order for renders of the same run to be byte-identical.
+    pub class_latency: BTreeMap<u8, LatencyReport>,
     /// Per-flow latency spread (jitter) for pre-scheduled flows.
-    pub flow_jitter: HashMap<FlowId, f64>,
+    pub flow_jitter: BTreeMap<FlowId, f64>,
     /// Per-flow latency report.
-    pub flow_latency: HashMap<FlowId, LatencyReport>,
+    pub flow_latency: BTreeMap<FlowId, LatencyReport>,
     /// Packets delivered (measured window).
     pub packets_delivered: u64,
     /// Packets injected (measured window).
@@ -149,7 +153,7 @@ impl Simulation {
     }
 
     /// Attaches a dynamic workload.
-    pub fn with_workload(mut self, workload: Workload) -> Simulation {
+    pub fn with_workload(mut self, workload: &Workload) -> Simulation {
         self.offered_rate = workload.offered_flit_rate();
         self.generator = Some(workload.generator(self.cfg.seed));
         self
@@ -157,7 +161,7 @@ impl Simulation {
 
     /// Attaches a per-pair traffic matrix (may be combined with a
     /// pattern workload; offered rates add).
-    pub fn with_traffic_matrix(mut self, matrix: TrafficMatrix) -> Simulation {
+    pub fn with_traffic_matrix(mut self, matrix: &TrafficMatrix) -> Simulation {
         self.offered_rate += matrix.mean_load();
         self.matrix = Some(matrix.generator(self.cfg.seed ^ 0x5EED));
         self
@@ -190,8 +194,8 @@ impl Simulation {
 
         let mut lat_net = Samples::new();
         let mut lat_total = Samples::new();
-        let mut class_samples: HashMap<u8, Samples> = HashMap::new();
-        let mut flow_samples: HashMap<FlowId, Samples> = HashMap::new();
+        let mut class_samples: BTreeMap<u8, Samples> = BTreeMap::new();
+        let mut flow_samples: BTreeMap<FlowId, Samples> = BTreeMap::new();
         let mut delivered_flits = 0u64;
         let mut delivered_packets = 0u64;
         let mut injected_packets = 0u64;
@@ -251,7 +255,7 @@ impl Simulation {
             let in_window = now >= warm_end && now < meas_end;
             for node in 0..n {
                 while let Some(spec) = self.pending[node].front() {
-                    match self.net.inject(spec.clone()) {
+                    match self.net.inject(spec) {
                         Ok(_) => {
                             self.pending[node].pop_front();
                             if in_window {
@@ -374,7 +378,7 @@ mod tests {
             .injection(InjectionProcess::Bernoulli { flit_rate: rate });
         Simulation::new(NetworkConfig::paper_baseline(), SimConfig::quick())
             .unwrap()
-            .with_workload(wl)
+            .with_workload(&wl)
             .run()
     }
 
@@ -412,7 +416,7 @@ mod tests {
                 SimConfig::quick(),
             )
             .unwrap()
-            .with_workload(wl)
+            .with_workload(&wl)
             .run()
         };
         let torus = run(TopologySpec::FoldedTorus { k: 8 });
@@ -434,7 +438,7 @@ mod tests {
             .injection(InjectionProcess::Bernoulli { flit_rate: 0.3 });
         let r = Simulation::new(cfg, SimConfig::quick())
             .unwrap()
-            .with_workload(wl)
+            .with_workload(&wl)
             .run();
         let jitter = r.flow_jitter.get(&FlowId(0)).copied().unwrap_or(99.0);
         assert!(jitter <= 1.0, "reserved flow jitter {jitter}");

@@ -23,7 +23,10 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -45,7 +48,7 @@ impl Table {
 
     /// Appends a row of displayable values.
     pub fn row_of(&mut self, cells: &[&dyn fmt::Display]) -> &mut Self {
-        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        let cells: Vec<String> = cells.iter().map(std::string::ToString::to_string).collect();
         self.row(&cells)
     }
 

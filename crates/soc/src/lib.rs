@@ -18,7 +18,7 @@
 //! let workload = SocWorkload::for_floorplan(&plan);
 //! let (cfg, matrix) = workload.build(1.0)?;
 //! let report = ocin_sim::Simulation::new(cfg, ocin_sim::SimConfig::quick())?
-//!     .with_traffic_matrix(matrix)
+//!     .with_traffic_matrix(&matrix)
 //!     .run();
 //! assert!(report.packets_delivered > 0);
 //! # Ok(())

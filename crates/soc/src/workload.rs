@@ -172,7 +172,7 @@ mod tests {
         let (cfg, m) = wl.build(1.0).unwrap();
         let report = Simulation::new(cfg, SimConfig::quick())
             .unwrap()
-            .with_traffic_matrix(m)
+            .with_traffic_matrix(&m)
             .run();
         assert!(report.packets_delivered > 100);
         // The video flow is jitter-free among the dynamic traffic.

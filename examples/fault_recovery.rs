@@ -59,7 +59,7 @@ fn main() -> Result<(), ocin::core::Error> {
         }
         for msg in tx.poll(now) {
             let _ = net.inject(
-                PacketSpec::new(src, msg.dst)
+                &PacketSpec::new(src, msg.dst)
                     .payload_bits(msg.payload_bits)
                     .class(msg.class)
                     .data(msg.payloads),
@@ -69,7 +69,7 @@ fn main() -> Result<(), ocin::core::Error> {
         for pkt in net.drain_delivered(dst) {
             if let Some(ack) = rx.on_packet(&pkt) {
                 let _ = net.inject(
-                    PacketSpec::new(dst, ack.dst)
+                    &PacketSpec::new(dst, ack.dst)
                         .payload_bits(ack.payload_bits)
                         .class(ack.class)
                         .data(ack.payloads),

@@ -15,9 +15,9 @@ fn main() -> Result<(), ocin::core::Error> {
 
     // Send a 1-flit datagram from tile 0 to tile 10 and a 4-flit bulk
     // packet from tile 3 to tile 12.
-    let a = net.inject(PacketSpec::new(0.into(), 10.into()).payload_bits(256))?;
+    let a = net.inject(&PacketSpec::new(0.into(), 10.into()).payload_bits(256))?;
     let b = net.inject(
-        PacketSpec::new(3.into(), 12.into())
+        &PacketSpec::new(3.into(), 12.into())
             .payload_bits(1024)
             .class(ServiceClass::Bulk),
     )?;

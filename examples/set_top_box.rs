@@ -27,7 +27,7 @@ fn main() -> Result<(), ocin::core::Error> {
     );
 
     let report = Simulation::new(cfg, SimConfig::standard())?
-        .with_traffic_matrix(matrix)
+        .with_traffic_matrix(&matrix)
         .run();
 
     println!("\nresults over {} measured cycles:", report.window);

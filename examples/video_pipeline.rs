@@ -34,7 +34,7 @@ fn main() -> Result<(), ocin::core::Error> {
         .injection(InjectionProcess::Bernoulli { flit_rate: 0.35 });
 
     let report = Simulation::new(cfg, SimConfig::standard())?
-        .with_workload(dynamic)
+        .with_workload(&dynamic)
         .run();
 
     let video = report.flow_latency[&FlowId(0)];

@@ -170,7 +170,7 @@ fn cmd_info() {
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut sim = Simulation::new(network_config(opts), sim_config(opts))
         .map_err(|e| e.to_string())?
-        .with_workload(workload(opts)?);
+        .with_workload(&workload(opts)?);
     let report = sim.run();
     println!(
         "{:?}  pattern={}  offered={}  flow_control={:?}{}",
@@ -258,7 +258,7 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn drive(net: &mut Network, wl: &Workload, cycles: u64, seed: u64) -> (u64, u64)
         for node in 0..n as u16 {
             if let Some(req) = generation.next_request(now, node.into()) {
                 match net
-                    .inject(PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits))
+                    .inject(&PacketSpec::new(node.into(), req.dst).payload_bits(req.payload_bits))
                 {
                     Ok(_) => injected += 1,
                     Err(Error::InjectionBackpressure { .. }) => {}
@@ -152,7 +152,7 @@ fn per_class_packets_deliver_in_order_per_pair() {
     for i in 0..30u64 {
         loop {
             match net.inject(
-                PacketSpec::new(1.into(), 2.into())
+                &PacketSpec::new(1.into(), 2.into())
                     .payload_bits(64)
                     .data(vec![ocin::core::flit::Payload::from_u64(i)]),
             ) {
@@ -185,7 +185,7 @@ fn multi_flit_and_single_flit_mix() {
         if src != dst
             && net
                 .inject(
-                    PacketSpec::new(src.into(), dst.into())
+                    &PacketSpec::new(src.into(), dst.into())
                         .payload_bits(bits)
                         .class(if now % 5 == 0 {
                             ServiceClass::Priority

@@ -14,7 +14,7 @@ fn census(net: &mut Network) -> (usize, usize) {
             if s != d {
                 // Alternating pattern exercises both stuck-at polarities.
                 let p = Payload([0xAAAA_AAAA_5555_5555; 4]);
-                net.inject(PacketSpec::new(s.into(), d.into()).data(vec![p]))
+                net.inject(&PacketSpec::new(s.into(), d.into()).data(vec![p]))
                     .expect("baseline accepts all pairs");
                 sent += 1;
             }
@@ -107,7 +107,7 @@ fn corruption_is_always_flagged() {
     for s in 0..n {
         for d in 0..n {
             if s != d {
-                net.inject(PacketSpec::new(s.into(), d.into()).data(vec![Payload([u64::MAX; 4])]))
+                net.inject(&PacketSpec::new(s.into(), d.into()).data(vec![Payload([u64::MAX; 4])]))
                     .unwrap();
             }
         }

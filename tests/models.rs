@@ -85,7 +85,7 @@ fn simulated_energy_matches_analytic_within_tolerance() {
             SimConfig::quick(),
         )
         .unwrap()
-        .with_workload(wl)
+        .with_workload(&wl)
         .run();
         let (hop_bits, bit_pitches) = Simulation::energy_per_packet(&report);
         // Simulated hops include source + destination router traversals:

@@ -23,7 +23,7 @@ fn reserved_flows_are_jitter_free_at_every_load() {
             SimConfig::quick(),
         )
         .unwrap()
-        .with_workload(wl)
+        .with_workload(&wl)
         .run();
         for flow in [FlowId(0), FlowId(1)] {
             let jitter = report.flow_jitter[&flow];
@@ -43,7 +43,7 @@ fn reserved_latency_is_load_independent() {
             SimConfig::quick(),
         )
         .unwrap()
-        .with_workload(wl)
+        .with_workload(&wl)
         .run()
         .flow_latency[&FlowId(0)]
             .mean
@@ -66,7 +66,7 @@ fn strict_policy_idles_unused_slots() {
             .injection(InjectionProcess::Bernoulli { flit_rate: 0.5 });
         Simulation::new(cfg_with_flows(policy), SimConfig::quick())
             .unwrap()
-            .with_workload(wl)
+            .with_workload(&wl)
             .run()
     };
     let wc = run(ReservationPolicy::WorkConserving);
@@ -100,7 +100,7 @@ fn flows_admit_on_mesh_too() {
         .injection(InjectionProcess::Bernoulli { flit_rate: 0.3 });
     let report = Simulation::new(cfg, SimConfig::quick())
         .unwrap()
-        .with_workload(wl)
+        .with_workload(&wl)
         .run();
     assert!(report.flow_jitter[&FlowId(0)] <= 1.0);
 }

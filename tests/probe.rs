@@ -24,7 +24,7 @@ fn quick_run(net_cfg: NetworkConfig, probe: Option<ProbeConfig>) -> SimReport {
         .injection(InjectionProcess::Bernoulli { flit_rate: 0.35 });
     let mut sim = Simulation::new(net_cfg, SimConfig::quick())
         .expect("valid config")
-        .with_workload(wl);
+        .with_workload(&wl);
     if let Some(pc) = probe {
         sim = sim.with_probe(pc);
     }
@@ -65,7 +65,11 @@ fn probe_counters_reconcile_with_sim_report() {
         let metrics = report.metrics.as_ref().expect("probed");
         assert_eq!(
             metrics.totals.flits_forwarded,
-            metrics.routers.iter().map(|r| r.flits_forwarded()).sum(),
+            metrics
+                .routers
+                .iter()
+                .map(ocin_core::RouterProbe::flits_forwarded)
+                .sum(),
             "totals must be the sum of the per-router blocks ({fc:?})"
         );
         assert_eq!(
@@ -99,7 +103,7 @@ fn single_packet_accounting_is_exact() {
         net.config(),
         ProbeConfig::counters().with_trace(64),
     ));
-    net.inject(PacketSpec::new(0.into(), 1.into()).payload_bits(64))
+    net.inject(&PacketSpec::new(0.into(), 1.into()).payload_bits(64))
         .expect("inject");
     net.drain(100);
     let cycles = net.cycle();

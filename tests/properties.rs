@@ -129,7 +129,7 @@ proptest! {
             let data: Vec<Payload> =
                 (0..flits).map(|f| Payload::from_u64((i * 8 + f) as u64)).collect();
             match net.inject(
-                PacketSpec::new(s.into(), d.into())
+                &PacketSpec::new(s.into(), d.into())
                     .payload_bits(flits * 256)
                     .data(data.clone()),
             ) {

@@ -10,7 +10,7 @@ use ocin::services::{
 
 fn send(net: &mut Network, src: NodeId, msg: &Message) {
     net.inject(
-        PacketSpec::new(src, msg.dst)
+        &PacketSpec::new(src, msg.dst)
             .payload_bits(msg.payload_bits)
             .class(msg.class)
             .data(msg.payloads.clone()),

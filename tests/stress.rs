@@ -108,7 +108,7 @@ proptest! {
             for node in 0..n as u16 {
                 if let Some(req) = generation.next_request(now, node.into()) {
                     match net.inject(
-                        PacketSpec::new(node.into(), req.dst)
+                        &PacketSpec::new(node.into(), req.dst)
                             .payload_bits(64)
                             .data(vec![payload]),
                     ) {

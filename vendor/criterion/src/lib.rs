@@ -9,6 +9,14 @@
 //! the mean and best time per iteration (plus throughput when
 //! configured).
 
+// Timing loops need no raw memory access; keep the vendored bench
+// harness inside the workspace's no-unsafe hygiene gate.
+#![deny(unsafe_code)]
+// This stand-in mirrors upstream criterion's API shapes (owned
+// `BenchmarkId` receivers, per-variant throughput arms), so the
+// workspace's curated pedantic lints don't apply to it.
+#![allow(clippy::needless_pass_by_value, clippy::match_same_arms)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -63,7 +71,7 @@ impl Bencher<'_> {
     /// budget is spent.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup: run until the warmup budget is spent (at least once).
-        let warm_start = Instant::now();
+        let warm_start = Instant::now(); // ocin-lint: allow(wall-clock-in-sim) — criterion's whole job is wall-clock measurement; nothing here feeds simulation results
         loop {
             black_box(routine());
             if warm_start.elapsed() >= self.settings.warm_up_time {
@@ -72,7 +80,7 @@ impl Bencher<'_> {
         }
         // Measure one iteration to size batches so that each batch is
         // long enough for the clock to be meaningful.
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // ocin-lint: allow(wall-clock-in-sim) — criterion's whole job is wall-clock measurement; nothing here feeds simulation results
         black_box(routine());
         let probe = t0.elapsed().max(Duration::from_nanos(1));
         let batch =
@@ -80,11 +88,11 @@ impl Bencher<'_> {
 
         let mut samples = Vec::new();
         let mut total_iters = 0u64;
-        let start = Instant::now();
+        let start = Instant::now(); // ocin-lint: allow(wall-clock-in-sim) — criterion's whole job is wall-clock measurement; nothing here feeds simulation results
         while start.elapsed() < self.settings.measurement_time
             || samples.len() < self.settings.sample_size.min(3)
         {
-            let b0 = Instant::now();
+            let b0 = Instant::now(); // ocin-lint: allow(wall-clock-in-sim) — criterion's whole job is wall-clock measurement; nothing here feeds simulation results
             for _ in 0..batch {
                 black_box(routine());
             }

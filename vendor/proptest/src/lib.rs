@@ -18,6 +18,10 @@
 //!   fast; override per-block with
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
 
+// The stand-in is pure safe Rust; keep it that way so the lint and
+// CI hygiene gates cover the vendored test infrastructure too.
+#![deny(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

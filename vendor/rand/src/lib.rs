@@ -11,6 +11,10 @@
 //! independence of per-node streams) holds. Nothing in ocin depends on
 //! the exact upstream byte stream.
 
+// The stand-in must behave identically everywhere the workspace
+// runs, and nothing about RNG emulation needs raw memory access.
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A seedable random number generator.
