@@ -61,6 +61,7 @@ pub mod fault;
 pub mod flit;
 pub mod ids;
 pub mod interface;
+pub mod journey;
 pub mod network;
 pub mod probe;
 pub mod reservation;
@@ -79,6 +80,10 @@ pub use fault::{FaultKind, LinkFault, SteeredLink};
 pub use flit::{Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask};
 pub use ids::{Coord, Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
 pub use interface::{DeliveredPacket, TileInterface};
+pub use journey::{
+    DecompositionReport, HopRecord, JourneyCollector, LatencyBreakdown, LinkStall, PacketJourney,
+    StageConstants, StageSums,
+};
 pub use network::{EnergyCounters, LinkLoad, Network, NetworkStats, PacketSpec};
 pub use probe::{
     EventKind, EventTrace, LatencyHistogram, MetricsTotals, NetworkMetrics, NetworkProbe, NoProbe,

@@ -650,6 +650,9 @@ impl Network {
                     }
                 }
                 flit.meta.corrupted |= hop_corrupt;
+                if flit.kind.is_head() {
+                    probe.head_arrived(now, dst, port, flit.meta.packet);
+                }
                 self.routers[dst.index()].receive(port, flit);
             }
             // Credits back to the channel's source router.
@@ -673,6 +676,9 @@ impl Network {
                     break;
                 }
                 let (_, flit) = self.inject_pipes[node].pop_front().expect("front");
+                if flit.kind.is_head() {
+                    probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, flit.meta.packet);
+                }
                 self.routers[node].receive(Port::Tile, flit);
             }
             while let Some(&(t, _)) = self.eject_pipes[node].front() {
@@ -681,6 +687,9 @@ impl Network {
                 }
                 let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
                 let vc = flit.link_vc;
+                if flit.kind.is_head() {
+                    probe.head_ejected(now, NodeId::new(node as u16), flit.meta.packet);
+                }
                 self.interfaces[node].receive(flit, now, probe);
                 self.routers[node].credit_arrived(Port::Tile, vc);
             }
@@ -696,6 +705,15 @@ impl Network {
             }
             if now.is_multiple_of(self.cfg.channel_phits) {
                 if let Some(flit) = self.interfaces[node].pick_injection(now) {
+                    if flit.kind.is_head() {
+                        probe.packet_entered(
+                            now,
+                            NodeId::new(node as u16),
+                            flit.meta.packet,
+                            flit.meta.packet_len,
+                            flit.meta.class,
+                        );
+                    }
                     self.inject_pipes[node].push_back((now + inject_latency, flit));
                 }
             }
@@ -722,10 +740,19 @@ impl Network {
                     .map(|t| (t, self.cfg.reservation_policy)),
                 topo: self.topo.as_ref(),
             };
+            let offered_head = offered
+                .as_ref()
+                .map(|f| (f.meta.packet, f.meta.packet_len, f.meta.class));
             let (output, consumed) = self.routers[node].evaluate(&env, offered, probe);
             if consumed {
                 // The router used its copy of the peeked flit; remove the
-                // original from the interface queue.
+                // original from the interface queue. Pull-mode injection
+                // enters the network and arrives at the source router in
+                // the same cycle (no inject pipe).
+                if let Some((packet, len, class)) = offered_head {
+                    probe.packet_entered(now, NodeId::new(node as u16), packet, len, class);
+                    probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, packet);
+                }
                 self.interfaces[node]
                     .pick_injection(now)
                     .expect("peeked flit still queued");

@@ -44,7 +44,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::config::NetworkConfig;
+use crate::flit::ServiceClass;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VcId};
+use crate::journey::{DecompositionReport, JourneyCollector, StageConstants};
 
 /// Number of power-of-two latency buckets ([`LatencyHistogram`]).
 ///
@@ -62,6 +64,23 @@ pub trait Probe {
     /// A packet was accepted at its source tile port.
     fn packet_injected(&mut self, _now: Cycle, _src: NodeId, _dst: NodeId, _packet: PacketId) {}
 
+    /// A packet's head left the source queue into the network (the
+    /// boundary where source-queue wait ends and network latency
+    /// begins).
+    fn packet_entered(
+        &mut self,
+        _now: Cycle,
+        _node: NodeId,
+        _packet: PacketId,
+        _num_flits: u16,
+        _class: ServiceClass,
+    ) {
+    }
+
+    /// A packet's head flit arrived at router `node` through input
+    /// `in_port` ([`Port::Tile`] at the source router).
+    fn head_arrived(&mut self, _now: Cycle, _node: NodeId, _in_port: Port, _packet: PacketId) {}
+
     /// A flit launched from `node` through output `port` on channel `vc`.
     fn flit_forwarded(
         &mut self,
@@ -73,19 +92,54 @@ pub trait Probe {
     ) {
     }
 
-    /// A waiting head flit was granted output virtual channel `vc`.
-    fn vc_allocated(&mut self, _now: Cycle, _node: NodeId, _port: Port, _vc: VcId) {}
+    /// The waiting head flit of `packet` was granted output virtual
+    /// channel `vc`.
+    fn vc_allocated(
+        &mut self,
+        _now: Cycle,
+        _node: NodeId,
+        _port: Port,
+        _vc: VcId,
+        _packet: PacketId,
+    ) {
+    }
 
-    /// A head flit requested an output VC on `port` and none was free.
-    fn alloc_conflict(&mut self, _now: Cycle, _node: NodeId, _port: Port) {}
+    /// The head flit of `packet` requested an output VC on `port` and
+    /// none was free.
+    fn alloc_conflict(&mut self, _now: Cycle, _node: NodeId, _port: Port, _packet: PacketId) {}
 
-    /// A flit was ready to traverse the switch but its output VC had no
-    /// downstream credit.
-    fn credit_stall(&mut self, _now: Cycle, _node: NodeId, _port: Port, _vc: VcId) {}
+    /// A flit of `packet` was ready to traverse the switch but its
+    /// output VC had no downstream credit.
+    fn credit_stall(
+        &mut self,
+        _now: Cycle,
+        _node: NodeId,
+        _port: Port,
+        _vc: VcId,
+        _packet: PacketId,
+    ) {
+    }
 
-    /// A higher-class flit took the link while a lower-class flit sat
-    /// staged for the same output (the paper's §2.2 preemption).
-    fn preemption(&mut self, _now: Cycle, _node: NodeId, _port: Port) {}
+    /// A flit moved through the crossbar into output staging for
+    /// `port` on channel `vc`.
+    fn switch_traversed(
+        &mut self,
+        _now: Cycle,
+        _node: NodeId,
+        _port: Port,
+        _vc: VcId,
+        _packet: PacketId,
+    ) {
+    }
+
+    /// A higher-class flit took the link while the staged lower-class
+    /// flit of `packet` sat suspended for the same output (the paper's
+    /// §2.2 preemption). Fires once per bypassed flit per cycle.
+    fn preemption(&mut self, _now: Cycle, _node: NodeId, _port: Port, _packet: PacketId) {}
+
+    /// A packet's head flit reached its destination tile port (the tail
+    /// is still serializing behind it).
+    fn head_ejected(&mut self, _now: Cycle, _node: NodeId, _packet: PacketId) {}
 
     /// A packet was dropped at `node` (dropping flow control).
     fn packet_dropped(&mut self, _now: Cycle, _node: NodeId, _packet: PacketId) {}
@@ -120,12 +174,22 @@ pub struct ProbeConfig {
     /// Ring-buffer capacity of the event trace (0 disables tracing;
     /// counters and histograms are always collected).
     pub trace_capacity: usize,
+    /// Whether per-packet journey decomposition is collected (see
+    /// [`crate::journey`]).
+    pub journeys: bool,
+    /// Full journey records retained when journeys are enabled (the
+    /// oldest are evicted first; stage aggregates are always complete).
+    pub journey_capacity: usize,
 }
 
 impl ProbeConfig {
-    /// Counters and histograms only, no event trace.
+    /// Counters and histograms only, no event trace, no journeys.
     pub fn counters() -> ProbeConfig {
-        ProbeConfig { trace_capacity: 0 }
+        ProbeConfig {
+            trace_capacity: 0,
+            journeys: false,
+            journey_capacity: 0,
+        }
     }
 
     /// Adds a bounded event trace of at most `capacity` records (the
@@ -133,6 +197,16 @@ impl ProbeConfig {
     #[must_use]
     pub fn with_trace(mut self, capacity: usize) -> ProbeConfig {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables per-packet journey decomposition, retaining at most
+    /// `capacity` full journey records (0 keeps only the stage
+    /// aggregates, which are always complete).
+    #[must_use]
+    pub fn with_journeys(mut self, capacity: usize) -> ProbeConfig {
+        self.journeys = true;
+        self.journey_capacity = capacity;
         self
     }
 }
@@ -208,6 +282,12 @@ pub enum EventKind {
     Drop,
     /// Flit deflected (deflection flow control).
     Misroute,
+    /// Head flit denied an output VC this cycle.
+    AllocConflict,
+    /// Flit blocked on a missing downstream credit this cycle.
+    CreditStall,
+    /// Staged flit bypassed by a higher class this cycle.
+    Preempt,
 }
 
 impl EventKind {
@@ -220,6 +300,9 @@ impl EventKind {
             EventKind::Deliver => 'D',
             EventKind::Drop => 'X',
             EventKind::Misroute => 'M',
+            EventKind::AllocConflict => 'A',
+            EventKind::CreditStall => 'C',
+            EventKind::Preempt => 'P',
         }
     }
 
@@ -232,6 +315,9 @@ impl EventKind {
             'D' => EventKind::Deliver,
             'X' => EventKind::Drop,
             'M' => EventKind::Misroute,
+            'A' => EventKind::AllocConflict,
+            'C' => EventKind::CreditStall,
+            'P' => EventKind::Preempt,
             _ => return None,
         })
     }
@@ -500,6 +586,9 @@ pub struct NetworkProbe {
     pub pair_latency: BTreeMap<(NodeId, NodeId), LatencyHistogram>,
     /// The bounded event trace (empty unless configured).
     pub trace: EventTrace,
+    /// Per-packet journey collector (present when
+    /// [`ProbeConfig::with_journeys`] enabled it).
+    pub journeys: Option<Box<JourneyCollector>>,
     /// Packets accepted at source tile ports.
     pub packets_injected: u64,
     /// Packet tails delivered to destination tiles.
@@ -508,25 +597,39 @@ pub struct NetworkProbe {
 
 impl NetworkProbe {
     /// A probe for a network of `nodes` routers with `num_vcs` virtual
-    /// channels each.
+    /// channels each. Journey baselines assume the paper-baseline
+    /// pipeline constants; use [`NetworkProbe::for_network`] to capture
+    /// the real ones.
     pub fn new(nodes: usize, num_vcs: usize, cfg: ProbeConfig) -> NetworkProbe {
         NetworkProbe {
             cfg,
             routers: (0..nodes).map(|_| RouterProbe::new(num_vcs)).collect(),
             pair_latency: BTreeMap::new(),
             trace: EventTrace::new(cfg.trace_capacity),
+            journeys: cfg.journeys.then(|| {
+                Box::new(JourneyCollector::new(
+                    StageConstants::paper_baseline(),
+                    num_vcs,
+                    cfg.journey_capacity,
+                ))
+            }),
             packets_injected: 0,
             packets_delivered: 0,
         }
     }
 
-    /// A probe sized for `net_cfg`'s topology and VC plan.
+    /// A probe sized for `net_cfg`'s topology and VC plan, with journey
+    /// baselines computed from its pipeline constants.
     pub fn for_network(net_cfg: &NetworkConfig, cfg: ProbeConfig) -> NetworkProbe {
-        NetworkProbe::new(
+        let mut probe = NetworkProbe::new(
             net_cfg.topology.build().num_nodes(),
             net_cfg.vc_plan.num_vcs,
             cfg,
-        )
+        );
+        if let Some(j) = probe.journeys.as_mut() {
+            j.set_constants(StageConstants::for_network(net_cfg));
+        }
+        probe
     }
 
     /// The configuration this probe was built with.
@@ -548,8 +651,11 @@ impl NetworkProbe {
 }
 
 impl Probe for NetworkProbe {
-    fn packet_injected(&mut self, now: Cycle, src: NodeId, _dst: NodeId, packet: PacketId) {
+    fn packet_injected(&mut self, now: Cycle, src: NodeId, dst: NodeId, packet: PacketId) {
         self.packets_injected += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.offered(now, src, dst, packet);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Inject,
@@ -560,11 +666,33 @@ impl Probe for NetworkProbe {
         });
     }
 
+    fn packet_entered(
+        &mut self,
+        now: Cycle,
+        _node: NodeId,
+        packet: PacketId,
+        num_flits: u16,
+        class: ServiceClass,
+    ) {
+        if let Some(j) = self.journeys.as_mut() {
+            j.entered(now, packet, num_flits, class.priority());
+        }
+    }
+
+    fn head_arrived(&mut self, now: Cycle, node: NodeId, in_port: Port, packet: PacketId) {
+        if let Some(j) = self.journeys.as_mut() {
+            j.arrived(now, node, in_port, packet);
+        }
+    }
+
     fn flit_forwarded(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
         let pc = &mut self.routers[node.index()].ports[port.index()];
         pc.flits_forwarded += 1;
         if let Some(slot) = pc.per_vc_forwarded.get_mut(vc.index()) {
             *slot += 1;
+        }
+        if let Some(j) = self.journeys.as_mut() {
+            j.forwarded(now, node, port, vc, packet);
         }
         self.trace.push(ProbeEvent {
             cycle: now,
@@ -576,32 +704,90 @@ impl Probe for NetworkProbe {
         });
     }
 
-    fn vc_allocated(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId) {
+    fn vc_allocated(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
         self.routers[node.index()].ports[port.index()].vc_allocations += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.granted(now, node, port, vc, packet);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::VcAlloc,
             node: node.index() as u16,
             port: port.index() as u8,
             vc: vc.index() as u8,
-            packet: 0,
+            packet: packet.0,
         });
     }
 
-    fn alloc_conflict(&mut self, _now: Cycle, node: NodeId, port: Port) {
+    fn alloc_conflict(&mut self, now: Cycle, node: NodeId, port: Port, packet: PacketId) {
         self.routers[node.index()].ports[port.index()].alloc_conflicts += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.vc_conflict(node, port, packet);
+        }
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::AllocConflict,
+            node: node.index() as u16,
+            port: port.index() as u8,
+            vc: 0,
+            packet: packet.0,
+        });
     }
 
-    fn credit_stall(&mut self, _now: Cycle, node: NodeId, port: Port, _vc: VcId) {
+    fn credit_stall(&mut self, now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
         self.routers[node.index()].ports[port.index()].credit_stalls += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.credit_stalled(node, port, vc, packet);
+        }
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::CreditStall,
+            node: node.index() as u16,
+            port: port.index() as u8,
+            vc: vc.index() as u8,
+            packet: packet.0,
+        });
     }
 
-    fn preemption(&mut self, _now: Cycle, node: NodeId, port: Port) {
+    fn switch_traversed(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    ) {
+        if let Some(j) = self.journeys.as_mut() {
+            j.staged(now, node, port, vc, packet);
+        }
+    }
+
+    fn preemption(&mut self, now: Cycle, node: NodeId, port: Port, packet: PacketId) {
         self.routers[node.index()].ports[port.index()].preemptions += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.preempted(node, port, packet);
+        }
+        self.trace.push(ProbeEvent {
+            cycle: now,
+            kind: EventKind::Preempt,
+            node: node.index() as u16,
+            port: port.index() as u8,
+            vc: 0,
+            packet: packet.0,
+        });
+    }
+
+    fn head_ejected(&mut self, now: Cycle, _node: NodeId, packet: PacketId) {
+        if let Some(j) = self.journeys.as_mut() {
+            j.ejected(now, packet);
+        }
     }
 
     fn packet_dropped(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
         self.routers[node.index()].packets_dropped += 1;
+        if let Some(j) = self.journeys.as_mut() {
+            j.dropped(packet);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Drop,
@@ -637,6 +823,9 @@ impl Probe for NetworkProbe {
             .entry((src, dst))
             .or_default()
             .record(network_latency);
+        if let Some(j) = self.journeys.as_mut() {
+            j.delivered(now, packet);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Deliver,
@@ -722,6 +911,10 @@ pub struct NetworkMetrics {
     pub trace_recorded: u64,
     /// The retained event trace.
     pub trace: EventTrace,
+    /// Per-packet latency decomposition (present when journeys were
+    /// enabled; see [`crate::journey`]). Not part of
+    /// [`NetworkMetrics::to_json`] — it has its own exporters.
+    pub decomposition: Option<DecompositionReport>,
 }
 
 impl NetworkMetrics {
@@ -766,6 +959,7 @@ impl NetworkMetrics {
             pair_histograms: probe.pair_latency.into_iter().collect(),
             trace_recorded: probe.trace.recorded,
             trace: probe.trace,
+            decomposition: probe.journeys.map(|j| j.freeze()),
         }
     }
 
@@ -944,6 +1138,9 @@ mod tests {
             EventKind::Deliver,
             EventKind::Drop,
             EventKind::Misroute,
+            EventKind::AllocConflict,
+            EventKind::CreditStall,
+            EventKind::Preempt,
         ] {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
         }
@@ -1008,10 +1205,10 @@ mod tests {
             PacketId(1),
         );
         p.flit_forwarded(2, 0.into(), Port::Tile, VcId::new(0), PacketId(1));
-        p.vc_allocated(1, 0.into(), Port::Tile, VcId::new(0));
-        p.alloc_conflict(1, 1.into(), Port::Tile);
-        p.credit_stall(1, 1.into(), Port::Tile, VcId::new(0));
-        p.preemption(1, 2.into(), Port::Tile);
+        p.vc_allocated(1, 0.into(), Port::Tile, VcId::new(0), PacketId(1));
+        p.alloc_conflict(1, 1.into(), Port::Tile, PacketId(2));
+        p.credit_stall(1, 1.into(), Port::Tile, VcId::new(0), PacketId(2));
+        p.preemption(1, 2.into(), Port::Tile, PacketId(2));
         p.packet_dropped(3, 2.into(), PacketId(9));
         p.misroute(3, 3.into(), PacketId(9));
         p.packet_delivered(9, 0.into(), 3.into(), PacketId(1), 8);
@@ -1033,7 +1230,10 @@ mod tests {
         assert_eq!(m.pairs.len(), 1);
         assert_eq!(m.pairs[0].count, 1);
         assert_eq!(m.pairs[0].mean, 8.0);
-        assert_eq!(m.trace.len(), 7); // inject, 2 hops, vcalloc, drop, misroute, deliver
+        // inject, 2 hops, vcalloc, conflict, stall, preempt, drop,
+        // misroute, deliver — the stall kinds are traced (cycle-stamped)
+        // like every other event.
+        assert_eq!(m.trace.len(), 10);
         assert_eq!(m.link_utilization(0, 1), Some(0.1));
         assert_eq!(m.link_utilization(9, 0), None);
     }

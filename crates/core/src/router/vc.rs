@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 
 use crate::config::{ReservationPolicy, VcPlan};
 use crate::flit::{Flit, VcMask};
-use crate::ids::{Cycle, NodeId, Port, VcId};
+use crate::ids::{Cycle, NodeId, PacketId, Port, VcId};
 use crate::probe::Probe;
 
 use super::{resolve_route, EvalEnv, RouterOutput};
@@ -289,8 +289,9 @@ impl VcRouter {
     fn allocate_vcs(&mut self, now: Cycle, probe: &mut dyn Probe) {
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
-            // Gather requests: (priority, input port, input vc, mask).
-            let mut reqs: Vec<(u8, usize, usize, VcMask)> = Vec::new();
+            // Gather requests: (priority, input port, input vc, mask,
+            // requesting packet).
+            let mut reqs: Vec<(u8, usize, usize, VcMask, PacketId)> = Vec::new();
             for i in 0..Port::COUNT {
                 for v in 0..self.num_vcs {
                     let ivc = &self.inputs[i].vcs[v];
@@ -301,6 +302,7 @@ impl VcRouter {
                                 i,
                                 v,
                                 self.effective_mask(front),
+                                front.meta.packet,
                             ));
                         }
                     }
@@ -314,7 +316,7 @@ impl VcRouter {
             reqs.rotate_left(rot);
             reqs.sort_by_key(|r| std::cmp::Reverse(r.0));
             let mut granted_any = false;
-            for (_, i, v, mask) in reqs {
+            for (_, i, v, mask, packet) in reqs {
                 let free = (0..self.num_vcs).find(|&ov| {
                     mask.allows(VcId::new(ov as u8)) && self.outputs[o].owner[ov].is_none()
                 });
@@ -336,9 +338,9 @@ impl VcRouter {
                     self.outputs[o].owner[ov] = Some((i, v));
                     self.inputs[i].vcs[v].out_vc = Some(VcId::new(ov as u8));
                     granted_any = true;
-                    probe.vc_allocated(now, self.node, port, VcId::new(ov as u8));
+                    probe.vc_allocated(now, self.node, port, VcId::new(ov as u8), packet);
                 } else {
-                    probe.alloc_conflict(now, self.node, port);
+                    probe.alloc_conflict(now, self.node, port, packet);
                 }
             }
             if granted_any {
@@ -374,7 +376,7 @@ impl VcRouter {
                 };
                 let octrl = &self.outputs[op.index()];
                 if octrl.credits[ovc.index()] == 0 {
-                    probe.credit_stall(now, self.node, op, ovc);
+                    probe.credit_stall(now, self.node, op, ovc, front.meta.packet);
                     continue;
                 }
                 let reserved = front.meta.class == crate::flit::ServiceClass::Reserved;
@@ -413,11 +415,13 @@ impl VcRouter {
                 self.node
             );
             octrl.credits[flit.link_vc.index()] -= 1;
+            let (staged_vc, staged_packet) = (flit.link_vc, flit.meta.packet);
             if flit.meta.class == crate::flit::ServiceClass::Reserved {
                 octrl.reserved_staging[i] = Some(flit);
             } else {
                 octrl.staging[i] = Some(flit);
             }
+            probe.switch_traversed(now, self.node, op, staged_vc, staged_packet);
             out.credits.push((Port::from_index(i), VcId::new(v as u8)));
             self.inputs[i].rr = (v + 1) % num_vcs;
         }
@@ -440,14 +444,14 @@ impl VcRouter {
             if env.now < octrl.busy_until {
                 continue;
             }
-            // (priority, input idx, from the reserved staging bank).
-            // Staged flits already hold their downstream credit, so every
-            // one is a launch candidate.
-            let mut candidates: Vec<(u8, usize, bool)> = Vec::new();
+            // (priority, input idx, from the reserved staging bank,
+            // staged packet). Staged flits already hold their downstream
+            // credit, so every one is a launch candidate.
+            let mut candidates: Vec<(u8, usize, bool, PacketId)> = Vec::new();
             for i in 0..Port::COUNT {
                 for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)] {
                     if let Some(f) = &bank[i] {
-                        candidates.push((f.meta.class.priority(), i, reserved));
+                        candidates.push((f.meta.class.priority(), i, reserved, f.meta.packet));
                     }
                 }
             }
@@ -460,8 +464,8 @@ impl VcRouter {
                 if let Some(flow) = table.reserved_flow(self.node, d, env.now) {
                     winner = candidates
                         .iter()
-                        .filter(|&&(_, _, reserved)| reserved)
-                        .map(|&(_, i, r)| (i, r))
+                        .filter(|&&(_, _, reserved, _)| reserved)
+                        .map(|&(_, i, r, _)| (i, r))
                         .find(|&(i, _)| {
                             octrl.reserved_staging[i]
                                 .as_ref()
@@ -491,12 +495,12 @@ impl VcRouter {
             // which only names occupied staging slots.
             let flit = bank[winner].take().expect("winner staged");
             // A lower-class flit left staged while a higher-class one took
-            // the link is the paper's §2.2 preemption in action.
-            if candidates
-                .iter()
-                .any(|&(pri, _, _)| pri < flit.meta.class.priority())
-            {
-                probe.preemption(env.now, self.node, port);
+            // the link is the paper's §2.2 preemption in action; report
+            // each suspended flit so the stall is attributable per packet.
+            for &(pri, _, _, packet) in &candidates {
+                if pri < flit.meta.class.priority() {
+                    probe.preemption(env.now, self.node, port, packet);
+                }
             }
             if flit.kind.is_tail() {
                 // INVARIANT: a tail releases a VC its head was granted;

@@ -129,6 +129,23 @@ pub fn all_rules() -> Vec<Rule> {
                      or handle the case",
         },
         Rule {
+            name: "println-in-core",
+            summary: "println!/eprintln!/dbg! in library crates",
+            patterns: &["println!", "eprintln!", "dbg!"],
+            include: &[
+                "crates/core/",
+                "crates/sim/",
+                "crates/services/",
+                "crates/traffic/",
+            ],
+            exclude: &[],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowComment,
+            advice: "library crates report through probes, reports, and \
+                     exporters, not stdout; rendering belongs in crates/bench \
+                     binaries (or return the string to the caller)",
+        },
+        Rule {
             name: "todo-in-shipping-code",
             summary: "todo!/unimplemented! outside tests",
             patterns: &["todo!", "unimplemented!"],

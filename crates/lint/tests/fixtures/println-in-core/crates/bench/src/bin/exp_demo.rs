@@ -1,0 +1,6 @@
+//! Fixture: the bench harness is outside the rule's include scope —
+//! experiment binaries print their tables to stdout by design.
+
+fn main() {
+    println!("experiment output is the product here");
+}

@@ -1,0 +1,27 @@
+//! Fixture: `println-in-core` — stdout macros in a library crate fire
+//! outside tests; suppressed, stringy, and test-module uses do not.
+
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}"); // FINDING: line 5
+    eprintln!("still noisy"); // FINDING: line 6
+    dbg!(x) // FINDING: line 7
+}
+
+/// A doc-comment mention of println! does not fire, and neither does
+/// one in a string:
+pub fn fine() -> &'static str {
+    "println! by name"
+}
+
+pub fn suppressed() {
+    // ocin-lint: allow(println-in-core) — fixture: one-off diagnostic behind a debug flag
+    println!("allowed with justification");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test output is fine");
+    }
+}

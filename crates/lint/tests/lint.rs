@@ -93,6 +93,21 @@ fn fixture_panic_in_router_hot_path() {
 }
 
 #[test]
+fn fixture_println_in_core() {
+    let a = analyze_fixture("println-in-core");
+    assert_eq!(
+        hits(&a),
+        vec![
+            ("println-in-core".to_string(), 5),
+            ("println-in-core".to_string(), 6),
+            ("println-in-core".to_string(), 7),
+        ],
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
 fn fixture_todo_in_shipping_code() {
     let a = analyze_fixture("todo-in-shipping-code");
     assert_eq!(
@@ -180,6 +195,7 @@ fn cli_exit_codes() {
         "wall-clock-in-sim",
         "unseeded-rng",
         "panic-in-router-hot-path",
+        "println-in-core",
         "todo-in-shipping-code",
         "malformed-suppression",
     ] {

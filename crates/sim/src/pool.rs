@@ -65,6 +65,12 @@ pub struct PointSpec {
     /// the same point are distinct entries (their reports differ in the
     /// `metrics` field, never in the measurements).
     pub probe: bool,
+    /// Additionally attach the per-packet journey collector (implies a
+    /// probe) so the report's metrics carry a
+    /// [`ocin_core::DecompositionReport`]. Aggregates only — no journey
+    /// records are retained, keeping sweep memory bounded. Part of the
+    /// cache key for the same reason as `probe`.
+    pub journeys: bool,
 }
 
 impl PointSpec {
@@ -76,6 +82,7 @@ impl PointSpec {
             workload,
             load,
             probe: false,
+            journeys: false,
         }
     }
 
@@ -85,16 +92,24 @@ impl PointSpec {
         self
     }
 
+    /// Enables (or disables) latency-decomposition journey aggregation
+    /// for this point. Implies the probe when enabled.
+    pub fn with_journeys(mut self, journeys: bool) -> Self {
+        self.journeys = journeys;
+        self
+    }
+
     /// The memoization key: the full point description. Two specs with
     /// equal keys produce bit-identical reports.
     fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:016x}|probe:{}",
+            "{:?}|{:?}|{:?}|{:016x}|probe:{}|journeys:{}",
             self.net_cfg,
             self.sim_cfg,
             self.workload,
             self.load.to_bits(),
-            self.probe
+            self.probe,
+            self.journeys
         )
     }
 
@@ -120,7 +135,11 @@ impl PointSpec {
         let mut sim = Simulation::new(self.net_cfg.clone(), sim_cfg)
             .expect("point configuration must be valid")
             .with_workload(&wl);
-        if self.probe {
+        if self.journeys {
+            // Capacity 0: aggregate stage sums and link stalls only, no
+            // retained per-packet records — bounded memory per point.
+            sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters().with_journeys(0));
+        } else if self.probe {
             sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters());
         }
         let report = sim.run();

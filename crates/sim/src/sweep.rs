@@ -42,6 +42,7 @@ pub struct LoadSweep {
     workload_template: Workload,
     pool: Arc<SimPool>,
     probe: bool,
+    journeys: bool,
 }
 
 impl LoadSweep {
@@ -55,6 +56,7 @@ impl LoadSweep {
             workload_template: workload,
             pool: Arc::new(SimPool::new()),
             probe: false,
+            journeys: false,
         }
     }
 
@@ -64,6 +66,16 @@ impl LoadSweep {
     #[must_use]
     pub fn with_probe(mut self, probe: bool) -> LoadSweep {
         self.probe = probe;
+        self
+    }
+
+    /// Attaches the latency-decomposition journey collector (aggregates
+    /// only) to every point of the sweep; each point's metrics then
+    /// carry an [`ocin_core::DecompositionReport`]. Implies the probe.
+    /// Measurements are unchanged — journeys are purely observational.
+    #[must_use]
+    pub fn with_journeys(mut self, journeys: bool) -> LoadSweep {
+        self.journeys = journeys;
         self
     }
 
@@ -89,6 +101,7 @@ impl LoadSweep {
             load,
         )
         .with_probe(self.probe)
+        .with_journeys(self.journeys)
     }
 
     /// Runs one point (through the pool's cache).

@@ -31,8 +31,9 @@ fn quick_run(net_cfg: NetworkConfig, probe: Option<ProbeConfig>) -> SimReport {
     sim.run()
 }
 
-/// The probe-overhead regression gate: attaching a full probe (counters
-/// *and* trace) must not change a single measured bit.
+/// The probe-overhead regression gate: attaching a full probe
+/// (counters, trace, *and* journey collector) must not change a single
+/// measured bit.
 #[test]
 fn probed_report_is_bit_identical_to_unprobed() {
     for fc in [
@@ -42,8 +43,18 @@ fn probed_report_is_bit_identical_to_unprobed() {
     ] {
         let cfg = quick_cfg().with_flow_control(fc);
         let bare = quick_run(cfg.clone(), None);
-        let mut probed = quick_run(cfg, Some(ProbeConfig::counters().with_trace(1024)));
-        assert!(probed.metrics.is_some(), "probed run must carry metrics");
+        let mut probed = quick_run(
+            cfg,
+            Some(ProbeConfig::counters().with_trace(1024).with_journeys(256)),
+        );
+        let metrics = probed
+            .metrics
+            .as_ref()
+            .expect("probed run must carry metrics");
+        assert!(
+            metrics.decomposition.is_some(),
+            "journeyed run must carry a decomposition ({fc:?})"
+        );
         probed.metrics = None;
         assert_eq!(bare, probed, "probe perturbed the simulation ({fc:?})");
     }
