@@ -1,0 +1,95 @@
+//! Criterion bench for the activity-gated cycle engine: stepping rate
+//! (cycles/sec) and forwarding rate (flit-hops/sec) at 0.1×, 0.5×, and
+//! 0.9× of each flow-control method's saturation load on the k = 4
+//! folded torus. `exp_step_throughput` is the deterministic
+//! command-line twin of this bench (same loads, same traffic); CI
+//! snapshots that binary's numbers into `BENCH_<sha>.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec};
+use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+
+const K: usize = 4;
+const NODES: usize = K * K;
+const CYCLES: u64 = 2_000;
+
+/// Nominal saturation loads (flits/node/cycle); see
+/// `exp_step_throughput` for provenance.
+fn saturation(fc: FlowControl) -> f64 {
+    match fc {
+        FlowControl::VirtualChannel => 0.95,
+        FlowControl::Dropping => 0.30,
+        FlowControl::Deflection => 0.45,
+    }
+}
+
+/// Drives `CYCLES` cycles of uniform Bernoulli traffic; returns the
+/// flit-hop counter (deterministic for a fixed config).
+fn run(fc: FlowControl, flit_rate: f64) -> u64 {
+    let cfg = NetworkConfig::paper_baseline().with_flow_control(fc);
+    let mut net = Network::new(cfg).expect("valid baseline config");
+    let wl = Workload::new(NODES, K, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate });
+    let mut generation = wl.generator(0xB19_B19);
+    for now in 0..CYCLES {
+        for node in 0..NODES as u16 {
+            if let Some(req) = generation.next_request(now, node.into()) {
+                let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
+            }
+        }
+        net.step();
+        for node in 0..NODES as u16 {
+            net.drain_delivered(node.into());
+        }
+    }
+    net.stats().energy.flit_hops
+}
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let methods = [
+        ("virtual_channel", FlowControl::VirtualChannel),
+        ("dropping", FlowControl::Dropping),
+        ("deflection", FlowControl::Deflection),
+    ];
+    // Cycles/sec: the engine's stepping rate at each load point.
+    let mut g = c.benchmark_group("step_cycles_4x4");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(CYCLES));
+    for (name, fc) in methods {
+        for frac in [0.1, 0.5, 0.9] {
+            let rate = frac * saturation(fc);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{frac}xsat")),
+                &rate,
+                |b, &rate| b.iter(|| run(fc, rate)),
+            );
+        }
+    }
+    g.finish();
+
+    // Flit-hops/sec: forwarding work per second. The hop count for a
+    // fixed (config, seed) is deterministic, so it is measured once and
+    // used as the throughput denominator.
+    let mut g = c.benchmark_group("step_flit_hops_4x4");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    for (name, fc) in methods {
+        for frac in [0.1, 0.5, 0.9] {
+            let rate = frac * saturation(fc);
+            let hops = run(fc, rate);
+            g.throughput(Throughput::Elements(hops));
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{frac}xsat")),
+                &rate,
+                |b, &rate| b.iter(|| run(fc, rate)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_throughput);
+criterion_main!(benches);

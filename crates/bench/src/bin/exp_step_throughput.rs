@@ -1,0 +1,177 @@
+//! Engine wall-clock: activity-gated stepping vs naive full sweeps.
+//!
+//! Measures the cycle engine's stepping rate (cycles/sec and
+//! flit-hops/sec) at 0.1×, 0.5×, and 0.9× of each flow-control method's
+//! saturation load on the k = 4 folded torus, with the activity-gated
+//! scheduler on (the default) and off (`set_naive_stepping`). The two
+//! engines must agree on every counter — wall clock is the only thing
+//! allowed to differ — so each pair of runs doubles as an equivalence
+//! check. Set `OCIN_STEP_OUT` to also write the numbers as JSON (the
+//! perf-snapshot CI job folds that file into `BENCH_<sha>.json`).
+
+use std::time::Instant;
+
+use ocin_bench::{banner, check, f1, probe_enabled, quick_mode, write_metrics};
+use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec, ProbeConfig};
+use ocin_sim::{SimConfig, Simulation, Table};
+use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
+
+const K: usize = 4;
+const NODES: usize = K * K;
+
+/// Nominal saturation loads (flits/node/cycle) on the k = 4 folded
+/// torus under uniform traffic, per flow-control method. The VC figure
+/// is the measured 0.97 from `exp_latency_load` rounded down; dropping
+/// and deflection saturate earlier (accepted throughput plateaus as
+/// drops/misroutes absorb the offered excess).
+fn saturation(fc: FlowControl) -> f64 {
+    match fc {
+        FlowControl::VirtualChannel => 0.95,
+        FlowControl::Dropping => 0.30,
+        FlowControl::Deflection => 0.45,
+    }
+}
+
+struct RunResult {
+    wall_seconds: f64,
+    flit_hops: u64,
+    delivered: u64,
+}
+
+/// Drives `cycles` network cycles of uniform Bernoulli traffic at
+/// `flit_rate`, timing only the stepping loop.
+fn run(fc: FlowControl, flit_rate: f64, cycles: u64, naive: bool) -> RunResult {
+    let cfg = NetworkConfig::paper_baseline().with_flow_control(fc);
+    let mut net = Network::new(cfg).expect("valid baseline config");
+    net.set_naive_stepping(naive);
+    let wl = Workload::new(NODES, K, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate });
+    let mut generation = wl.generator(0xB19_B19);
+    let start = Instant::now();
+    for now in 0..cycles {
+        for node in 0..NODES as u16 {
+            if let Some(req) = generation.next_request(now, node.into()) {
+                let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
+            }
+        }
+        net.step();
+        for node in 0..NODES as u16 {
+            net.drain_delivered(node.into());
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    RunResult {
+        wall_seconds,
+        flit_hops: net.stats().energy.flit_hops,
+        delivered: net.stats().packets_delivered,
+    }
+}
+
+fn fc_name(fc: FlowControl) -> &'static str {
+    match fc {
+        FlowControl::VirtualChannel => "virtual_channel",
+        FlowControl::Dropping => "dropping",
+        FlowControl::Deflection => "deflection",
+    }
+}
+
+fn main() {
+    banner(
+        "exp_step_throughput",
+        "engine",
+        "activity-gated stepping matches naive sweeps bit-for-bit and wins wall clock at low load",
+    );
+
+    let cycles: u64 = if quick_mode() { 2_000 } else { 20_000 };
+    let fractions = [0.1, 0.5, 0.9];
+    let methods = [
+        FlowControl::VirtualChannel,
+        FlowControl::Dropping,
+        FlowControl::Deflection,
+    ];
+
+    println!("\n{cycles} cycles per run, uniform Bernoulli traffic, k = {K} folded torus\n");
+    let mut t = Table::new(&[
+        "flow control",
+        "load (xsat)",
+        "gated Mcyc/s",
+        "naive Mcyc/s",
+        "gated Mhop/s",
+        "speedup",
+    ]);
+    let mut rows = Vec::new();
+    let mut all_equal = true;
+    let mut low_load_speedup = f64::MAX;
+    for fc in methods {
+        for frac in fractions {
+            let rate = frac * saturation(fc);
+            let gated = run(fc, rate, cycles, false);
+            let naive = run(fc, rate, cycles, true);
+            all_equal &= gated.flit_hops == naive.flit_hops && gated.delivered == naive.delivered;
+            let speedup = naive.wall_seconds / gated.wall_seconds;
+            if (frac - 0.1).abs() < 1e-9 {
+                low_load_speedup = low_load_speedup.min(speedup);
+            }
+            let mcyc = |w: f64| cycles as f64 / w / 1e6;
+            t.row(&[
+                fc_name(fc).to_string(),
+                f1(frac),
+                format!("{:.2}", mcyc(gated.wall_seconds)),
+                format!("{:.2}", mcyc(naive.wall_seconds)),
+                format!("{:.2}", gated.flit_hops as f64 / gated.wall_seconds / 1e6),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(format!(
+                "    {{\"flow_control\": \"{}\", \"load_fraction\": {frac}, \
+                 \"cycles\": {cycles}, \"flit_hops\": {}, \
+                 \"gated_wall_seconds\": {:.6}, \"naive_wall_seconds\": {:.6}}}",
+                fc_name(fc),
+                gated.flit_hops,
+                gated.wall_seconds,
+                naive.wall_seconds,
+            ));
+        }
+    }
+    println!("{}", t.render());
+
+    check(
+        all_equal,
+        "gated and naive engines agree on flit-hop and delivery counters",
+    );
+    check(
+        low_load_speedup > 1.0,
+        &format!("gated engine faster at 0.1x saturation (worst speedup {low_load_speedup:.2}x)"),
+    );
+
+    if let Some(path) = std::env::var_os("OCIN_STEP_OUT") {
+        let json = format!(
+            "{{\n  \"cycles\": {cycles},\n  \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        let path = std::path::PathBuf::from(path);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create step output directory");
+        }
+        std::fs::write(&path, json).expect("write step-throughput JSON");
+        println!("wrote {}", path.display());
+    }
+
+    if probe_enabled() {
+        // One probed point so the smoke job's metrics convention holds;
+        // probes are observational, so counters match the runs above.
+        let mut sim = Simulation::new(
+            NetworkConfig::paper_baseline(),
+            SimConfig::quick().with_seed(0xB19_B19),
+        )
+        .expect("valid baseline config")
+        .with_workload(
+            &Workload::new(NODES, K, TrafficPattern::Uniform)
+                .injection(InjectionProcess::Bernoulli { flit_rate: 0.25 }),
+        )
+        .with_probe(ProbeConfig::default());
+        let report = sim.run();
+        if let Some(metrics) = report.metrics.as_ref() {
+            write_metrics(metrics);
+        }
+    }
+}

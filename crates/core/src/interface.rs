@@ -76,6 +76,10 @@ pub struct TileInterface {
     rr: usize,
     reassembly: Vec<Option<Reassembly>>,
     delivered: VecDeque<DeliveredPacket>,
+    /// Flits waiting across all injection queues, maintained
+    /// incrementally so the network's hot path can ask "anything
+    /// pending?" without scanning per-VC queues.
+    pending: usize,
     /// Total flits injected into the network.
     pub flits_injected: u64,
     /// Total packets fully delivered to this tile.
@@ -105,6 +109,7 @@ impl TileInterface {
             rr: 0,
             reassembly: (0..num_vcs).map(|_| None).collect(),
             delivered: VecDeque::new(),
+            pending: 0,
             flits_injected: 0,
             packets_delivered: 0,
         }
@@ -145,6 +150,7 @@ impl TileInterface {
             });
         }
         let q = &mut self.inject_queues[vc.index()];
+        self.pending += flits.len();
         for mut f in flits {
             f.link_vc = vc;
             q.push_back(f);
@@ -173,6 +179,9 @@ impl TileInterface {
         }
         let (_, v) = best?;
         let mut flit = self.inject_queues[v].pop_front().expect("non-empty");
+        // INVARIANT: `pending` counts exactly the flits across the
+        // injection queues; the pop above removed one.
+        self.pending -= 1;
         if self.credit_gated {
             self.credits[v] -= 1;
         }
@@ -262,9 +271,23 @@ impl TileInterface {
         self.delivered.drain(..).collect()
     }
 
-    /// Number of flits waiting in the injection queues.
+    /// Number of flits waiting in the injection queues. O(1): maintained
+    /// incrementally by `enqueue_packet` / `pick_injection`.
     pub fn pending_flits(&self) -> usize {
-        self.inject_queues.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.pending,
+            self.inject_queues.iter().map(VecDeque::len).sum::<usize>(),
+            "tile {}: pending counter out of sync",
+            self.node
+        );
+        self.pending
+    }
+
+    /// Whether any flit is waiting to inject (cheap gate for the
+    /// pull-mode peek: the full priority scan and flit copy only happen
+    /// when this is true).
+    pub fn injection_pending(&self) -> bool {
+        self.pending > 0
     }
 }
 

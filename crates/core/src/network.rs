@@ -20,9 +20,11 @@ use crate::interface::{DeliveredPacket, TileInterface};
 use crate::probe::{NetworkProbe, NoProbe, Probe};
 use crate::reservation::ReservationTable;
 use crate::route::{RouteError, SourceRoute};
-use crate::router::{DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, VcRouter};
+use crate::router::{
+    DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, RouterOutput, VcRouter,
+};
 use crate::topology::Topology;
-use crate::util::XorShift64;
+use crate::util::{ActiveSet, XorShift64};
 
 /// Description of a packet to inject.
 ///
@@ -186,6 +188,32 @@ pub struct Network {
     transient_rate: f64,
     /// Attached observability collector; `None` costs only the check.
     probe: Option<Box<NetworkProbe>>,
+    /// Reference engine flag (test-only): scan every entity each cycle
+    /// instead of the active sets. Results are bit-identical either way;
+    /// the engine-equivalence suite asserts it.
+    naive_stepping: bool,
+    /// Routers that may do work next evaluation sweep: they received a
+    /// flit or credit, or stayed non-quiescent after evaluating.
+    active_routers: ActiveSet,
+    /// Tiles with flits waiting in their injection queues.
+    inject_pending: ActiveSet,
+    /// Channels with queued flits or credits.
+    chan_active: ActiveSet,
+    /// Earliest due cycle per channel (`Cycle::MAX` when idle).
+    chan_next_due: Vec<Cycle>,
+    /// Earliest due cycle over all active channels.
+    next_chan_event: Cycle,
+    /// Nodes with queued inject- or eject-pipe entries.
+    pipe_active: ActiveSet,
+    /// Earliest due cycle per node's pipes (`Cycle::MAX` when idle).
+    pipe_next_due: Vec<Cycle>,
+    /// Earliest due cycle over all active pipes.
+    next_pipe_event: Cycle,
+    /// Scratch for collecting active indices (capacity persists).
+    idx_scratch: Vec<usize>,
+    /// Reusable router-output scratch: cleared before every evaluation,
+    /// never reallocated.
+    out_scratch: RouterOutput,
 }
 
 impl std::fmt::Debug for Network {
@@ -277,6 +305,7 @@ impl Network {
             )?)
         };
 
+        let num_channels = channels.len();
         Ok(Network {
             dateline_aware,
             routers,
@@ -292,9 +321,31 @@ impl Network {
             stats: NetworkStats::default(),
             transient_rate: 0.0,
             probe: None,
+            naive_stepping: false,
+            active_routers: ActiveSet::new(n),
+            inject_pending: ActiveSet::new(n),
+            chan_active: ActiveSet::new(num_channels),
+            chan_next_due: vec![Cycle::MAX; num_channels],
+            next_chan_event: Cycle::MAX,
+            pipe_active: ActiveSet::new(n),
+            pipe_next_due: vec![Cycle::MAX; n],
+            next_pipe_event: Cycle::MAX,
+            idx_scratch: Vec::with_capacity(num_channels.max(n)),
+            out_scratch: RouterOutput::default(),
             topo,
             cfg,
         })
+    }
+
+    /// Switches between the activity-gated engine (default) and the
+    /// reference naive-stepping engine that scans every router, channel,
+    /// and pipe each cycle. Both maintain the same wake bookkeeping and
+    /// produce bit-identical results — the flag only changes which
+    /// entities each phase iterates. Kept for the engine-equivalence
+    /// tests and perf comparisons; there is no reason to enable it
+    /// otherwise.
+    pub fn set_naive_stepping(&mut self, naive: bool) {
+        self.naive_stepping = naive;
     }
 
     /// Attaches an observability probe; subsequent cycles report into it.
@@ -495,6 +546,10 @@ impl Network {
         self.next_packet += 1;
         let flits = Self::flitize(spec, id, route, self.cycle, packet_mask, valiant_boundary);
         iface.enqueue_packet(vc, flits).expect("space was checked");
+        // INVARIANT: wake — a tile with queued flits must stay in the
+        // injection set until its queues drain; the bit is cleared only
+        // when pending_flits() returns to zero.
+        Self::wake_injector(&mut self.inject_pending, spec.src.index());
         self.stats.packets_injected += 1;
         if let Some(p) = self.probe.as_deref_mut() {
             Probe::packet_injected(p, self.cycle, spec.src, spec.dst, id);
@@ -582,14 +637,14 @@ impl Network {
             if mid == src || mid == dst {
                 continue;
             }
-            let seg1 = self.topo.route_dirs(src, mid);
-            let mut dirs = seg1.clone();
+            let mut dirs = self.topo.route_dirs(src, mid);
+            let seg1_len = dirs.len();
             dirs.extend(self.topo.route_dirs(mid, dst));
             if dirs.len() > u8::MAX as usize {
                 continue;
             }
             if SourceRoute::compile(&dirs).is_ok() {
-                return (dirs, seg1.len() as u8);
+                return (dirs, seg1_len as u8);
             }
         }
         (self.topo.route_dirs(src, dst), 0)
@@ -600,7 +655,306 @@ impl Network {
         self.interfaces[node.index()].drain_delivered()
     }
 
+    // ── Wake helpers ──────────────────────────────────────────────────
+    //
+    // The activity-gated engine's determinism rests on two rules (see
+    // DESIGN.md §3.13): (a) every event that can make an entity's next
+    // phase visit a non-no-op must wake it through one of these helpers,
+    // and (b) the sets are fixed-order bitsets iterated in ascending
+    // index order, so the order wake-ups fire in can never influence the
+    // order entities are processed in.
+
+    /// Marks a router for the next evaluation sweep.
+    // INVARIANT: wake-rule (routers) — called on every flit receive and
+    // credit arrival, and re-asserted after evaluation while the router
+    // is non-quiescent; cleared only when `is_quiescent()` holds, where
+    // evaluation is a guaranteed no-op.
+    #[inline]
+    fn wake_router(active: &mut ActiveSet, node: usize) {
+        active.set(node);
+    }
+
+    /// Marks a tile as having flits queued for injection.
+    // INVARIANT: wake-rule (injection) — set whenever a packet is
+    // enqueued; cleared only when the tile's pending count returns to
+    // zero, so an offer is made every eligible cycle until the queues
+    // drain.
+    #[inline]
+    fn wake_injector(pending: &mut ActiveSet, node: usize) {
+        pending.set(node);
+    }
+
+    /// Marks a channel as holding an entry due at `due`.
+    // INVARIANT: wake-rule (channels) — called on every push into a
+    // channel's flit or credit pipe; `next_due`/`next_event` only ever
+    // decrease here, so the phase-1 earliest-deadline gate can never
+    // overshoot a queued delivery.
+    #[inline]
+    fn wake_channel(
+        active: &mut ActiveSet,
+        next_due: &mut [Cycle],
+        next_event: &mut Cycle,
+        ci: usize,
+        due: Cycle,
+    ) {
+        active.set(ci);
+        next_due[ci] = next_due[ci].min(due);
+        *next_event = (*next_event).min(due);
+    }
+
+    /// Marks a node's tile pipes as holding an entry due at `due`.
+    // INVARIANT: wake-rule (pipes) — called on every push into an inject
+    // or eject pipe; same monotonicity argument as `wake_channel`.
+    #[inline]
+    fn wake_pipe(
+        active: &mut ActiveSet,
+        next_due: &mut [Cycle],
+        next_event: &mut Cycle,
+        node: usize,
+        due: Cycle,
+    ) {
+        active.set(node);
+        next_due[node] = next_due[node].min(due);
+        *next_event = (*next_event).min(due);
+    }
+
+    /// Delivers every due flit, then every due credit, on channel `ci`.
+    fn deliver_channel(&mut self, ci: usize, now: Cycle, probe: &mut dyn Probe) {
+        loop {
+            let due = matches!(self.channels[ci].flits.front(), Some(&(t, _)) if t <= now);
+            if !due {
+                break;
+            }
+            let c = &mut self.channels[ci];
+            let (_, mut flit) = c.flits.pop_front().expect("checked front");
+            let (payload, steering_hit) = c.link.transmit(&flit.payload);
+            flit.payload = payload;
+            let mut hop_corrupt = steering_hit;
+            if c.dateline {
+                flit.meta.dateline_class = 1;
+            }
+            let (dst, port) = (c.dst, c.dst_port);
+            if self.transient_rate > 0.0
+                && (self.rng.next_u64() as f64 / u64::MAX as f64) < self.transient_rate
+            {
+                flit.payload.flip_bit(self.rng.below(256) as usize);
+                hop_corrupt = true;
+            }
+            // Link-level SEC-DED repairs single-bit damage at the
+            // receiving router (paper §2.5's alternative protocol).
+            if hop_corrupt && self.cfg.link_protection == crate::config::LinkProtection::Secded {
+                match crate::ecc::decode(&mut flit.payload, flit.meta.ecc) {
+                    crate::ecc::EccOutcome::Corrected { .. } => {
+                        hop_corrupt = false;
+                        self.stats.ecc_corrections += 1;
+                    }
+                    crate::ecc::EccOutcome::Uncorrectable => {
+                        self.stats.ecc_uncorrectable += 1;
+                    }
+                    crate::ecc::EccOutcome::Clean => {}
+                }
+            }
+            flit.meta.corrupted |= hop_corrupt;
+            if flit.kind.is_head() {
+                probe.head_arrived(now, dst, port, flit.meta.packet);
+            }
+            self.routers[dst.index()].receive(port, flit);
+            // INVARIANT: wake — the receive above gave the router work.
+            Self::wake_router(&mut self.active_routers, dst.index());
+        }
+        // Credits back to the channel's source router.
+        loop {
+            let c = &mut self.channels[ci];
+            match c.credits.front() {
+                Some(&(t, _)) if t <= now => {
+                    let (_, vc) = c.credits.pop_front().expect("checked front");
+                    let (src, dir) = (c.src, c.dir);
+                    self.routers[src.index()].credit_arrived(Port::Dir(dir), vc);
+                    if !self.routers[src.index()].is_quiescent() {
+                        // INVARIANT: wake — a fresh credit can unblock a
+                        // credit-stalled flit at the source router. A
+                        // quiescent router has nothing to send, so a
+                        // credit alone cannot make its evaluation a
+                        // non-no-op and needs no wake.
+                        Self::wake_router(&mut self.active_routers, src.index());
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Refreshes channel `ci`'s due-cycle bookkeeping from its deque
+    /// fronts (each deque is due-sorted: push times increase and the
+    /// per-entry latency is a per-run constant). Returns the new due.
+    fn settle_channel(&mut self, ci: usize) -> Cycle {
+        let c = &self.channels[ci];
+        let due = match (c.flits.front(), c.credits.front()) {
+            (Some(&(a, _)), Some(&(b, _))) => a.min(b),
+            (Some(&(a, _)), None) => a,
+            (None, Some(&(b, _))) => b,
+            (None, None) => Cycle::MAX,
+        };
+        self.chan_next_due[ci] = due;
+        if due == Cycle::MAX {
+            self.chan_active.clear(ci);
+        }
+        due
+    }
+
+    /// Delivers every due inject-pipe flit, then every due eject-pipe
+    /// flit, for `node`.
+    fn deliver_pipes(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
+        while let Some(&(t, _)) = self.inject_pipes[node].front() {
+            if t > now {
+                break;
+            }
+            let (_, flit) = self.inject_pipes[node].pop_front().expect("front");
+            if flit.kind.is_head() {
+                probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, flit.meta.packet);
+            }
+            self.routers[node].receive(Port::Tile, flit);
+            // INVARIANT: wake — the receive above gave the router work.
+            Self::wake_router(&mut self.active_routers, node);
+        }
+        while let Some(&(t, _)) = self.eject_pipes[node].front() {
+            if t > now {
+                break;
+            }
+            let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
+            let vc = flit.link_vc;
+            if flit.kind.is_head() {
+                probe.head_ejected(now, NodeId::new(node as u16), flit.meta.packet);
+            }
+            self.interfaces[node].receive(flit, now, probe);
+            self.routers[node].credit_arrived(Port::Tile, vc);
+            if !self.routers[node].is_quiescent() {
+                // INVARIANT: wake — the tile-port credit can unblock a
+                // credit-stalled ejection at this router. As above, a
+                // quiescent router cannot use a credit this cycle.
+                Self::wake_router(&mut self.active_routers, node);
+            }
+        }
+    }
+
+    /// Refreshes `node`'s pipe due-cycle bookkeeping (both pipes are
+    /// due-sorted for the same reason as channels). Returns the new due.
+    fn settle_pipe(&mut self, node: usize) -> Cycle {
+        let due = match (
+            self.inject_pipes[node].front(),
+            self.eject_pipes[node].front(),
+        ) {
+            (Some(&(a, _)), Some(&(b, _))) => a.min(b),
+            (Some(&(a, _)), None) => a,
+            (None, Some(&(b, _))) => b,
+            (None, None) => Cycle::MAX,
+        };
+        self.pipe_next_due[node] = due;
+        if due == Cycle::MAX {
+            self.pipe_active.clear(node);
+        }
+        due
+    }
+
+    /// Offers `node`'s tile port one push-mode injection slot.
+    fn push_injection(
+        &mut self,
+        node: usize,
+        now: Cycle,
+        inject_latency: Cycle,
+        probe: &mut dyn Probe,
+    ) {
+        if self.routers[node].pulls_injection() {
+            return;
+        }
+        if let Some(flit) = self.interfaces[node].pick_injection(now) {
+            if flit.kind.is_head() {
+                probe.packet_entered(
+                    now,
+                    NodeId::new(node as u16),
+                    flit.meta.packet,
+                    flit.meta.packet_len,
+                    flit.meta.class,
+                );
+            }
+            self.inject_pipes[node].push_back((now + inject_latency, flit));
+            // INVARIANT: wake — the flit just queued must be delivered to
+            // the router when its pipe latency elapses.
+            Self::wake_pipe(
+                &mut self.pipe_active,
+                &mut self.pipe_next_due,
+                &mut self.next_pipe_event,
+                node,
+                now + inject_latency,
+            );
+            if !self.interfaces[node].injection_pending() {
+                // INVARIANT: the injection bit is cleared only when the
+                // tile's queues are empty; the next enqueue re-sets it.
+                self.inject_pending.clear(node);
+            }
+        }
+    }
+
+    /// Evaluates router `node` for this cycle and applies its output.
+    fn evaluate_router(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
+        // Pull-mode cores are offered a *reference* to the next queued
+        // flit, gated on the O(1) pending check; the 256-bit payload is
+        // only copied if the router consumes the offer.
+        let offered =
+            if self.routers[node].pulls_injection() && self.interfaces[node].injection_pending() {
+                self.interfaces[node].peek_injection()
+            } else {
+                None
+            };
+        let offered_head = offered.map(|f| (f.meta.packet, f.meta.packet_len, f.meta.class));
+        let env = EvalEnv {
+            now,
+            reservations: self
+                .reservations
+                .as_ref()
+                .map(|t| (t, self.cfg.reservation_policy)),
+            topo: self.topo.as_ref(),
+        };
+        self.out_scratch.clear();
+        let consumed = self.routers[node].evaluate(&env, offered, &mut self.out_scratch, probe);
+        if consumed {
+            // The router copied the peeked flit; remove the original from
+            // the interface queue. Pull-mode injection enters the network
+            // and arrives at the source router in the same cycle (no
+            // inject pipe).
+            if let Some((packet, len, class)) = offered_head {
+                probe.packet_entered(now, NodeId::new(node as u16), packet, len, class);
+                probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, packet);
+            }
+            self.interfaces[node]
+                .pick_injection(now)
+                .expect("peeked flit still queued");
+            if !self.interfaces[node].injection_pending() {
+                // INVARIANT: the injection bit is cleared only when the
+                // tile's queues are empty; the next enqueue re-sets it.
+                self.inject_pending.clear(node);
+            }
+        }
+        self.apply_router_output(node, now, probe);
+        if self.routers[node].is_quiescent() {
+            // INVARIANT: quiescence makes the next evaluation a no-op by
+            // the `RouterCore::is_quiescent` contract, so dropping the
+            // router from the active set cannot change any result; any
+            // later receive/credit re-wakes it.
+            self.active_routers.clear(node);
+        } else {
+            // INVARIANT: wake — buffered or staged flits remain, so the
+            // router must be evaluated again next cycle.
+            Self::wake_router(&mut self.active_routers, node);
+        }
+    }
+
     /// Advances the network one cycle.
+    ///
+    /// The cycle runs in four phases — channel deliveries, tile-pipe
+    /// deliveries, push-mode injection, router evaluation — and each
+    /// phase visits only awake entities (or everything, under
+    /// [`Self::set_naive_stepping`]), always in ascending index order.
     pub fn step(&mut self) {
         let now = self.cycle;
         // The probe moves out of `self` for the cycle so routers and
@@ -612,152 +966,97 @@ impl Network {
             None => &mut noop,
         };
 
-        // 1. Channel deliveries: flits reach downstream routers.
-        for ci in 0..self.channels.len() {
-            loop {
-                let due = matches!(self.channels[ci].flits.front(), Some(&(t, _)) if t <= now);
-                if !due {
-                    break;
-                }
-                let c = &mut self.channels[ci];
-                let (_, mut flit) = c.flits.pop_front().expect("checked front");
-                let (payload, steering_hit) = c.link.transmit(&flit.payload);
-                flit.payload = payload;
-                let mut hop_corrupt = steering_hit;
-                if c.dateline {
-                    flit.meta.dateline_class = 1;
-                }
-                let (dst, port) = (c.dst, c.dst_port);
-                if self.transient_rate > 0.0
-                    && (self.rng.next_u64() as f64 / u64::MAX as f64) < self.transient_rate
-                {
-                    flit.payload.flip_bit(self.rng.below(256) as usize);
-                    hop_corrupt = true;
-                }
-                // Link-level SEC-DED repairs single-bit damage at the
-                // receiving router (paper §2.5's alternative protocol).
-                if hop_corrupt && self.cfg.link_protection == crate::config::LinkProtection::Secded
-                {
-                    match crate::ecc::decode(&mut flit.payload, flit.meta.ecc) {
-                        crate::ecc::EccOutcome::Corrected { .. } => {
-                            hop_corrupt = false;
-                            self.stats.ecc_corrections += 1;
-                        }
-                        crate::ecc::EccOutcome::Uncorrectable => {
-                            self.stats.ecc_uncorrectable += 1;
-                        }
-                        crate::ecc::EccOutcome::Clean => {}
-                    }
-                }
-                flit.meta.corrupted |= hop_corrupt;
-                if flit.kind.is_head() {
-                    probe.head_arrived(now, dst, port, flit.meta.packet);
-                }
-                self.routers[dst.index()].receive(port, flit);
+        // 1. Channel deliveries: flits reach downstream routers. Skipped
+        // wholesale when no queued entry anywhere is due yet.
+        if self.naive_stepping {
+            let mut next = Cycle::MAX;
+            for ci in 0..self.channels.len() {
+                self.deliver_channel(ci, now, probe);
+                next = next.min(self.settle_channel(ci));
             }
-            // Credits back to the channel's source router.
-            loop {
-                let c = &mut self.channels[ci];
-                match c.credits.front() {
-                    Some(&(t, _)) if t <= now => {
-                        let (_, vc) = c.credits.pop_front().expect("checked front");
-                        let (src, dir) = (c.src, c.dir);
-                        self.routers[src.index()].credit_arrived(Port::Dir(dir), vc);
-                    }
-                    _ => break,
+            self.next_chan_event = next;
+        } else if now >= self.next_chan_event {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.chan_active.collect_into(&mut idx);
+            let mut next = Cycle::MAX;
+            for &ci in &idx {
+                if self.chan_next_due[ci] > now {
+                    next = next.min(self.chan_next_due[ci]);
+                    continue;
                 }
+                self.deliver_channel(ci, now, probe);
+                next = next.min(self.settle_channel(ci));
             }
+            self.next_chan_event = next;
+            self.idx_scratch = idx;
         }
 
-        // 2. Tile-port deliveries.
-        for node in 0..self.routers.len() {
-            while let Some(&(t, _)) = self.inject_pipes[node].front() {
-                if t > now {
-                    break;
-                }
-                let (_, flit) = self.inject_pipes[node].pop_front().expect("front");
-                if flit.kind.is_head() {
-                    probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, flit.meta.packet);
-                }
-                self.routers[node].receive(Port::Tile, flit);
+        // 2. Tile-port deliveries, gated the same way.
+        if self.naive_stepping {
+            let mut next = Cycle::MAX;
+            for node in 0..self.routers.len() {
+                self.deliver_pipes(node, now, probe);
+                next = next.min(self.settle_pipe(node));
             }
-            while let Some(&(t, _)) = self.eject_pipes[node].front() {
-                if t > now {
-                    break;
+            self.next_pipe_event = next;
+        } else if now >= self.next_pipe_event {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.pipe_active.collect_into(&mut idx);
+            let mut next = Cycle::MAX;
+            for &node in &idx {
+                if self.pipe_next_due[node] > now {
+                    next = next.min(self.pipe_next_due[node]);
+                    continue;
                 }
-                let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
-                let vc = flit.link_vc;
-                if flit.kind.is_head() {
-                    probe.head_ejected(now, NodeId::new(node as u16), flit.meta.packet);
-                }
-                self.interfaces[node].receive(flit, now, probe);
-                self.routers[node].credit_arrived(Port::Tile, vc);
+                self.deliver_pipes(node, now, probe);
+                next = next.min(self.settle_pipe(node));
             }
+            self.next_pipe_event = next;
+            self.idx_scratch = idx;
         }
 
-        // 3. Push-mode injection (credit-gated tile ports). A serialized
-        // tile port accepts one flit per `channel_phits` cycles.
+        // 3. Push-mode injection (credit-gated tile ports), visiting only
+        // tiles with queued flits. A serialized tile port accepts one
+        // flit per `channel_phits` cycles.
         let inject_latency =
             self.cfg.channel_latency + self.cfg.router_delay + (self.cfg.channel_phits - 1);
-        for node in 0..self.routers.len() {
-            if self.routers[node].pulls_injection() {
-                continue;
-            }
-            if now.is_multiple_of(self.cfg.channel_phits) {
-                if let Some(flit) = self.interfaces[node].pick_injection(now) {
-                    if flit.kind.is_head() {
-                        probe.packet_entered(
-                            now,
-                            NodeId::new(node as u16),
-                            flit.meta.packet,
-                            flit.meta.packet_len,
-                            flit.meta.class,
-                        );
-                    }
-                    self.inject_pipes[node].push_back((now + inject_latency, flit));
+        if now.is_multiple_of(self.cfg.channel_phits) {
+            if self.naive_stepping {
+                for node in 0..self.routers.len() {
+                    self.push_injection(node, now, inject_latency, probe);
                 }
+            } else {
+                let mut idx = std::mem::take(&mut self.idx_scratch);
+                idx.clear();
+                self.inject_pending.collect_into(&mut idx);
+                for &node in &idx {
+                    self.push_injection(node, now, inject_latency, probe);
+                }
+                self.idx_scratch = idx;
             }
         }
 
-        // 4. Router evaluation.
-        for node in 0..self.routers.len() {
-            let offered = if self.routers[node].pulls_injection() {
-                self.interfaces[node]
-                    .peek_injection()
-                    .copied()
-                    .map(|mut f| {
-                        f.meta.injected_at = now;
-                        f
-                    })
-            } else {
-                None
-            };
-            let env = EvalEnv {
-                now,
-                reservations: self
-                    .reservations
-                    .as_ref()
-                    .map(|t| (t, self.cfg.reservation_policy)),
-                topo: self.topo.as_ref(),
-            };
-            let offered_head = offered
-                .as_ref()
-                .map(|f| (f.meta.packet, f.meta.packet_len, f.meta.class));
-            let (output, consumed) = self.routers[node].evaluate(&env, offered, probe);
-            if consumed {
-                // The router used its copy of the peeked flit; remove the
-                // original from the interface queue. Pull-mode injection
-                // enters the network and arrives at the source router in
-                // the same cycle (no inject pipe).
-                if let Some((packet, len, class)) = offered_head {
-                    probe.packet_entered(now, NodeId::new(node as u16), packet, len, class);
-                    probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, packet);
-                }
-                self.interfaces[node]
-                    .pick_injection(now)
-                    .expect("peeked flit still queued");
+        // 4. Router evaluation: routers that received a flit or credit,
+        // stayed busy, or (pull-mode cores) have an injection offer.
+        if self.naive_stepping {
+            for node in 0..self.routers.len() {
+                self.evaluate_router(node, now, probe);
             }
-            self.apply_router_output(node, output, now, probe);
+        } else {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            if self.cfg.flow_control == FlowControl::Deflection {
+                self.active_routers
+                    .collect_union_into(&self.inject_pending, &mut idx);
+            } else {
+                self.active_routers.collect_into(&mut idx);
+            }
+            for &node in &idx {
+                self.evaluate_router(node, now, probe);
+            }
+            self.idx_scratch = idx;
         }
 
         // Per-cycle buffer-occupancy integral, sampled only when a probe
@@ -771,13 +1070,8 @@ impl Network {
         self.cycle = now + 1;
     }
 
-    fn apply_router_output(
-        &mut self,
-        node: usize,
-        output: crate::router::RouterOutput,
-        now: Cycle,
-        probe: &mut dyn Probe,
-    ) {
+    /// Drains the launch/credit scratch router `node` just wrote.
+    fn apply_router_output(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
         let secded = self.cfg.link_protection == crate::config::LinkProtection::Secded;
         // SEC-DED decode costs one extra cycle per link traversal, and a
         // serialized flit finishes arriving phits-1 cycles later.
@@ -785,7 +1079,7 @@ impl Network {
             + self.cfg.router_delay
             + u64::from(secded)
             + (self.cfg.channel_phits - 1);
-        for (port, mut flit) in output.launches {
+        for (port, mut flit) in self.out_scratch.launches.drain() {
             if secded && matches!(port, Port::Dir(_)) {
                 flit.meta.ecc = crate::ecc::encode(&flit.payload);
             }
@@ -809,13 +1103,31 @@ impl Network {
                     self.stats.energy.link_flits += 1;
                     self.stats.energy.link_bit_pitches += bits as f64 * c.length_pitches;
                     c.flits.push_back((now + flit_latency, flit));
+                    // INVARIANT: wake — the flit just queued must be
+                    // delivered downstream when its latency elapses.
+                    Self::wake_channel(
+                        &mut self.chan_active,
+                        &mut self.chan_next_due,
+                        &mut self.next_chan_event,
+                        ci,
+                        now + flit_latency,
+                    );
                 }
                 Port::Tile => {
                     self.eject_pipes[node].push_back((now + self.cfg.channel_latency, flit));
+                    // INVARIANT: wake — the ejected flit must reach the
+                    // tile interface when the eject pipe drains.
+                    Self::wake_pipe(
+                        &mut self.pipe_active,
+                        &mut self.pipe_next_due,
+                        &mut self.next_pipe_event,
+                        node,
+                        now + self.cfg.channel_latency,
+                    );
                 }
             }
         }
-        for (port, vc) in output.credits {
+        for (port, vc) in self.out_scratch.credits.drain() {
             match port {
                 Port::Dir(q) => {
                     // The flit came in via the channel from neighbor(node, q).
@@ -828,6 +1140,15 @@ impl Network {
                     self.channels[ci]
                         .credits
                         .push_back((now + self.cfg.credit_latency, vc));
+                    // INVARIANT: wake — the credit just queued must reach
+                    // the upstream router when its latency elapses.
+                    Self::wake_channel(
+                        &mut self.chan_active,
+                        &mut self.chan_next_due,
+                        &mut self.next_chan_event,
+                        ci,
+                        now + self.cfg.credit_latency,
+                    );
                 }
                 Port::Tile => self.interfaces[node].credit_return(vc),
             }

@@ -85,57 +85,79 @@ impl DeflectionRouter {
 
     /// Evaluates one cycle: ejects at most one local flit, matches the
     /// rest (oldest first) to outputs, and pulls in an injection if an
-    /// output remains free. Returns the output and whether the offered
+    /// output remains free. Launches/ejects are written into `out` (the
+    /// eject, if any, always first); returns whether the offered
     /// injection was consumed. Deflections are reported to `probe`.
+    ///
+    /// With no arrivals and no offer this is a no-op (the router holds no
+    /// cross-cycle flit state at all), so `occupancy() == 0` is a safe
+    /// quiescence predicate; a pending injection keeps the router in the
+    /// evaluation set independently.
     pub fn evaluate(
         &mut self,
         env: &EvalEnv<'_>,
-        inject: Option<Flit>,
+        inject: Option<&Flit>,
+        out: &mut RouterOutput,
         probe: &mut dyn Probe,
-    ) -> (RouterOutput, bool) {
-        let mut out = RouterOutput::default();
+    ) -> bool {
+        // The arrival buffer is taken, drained, and put back so its
+        // capacity survives across cycles (no per-cycle allocation).
         let mut flits = std::mem::take(&mut self.arrivals);
         // Oldest first; ties by packet id for determinism.
         flits.sort_by_key(|f| (f.meta.injected_at, f.meta.packet));
-
+        // Eject at most one local flit — the oldest. Pushed before any
+        // transit launch so the launch order the network (and its probe
+        // stream) sees is eject first, then transit in age order.
+        if let Some(k) = flits.iter().position(|f| f.meta.dst == self.node) {
+            let f = flits.remove(k);
+            out.launches.push((Port::Tile, f));
+        }
+        let consumed = flits.len() < 4 && inject.is_some();
         let mut free = [true; 4]; // direction outputs
-        let mut ejected = false;
-        let mut to_route: Vec<Flit> = Vec::with_capacity(5);
-        for f in flits {
-            if f.meta.dst == self.node && !ejected {
-                ejected = true;
-                out.launches.push((Port::Tile, f));
-            } else {
-                to_route.push(f);
-            }
+        for f in flits.drain(..) {
+            self.route_one(env, &mut free, f, out, probe);
         }
-        let mut consumed = false;
-        if to_route.len() < 4 {
-            if let Some(f) = inject {
-                to_route.push(f);
-                consumed = true;
-            }
+        if consumed {
+            // The offered flit is copied out of the interface queue only
+            // here, on the consuming path; its injection timestamp is the
+            // cycle it actually entered the network.
+            // INVARIANT: `consumed` is only true when `inject` is Some.
+            let mut f = *inject.expect("consumed implies an offer");
+            f.meta.injected_at = env.now;
+            self.route_one(env, &mut free, f, out, probe);
         }
-        for mut f in to_route {
-            let productive = self.productive_dirs(env.topo, &f);
-            let chosen = productive
-                .iter()
-                .copied()
-                .find(|d| free[d.index()])
-                .or_else(|| Direction::ALL.iter().copied().find(|d| free[d.index()]));
-            // INVARIANT: at most 4 flits reach routing (one ejected,
-            // injection gated on a free slot), so a free output exists.
-            let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
-            if !productive.contains(&d) {
-                self.deflections += 1;
-                probe.misroute(env.now, self.node, f.meta.packet);
-            }
-            free[d.index()] = false;
-            f.heading = d;
-            self.forwarded += 1;
-            out.launches.push((Port::Dir(d), f));
+        self.arrivals = flits;
+        consumed
+    }
+
+    /// Routes one transit (or just-injected) flit: a free productive
+    /// direction if one exists, otherwise a free non-productive one
+    /// (a deflection).
+    fn route_one(
+        &mut self,
+        env: &EvalEnv<'_>,
+        free: &mut [bool; 4],
+        mut f: Flit,
+        out: &mut RouterOutput,
+        probe: &mut dyn Probe,
+    ) {
+        let productive = self.productive_dirs(env.topo, &f);
+        let chosen = productive
+            .iter()
+            .copied()
+            .find(|d| free[d.index()])
+            .or_else(|| Direction::ALL.iter().copied().find(|d| free[d.index()]));
+        // INVARIANT: at most 4 flits reach routing (one ejected,
+        // injection gated on a free slot), so a free output exists.
+        let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
+        if !productive.contains(&d) {
+            self.deflections += 1;
+            probe.misroute(env.now, self.node, f.meta.packet);
         }
-        (out, consumed)
+        free[d.index()] = false;
+        f.heading = d;
+        self.forwarded += 1;
+        out.launches.push((Port::Dir(d), f));
     }
 }
 
@@ -156,6 +178,16 @@ mod tests {
         }
     }
 
+    fn eval(
+        r: &mut DeflectionRouter,
+        env: &EvalEnv<'_>,
+        inject: Option<&Flit>,
+    ) -> (RouterOutput, bool) {
+        let mut out = RouterOutput::default();
+        let consumed = r.evaluate(env, inject, &mut out, &mut NoProbe);
+        (out, consumed)
+    }
+
     fn flit_to(dst: u16, packet: u64, age: u64) -> Flit {
         let mut f = test_flit(FlitKind::HeadTail, &[Direction::East]);
         f.meta.dst = NodeId::new(dst);
@@ -169,7 +201,7 @@ mod tests {
         let topo = FoldedTorus2D::new(4);
         let mut r = DeflectionRouter::new(NodeId::new(5));
         r.receive(Port::Dir(Direction::West), flit_to(5, 1, 0));
-        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
+        let (out, _) = eval(&mut r, &env(&topo), None);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Tile);
     }
@@ -180,7 +212,7 @@ mod tests {
         let mut r = DeflectionRouter::new(NodeId::new(0));
         // Node 1 is one hop east of node 0.
         r.receive(Port::Dir(Direction::West), flit_to(1, 1, 0));
-        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
+        let (out, _) = eval(&mut r, &env(&topo), None);
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
         assert_eq!(r.deflections, 0);
@@ -193,7 +225,7 @@ mod tests {
         // Both want East (dst = 1); only one productive direction exists.
         r.receive(Port::Dir(Direction::West), flit_to(1, 1, 5)); // younger
         r.receive(Port::Dir(Direction::North), flit_to(1, 2, 1)); // older
-        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
+        let (out, _) = eval(&mut r, &env(&topo), None);
         assert_eq!(out.launches.len(), 2);
         // The older flit (packet 2) gets East.
         let east = out
@@ -212,11 +244,11 @@ mod tests {
         for p in 0..4 {
             r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(2, p, 0));
         }
-        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)), &mut NoProbe);
+        let (out, consumed) = eval(&mut r, &env(&topo), Some(&flit_to(3, 99, 0)));
         assert!(!consumed, "all outputs taken by transit flits");
         assert_eq!(out.launches.len(), 4);
         // Next cycle is empty: injection succeeds.
-        let (out, consumed) = r.evaluate(&env(&topo), Some(flit_to(3, 99, 0)), &mut NoProbe);
+        let (out, consumed) = eval(&mut r, &env(&topo), Some(&flit_to(3, 99, 0)));
         assert!(consumed);
         assert_eq!(out.launches.len(), 1);
     }
@@ -228,7 +260,7 @@ mod tests {
         for p in 0..4u64 {
             r.receive(Port::Dir(Direction::ALL[p as usize]), flit_to(1, p, p));
         }
-        let (out, _) = r.evaluate(&env(&topo), None, &mut NoProbe);
+        let (out, _) = eval(&mut r, &env(&topo), None);
         // All four leave on four distinct outputs.
         assert_eq!(out.launches.len(), 4);
         let mut ports: Vec<usize> = out.launches.iter().map(|(p, _)| p.index()).collect();

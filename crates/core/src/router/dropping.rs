@@ -96,8 +96,12 @@ impl DroppingRouter {
 
     /// Evaluates one cycle: every buffered flit either launches or (heads
     /// only) is dropped; nothing waits. Drops are reported to `probe`.
-    pub fn evaluate(&mut self, env: &EvalEnv<'_>, probe: &mut dyn Probe) -> RouterOutput {
-        let mut out = RouterOutput::default();
+    ///
+    /// With all five input slots empty this is a no-op even when outputs
+    /// are still head-to-tail locked, so `occupancy() == 0` is a safe
+    /// quiescence predicate (the body flits that will unlock the output
+    /// wake the router when they arrive).
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, out: &mut RouterOutput, probe: &mut dyn Probe) {
         // Outputs driven this cycle: a link carries one flit per cycle,
         // so a head contending with a single-flit packet that launched
         // earlier this cycle (and thus holds no head-to-tail lock) is
@@ -142,7 +146,6 @@ impl DroppingRouter {
                 out.launches.push((op, flit));
             }
         }
-        out
     }
 }
 
@@ -163,6 +166,12 @@ mod tests {
         }
     }
 
+    fn eval(r: &mut DroppingRouter, env: &EvalEnv<'_>) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        r.evaluate(env, &mut out, &mut NoProbe);
+        out
+    }
+
     #[test]
     fn uncontended_packet_passes() {
         let topo = FoldedTorus2D::new(4);
@@ -171,7 +180,7 @@ mod tests {
             Port::Tile,
             test_flit(FlitKind::HeadTail, &[Direction::East]),
         );
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Dir(Direction::East));
         assert_eq!(r.packets_dropped, 0);
@@ -185,7 +194,7 @@ mod tests {
         let mut h = test_flit(FlitKind::Head, &[Direction::East]);
         h.meta.packet = PacketId(1);
         r.receive(Port::Tile, h);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         // A second head for East arrives on another input: dropped.
         let mut h2 = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::East]);
@@ -200,21 +209,22 @@ mod tests {
             .1;
         f.heading = Direction::East;
         r.receive(Port::Dir(Direction::West), f);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert!(out.launches.is_empty());
-        assert_eq!(out.dropped_packets, vec![PacketId(2)]);
+        let dropped: Vec<_> = out.dropped_packets.iter().copied().collect();
+        assert_eq!(dropped, vec![PacketId(2)]);
         assert_eq!(r.packets_dropped, 1);
         // The first packet's tail unlocks East.
         let mut t = test_flit(FlitKind::Tail, &[Direction::East]);
         t.meta.packet = PacketId(1);
         r.receive(Port::Tile, t);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         // Now East is free again.
         let mut h3 = test_flit(FlitKind::HeadTail, &[Direction::East]);
         h3.meta.packet = PacketId(3);
         r.receive(Port::Tile, h3);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
     }
 
@@ -226,7 +236,7 @@ mod tests {
         let mut h = test_flit(FlitKind::Head, &[Direction::East]);
         h.meta.packet = PacketId(1);
         r.receive(Port::Tile, h);
-        r.evaluate(&env(&topo), &mut NoProbe);
+        eval(&mut r, &env(&topo));
         // Packet 2 (3 flits) arrives on the West input wanting East.
         let straight = crate::route::SourceRoute::compile(&[Direction::East, Direction::East])
             .unwrap()
@@ -238,18 +248,18 @@ mod tests {
         h2.route = straight;
         h2.heading = Direction::East;
         r.receive(Port::Dir(Direction::West), h2);
-        r.evaluate(&env(&topo), &mut NoProbe);
+        eval(&mut r, &env(&topo));
         assert_eq!(r.packets_dropped, 1);
         // Its body and tail are silently discarded.
         let mut b = test_flit(FlitKind::Body, &[Direction::East]);
         b.meta.packet = PacketId(2);
         r.receive(Port::Dir(Direction::West), b);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert!(out.launches.is_empty());
         let mut t = test_flit(FlitKind::Tail, &[Direction::East]);
         t.meta.packet = PacketId(2);
         r.receive(Port::Dir(Direction::West), t);
-        r.evaluate(&env(&topo), &mut NoProbe);
+        eval(&mut r, &env(&topo));
         assert_eq!(r.flits_discarded, 3);
         // The discard window closed with the tail.
         assert!(r.inputs[Port::Dir(Direction::West).index()]

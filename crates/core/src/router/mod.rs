@@ -39,18 +39,122 @@ pub struct EvalEnv<'a> {
     pub topo: &'a dyn Topology,
 }
 
+/// A fixed-capacity inline vector holding at most one entry per router
+/// port. The per-cycle router outputs are bounded by the five ports, so
+/// this never touches the heap: [`crate::network::Network`] owns one
+/// [`RouterOutput`] as reusable scratch that is cleared, never
+/// reallocated, between router evaluations.
+#[derive(Debug)]
+pub struct PortVec<T> {
+    slots: [Option<T>; Port::COUNT],
+    len: usize,
+}
+
+impl<T> PortVec<T> {
+    /// An empty vector.
+    pub const fn new() -> PortVec<T> {
+        PortVec {
+            slots: [None, None, None, None, None],
+            len: 0,
+        }
+    }
+
+    /// Appends `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        // INVARIANT: every router core emits at most one launch, credit,
+        // and drop per port per cycle, so Port::COUNT slots suffice.
+        assert!(self.len < Port::COUNT, "PortVec overflow");
+        self.slots[self.len] = Some(value);
+        self.len += 1;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        // INVARIANT: push() fills slots densely from the front, so every
+        // slot below `len` is occupied.
+        self.slots[..self.len]
+            .iter()
+            .map(|s| s.as_ref().expect("slot below len is occupied"))
+    }
+
+    /// Removes and yields the entries in insertion order, leaving the
+    /// vector empty (capacity is inline; nothing is freed).
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        let n = self.len;
+        self.len = 0;
+        // INVARIANT: push() fills slots densely from the front, so every
+        // slot below the pre-drain `len` is occupied.
+        self.slots[..n]
+            .iter_mut()
+            .map(|s| s.take().expect("slot below len is occupied"))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots[..self.len] {
+            *s = None;
+        }
+        self.len = 0;
+    }
+}
+
+impl<T> Default for PortVec<T> {
+    fn default() -> PortVec<T> {
+        PortVec::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for PortVec<T> {
+    type Output = T;
+
+    fn index(&self, i: usize) -> &T {
+        // INVARIANT: indexing below `len` hits a slot push() filled.
+        assert!(i < self.len, "PortVec index {i} out of bounds");
+        self.slots[i].as_ref().expect("slot below len is occupied")
+    }
+}
+
 /// What a router did in one cycle.
+///
+/// Owned by the network as reusable scratch: `evaluate` writes into it
+/// by `&mut`, the network drains it, and [`RouterOutput::clear`] resets
+/// it without ever touching the allocator.
 #[derive(Debug, Default)]
 pub struct RouterOutput {
     /// Flits leaving through each output port.
-    pub launches: Vec<(Port, Flit)>,
+    pub launches: PortVec<(Port, Flit)>,
     /// Credits to return upstream, keyed by the *input* port whose buffer
     /// freed a slot.
-    pub credits: Vec<(Port, VcId)>,
+    pub credits: PortVec<(Port, VcId)>,
     /// Packets dropped this cycle (dropping flow control only).
-    pub dropped_packets: Vec<PacketId>,
+    pub dropped_packets: PortVec<PacketId>,
     /// Flits discarded this cycle (members of dropped packets).
     pub dropped_flits: u64,
+}
+
+impl RouterOutput {
+    /// Resets the scratch for the next router evaluation.
+    pub fn clear(&mut self) {
+        self.launches.clear();
+        self.credits.clear();
+        self.dropped_packets.clear();
+        self.dropped_flits = 0;
+    }
 }
 
 /// Resolves a head flit's next output port, consuming one route entry.
@@ -165,20 +269,49 @@ impl RouterCore {
         }
     }
 
-    /// Evaluates one cycle. `inject` offers the tile's next flit to cores
-    /// that pull injections (deflection); the `bool` reports whether it
-    /// was consumed. Allocation, stall, drop, and misroute events are
-    /// reported to `probe` ([`crate::probe::NoProbe`] when disabled).
+    /// Evaluates one cycle, writing launches/credits/drops into the
+    /// caller-owned `out` scratch (which must arrive cleared). `inject`
+    /// offers a *reference* to the tile's next flit to cores that pull
+    /// injections (deflection); the flit is only copied out of the
+    /// interface queue if the router can actually consume it, and the
+    /// returned `bool` reports whether it did. Allocation, stall, drop,
+    /// and misroute events are reported to `probe`
+    /// ([`crate::probe::NoProbe`] when disabled).
     pub fn evaluate(
         &mut self,
         env: &EvalEnv<'_>,
-        inject: Option<Flit>,
+        inject: Option<&Flit>,
+        out: &mut RouterOutput,
         probe: &mut dyn Probe,
-    ) -> (RouterOutput, bool) {
+    ) -> bool {
         match self {
-            RouterCore::Vc(r) => (r.evaluate(env, probe), false),
-            RouterCore::Dropping(r) => (r.evaluate(env, probe), false),
-            RouterCore::Deflection(r) => r.evaluate(env, inject, probe),
+            RouterCore::Vc(r) => {
+                r.evaluate(env, out, probe);
+                false
+            }
+            RouterCore::Dropping(r) => {
+                r.evaluate(env, out, probe);
+                false
+            }
+            RouterCore::Deflection(r) => r.evaluate(env, inject, out, probe),
+        }
+    }
+
+    /// Whether evaluating this router right now would be a guaranteed
+    /// no-op: no buffered or staged flits anywhere. O(1) or a bounded
+    /// five-slot walk per core — never a per-VC scan.
+    ///
+    /// This is the activity-gated engine's skip predicate. The contract
+    /// (asserted by the engine-equivalence suite) is: if `is_quiescent()`
+    /// holds, `evaluate` produces an empty [`RouterOutput`], consumes no
+    /// injection offer, emits no probe events, and leaves every piece of
+    /// router state — including round-robin pointers, credit counters,
+    /// VC ownership, and link-busy deadlines — bit-identical.
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            RouterCore::Vc(r) => r.is_quiescent(),
+            RouterCore::Dropping(r) => r.occupancy() == 0,
+            RouterCore::Deflection(r) => r.occupancy() == 0,
         }
     }
 

@@ -20,6 +20,14 @@ use crate::probe::Probe;
 
 use super::{resolve_route, EvalEnv, RouterOutput};
 
+/// A VC-allocation request: (priority, input port, input VC, effective
+/// VC mask, requesting packet).
+type AllocReq = (u8, usize, usize, VcMask, PacketId);
+
+/// A link-arbitration candidate: (priority, input port, from the
+/// reserved staging bank, staged packet).
+type LinkCand = (u8, usize, bool, PacketId);
+
 #[derive(Debug)]
 struct InVc {
     buf: VecDeque<Flit>,
@@ -67,6 +75,16 @@ pub struct VcRouter {
     phits: u64,
     inputs: Vec<InputCtrl>,
     outputs: Vec<OutputCtrl>,
+    /// Flits currently inside the router (input buffers + staging).
+    /// Maintained incrementally so `is_quiescent` is O(1) on the
+    /// activity-gated hot path; `occupancy()` recomputes it by walking
+    /// the buffers and the two must always agree.
+    in_flight: usize,
+    /// Persistent scratch for `allocate_vcs` requests; taken and put
+    /// back each evaluation so the hot path never reallocates.
+    alloc_scratch: Vec<AllocReq>,
+    /// Persistent scratch for `arbitrate_links` candidates.
+    link_scratch: Vec<LinkCand>,
 }
 
 impl VcRouter {
@@ -122,7 +140,19 @@ impl VcRouter {
             phits: phits.max(1),
             inputs,
             outputs,
+            in_flight: 0,
+            alloc_scratch: Vec::with_capacity(Port::COUNT * num_vcs),
+            link_scratch: Vec::with_capacity(2 * Port::COUNT),
         }
+    }
+
+    /// True when evaluating this router is a guaranteed no-op: no flit
+    /// is buffered in any input VC or staged at any output. Held VC
+    /// grants and credit counts are untouched by an empty evaluation,
+    /// so a quiescent router may be skipped without affecting any
+    /// later decision (see DESIGN.md §3.13).
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight == 0
     }
 
     /// Accepts a flit from an input channel (or the tile port).
@@ -145,6 +175,7 @@ impl VcRouter {
             self.node
         );
         buf.push_back(flit);
+        self.in_flight += 1;
     }
 
     /// Applies an arriving credit for output `port`, VC `vc`.
@@ -253,13 +284,11 @@ impl VcRouter {
     /// link arbitration (the first two proceed in parallel per the paper).
     /// Allocation grants/conflicts, credit stalls, and preemptions are
     /// reported to `probe`; the probe never influences any decision.
-    pub fn evaluate(&mut self, env: &EvalEnv<'_>, probe: &mut dyn Probe) -> RouterOutput {
-        let mut out = RouterOutput::default();
+    pub fn evaluate(&mut self, env: &EvalEnv<'_>, out: &mut RouterOutput, probe: &mut dyn Probe) {
         self.load_routes();
         self.allocate_vcs(env.now, probe);
-        self.traverse_switch(env.now, &mut out, probe);
-        self.arbitrate_links(env, &mut out, probe);
-        out
+        self.traverse_switch(env.now, out, probe);
+        self.arbitrate_links(env, out, probe);
     }
 
     /// Latches the output-port decision for any packet whose head has
@@ -287,11 +316,14 @@ impl VcRouter {
     /// Grants free output VCs to waiting head flits, highest class first,
     /// round-robin among equals.
     fn allocate_vcs(&mut self, now: Cycle, probe: &mut dyn Probe) {
+        // Persistent scratch: drained and refilled per output port,
+        // returned to the router at the end so its capacity survives.
+        let mut reqs = std::mem::take(&mut self.alloc_scratch);
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
             // Gather requests: (priority, input port, input vc, mask,
             // requesting packet).
-            let mut reqs: Vec<(u8, usize, usize, VcMask, PacketId)> = Vec::new();
+            reqs.clear();
             for i in 0..Port::COUNT {
                 for v in 0..self.num_vcs {
                     let ivc = &self.inputs[i].vcs[v];
@@ -316,7 +348,7 @@ impl VcRouter {
             reqs.rotate_left(rot);
             reqs.sort_by_key(|r| std::cmp::Reverse(r.0));
             let mut granted_any = false;
-            for (_, i, v, mask, packet) in reqs {
+            for &(_, i, v, mask, packet) in &reqs {
                 let free = (0..self.num_vcs).find(|&ov| {
                     mask.allows(VcId::new(ov as u8)) && self.outputs[o].owner[ov].is_none()
                 });
@@ -347,6 +379,7 @@ impl VcRouter {
                 self.outputs[o].rr_alloc = self.outputs[o].rr_alloc.wrapping_add(1);
             }
         }
+        self.alloc_scratch = reqs;
     }
 
     /// Forwards one flit per input port into the output staging buffers,
@@ -436,6 +469,9 @@ impl VcRouter {
         out: &mut RouterOutput,
         probe: &mut dyn Probe,
     ) {
+        // Persistent scratch: drained and refilled per output port,
+        // returned to the router at the end so its capacity survives.
+        let mut candidates = std::mem::take(&mut self.link_scratch);
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
             let octrl = &self.outputs[o];
@@ -447,7 +483,7 @@ impl VcRouter {
             // (priority, input idx, from the reserved staging bank,
             // staged packet). Staged flits already hold their downstream
             // credit, so every one is a launch candidate.
-            let mut candidates: Vec<(u8, usize, bool, PacketId)> = Vec::new();
+            candidates.clear();
             for i in 0..Port::COUNT {
                 for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)] {
                     if let Some(f) = &bank[i] {
@@ -478,12 +514,23 @@ impl VcRouter {
                     }
                 }
             }
+            // Highest priority wins; ties go to the earliest candidate
+            // in rotated round-robin order. Allocation-free equivalent
+            // of rotating a copy and stable-sorting by priority.
             let (winner, from_reserved) = winner.unwrap_or_else(|| {
                 let rot = octrl.rr_link % candidates.len();
-                let mut rotated = candidates.clone();
-                rotated.rotate_left(rot);
-                rotated.sort_by_key(|r| std::cmp::Reverse(r.0));
-                (rotated[0].1, rotated[0].2)
+                let mut best: Option<(u8, usize)> = None;
+                for j in 0..candidates.len() {
+                    let pri = candidates[(rot + j) % candidates.len()].0;
+                    if best.is_none_or(|(bp, _)| pri > bp) {
+                        best = Some((pri, j));
+                    }
+                }
+                // INVARIANT: the candidate set was checked non-empty
+                // above, so a best entry always exists.
+                let (_, j) = best.expect("non-empty candidate set");
+                let (_, i, reserved, _) = candidates[(rot + j) % candidates.len()];
+                (i, reserved)
             });
             let octrl = &mut self.outputs[o];
             let bank = if from_reserved {
@@ -516,7 +563,11 @@ impl VcRouter {
             octrl.busy_until = env.now + self.phits;
             octrl.rr_link = octrl.rr_link.wrapping_add(1);
             out.launches.push((port, flit));
+            // INVARIANT: `in_flight` counts exactly the flits held in
+            // buffers and staging; a launch removes one from staging.
+            self.in_flight -= 1;
         }
+        self.link_scratch = candidates;
     }
 }
 
@@ -545,21 +596,30 @@ mod tests {
         env_at(topo, 0)
     }
 
+    fn eval(r: &mut VcRouter, env: &EvalEnv<'_>) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        r.evaluate(env, &mut out, &mut NoProbe);
+        out
+    }
+
     #[test]
     fn single_flit_traverses_in_one_evaluation() {
         let topo = FoldedTorus2D::new(4);
         let mut r = router();
         let f = test_flit(FlitKind::HeadTail, &[Direction::East, Direction::East]);
         r.receive(Port::Tile, f);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        assert!(!r.is_quiescent());
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         let (port, f) = &out.launches[0];
         assert_eq!(*port, Port::Dir(Direction::East));
         // Credit returned for the tile input slot.
-        assert_eq!(out.credits, vec![(Port::Tile, VcId::new(0))]);
+        let credits: Vec<_> = out.credits.iter().copied().collect();
+        assert_eq!(credits, vec![(Port::Tile, VcId::new(0))]);
         // The launched flit holds a bulk class-0 VC (0 or 1).
         assert!(f.link_vc.index() < 2);
         assert_eq!(r.occupancy(), 0);
+        assert!(r.is_quiescent());
     }
 
     #[test]
@@ -571,7 +631,7 @@ mod tests {
         super::super::resolve_route(&mut f, Port::Tile);
         f.resolved_port = None;
         r.receive(Port::Dir(Direction::West), f);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         assert_eq!(out.launches[0].0, Port::Tile);
     }
@@ -587,13 +647,13 @@ mod tests {
         f2.link_vc = VcId::new(1);
         r.receive(Port::Tile, f1);
         r.receive(Port::Tile, f2);
-        let out = r.evaluate(&env_at(&topo, 0), &mut NoProbe);
+        let out = eval(&mut r, &env_at(&topo, 0));
         // Both may stage over two cycles, but only vc-credit-backed flits
         // launch. Baseline plan gives bulk class0 = {vc0, vc1}; depth 1
         // each, so two launches are possible across cycles but at most
         // one flit per cycle leaves the single East link.
         assert_eq!(out.launches.len(), 1);
-        let out2 = r.evaluate(&env_at(&topo, 1), &mut NoProbe);
+        let out2 = eval(&mut r, &env_at(&topo, 1));
         assert_eq!(out2.launches.len(), 1);
         // Now both downstream VCs are out of credits.
         let f3 = {
@@ -602,11 +662,13 @@ mod tests {
             f
         };
         r.receive(Port::Tile, f3);
-        let out3 = r.evaluate(&env_at(&topo, 2), &mut NoProbe);
+        let out3 = eval(&mut r, &env_at(&topo, 2));
         assert_eq!(out3.launches.len(), 0, "no credits, no launch");
+        // The flit is still in flight, so the router must stay awake.
+        assert!(!r.is_quiescent());
         // A credit arrives; the flit moves.
         r.credit_arrived(Port::Dir(Direction::East), VcId::new(0));
-        let out4 = r.evaluate(&env_at(&topo, 3), &mut NoProbe);
+        let out4 = eval(&mut r, &env_at(&topo, 3));
         assert_eq!(out4.launches.len(), 1);
     }
 
@@ -636,7 +698,7 @@ mod tests {
                 .1;
             f
         });
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         let north: Vec<_> = out
             .launches
             .iter()
@@ -666,8 +728,8 @@ mod tests {
             if let Some(f) = pending.pop_front() {
                 r.receive(Port::Tile, f);
             }
-            let out = r.evaluate(&env_at(&topo, now), &mut NoProbe);
-            launched.extend(out.launches);
+            let mut out = eval(&mut r, &env_at(&topo, now));
+            launched.extend(out.launches.drain());
         }
         assert_eq!(launched.len(), 3);
         let idxs: Vec<u16> = launched.iter().map(|(_, f)| f.meta.flit_index).collect();
@@ -686,7 +748,7 @@ mod tests {
         f.meta.dateline_class = 1; // has crossed a wrap link
         f.link_vc = VcId::new(2);
         r.receive(Port::Tile, f);
-        let out = r.evaluate(&env(&topo), &mut NoProbe);
+        let out = eval(&mut r, &env(&topo));
         assert_eq!(out.launches.len(), 1);
         // Bulk class-1 VCs are 2 and 3.
         let vc = out.launches[0].1.link_vc.index();

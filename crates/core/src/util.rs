@@ -1,5 +1,61 @@
 //! Internal utilities.
 
+/// A fixed-order bitset over entity indices (routers, channels, pipes)
+/// used by the activity-gated cycle engine.
+///
+/// Determinism contract: membership is idempotent and iteration always
+/// visits set bits in ascending index order, whatever order they were
+/// set in — so the order in which wake-up events fire during a cycle
+/// can never influence the order entities are evaluated in.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// An empty set over `len` indices.
+    pub(crate) fn new(len: usize) -> ActiveSet {
+        ActiveSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Marks index `i` active (idempotent).
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Marks index `i` inactive (idempotent).
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Appends the active indices, in ascending order, to `out`.
+    pub(crate) fn collect_into(&self, out: &mut Vec<usize>) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Appends the indices active in `self` or `other`, ascending.
+    pub(crate) fn collect_union_into(&self, other: &ActiveSet, out: &mut Vec<usize>) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (w, (&a, &b)) in self.words.iter().zip(other.words.iter()).enumerate() {
+            let mut bits = a | b;
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
 /// A tiny xorshift64* PRNG so the core crate stays dependency-free while
 /// still supporting randomized (Valiant) routing deterministically.
 #[derive(Debug, Clone)]
@@ -49,6 +105,36 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(13) < 13);
         }
+    }
+
+    #[test]
+    fn active_set_iterates_ascending_regardless_of_set_order() {
+        let mut s = ActiveSet::new(130);
+        for i in [129, 0, 64, 63, 65, 1] {
+            s.set(i);
+        }
+        s.set(64); // idempotent
+        let mut out = Vec::new();
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![0, 1, 63, 64, 65, 129]);
+        s.clear(64);
+        s.clear(64);
+        out.clear();
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![0, 1, 63, 65, 129]);
+    }
+
+    #[test]
+    fn active_set_union_is_sorted_and_deduplicated() {
+        let mut a = ActiveSet::new(70);
+        let mut b = ActiveSet::new(70);
+        a.set(3);
+        a.set(69);
+        b.set(3);
+        b.set(10);
+        let mut out = Vec::new();
+        a.collect_union_into(&b, &mut out);
+        assert_eq!(out, vec![3, 10, 69]);
     }
 
     #[test]

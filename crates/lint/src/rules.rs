@@ -129,6 +129,19 @@ pub fn all_rules() -> Vec<Rule> {
                      or handle the case",
         },
         Rule {
+            name: "unannotated-wake-site",
+            summary: "wake-up calls in the gated engine without an INVARIANT note",
+            patterns: &["wake_router", "wake_channel", "wake_pipe", "wake_injector"],
+            include: &["crates/core/src/network.rs"],
+            exclude: &[],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowOrInvariant,
+            advice: "every wake-up site is load-bearing for the activity-gated \
+                     engine's bit-identity with naive stepping (DESIGN.md \
+                     \u{a7}3.13); state the wake rule it implements in an \
+                     // INVARIANT: comment",
+        },
+        Rule {
             name: "println-in-core",
             summary: "println!/eprintln!/dbg! in library crates",
             patterns: &["println!", "eprintln!", "dbg!"],

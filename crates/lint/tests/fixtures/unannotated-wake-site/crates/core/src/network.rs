@@ -1,0 +1,50 @@
+//! Fixture: `unannotated-wake-site` — wake-up calls in the gated
+//! engine fire unless an `// INVARIANT:` comment states the wake rule.
+
+pub fn bare_wake(active: &mut [bool], node: usize) {
+    wake_router(active, node); // FINDING: line 5
+}
+
+pub fn bare_channel_wake(active: &mut [bool], ci: usize) {
+    if ci < active.len() {
+        wake_channel(active, ci); // FINDING: line 10
+    }
+}
+
+pub fn annotated_wake(active: &mut [bool], node: usize) {
+    // INVARIANT: wake — the receive above gave the router work.
+    wake_router(active, node);
+}
+
+pub fn annotated_pipe_wake(active: &mut [bool], node: usize) {
+    // INVARIANT: wake-rule (pipes) — the annotation reaches through a
+    // short statement run.
+    let due = node + 1;
+    wake_pipe(active, due);
+}
+
+// INVARIANT: wake-rule (routers) — definition site; the set bit is
+// cleared only at a proven-quiescent router.
+fn wake_router(active: &mut [bool], node: usize) {
+    active[node] = true;
+}
+
+// INVARIANT: wake-rule (channels) — definition site.
+fn wake_channel(active: &mut [bool], ci: usize) {
+    active[ci] = true;
+}
+
+// INVARIANT: wake-rule (pipes) — definition site.
+fn wake_pipe(active: &mut [bool], node: usize) {
+    active[node] = true;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_wake_bare() {
+        let mut active = [false; 4];
+        super::wake_router(&mut active, 1);
+        assert!(active[1]);
+    }
+}

@@ -122,6 +122,20 @@ fn fixture_todo_in_shipping_code() {
 }
 
 #[test]
+fn fixture_unannotated_wake_site() {
+    let a = analyze_fixture("unannotated-wake-site");
+    assert_eq!(
+        hits(&a),
+        vec![
+            ("unannotated-wake-site".to_string(), 5),
+            ("unannotated-wake-site".to_string(), 10),
+        ],
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
 fn fixture_malformed_suppression() {
     let a = analyze_fixture("malformed-suppression");
     assert_eq!(
@@ -195,6 +209,7 @@ fn cli_exit_codes() {
         "wall-clock-in-sim",
         "unseeded-rng",
         "panic-in-router-hot-path",
+        "unannotated-wake-site",
         "println-in-core",
         "todo-in-shipping-code",
         "malformed-suppression",

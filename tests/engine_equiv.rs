@@ -1,0 +1,129 @@
+//! Engine equivalence: the activity-gated scheduler vs naive stepping.
+//!
+//! The gated engine's contract (DESIGN.md §3.13) is that skipping
+//! quiescent routers, idle channels, and empty pipes is *invisible*:
+//! for any configuration, the gated and naive engines must produce
+//! bit-identical reports — same latency samples, same counters, same
+//! rendered metrics JSON, same probe-derived artifacts. The property
+//! test below samples across flow-control methods, offered loads,
+//! probing/journey collection, transient faults, and static-flow
+//! reservations; a directed test checks the engines even compose, i.e.
+//! a run that flips modes midway matches both pure runs.
+
+use ocin::core::probe::ProbeConfig;
+use ocin::core::{FlowControl, Network, NetworkConfig, PacketSpec, StaticFlowSpec, TopologySpec};
+use ocin::sim::{SimConfig, SimReport, Simulation};
+use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
+use proptest::prelude::*;
+
+fn quick_cfg(fc: FlowControl) -> NetworkConfig {
+    NetworkConfig::paper_baseline()
+        .with_topology(TopologySpec::FoldedTorus { k: 4 })
+        .with_flow_control(fc)
+}
+
+/// One quick simulation with every sampled knob applied.
+fn run(
+    fc: FlowControl,
+    load: f64,
+    probed: bool,
+    journeys: bool,
+    fault_rate: f64,
+    reserved: bool,
+    naive: bool,
+) -> SimReport {
+    let mut cfg = quick_cfg(fc);
+    if reserved {
+        cfg = cfg
+            .with_reservation_period(8)
+            .with_static_flow(StaticFlowSpec::new(0.into(), 5.into(), 1, 64));
+    }
+    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: load });
+    let mut sim = Simulation::new(cfg, SimConfig::quick())
+        .expect("valid config")
+        .with_workload(&wl);
+    if probed {
+        let pc = if journeys {
+            ProbeConfig::counters().with_journeys(512)
+        } else {
+            ProbeConfig::counters()
+        };
+        sim = sim.with_probe(pc);
+    }
+    sim.network_mut().set_transient_fault_rate(fault_rate);
+    sim.network_mut().set_naive_stepping(naive);
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For a random configuration, the gated engine's report — and its
+    /// rendered metrics JSON, when probed — is bit-identical to the
+    /// naive engine's.
+    #[test]
+    fn gated_engine_matches_naive_reference(
+        fc in prop_oneof![
+            Just(FlowControl::VirtualChannel),
+            Just(FlowControl::Dropping),
+            Just(FlowControl::Deflection),
+        ],
+        load in 0.02f64..0.6,
+        probed in any::<bool>(),
+        journeys in any::<bool>(),
+        faulty in any::<bool>(),
+        reserved in any::<bool>(),
+    ) {
+        // Reservations ride on VC lanes; faults use the fixed-seed
+        // transient-upset stream, exercising RNG-draw alignment.
+        let reserved = reserved && fc == FlowControl::VirtualChannel;
+        let fault_rate = if faulty { 0.02 } else { 0.0 };
+        let gated = run(fc, load, probed, journeys, fault_rate, reserved, false);
+        let naive = run(fc, load, probed, journeys, fault_rate, reserved, true);
+        prop_assert!(
+            gated == naive,
+            "gated and naive reports differ ({fc:?} @ {load:.3}, probed={probed}, \
+             journeys={journeys}, faults={faulty}, reserved={reserved})"
+        );
+        if probed {
+            let g = gated.metrics.as_ref().expect("probed run carries metrics");
+            let n = naive.metrics.as_ref().expect("probed run carries metrics");
+            prop_assert_eq!(g.to_json(), n.to_json(), "rendered metrics JSON differs");
+        }
+    }
+}
+
+/// Flipping the engine mode mid-run changes nothing: both modes keep
+/// the same wake bookkeeping, so a half-gated/half-naive run matches
+/// the pure runs counter for counter.
+#[test]
+fn engines_compose_mid_run() {
+    let drive = |flips: &[(u64, bool)]| {
+        let mut net = Network::new(quick_cfg(FlowControl::VirtualChannel)).expect("valid");
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: 0.2 });
+        let mut generation = wl.generator(7);
+        let mut delivered = 0u64;
+        for now in 0..600u64 {
+            if let Some(&(_, naive)) = flips.iter().rev().find(|&&(at, _)| now >= at) {
+                net.set_naive_stepping(naive);
+            }
+            for node in 0..16u16 {
+                if let Some(req) = generation.next_request(now, node.into()) {
+                    let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
+                }
+            }
+            net.step();
+            for node in 0..16u16 {
+                delivered += net.drain_delivered(node.into()).len() as u64;
+            }
+        }
+        (delivered, net.stats())
+    };
+    let pure_gated = drive(&[(0, false)]);
+    let pure_naive = drive(&[(0, true)]);
+    let mixed = drive(&[(0, false), (200, true), (400, false)]);
+    assert_eq!(pure_gated, pure_naive);
+    assert_eq!(pure_gated, mixed);
+}
