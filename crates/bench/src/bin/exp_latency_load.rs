@@ -9,22 +9,18 @@
 
 use std::sync::Arc;
 
-use ocin_bench::{banner, check, f1, f3, probe_enabled, quick_mode, sim_config, write_metrics};
+use ocin_bench::{
+    banner, check, f1, f3, probe_enabled, quick_mode, radix_arg, sim_config, write_metrics,
+};
 use ocin_core::{NetworkConfig, RoutingAlg, TopologySpec};
 use ocin_sim::{render_metrics_heatmap, LoadSweep, SimPool, Table};
 use ocin_traffic::{TrafficPattern, Workload};
 
-fn sweep(
-    pool: &Arc<SimPool>,
-    spec: TopologySpec,
-    nodes: usize,
-    k: usize,
-    pattern: TrafficPattern,
-) -> LoadSweep {
+fn sweep(pool: &Arc<SimPool>, spec: TopologySpec, pattern: TrafficPattern) -> LoadSweep {
     LoadSweep::new(
         NetworkConfig::paper_baseline().with_topology(spec),
         sim_config(),
-        Workload::new(nodes, k, pattern),
+        Workload::for_topology(&spec, pattern),
     )
     .with_pool(Arc::clone(pool))
 }
@@ -46,12 +42,17 @@ fn main() {
     // reused by the saturation searches below.
     let pool = Arc::new(SimPool::new());
 
-    for (title, k, pattern) in [
-        ("uniform, k = 4", 4usize, TrafficPattern::Uniform),
-        ("uniform, k = 8", 8, TrafficPattern::Uniform),
-    ] {
-        println!("\n--- {title} ---\n");
-        let n = k * k;
+    // The paper's k = 4 and the crossover point k = 8, plus any larger
+    // radix requested via --radix / OCIN_RADIX (e.g. 16 for the
+    // 256-tile network).
+    let mut radices = vec![4usize, 8];
+    let extra = radix_arg(4);
+    if !radices.contains(&extra) {
+        radices.push(extra);
+    }
+    for k in radices {
+        let pattern = TrafficPattern::Uniform;
+        println!("\n--- uniform, k = {k} ---\n");
         let mut t = Table::new(&[
             "offered",
             "mesh accepted",
@@ -61,14 +62,8 @@ fn main() {
             "torus mean lat",
             "torus p99",
         ]);
-        let mesh = sweep(&pool, TopologySpec::Mesh { k }, n, k, pattern.clone());
-        let torus = sweep(
-            &pool,
-            TopologySpec::FoldedTorus { k },
-            n,
-            k,
-            pattern.clone(),
-        );
+        let mesh = sweep(&pool, TopologySpec::Mesh { k }, pattern.clone());
+        let torus = sweep(&pool, TopologySpec::FoldedTorus { k }, pattern);
         let mut last: Option<(f64, f64)> = None;
         for (pm, pt) in mesh.run(loads).iter().zip(torus.run(loads).iter()) {
             t.row(&[
@@ -100,25 +95,16 @@ fn main() {
     println!("\n--- tornado, k = 8 (minimal vs Valiant on the torus) ---\n");
     {
         let k = 8usize;
-        let n = k * k;
         let mut t = Table::new(&[
             "offered",
             "mesh accepted",
             "torus minimal accepted",
             "torus valiant accepted",
         ]);
-        let mesh = sweep(
-            &pool,
-            TopologySpec::Mesh { k },
-            n,
-            k,
-            TrafficPattern::Tornado,
-        );
+        let mesh = sweep(&pool, TopologySpec::Mesh { k }, TrafficPattern::Tornado);
         let tmin = sweep(
             &pool,
             TopologySpec::FoldedTorus { k },
-            n,
-            k,
             TrafficPattern::Tornado,
         );
         let tval = LoadSweep::new(
@@ -126,7 +112,7 @@ fn main() {
                 .with_topology(TopologySpec::FoldedTorus { k })
                 .with_routing(RoutingAlg::Valiant),
             sim_config(),
-            Workload::new(n, k, TrafficPattern::Tornado),
+            Workload::for_topology(&TopologySpec::FoldedTorus { k }, TrafficPattern::Tornado),
         )
         .with_pool(Arc::clone(&pool));
         let mut last = (0.0, 0.0, 0.0);
@@ -155,8 +141,6 @@ fn main() {
         let point = sweep(
             &pool,
             TopologySpec::FoldedTorus { k: 4 },
-            16,
-            4,
             TrafficPattern::Uniform,
         )
         .with_probe(true)
@@ -184,12 +168,11 @@ fn main() {
         let mut sat = Table::new(&["topology", "k", "saturation (flits/node/cycle)"]);
         let mut results = Vec::new();
         for k in [4usize, 8] {
-            let n = k * k;
             for (name, spec) in [
                 ("mesh", TopologySpec::Mesh { k }),
                 ("ftorus", TopologySpec::FoldedTorus { k }),
             ] {
-                let s = sweep(&pool, spec, n, k, TrafficPattern::Uniform).saturation_load(0.05);
+                let s = sweep(&pool, spec, TrafficPattern::Uniform).saturation_load(0.05);
                 sat.row(&[name.into(), k.to_string(), f3(s)]);
                 results.push((name, k, s));
             }

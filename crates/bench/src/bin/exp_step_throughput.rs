@@ -2,22 +2,27 @@
 //!
 //! Measures the cycle engine's stepping rate (cycles/sec and
 //! flit-hops/sec) at 0.1×, 0.5×, and 0.9× of each flow-control method's
-//! saturation load on the k = 4 folded torus, with the activity-gated
+//! saturation load on the folded torus, with the activity-gated
 //! scheduler on (the default) and off (`set_naive_stepping`). The two
 //! engines must agree on every counter — wall clock is the only thing
 //! allowed to differ — so each pair of runs doubles as an equivalence
-//! check. Set `OCIN_STEP_OUT` to also write the numbers as JSON (the
-//! perf-snapshot CI job folds that file into `BENCH_<sha>.json`).
+//! check. The flow-control table runs at the paper's k = 4 by default;
+//! pass `--radix <k>` (or set `OCIN_RADIX`) to run it at another radix.
+//! A radix-scaling sweep over k ∈ {4, 16, 32} always runs afterwards,
+//! reporting the headline flit-hops/sec at 1024 tiles. Set
+//! `OCIN_STEP_OUT` to also write the numbers as JSON (the perf-snapshot
+//! CI job folds that file into `BENCH_<sha>.json`).
 
 use std::time::Instant;
 
-use ocin_bench::{banner, check, f1, probe_enabled, quick_mode, write_metrics};
-use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec, ProbeConfig};
+use ocin_bench::{banner, check, f1, probe_enabled, quick_mode, radix_arg, write_metrics};
+use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec, ProbeConfig, TopologySpec};
 use ocin_sim::{SimConfig, Simulation, Table};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
 
-const K: usize = 4;
-const NODES: usize = K * K;
+/// Radii of the always-run scaling sweep: the paper's 16-tile chip and
+/// the 256- and 1024-tile networks the engine must stay fast at.
+const SCALING_RADICES: [usize; 3] = [4, 16, 32];
 
 /// Nominal saturation loads (flits/node/cycle) on the k = 4 folded
 /// torus under uniform traffic, per flow-control method. The VC figure
@@ -32,6 +37,13 @@ fn saturation(fc: FlowControl) -> f64 {
     }
 }
 
+/// A comfortably sub-saturation uniform load for radix `k`: bisection
+/// bandwidth caps uniform throughput at ~8/k flits/node/cycle on the
+/// folded torus, so a fixed per-node rate would jam larger networks.
+fn scaling_load(k: usize) -> f64 {
+    (4.0 / k as f64).min(0.9)
+}
+
 struct RunResult {
     wall_seconds: f64,
     flit_hops: u64,
@@ -39,23 +51,27 @@ struct RunResult {
 }
 
 /// Drives `cycles` network cycles of uniform Bernoulli traffic at
-/// `flit_rate`, timing only the stepping loop.
-fn run(fc: FlowControl, flit_rate: f64, cycles: u64, naive: bool) -> RunResult {
-    let cfg = NetworkConfig::paper_baseline().with_flow_control(fc);
-    let mut net = Network::new(cfg).expect("valid baseline config");
+/// `flit_rate` on a radix-`k` folded torus, timing only the stepping
+/// loop.
+fn run(fc: FlowControl, k: usize, flit_rate: f64, cycles: u64, naive: bool) -> RunResult {
+    let nodes = k * k;
+    let cfg = NetworkConfig::paper_baseline()
+        .with_topology(TopologySpec::FoldedTorus { k })
+        .with_flow_control(fc);
+    let mut net = Network::new(cfg).expect("valid config");
     net.set_naive_stepping(naive);
-    let wl = Workload::new(NODES, K, TrafficPattern::Uniform)
+    let wl = Workload::new(nodes, k, TrafficPattern::Uniform)
         .injection(InjectionProcess::Bernoulli { flit_rate });
     let mut generation = wl.generator(0xB19_B19);
     let start = Instant::now();
     for now in 0..cycles {
-        for node in 0..NODES as u16 {
+        for node in 0..nodes as u16 {
             if let Some(req) = generation.next_request(now, node.into()) {
                 let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
             }
         }
         net.step();
-        for node in 0..NODES as u16 {
+        for node in 0..nodes as u16 {
             net.drain_delivered(node.into());
         }
     }
@@ -82,6 +98,8 @@ fn main() {
         "activity-gated stepping matches naive sweeps bit-for-bit and wins wall clock at low load",
     );
 
+    let k = radix_arg(4);
+    let nodes = k * k;
     let cycles: u64 = if quick_mode() { 2_000 } else { 20_000 };
     let fractions = [0.1, 0.5, 0.9];
     let methods = [
@@ -90,7 +108,7 @@ fn main() {
         FlowControl::Deflection,
     ];
 
-    println!("\n{cycles} cycles per run, uniform Bernoulli traffic, k = {K} folded torus\n");
+    println!("\n{cycles} cycles per run, uniform Bernoulli traffic, k = {k} folded torus\n");
     let mut t = Table::new(&[
         "flow control",
         "load (xsat)",
@@ -102,11 +120,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut all_equal = true;
     let mut low_load_speedup = f64::MAX;
+    // Saturation scales with the bisection cap at larger radices.
+    let sat_scale = if k == 4 { 1.0 } else { scaling_load(k) };
     for fc in methods {
         for frac in fractions {
-            let rate = frac * saturation(fc);
-            let gated = run(fc, rate, cycles, false);
-            let naive = run(fc, rate, cycles, true);
+            let rate = frac * saturation(fc) * sat_scale;
+            let gated = run(fc, k, rate, cycles, false);
+            let naive = run(fc, k, rate, cycles, true);
             all_equal &= gated.flit_hops == naive.flit_hops && gated.delivered == naive.delivered;
             let speedup = naive.wall_seconds / gated.wall_seconds;
             if (frac - 0.1).abs() < 1e-9 {
@@ -122,7 +142,7 @@ fn main() {
                 format!("{speedup:.2}x"),
             ]);
             rows.push(format!(
-                "    {{\"flow_control\": \"{}\", \"load_fraction\": {frac}, \
+                "    {{\"flow_control\": \"{}\", \"radix\": {k}, \"load_fraction\": {frac}, \
                  \"cycles\": {cycles}, \"flit_hops\": {}, \
                  \"gated_wall_seconds\": {:.6}, \"naive_wall_seconds\": {:.6}}}",
                 fc_name(fc),
@@ -143,10 +163,72 @@ fn main() {
         &format!("gated engine faster at 0.1x saturation (worst speedup {low_load_speedup:.2}x)"),
     );
 
+    // Radix scaling: the same engine from 16 to 1024 tiles. The k = 32
+    // flit-hops/sec figure is the headline scaling metric tracked in
+    // BENCH_<sha>.json.
+    println!("\nradix scaling, virtual-channel flow control, uniform Bernoulli\n");
+    let mut st = Table::new(&[
+        "radix",
+        "tiles",
+        "load",
+        "gated Mhop/s",
+        "gated wall s",
+        "naive wall s",
+        "speedup",
+    ]);
+    let mut scaling_rows = Vec::new();
+    let mut scaling_equal = true;
+    let mut hops_per_sec_k32 = 0.0;
+    for sk in SCALING_RADICES {
+        let rate = scaling_load(sk);
+        let gated = run(FlowControl::VirtualChannel, sk, rate, cycles, false);
+        let naive = run(FlowControl::VirtualChannel, sk, rate, cycles, true);
+        scaling_equal &= gated.flit_hops == naive.flit_hops && gated.delivered == naive.delivered;
+        let hops_per_sec = gated.flit_hops as f64 / gated.wall_seconds;
+        if sk == 32 {
+            hops_per_sec_k32 = hops_per_sec;
+        }
+        st.row(&[
+            sk.to_string(),
+            (sk * sk).to_string(),
+            format!("{rate:.3}"),
+            format!("{:.2}", hops_per_sec / 1e6),
+            format!("{:.3}", gated.wall_seconds),
+            format!("{:.3}", naive.wall_seconds),
+            format!("{:.2}x", naive.wall_seconds / gated.wall_seconds),
+        ]);
+        scaling_rows.push(format!(
+            "    {{\"radix\": {sk}, \"nodes\": {}, \"load\": {rate:.6}, \
+             \"cycles\": {cycles}, \"flit_hops\": {}, \
+             \"gated_flit_hops_per_sec\": {:.1}, \
+             \"gated_wall_seconds\": {:.6}, \"naive_wall_seconds\": {:.6}}}",
+            sk * sk,
+            gated.flit_hops,
+            hops_per_sec,
+            gated.wall_seconds,
+            naive.wall_seconds,
+        ));
+    }
+    println!("{}", st.render());
+
+    check(
+        scaling_equal,
+        "gated and naive engines agree at every radix",
+    );
+    check(
+        hops_per_sec_k32 > 0.0,
+        &format!(
+            "k = 32 (1024 tiles) sustains {:.2} Mflit-hops/sec",
+            hops_per_sec_k32 / 1e6
+        ),
+    );
+
     if let Some(path) = std::env::var_os("OCIN_STEP_OUT") {
         let json = format!(
-            "{{\n  \"cycles\": {cycles},\n  \"points\": [\n{}\n  ]\n}}\n",
-            rows.join(",\n")
+            "{{\n  \"cycles\": {cycles},\n  \"radix\": {k},\n  \"points\": [\n{}\n  ],\n  \
+             \"radix_scaling\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+            scaling_rows.join(",\n")
         );
         let path = std::path::PathBuf::from(path);
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -160,14 +242,15 @@ fn main() {
         // One probed point so the smoke job's metrics convention holds;
         // probes are observational, so counters match the runs above.
         let mut sim = Simulation::new(
-            NetworkConfig::paper_baseline(),
+            NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k }),
             SimConfig::quick().with_seed(0xB19_B19),
         )
-        .expect("valid baseline config")
-        .with_workload(
-            &Workload::new(NODES, K, TrafficPattern::Uniform)
-                .injection(InjectionProcess::Bernoulli { flit_rate: 0.25 }),
-        )
+        .expect("valid config")
+        .with_workload(&Workload::new(nodes, k, TrafficPattern::Uniform).injection(
+            InjectionProcess::Bernoulli {
+                flit_rate: 0.25 * sat_scale,
+            },
+        ))
         .with_probe(ProbeConfig::default());
         let report = sim.run();
         if let Some(metrics) = report.metrics.as_ref() {

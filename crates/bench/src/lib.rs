@@ -43,6 +43,32 @@ pub fn probe_enabled() -> bool {
     std::env::args().any(|a| a == "--probe") || std::env::var("OCIN_PROBE").is_ok_and(|v| v == "1")
 }
 
+/// The torus radix an experiment should run at: `--radix <k>` on the
+/// command line, else `OCIN_RADIX`, else `default` (the paper's k = 4).
+/// Experiments use this to scale from the paper's 16-tile chip to the
+/// k = 16 (256-tile) and k = 32 (1024-tile) networks.
+///
+/// # Panics
+///
+/// Panics if the flag or variable is present but not a positive integer
+/// — a misconfigured sweep should fail loudly, not fall back silently.
+pub fn radix_arg(default: usize) -> usize {
+    let mut args = std::env::args();
+    let from_cli = args
+        .by_ref()
+        .find(|a| a == "--radix")
+        .and_then(|_| args.next());
+    let raw = from_cli.or_else(|| std::env::var("OCIN_RADIX").ok());
+    match raw {
+        None => default,
+        Some(s) => {
+            let k: usize = s.parse().expect("radix must be a positive integer");
+            assert!(k >= 2, "radix must be at least 2");
+            k
+        }
+    }
+}
+
 /// Where probed experiments write their metrics snapshot:
 /// `OCIN_METRICS_OUT` if set, else `metrics.json` in the working
 /// directory.

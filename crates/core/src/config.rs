@@ -42,6 +42,21 @@ impl TopologySpec {
     pub fn has_wraparound(&self) -> bool {
         !matches!(self, TopologySpec::Mesh { .. })
     }
+
+    /// The radix `k`: nodes per dimension (total nodes, for a ring).
+    pub fn radix(&self) -> usize {
+        let (TopologySpec::Mesh { k } | TopologySpec::FoldedTorus { k } | TopologySpec::Ring { k }) =
+            *self;
+        k
+    }
+
+    /// Total node count: `k²` for the 2-D topologies, `k` for a ring.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            TopologySpec::FoldedTorus { k } | TopologySpec::Mesh { k } => k * k,
+            TopologySpec::Ring { k } => k,
+        }
+    }
 }
 
 /// The flow-control method (paper §2.3 baseline and §3.2 alternatives).

@@ -24,7 +24,7 @@ use crate::router::{
     DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, RouterOutput, VcRouter,
 };
 use crate::topology::Topology;
-use crate::util::{ActiveSet, XorShift64};
+use crate::util::{ActiveSet, TimingWheel, XorShift64};
 
 /// Description of a packet to inject.
 ///
@@ -197,18 +197,16 @@ pub struct Network {
     active_routers: ActiveSet,
     /// Tiles with flits waiting in their injection queues.
     inject_pending: ActiveSet,
-    /// Channels with queued flits or credits.
-    chan_active: ActiveSet,
-    /// Earliest due cycle per channel (`Cycle::MAX` when idle).
+    /// Earliest due cycle per channel (`Cycle::MAX` when idle). The
+    /// authoritative record; wheel entries are hints filtered against it.
     chan_next_due: Vec<Cycle>,
-    /// Earliest due cycle over all active channels.
-    next_chan_event: Cycle,
-    /// Nodes with queued inject- or eject-pipe entries.
-    pipe_active: ActiveSet,
+    /// Calendar queue of channel due cycles: phase 1 drains exactly the
+    /// slot for `now` instead of rescanning every awake channel.
+    chan_wheel: TimingWheel,
     /// Earliest due cycle per node's pipes (`Cycle::MAX` when idle).
     pipe_next_due: Vec<Cycle>,
-    /// Earliest due cycle over all active pipes.
-    next_pipe_event: Cycle,
+    /// Calendar queue of tile-pipe due cycles, as `chan_wheel`.
+    pipe_wheel: TimingWheel,
     /// Scratch for collecting active indices (capacity persists).
     idx_scratch: Vec<usize>,
     /// Reusable router-output scratch: cleared before every evaluation,
@@ -306,6 +304,14 @@ impl Network {
         };
 
         let num_channels = channels.len();
+        // The farthest ahead any event is ever scheduled: a serialized,
+        // SEC-DED-protected flit traversal or a credit return. Sizes the
+        // timing wheels so a slot can never hold a future wrap.
+        let horizon = (cfg.channel_latency
+            + cfg.router_delay
+            + u64::from(cfg.link_protection == crate::config::LinkProtection::Secded)
+            + (cfg.channel_phits - 1))
+            .max(cfg.credit_latency);
         Ok(Network {
             dateline_aware,
             routers,
@@ -324,12 +330,10 @@ impl Network {
             naive_stepping: false,
             active_routers: ActiveSet::new(n),
             inject_pending: ActiveSet::new(n),
-            chan_active: ActiveSet::new(num_channels),
             chan_next_due: vec![Cycle::MAX; num_channels],
-            next_chan_event: Cycle::MAX,
-            pipe_active: ActiveSet::new(n),
+            chan_wheel: TimingWheel::new(horizon, num_channels),
             pipe_next_due: vec![Cycle::MAX; n],
-            next_pipe_event: Cycle::MAX,
+            pipe_wheel: TimingWheel::new(horizon, n),
             idx_scratch: Vec::with_capacity(num_channels.max(n)),
             out_scratch: RouterOutput::default(),
             topo,
@@ -686,36 +690,42 @@ impl Network {
 
     /// Marks a channel as holding an entry due at `due`.
     // INVARIANT: wake-rule (channels) — called on every push into a
-    // channel's flit or credit pipe; `next_due`/`next_event` only ever
-    // decrease here, so the phase-1 earliest-deadline gate can never
-    // overshoot a queued delivery.
+    // channel's flit or credit pipe; `next_due` only ever decreases
+    // here, and every decrease files a wheel entry in the new due
+    // cycle's slot, so the phase-1 slot drain can never miss a queued
+    // delivery. A non-decreasing `due` needs no entry: one already
+    // exists for the earlier due cycle, and delivery drains everything
+    // due, not just the waking entry.
     #[inline]
     fn wake_channel(
-        active: &mut ActiveSet,
+        wheel: &mut TimingWheel,
         next_due: &mut [Cycle],
-        next_event: &mut Cycle,
         ci: usize,
         due: Cycle,
+        now: Cycle,
     ) {
-        active.set(ci);
-        next_due[ci] = next_due[ci].min(due);
-        *next_event = (*next_event).min(due);
+        if due < next_due[ci] {
+            next_due[ci] = due;
+            wheel.schedule(ci, due, now);
+        }
     }
 
     /// Marks a node's tile pipes as holding an entry due at `due`.
     // INVARIANT: wake-rule (pipes) — called on every push into an inject
-    // or eject pipe; same monotonicity argument as `wake_channel`.
+    // or eject pipe; same schedule-on-decrease argument as
+    // `wake_channel`.
     #[inline]
     fn wake_pipe(
-        active: &mut ActiveSet,
+        wheel: &mut TimingWheel,
         next_due: &mut [Cycle],
-        next_event: &mut Cycle,
         node: usize,
         due: Cycle,
+        now: Cycle,
     ) {
-        active.set(node);
-        next_due[node] = next_due[node].min(due);
-        *next_event = (*next_event).min(due);
+        if due < next_due[node] {
+            next_due[node] = due;
+            wheel.schedule(node, due, now);
+        }
     }
 
     /// Delivers every due flit, then every due credit, on channel `ci`.
@@ -786,8 +796,10 @@ impl Network {
 
     /// Refreshes channel `ci`'s due-cycle bookkeeping from its deque
     /// fronts (each deque is due-sorted: push times increase and the
-    /// per-entry latency is a per-run constant). Returns the new due.
-    fn settle_channel(&mut self, ci: usize) -> Cycle {
+    /// per-entry latency is a per-run constant). When the due cycle
+    /// moved, files a wheel entry for the new one — an unchanged due
+    /// already has its entry, and an idle channel needs none.
+    fn settle_channel(&mut self, ci: usize, now: Cycle) {
         let c = &self.channels[ci];
         let due = match (c.flits.front(), c.credits.front()) {
             (Some(&(a, _)), Some(&(b, _))) => a.min(b),
@@ -795,11 +807,12 @@ impl Network {
             (None, Some(&(b, _))) => b,
             (None, None) => Cycle::MAX,
         };
-        self.chan_next_due[ci] = due;
-        if due == Cycle::MAX {
-            self.chan_active.clear(ci);
+        if due != self.chan_next_due[ci] {
+            self.chan_next_due[ci] = due;
+            if due != Cycle::MAX {
+                self.chan_wheel.schedule(ci, due, now);
+            }
         }
-        due
     }
 
     /// Delivers every due inject-pipe flit, then every due eject-pipe
@@ -838,8 +851,9 @@ impl Network {
     }
 
     /// Refreshes `node`'s pipe due-cycle bookkeeping (both pipes are
-    /// due-sorted for the same reason as channels). Returns the new due.
-    fn settle_pipe(&mut self, node: usize) -> Cycle {
+    /// due-sorted for the same reason as channels), filing a wheel
+    /// entry when the due cycle moved.
+    fn settle_pipe(&mut self, node: usize, now: Cycle) {
         let due = match (
             self.inject_pipes[node].front(),
             self.eject_pipes[node].front(),
@@ -849,11 +863,12 @@ impl Network {
             (None, Some(&(b, _))) => b,
             (None, None) => Cycle::MAX,
         };
-        self.pipe_next_due[node] = due;
-        if due == Cycle::MAX {
-            self.pipe_active.clear(node);
+        if due != self.pipe_next_due[node] {
+            self.pipe_next_due[node] = due;
+            if due != Cycle::MAX {
+                self.pipe_wheel.schedule(node, due, now);
+            }
         }
-        due
     }
 
     /// Offers `node`'s tile port one push-mode injection slot.
@@ -881,11 +896,11 @@ impl Network {
             // INVARIANT: wake — the flit just queued must be delivered to
             // the router when its pipe latency elapses.
             Self::wake_pipe(
-                &mut self.pipe_active,
+                &mut self.pipe_wheel,
                 &mut self.pipe_next_due,
-                &mut self.next_pipe_event,
                 node,
                 now + inject_latency,
+                now,
             );
             if !self.interfaces[node].injection_pending() {
                 // INVARIANT: the injection bit is cleared only when the
@@ -966,54 +981,54 @@ impl Network {
             None => &mut noop,
         };
 
-        // 1. Channel deliveries: flits reach downstream routers. Skipped
-        // wholesale when no queued entry anywhere is due yet.
+        // 1. Channel deliveries: flits reach downstream routers. The
+        // wheel's slot for `now` holds exactly the channels whose due
+        // cycle arrived (plus filterable stale hints) — a cycle with an
+        // empty slot touches no channel at all. Naive stepping visits
+        // every channel instead; its slot entries are spent by the full
+        // scan and discarded, keeping the wheel state identical for a
+        // later flip back to the gated engine.
         if self.naive_stepping {
-            let mut next = Cycle::MAX;
+            self.chan_wheel.clear_slot(now);
             for ci in 0..self.channels.len() {
                 self.deliver_channel(ci, now, probe);
-                next = next.min(self.settle_channel(ci));
+                self.settle_channel(ci, now);
             }
-            self.next_chan_event = next;
-        } else if now >= self.next_chan_event {
+        } else if self.chan_wheel.has_due(now) {
             let mut idx = std::mem::take(&mut self.idx_scratch);
             idx.clear();
-            self.chan_active.collect_into(&mut idx);
-            let mut next = Cycle::MAX;
+            self.chan_wheel.drain_into(now, &mut idx);
             for &ci in &idx {
                 if self.chan_next_due[ci] > now {
-                    next = next.min(self.chan_next_due[ci]);
+                    // Stale hint (the channel was re-settled to a later
+                    // cycle, which filed its own entry) or a duplicate
+                    // already delivered this cycle.
                     continue;
                 }
                 self.deliver_channel(ci, now, probe);
-                next = next.min(self.settle_channel(ci));
+                self.settle_channel(ci, now);
             }
-            self.next_chan_event = next;
             self.idx_scratch = idx;
         }
 
         // 2. Tile-port deliveries, gated the same way.
         if self.naive_stepping {
-            let mut next = Cycle::MAX;
+            self.pipe_wheel.clear_slot(now);
             for node in 0..self.routers.len() {
                 self.deliver_pipes(node, now, probe);
-                next = next.min(self.settle_pipe(node));
+                self.settle_pipe(node, now);
             }
-            self.next_pipe_event = next;
-        } else if now >= self.next_pipe_event {
+        } else if self.pipe_wheel.has_due(now) {
             let mut idx = std::mem::take(&mut self.idx_scratch);
             idx.clear();
-            self.pipe_active.collect_into(&mut idx);
-            let mut next = Cycle::MAX;
+            self.pipe_wheel.drain_into(now, &mut idx);
             for &node in &idx {
                 if self.pipe_next_due[node] > now {
-                    next = next.min(self.pipe_next_due[node]);
                     continue;
                 }
                 self.deliver_pipes(node, now, probe);
-                next = next.min(self.settle_pipe(node));
+                self.settle_pipe(node, now);
             }
-            self.next_pipe_event = next;
             self.idx_scratch = idx;
         }
 
@@ -1106,11 +1121,11 @@ impl Network {
                     // INVARIANT: wake — the flit just queued must be
                     // delivered downstream when its latency elapses.
                     Self::wake_channel(
-                        &mut self.chan_active,
+                        &mut self.chan_wheel,
                         &mut self.chan_next_due,
-                        &mut self.next_chan_event,
                         ci,
                         now + flit_latency,
+                        now,
                     );
                 }
                 Port::Tile => {
@@ -1118,11 +1133,11 @@ impl Network {
                     // INVARIANT: wake — the ejected flit must reach the
                     // tile interface when the eject pipe drains.
                     Self::wake_pipe(
-                        &mut self.pipe_active,
+                        &mut self.pipe_wheel,
                         &mut self.pipe_next_due,
-                        &mut self.next_pipe_event,
                         node,
                         now + self.cfg.channel_latency,
+                        now,
                     );
                 }
             }
@@ -1143,11 +1158,11 @@ impl Network {
                     // INVARIANT: wake — the credit just queued must reach
                     // the upstream router when its latency elapses.
                     Self::wake_channel(
-                        &mut self.chan_active,
+                        &mut self.chan_wheel,
                         &mut self.chan_next_due,
-                        &mut self.next_chan_event,
                         ci,
                         now + self.cfg.credit_latency,
+                        now,
                     );
                 }
                 Port::Tile => self.interfaces[node].credit_return(vc),

@@ -16,10 +16,11 @@
 //!   heading**: [`Turn::Straight`], [`Turn::Left`], [`Turn::Right`], or
 //!   [`Turn::Extract`] (deliver to the local tile).
 //!
-//! [`SourceRoute`] stores up to 32 two-bit entries in a `u64` so that large
-//! networks can be simulated; [`SourceRoute::fits_paper_field`] reports
-//! whether a route fits the paper's 16-bit field (8 entries — enough for
-//! any minimal route on the paper's 4×4 torus).
+//! [`SourceRoute`] stores up to 64 two-bit entries in a `u128` so that large
+//! networks can be simulated — a k=32 folded torus needs up to 32 hops plus
+//! the extract entry for a minimal route; [`SourceRoute::fits_paper_field`]
+//! reports whether a route fits the paper's 16-bit field (8 entries — enough
+//! for any minimal route on the paper's 4×4 torus).
 
 use std::fmt;
 
@@ -152,13 +153,14 @@ impl std::error::Error for RouteError {}
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SourceRoute {
-    bits: u64,
+    bits: u128,
     entries: u8,
 }
 
 impl SourceRoute {
-    /// Maximum number of two-bit entries a route can hold.
-    pub const MAX_ENTRIES: usize = 32;
+    /// Maximum number of two-bit entries a route can hold. Sized so the
+    /// diameter route of a k=32 folded torus (32 hops + extract) fits.
+    pub const MAX_ENTRIES: usize = 64;
 
     /// Entries that fit the paper's 16-bit route field.
     pub const PAPER_FIELD_ENTRIES: usize = 8;
@@ -185,19 +187,19 @@ impl SourceRoute {
         if entries > Self::MAX_ENTRIES {
             return Err(RouteError::TooLong { entries });
         }
-        let mut bits: u64 = 0;
+        let mut bits: u128 = 0;
         let mut shift = 0;
         // First entry: absolute direction.
-        bits |= (hops[0].index() as u64) << shift;
+        bits |= (hops[0].index() as u128) << shift;
         shift += 2;
         let mut heading = hops[0];
         for (i, &d) in hops.iter().enumerate().skip(1) {
             let turn = Turn::between(heading, d).ok_or(RouteError::Reversal { hop: i })?;
-            bits |= (turn.encode() as u64) << shift;
+            bits |= (turn.encode() as u128) << shift;
             shift += 2;
             heading = d;
         }
-        bits |= (Turn::Extract.encode() as u64) << shift;
+        bits |= (Turn::Extract.encode() as u128) << shift;
         Ok(SourceRoute {
             bits,
             entries: entries as u8,
@@ -216,7 +218,7 @@ impl SourceRoute {
     }
 
     /// The raw packed bits (LSB = next entry), as carried on the head flit.
-    pub fn raw_bits(&self) -> u64 {
+    pub fn raw_bits(&self) -> u128 {
         self.bits
     }
 
@@ -346,6 +348,18 @@ mod tests {
                 entries: SourceRoute::MAX_ENTRIES + 1
             }
         );
+    }
+
+    /// The widened field covers a k=32 folded-torus diameter route:
+    /// 16 hops per dimension, 32 hops + extract = 33 entries.
+    #[test]
+    fn k32_diameter_route_fits() {
+        let mut hops = vec![East; 16];
+        hops.extend([North; 16]);
+        let r = SourceRoute::compile(&hops).unwrap();
+        assert_eq!(r.num_entries(), 33);
+        assert_eq!(r.walk(), hops);
+        assert!(!r.fits_paper_field());
     }
 
     #[test]

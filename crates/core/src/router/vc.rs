@@ -10,6 +10,15 @@
 //! connection; staged flits arbitrate for the outgoing link, gated by
 //! credits for downstream buffer space. Credits travel back on the
 //! reverse-direction channel.
+//!
+//! The per-(port, VC) hot state is laid out struct-of-arrays: the
+//! allocation and switch-traversal sweeps walk every input VC and every
+//! output VC each evaluation, and at 1024 routers those sweeps dominate
+//! the cycle engine — flat `Vec`s indexed `port * num_vcs + vc` keep
+//! them on a handful of cache lines instead of chasing one
+//! struct-per-VC. Full flits (input buffers, staging banks) stay in
+//! their own arrays so scans of the small metadata never page the
+//! payloads through the cache.
 
 use std::collections::VecDeque;
 
@@ -28,42 +37,13 @@ type AllocReq = (u8, usize, usize, VcMask, PacketId);
 /// reserved staging bank, staged packet).
 type LinkCand = (u8, usize, bool, PacketId);
 
-#[derive(Debug)]
-struct InVc {
-    buf: VecDeque<Flit>,
-    /// Output port of the packet currently at the head of this VC.
-    out_port: Option<Port>,
-    /// Output VC allocated to that packet.
-    out_vc: Option<VcId>,
-}
-
-#[derive(Debug)]
-struct InputCtrl {
-    vcs: Vec<InVc>,
-    rr: usize,
-}
-
-#[derive(Debug)]
-struct OutputCtrl {
-    /// One staging flit per input-port connection.
-    staging: [Option<Flit>; Port::COUNT],
-    /// Dedicated staging for pre-scheduled (reserved-class) flits, so a
-    /// credit-stalled dynamic flit can never head-of-line block them —
-    /// §2.6's "moves from one link to another without arbitration or
-    /// delay".
-    reserved_staging: [Option<Flit>; Port::COUNT],
-    /// Which (input port, input VC) owns each output VC.
-    owner: Vec<Option<(usize, usize)>>,
-    /// Credits: free downstream buffer slots per output VC.
-    credits: Vec<u64>,
-    max_credits: u64,
-    /// First cycle the link is free again (phit serialization).
-    busy_until: u64,
-    rr_alloc: usize,
-    rr_link: usize,
-}
-
 /// The paper's virtual-channel router for one tile.
+///
+/// Per-entity state is stored struct-of-arrays. Input VCs are indexed
+/// `input_port * num_vcs + vc` (`in_bufs`, `in_out_port`, `in_out_vc`);
+/// output VCs `output_port * num_vcs + vc` (`out_owner`, `out_credits`);
+/// staging slots `output_port * Port::COUNT + input_port` (`staging`,
+/// `reserved_staging`).
 #[derive(Debug)]
 pub struct VcRouter {
     node: NodeId,
@@ -73,8 +53,33 @@ pub struct VcRouter {
     dateline_aware: bool,
     /// Cycles a flit occupies each output link (1 = full-width channel).
     phits: u64,
-    inputs: Vec<InputCtrl>,
-    outputs: Vec<OutputCtrl>,
+    /// Input buffer per (input port, VC).
+    in_bufs: Vec<VecDeque<Flit>>,
+    /// Output port of the packet at the head of each input VC.
+    in_out_port: Vec<Option<Port>>,
+    /// Output VC allocated to that packet.
+    in_out_vc: Vec<Option<VcId>>,
+    /// Per-input-port switch round-robin pointer.
+    in_rr: [usize; Port::COUNT],
+    /// One staging flit per (output port, input port) connection.
+    staging: Vec<Option<Flit>>,
+    /// Dedicated staging for pre-scheduled (reserved-class) flits, so a
+    /// credit-stalled dynamic flit can never head-of-line block them —
+    /// §2.6's "moves from one link to another without arbitration or
+    /// delay".
+    reserved_staging: Vec<Option<Flit>>,
+    /// Which (input port, input VC) owns each output VC.
+    out_owner: Vec<Option<(u8, u8)>>,
+    /// Credits: free downstream buffer slots per output VC.
+    out_credits: Vec<u64>,
+    /// Credit ceiling per output port (tile port differs).
+    out_max_credits: [u64; Port::COUNT],
+    /// First cycle each output link is free again (phit serialization).
+    busy_until: [u64; Port::COUNT],
+    /// Per-output-port allocation round-robin pointer.
+    rr_alloc: [usize; Port::COUNT],
+    /// Per-output-port link round-robin pointer.
+    rr_link: [usize; Port::COUNT],
     /// Flits currently inside the router (input buffers + staging).
     /// Maintained incrementally so `is_quiescent` is O(1) on the
     /// activity-gated hot path; `occupancy()` recomputes it by walking
@@ -100,37 +105,12 @@ impl VcRouter {
         phits: u64,
     ) -> VcRouter {
         let num_vcs = plan.num_vcs;
-        let inputs = (0..Port::COUNT)
-            .map(|_| InputCtrl {
-                vcs: (0..num_vcs)
-                    .map(|_| InVc {
-                        buf: VecDeque::with_capacity(buf_depth),
-                        out_port: None,
-                        out_vc: None,
-                    })
-                    .collect(),
-                rr: 0,
-            })
-            .collect();
-        let outputs = (0..Port::COUNT)
-            .map(|p| {
-                let max = if p == Port::Tile.index() {
-                    eject_credits
-                } else {
-                    buf_depth as u64
-                };
-                OutputCtrl {
-                    staging: [None, None, None, None, None],
-                    reserved_staging: [None, None, None, None, None],
-                    owner: vec![None; num_vcs],
-                    credits: vec![max; num_vcs],
-                    max_credits: max,
-                    busy_until: 0,
-                    rr_alloc: 0,
-                    rr_link: 0,
-                }
-            })
-            .collect();
+        let mut out_max_credits = [buf_depth as u64; Port::COUNT];
+        out_max_credits[Port::Tile.index()] = eject_credits;
+        let mut out_credits = vec![0u64; Port::COUNT * num_vcs];
+        for (o, &max) in out_max_credits.iter().enumerate() {
+            out_credits[o * num_vcs..(o + 1) * num_vcs].fill(max);
+        }
         VcRouter {
             node,
             num_vcs,
@@ -138,12 +118,36 @@ impl VcRouter {
             plan,
             dateline_aware,
             phits: phits.max(1),
-            inputs,
-            outputs,
+            in_bufs: (0..Port::COUNT * num_vcs)
+                .map(|_| VecDeque::with_capacity(buf_depth))
+                .collect(),
+            in_out_port: vec![None; Port::COUNT * num_vcs],
+            in_out_vc: vec![None; Port::COUNT * num_vcs],
+            in_rr: [0; Port::COUNT],
+            staging: (0..Port::COUNT * Port::COUNT).map(|_| None).collect(),
+            reserved_staging: (0..Port::COUNT * Port::COUNT).map(|_| None).collect(),
+            out_owner: vec![None; Port::COUNT * num_vcs],
+            out_credits,
+            out_max_credits,
+            busy_until: [0; Port::COUNT],
+            rr_alloc: [0; Port::COUNT],
+            rr_link: [0; Port::COUNT],
             in_flight: 0,
             alloc_scratch: Vec::with_capacity(Port::COUNT * num_vcs),
             link_scratch: Vec::with_capacity(2 * Port::COUNT),
         }
+    }
+
+    /// Flat index of (input or output) port `p`, VC `v`.
+    #[inline]
+    fn pv(&self, p: usize, v: usize) -> usize {
+        p * self.num_vcs + v
+    }
+
+    /// Flat index of output port `o`'s staging slot for input port `i`.
+    #[inline]
+    fn slot(o: usize, i: usize) -> usize {
+        o * Port::COUNT + i
     }
 
     /// True when evaluating this router is a guaranteed no-op: no flit
@@ -166,7 +170,8 @@ impl VcRouter {
             resolve_route(&mut flit, port);
         }
         let vc = flit.link_vc.index();
-        let buf = &mut self.inputs[port.index()].vcs[vc].buf;
+        let idx = self.pv(port.index(), vc);
+        let buf = &mut self.in_bufs[idx];
         // INVARIANT: the credit protocol bounds in-flight flits per VC
         // by the buffer depth; overflow means a credit was forged.
         assert!(
@@ -180,13 +185,13 @@ impl VcRouter {
 
     /// Applies an arriving credit for output `port`, VC `vc`.
     pub fn credit_arrived(&mut self, port: Port, vc: VcId) {
-        let o = &mut self.outputs[port.index()];
-        o.credits[vc.index()] += 1;
+        let idx = self.pv(port.index(), vc.index());
+        self.out_credits[idx] += 1;
         // INVARIANT: credit conservation — credits in hand never
         // exceed the downstream buffer depth; each launch consumes one
         // and each drained slot returns exactly one.
         debug_assert!(
-            o.credits[vc.index()] <= o.max_credits,
+            self.out_credits[idx] <= self.out_max_credits[port.index()],
             "router {}: credit overflow on {port} {vc:?}",
             self.node
         );
@@ -194,16 +199,11 @@ impl VcRouter {
 
     /// Total flits buffered (input buffers + output staging).
     pub fn occupancy(&self) -> usize {
-        let bufs: usize = self
-            .inputs
+        let bufs: usize = self.in_bufs.iter().map(VecDeque::len).sum();
+        let staged = self
+            .staging
             .iter()
-            .flat_map(|i| i.vcs.iter())
-            .map(|v| v.buf.len())
-            .sum();
-        let staged: usize = self
-            .outputs
-            .iter()
-            .flat_map(|o| o.staging.iter().chain(o.reserved_staging.iter()))
+            .chain(self.reserved_staging.iter())
             .filter(|s| s.is_some())
             .count();
         bufs + staged
@@ -216,18 +216,19 @@ impl VcRouter {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "router {}", self.node);
-        for (i, input) in self.inputs.iter().enumerate() {
-            let busy: Vec<String> = input
-                .vcs
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| !v.buf.is_empty() || v.out_vc.is_some())
-                .map(|(vi, v)| {
+        for i in 0..Port::COUNT {
+            let busy: Vec<String> = (0..self.num_vcs)
+                .filter(|&v| {
+                    let idx = self.pv(i, v);
+                    !self.in_bufs[idx].is_empty() || self.in_out_vc[idx].is_some()
+                })
+                .map(|v| {
+                    let idx = self.pv(i, v);
                     format!(
-                        "vc{vi}:{}f->{}{}",
-                        v.buf.len(),
-                        v.out_port.map_or("-".into(), |p| p.to_string()),
-                        v.out_vc.map_or(String::new(), |o| format!("/{o}"))
+                        "vc{v}:{}f->{}{}",
+                        self.in_bufs[idx].len(),
+                        self.in_out_port[idx].map_or("-".into(), |p| p.to_string()),
+                        self.in_out_vc[idx].map_or(String::new(), |o| format!("/{o}"))
                     )
                 })
                 .collect();
@@ -235,11 +236,11 @@ impl VcRouter {
                 let _ = writeln!(s, "  in {}: {}", Port::from_index(i), busy.join(" "));
             }
         }
-        for (o, out) in self.outputs.iter().enumerate() {
-            let staged: Vec<String> = out
-                .staging
+        for o in 0..Port::COUNT {
+            let base = Self::slot(o, 0);
+            let staged: Vec<String> = self.staging[base..base + Port::COUNT]
                 .iter()
-                .chain(out.reserved_staging.iter())
+                .chain(self.reserved_staging[base..base + Port::COUNT].iter())
                 .enumerate()
                 .filter_map(|(i, f)| {
                     f.as_ref()
@@ -250,8 +251,8 @@ impl VcRouter {
                 s,
                 "  out {}: credits {:?} owners {:?} staged [{}]",
                 Port::from_index(o),
-                out.credits,
-                out.owner
+                &self.out_credits[self.pv(o, 0)..self.pv(o, self.num_vcs)],
+                self.out_owner[self.pv(o, 0)..self.pv(o, self.num_vcs)]
                     .iter()
                     .map(|w| w.map(|(i, v)| format!("i{i}v{v}")))
                     .collect::<Vec<_>>(),
@@ -294,20 +295,19 @@ impl VcRouter {
     /// Latches the output-port decision for any packet whose head has
     /// reached the front of its VC buffer.
     fn load_routes(&mut self) {
-        for input in &mut self.inputs {
-            for ivc in &mut input.vcs {
-                if ivc.out_port.is_none() {
-                    if let Some(front) = ivc.buf.front() {
-                        // INVARIANT: wormhole ordering — a VC with no
-                        // held route sees a head flit first.
-                        assert!(
-                            front.kind.is_head(),
-                            "router {}: body flit at head of an idle VC",
-                            self.node
-                        );
-                        // INVARIANT: receive() resolves every head.
-                        ivc.out_port = Some(front.resolved_port.expect("head resolved at receive"));
-                    }
+        for idx in 0..self.in_bufs.len() {
+            if self.in_out_port[idx].is_none() {
+                if let Some(front) = self.in_bufs[idx].front() {
+                    // INVARIANT: wormhole ordering — a VC with no
+                    // held route sees a head flit first.
+                    assert!(
+                        front.kind.is_head(),
+                        "router {}: body flit at head of an idle VC",
+                        self.node
+                    );
+                    // INVARIANT: receive() resolves every head.
+                    self.in_out_port[idx] =
+                        Some(front.resolved_port.expect("head resolved at receive"));
                 }
             }
         }
@@ -326,9 +326,9 @@ impl VcRouter {
             reqs.clear();
             for i in 0..Port::COUNT {
                 for v in 0..self.num_vcs {
-                    let ivc = &self.inputs[i].vcs[v];
-                    if ivc.out_port == Some(port) && ivc.out_vc.is_none() {
-                        if let Some(front) = ivc.buf.front() {
+                    let idx = self.pv(i, v);
+                    if self.in_out_port[idx] == Some(port) && self.in_out_vc[idx].is_none() {
+                        if let Some(front) = self.in_bufs[idx].front() {
                             reqs.push((
                                 front.meta.class.priority(),
                                 i,
@@ -344,13 +344,13 @@ impl VcRouter {
                 continue;
             }
             // Rotate for fairness, then stable-sort by priority (desc).
-            let rot = self.outputs[o].rr_alloc % reqs.len();
+            let rot = self.rr_alloc[o] % reqs.len();
             reqs.rotate_left(rot);
             reqs.sort_by_key(|r| std::cmp::Reverse(r.0));
             let mut granted_any = false;
             for &(_, i, v, mask, packet) in &reqs {
                 let free = (0..self.num_vcs).find(|&ov| {
-                    mask.allows(VcId::new(ov as u8)) && self.outputs[o].owner[ov].is_none()
+                    mask.allows(VcId::new(ov as u8)) && self.out_owner[self.pv(o, ov)].is_none()
                 });
                 if let Some(ov) = free {
                     // INVARIANT: VC allocation is exclusive — the scan
@@ -358,17 +358,19 @@ impl VcRouter {
                     // requester holds no grant while it requests (it
                     // leaves the request set the cycle it is granted).
                     debug_assert!(
-                        self.outputs[o].owner[ov].is_none(),
+                        self.out_owner[self.pv(o, ov)].is_none(),
                         "router {}: output VC {ov} re-granted while held",
                         self.node
                     );
                     debug_assert!(
-                        self.inputs[i].vcs[v].out_vc.is_none(),
+                        self.in_out_vc[self.pv(i, v)].is_none(),
                         "router {}: input {i} vc{v} granted a second output VC",
                         self.node
                     );
-                    self.outputs[o].owner[ov] = Some((i, v));
-                    self.inputs[i].vcs[v].out_vc = Some(VcId::new(ov as u8));
+                    let owner_idx = self.pv(o, ov);
+                    let in_idx = self.pv(i, v);
+                    self.out_owner[owner_idx] = Some((i as u8, v as u8));
+                    self.in_out_vc[in_idx] = Some(VcId::new(ov as u8));
                     granted_any = true;
                     probe.vc_allocated(now, self.node, port, VcId::new(ov as u8), packet);
                 } else {
@@ -376,7 +378,7 @@ impl VcRouter {
                 }
             }
             if granted_any {
-                self.outputs[o].rr_alloc = self.outputs[o].rr_alloc.wrapping_add(1);
+                self.rr_alloc[o] = self.rr_alloc[o].wrapping_add(1);
             }
         }
         self.alloc_scratch = reqs;
@@ -395,28 +397,29 @@ impl VcRouter {
     fn traverse_switch(&mut self, now: Cycle, out: &mut RouterOutput, probe: &mut dyn Probe) {
         for i in 0..Port::COUNT {
             let num_vcs = self.num_vcs;
-            let rr = self.inputs[i].rr;
+            let rr = self.in_rr[i];
             // Candidate VCs: flit at front, output VC held, staging slot
             // free, downstream credit available.
             let mut best: Option<(u8, usize)> = None;
             for off in 0..num_vcs {
                 let v = (rr + off) % num_vcs;
-                let ivc = &self.inputs[i].vcs[v];
-                let (Some(front), Some(op), Some(ovc)) =
-                    (ivc.buf.front(), ivc.out_port, ivc.out_vc)
-                else {
+                let idx = self.pv(i, v);
+                let (Some(front), Some(op), Some(ovc)) = (
+                    self.in_bufs[idx].front(),
+                    self.in_out_port[idx],
+                    self.in_out_vc[idx],
+                ) else {
                     continue;
                 };
-                let octrl = &self.outputs[op.index()];
-                if octrl.credits[ovc.index()] == 0 {
+                if self.out_credits[self.pv(op.index(), ovc.index())] == 0 {
                     probe.credit_stall(now, self.node, op, ovc, front.meta.packet);
                     continue;
                 }
                 let reserved = front.meta.class == crate::flit::ServiceClass::Reserved;
                 let slot = if reserved {
-                    &octrl.reserved_staging[i]
+                    &self.reserved_staging[Self::slot(op.index(), i)]
                 } else {
-                    &octrl.staging[i]
+                    &self.staging[Self::slot(op.index(), i)]
                 };
                 if slot.is_some() {
                     continue;
@@ -427,36 +430,36 @@ impl VcRouter {
                 }
             }
             let Some((_, v)) = best else { continue };
-            let ivc = &mut self.inputs[i].vcs[v];
+            let idx = self.pv(i, v);
             // INVARIANT: the candidate scan above admitted this VC only
             // with a buffered flit, a resolved output port, and an
             // allocated output VC in hand.
-            let mut flit = ivc.buf.pop_front().expect("candidate has a flit");
-            let op = ivc.out_port.expect("candidate has a port");
-            flit.link_vc = ivc.out_vc.expect("candidate has a VC");
+            let mut flit = self.in_bufs[idx].pop_front().expect("candidate has a flit");
+            let op = self.in_out_port[idx].expect("candidate has a port");
+            flit.link_vc = self.in_out_vc[idx].expect("candidate has a VC");
             if flit.kind.is_tail() {
-                ivc.out_port = None;
-                ivc.out_vc = None;
+                self.in_out_port[idx] = None;
+                self.in_out_vc[idx] = None;
             }
-            let octrl = &mut self.outputs[op.index()];
+            let credit_idx = self.pv(op.index(), flit.link_vc.index());
             // INVARIANT: credit conservation — the candidate scan only
             // admits VCs with a credit in hand, so the decrement here
             // can never underflow (forging buffer space downstream).
             debug_assert!(
-                octrl.credits[flit.link_vc.index()] > 0,
+                self.out_credits[credit_idx] > 0,
                 "router {}: launching into {op} without a credit",
                 self.node
             );
-            octrl.credits[flit.link_vc.index()] -= 1;
+            self.out_credits[credit_idx] -= 1;
             let (staged_vc, staged_packet) = (flit.link_vc, flit.meta.packet);
             if flit.meta.class == crate::flit::ServiceClass::Reserved {
-                octrl.reserved_staging[i] = Some(flit);
+                self.reserved_staging[Self::slot(op.index(), i)] = Some(flit);
             } else {
-                octrl.staging[i] = Some(flit);
+                self.staging[Self::slot(op.index(), i)] = Some(flit);
             }
             probe.switch_traversed(now, self.node, op, staged_vc, staged_packet);
             out.credits.push((Port::from_index(i), VcId::new(v as u8)));
-            self.inputs[i].rr = (v + 1) % num_vcs;
+            self.in_rr[i] = (v + 1) % num_vcs;
         }
     }
 
@@ -474,10 +477,9 @@ impl VcRouter {
         let mut candidates = std::mem::take(&mut self.link_scratch);
         for o in 0..Port::COUNT {
             let port = Port::from_index(o);
-            let octrl = &self.outputs[o];
             // A serialized (narrow) link is occupied for `phits` cycles
             // per flit.
-            if env.now < octrl.busy_until {
+            if env.now < self.busy_until[o] {
                 continue;
             }
             // (priority, input idx, from the reserved staging bank,
@@ -485,8 +487,8 @@ impl VcRouter {
             // credit, so every one is a launch candidate.
             candidates.clear();
             for i in 0..Port::COUNT {
-                for (bank, reserved) in [(&octrl.staging, false), (&octrl.reserved_staging, true)] {
-                    if let Some(f) = &bank[i] {
+                for (bank, reserved) in [(&self.staging, false), (&self.reserved_staging, true)] {
+                    if let Some(f) = &bank[Self::slot(o, i)] {
                         candidates.push((f.meta.class.priority(), i, reserved, f.meta.packet));
                     }
                 }
@@ -503,7 +505,7 @@ impl VcRouter {
                         .filter(|&&(_, _, reserved, _)| reserved)
                         .map(|&(_, i, r, _)| (i, r))
                         .find(|&(i, _)| {
-                            octrl.reserved_staging[i]
+                            self.reserved_staging[Self::slot(o, i)]
                                 .as_ref()
                                 .is_some_and(|f| f.meta.flow == Some(flow))
                         });
@@ -518,7 +520,7 @@ impl VcRouter {
             // in rotated round-robin order. Allocation-free equivalent
             // of rotating a copy and stable-sorting by priority.
             let (winner, from_reserved) = winner.unwrap_or_else(|| {
-                let rot = octrl.rr_link % candidates.len();
+                let rot = self.rr_link[o] % candidates.len();
                 let mut best: Option<(u8, usize)> = None;
                 for j in 0..candidates.len() {
                     let pri = candidates[(rot + j) % candidates.len()].0;
@@ -532,15 +534,14 @@ impl VcRouter {
                 let (_, i, reserved, _) = candidates[(rot + j) % candidates.len()];
                 (i, reserved)
             });
-            let octrl = &mut self.outputs[o];
             let bank = if from_reserved {
-                &mut octrl.reserved_staging
+                &mut self.reserved_staging
             } else {
-                &mut octrl.staging
+                &mut self.staging
             };
             // INVARIANT: the winner was drawn from the candidate list,
             // which only names occupied staging slots.
-            let flit = bank[winner].take().expect("winner staged");
+            let flit = bank[Self::slot(o, winner)].take().expect("winner staged");
             // A lower-class flit left staged while a higher-class one took
             // the link is the paper's §2.2 preemption in action; report
             // each suspended flit so the stall is attributable per packet.
@@ -550,18 +551,19 @@ impl VcRouter {
                 }
             }
             if flit.kind.is_tail() {
+                let owner_idx = self.pv(o, flit.link_vc.index());
                 // INVARIANT: a tail releases a VC its head was granted;
                 // the grant stays held until this release, so the owner
                 // entry must still be present.
                 debug_assert!(
-                    octrl.owner[flit.link_vc.index()].is_some(),
+                    self.out_owner[owner_idx].is_some(),
                     "router {}: tail releasing unowned VC on {port}",
                     self.node
                 );
-                octrl.owner[flit.link_vc.index()] = None;
+                self.out_owner[owner_idx] = None;
             }
-            octrl.busy_until = env.now + self.phits;
-            octrl.rr_link = octrl.rr_link.wrapping_add(1);
+            self.busy_until[o] = env.now + self.phits;
+            self.rr_link[o] = self.rr_link[o].wrapping_add(1);
             out.launches.push((port, flit));
             // INVARIANT: `in_flight` counts exactly the flits held in
             // buffers and staging; a launch removes one from staging.

@@ -56,6 +56,112 @@ impl ActiveSet {
     }
 }
 
+/// A calendar queue over entity due-cycles: one slot per future cycle,
+/// modulo a power-of-two horizon, each slot a fixed-width bitset over
+/// entity indices.
+///
+/// The cycle engine schedules an entity index into the slot of its next
+/// due cycle and, each cycle, drains exactly the one slot for `now` —
+/// idle cycles check a per-slot counter instead of rescanning every
+/// entity or maintaining a global minimum. Bitset slots keep the busy
+/// end cheap too: at 1024 tiles a saturated cycle delivers ~2k channels,
+/// and extracting them from bit words is linear where sorting a `Vec`
+/// slot each cycle was O(n log n). Contracts the engine relies on:
+///
+/// * **Horizon.** `new(horizon, capacity)` sizes the wheel to a power of
+///   two strictly greater than `horizon + 1`, and every `schedule` must
+///   satisfy `due - now <= horizon`. A slot therefore never holds an
+///   entry for a *future* wrap of the same cycle index, so draining a
+///   slot may assume every entry's due cycle is `<= now`.
+/// * **Ordering.** [`TimingWheel::drain_into`] appends the slot's
+///   entries in ascending index order (bit words walked low-to-high,
+///   like [`ActiveSet::collect_into`]), so wake order within a cycle can
+///   never influence the order entities are processed in.
+/// * **Staleness.** An entry is a *hint*, not an obligation: an entity
+///   rescheduled to an earlier cycle leaves its old entry behind. The
+///   caller filters by the entity's authoritative `next_due` and
+///   ignores entries whose due cycle already fired. Scheduling is
+///   idempotent bit-setting, so duplicates collapse at the source.
+#[derive(Debug, Clone)]
+pub(crate) struct TimingWheel {
+    /// `len` slots × `words` bit words each, flattened.
+    bits: Vec<u64>,
+    /// Set-bit count per slot, making `has_due` O(1).
+    counts: Vec<u32>,
+    words: usize,
+    mask: u64,
+}
+
+impl TimingWheel {
+    /// A wheel able to schedule up to `horizon` cycles ahead for
+    /// entity indices `0..capacity`.
+    pub(crate) fn new(horizon: u64, capacity: usize) -> TimingWheel {
+        let len =
+            usize::try_from((horizon + 2).next_power_of_two()).expect("wheel horizon fits usize");
+        let words = capacity.div_ceil(64).max(1);
+        TimingWheel {
+            bits: vec![0; len * words],
+            counts: vec![0; len],
+            words,
+            mask: len as u64 - 1,
+        }
+    }
+
+    /// Schedules index `i` for cycle `due`, as seen from cycle `now`.
+    ///
+    /// A due cycle at or before `now` is clamped to the next cycle's
+    /// slot — the engine processes a cycle's slot once, at the top of
+    /// the phase, so anything scheduled mid-cycle must land strictly in
+    /// the future (mirroring the global-minimum engine, which also only
+    /// observed such events on the next cycle).
+    #[inline]
+    pub(crate) fn schedule(&mut self, i: usize, due: u64, now: u64) {
+        debug_assert!(
+            due <= now || due - now <= self.mask,
+            "due beyond wheel horizon"
+        );
+        let slot = (due.max(now + 1) & self.mask) as usize;
+        let word = &mut self.bits[slot * self.words + i / 64];
+        let bit = 1u64 << (i % 64);
+        self.counts[slot] += u32::from(*word & bit == 0);
+        *word |= bit;
+    }
+
+    /// Whether the slot for cycle `now` holds any entries.
+    #[inline]
+    pub(crate) fn has_due(&self, now: u64) -> bool {
+        self.counts[(now & self.mask) as usize] != 0
+    }
+
+    /// Empties the slot for cycle `now` into `out`, ascending.
+    pub(crate) fn drain_into(&mut self, now: u64, out: &mut Vec<usize>) {
+        let slot = (now & self.mask) as usize;
+        for (w, word) in self.bits[slot * self.words..(slot + 1) * self.words]
+            .iter_mut()
+            .enumerate()
+        {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        self.counts[slot] = 0;
+    }
+
+    /// Discards the slot for cycle `now` (naive stepping has already
+    /// visited every entity, so the hints are spent).
+    #[inline]
+    pub(crate) fn clear_slot(&mut self, now: u64) {
+        let slot = (now & self.mask) as usize;
+        if self.counts[slot] != 0 {
+            self.bits[slot * self.words..(slot + 1) * self.words].fill(0);
+            self.counts[slot] = 0;
+        }
+    }
+}
+
 /// A tiny xorshift64* PRNG so the core crate stays dependency-free while
 /// still supporting randomized (Valiant) routing deterministically.
 #[derive(Debug, Clone)]
@@ -79,10 +185,27 @@ impl XorShift64 {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
-    /// Uniform value in `0..bound`.
+    /// Uniform value in `0..bound`, free of modulo bias.
+    ///
+    /// Power-of-two bounds take a mask fast path that consumes exactly
+    /// one draw and is bit-identical to the historical `next_u64() %
+    /// bound` — the determinism goldens (all recorded on power-of-two
+    /// node counts) are unaffected. Other bounds use mask-based
+    /// rejection sampling: draw, mask down to the smallest all-ones
+    /// mask covering `bound - 1`, retry on overshoot. Each retry
+    /// accepts with probability > 1/2, so the loop terminates quickly.
     pub(crate) fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
-        self.next_u64() % bound
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let mask = u64::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let draw = self.next_u64() & mask;
+            if draw < bound {
+                return draw;
+            }
+        }
     }
 }
 
@@ -135,6 +258,80 @@ mod tests {
         let mut out = Vec::new();
         a.collect_union_into(&b, &mut out);
         assert_eq!(out, vec![3, 10, 69]);
+    }
+
+    /// The power-of-two fast path must be draw-for-draw identical to
+    /// the historical `next_u64() % bound`, or the committed
+    /// determinism goldens (recorded on power-of-two node counts)
+    /// would shift.
+    #[test]
+    fn below_pow2_matches_legacy_modulo() {
+        for bound in [1u64, 2, 4, 16, 256, 1 << 20] {
+            let mut fixed = XorShift64::new(0xDEAD);
+            let mut legacy = XorShift64::new(0xDEAD);
+            for _ in 0..200 {
+                assert_eq!(fixed.below(bound), legacy.next_u64() % bound);
+            }
+            assert_eq!(fixed.state, legacy.state, "draw counts diverged");
+        }
+    }
+
+    /// Rejection sampling is unbiased: over a full sweep of masked
+    /// values each residue would appear equally often, unlike modulo
+    /// reduction which over-weights low values. Spot-check the
+    /// distribution stays flat within sampling noise.
+    #[test]
+    fn below_non_pow2_is_unbiased_and_in_range() {
+        let mut r = XorShift64::new(99);
+        let bound = 12u64;
+        let mut counts = [0u32; 12];
+        for _ in 0..12_000 {
+            let v = r.below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn wheel_drains_ascending_and_only_its_slot() {
+        let mut w = TimingWheel::new(6, 10);
+        w.schedule(9, 5, 3);
+        w.schedule(2, 5, 3);
+        w.schedule(7, 4, 3);
+        let mut out = Vec::new();
+        w.drain_into(5, &mut out);
+        assert_eq!(out, vec![2, 9]);
+        assert!(!w.has_due(5));
+        assert!(w.has_due(4));
+        out.clear();
+        w.drain_into(4, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn wheel_clamps_past_due_to_next_cycle() {
+        let mut w = TimingWheel::new(4, 2);
+        w.schedule(1, 10, 10); // due == now: lands at now + 1
+        assert!(!w.has_due(10));
+        assert!(w.has_due(11));
+        w.clear_slot(11);
+        assert!(!w.has_due(11));
+    }
+
+    #[test]
+    fn wheel_spans_words_and_dedups() {
+        let mut w = TimingWheel::new(4, 200);
+        w.schedule(130, 7, 5);
+        w.schedule(63, 7, 5);
+        w.schedule(64, 7, 5);
+        w.schedule(130, 7, 6); // duplicate collapses at the source
+        let mut out = Vec::new();
+        w.drain_into(7, &mut out);
+        assert_eq!(out, vec![63, 64, 130]);
+        assert!(!w.has_due(7));
     }
 
     #[test]

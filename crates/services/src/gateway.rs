@@ -64,13 +64,31 @@ pub fn encapsulate(gateway: NodeId, dgram: &GatewayDatagram) -> Message {
         dgram.words.len() <= 4,
         "one inner flit per gateway datagram"
     );
-    let header = Header {
+    Message::multi_flit(
+        gateway,
+        gateway_header(dgram),
+        &dgram.words,
+        ServiceClass::Bulk,
+    )
+}
+
+/// The encapsulation header for a datagram.
+///
+/// Layout: `seq` carries the full 16-bit source tile id; `aux` carries
+/// `src.chip` in bits 31..24, `dst.chip` in bits 23..16, and the full
+/// 16-bit destination tile id in bits 15..0. Tile ids are never
+/// truncated, so addresses survive round trips on chips with ≥ 256
+/// tiles (a k=16 torus already has node ids up to 255; k=32 up to
+/// 1023).
+fn gateway_header(dgram: &GatewayDatagram) -> Header {
+    Header {
         service: ServiceKind::Gateway,
         opcode: dgram.words.len() as u8,
-        seq: (dgram.src.chip as u16) << 8 | u16::from(dgram.src.node) & 0xFF,
-        aux: (dgram.dst.chip as u32) << 16 | u32::from(u16::from(dgram.dst.node)),
-    };
-    Message::multi_flit(gateway, header, &dgram.words, ServiceClass::Bulk)
+        seq: u16::from(dgram.src.node),
+        aux: (dgram.src.chip as u32) << 24
+            | (dgram.dst.chip as u32) << 16
+            | u32::from(u16::from(dgram.dst.node)),
+    }
 }
 
 /// Decapsulates a delivered gateway packet, if it is one.
@@ -81,7 +99,7 @@ pub fn decapsulate(packet: &DeliveredPacket) -> Option<GatewayDatagram> {
     }
     let words = Message::extract_data(&packet.payloads, h.opcode as usize);
     Some(GatewayDatagram {
-        src: GlobalAddress::new((h.seq >> 8) as u8, NodeId::new(h.seq & 0xFF)),
+        src: GlobalAddress::new((h.aux >> 24) as u8, NodeId::new(h.seq)),
         dst: GlobalAddress::new((h.aux >> 16) as u8, NodeId::new((h.aux & 0xFFFF) as u16)),
         words,
     })
@@ -151,13 +169,12 @@ impl GatewayEndpoint {
         if dgram.dst.chip == self.chip {
             // Deliver locally: re-frame so the final tile can read the
             // words (and still see the global source).
-            let header = Header {
-                service: ServiceKind::Gateway,
-                opcode: dgram.words.len() as u8,
-                seq: (dgram.src.chip as u16) << 8 | u16::from(dgram.src.node) & 0xFF,
-                aux: (dgram.dst.chip as u32) << 16 | u32::from(u16::from(dgram.dst.node)),
-            };
-            Message::multi_flit(dgram.dst.node, header, &dgram.words, ServiceClass::Bulk)
+            Message::multi_flit(
+                dgram.dst.node,
+                gateway_header(dgram),
+                &dgram.words,
+                ServiceClass::Bulk,
+            )
         } else {
             // Multi-hop systems would route toward the next gateway;
             // with two chips this cannot happen.
@@ -198,6 +215,34 @@ mod tests {
         assert_eq!(msg.dst, NodeId::new(5));
         let back = decapsulate(&deliver(&msg, 5.into())).unwrap();
         assert_eq!(back, d);
+    }
+
+    /// Node ids at and beyond the 8-bit boundary survive the packed
+    /// header: 255 (last k=16 row-15 tile under the old 8-bit field),
+    /// 256 (first id the old layout aliased back to 0), and 1023 (the
+    /// last tile of a k=32 torus).
+    #[test]
+    fn large_node_ids_roundtrip_without_aliasing() {
+        for &(src_node, dst_node) in &[(255u16, 256u16), (256, 255), (1023, 512), (1023, 1023)] {
+            let d = GatewayDatagram {
+                src: GlobalAddress::new(2, src_node.into()),
+                dst: GlobalAddress::new(3, dst_node.into()),
+                words: vec![0xFEED],
+            };
+            let msg = encapsulate(5.into(), &d);
+            let back = decapsulate(&deliver(&msg, 5.into())).unwrap();
+            assert_eq!(back, d, "node ids {src_node}->{dst_node} must not alias");
+        }
+        // The reinjection path re-frames with the same layout.
+        let mut gw = GatewayEndpoint::new(3, 2.into());
+        let d = GatewayDatagram {
+            src: GlobalAddress::new(2, 1023.into()),
+            dst: GlobalAddress::new(3, 300.into()),
+            words: vec![0x99],
+        };
+        let msg = gw.on_arrival(&d);
+        assert_eq!(msg.dst, NodeId::new(300));
+        assert_eq!(decapsulate(&deliver(&msg, 300.into())).unwrap(), d);
     }
 
     #[test]

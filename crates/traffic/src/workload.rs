@@ -46,6 +46,14 @@ impl Workload {
         }
     }
 
+    /// A workload sized to `spec`: node count and radix are derived
+    /// from the topology instead of being duplicated by hand (the
+    /// classic way a sweep silently stays on 16 nodes when the
+    /// topology grows to 256).
+    pub fn for_topology(spec: &ocin_core::TopologySpec, pattern: TrafficPattern) -> Workload {
+        Workload::new(spec.num_nodes(), spec.radix(), pattern)
+    }
+
     /// Sets the injection process.
     pub fn injection(mut self, p: InjectionProcess) -> Self {
         self.process = p;

@@ -16,15 +16,17 @@ use ocin::sim::{SimConfig, SimReport, Simulation};
 use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
 use proptest::prelude::*;
 
-fn quick_cfg(fc: FlowControl) -> NetworkConfig {
+fn quick_cfg(fc: FlowControl, k: usize) -> NetworkConfig {
     NetworkConfig::paper_baseline()
-        .with_topology(TopologySpec::FoldedTorus { k: 4 })
+        .with_topology(TopologySpec::FoldedTorus { k })
         .with_flow_control(fc)
 }
 
 /// One quick simulation with every sampled knob applied.
+#[allow(clippy::too_many_arguments)]
 fn run(
     fc: FlowControl,
+    k: usize,
     load: f64,
     probed: bool,
     journeys: bool,
@@ -32,13 +34,13 @@ fn run(
     reserved: bool,
     naive: bool,
 ) -> SimReport {
-    let mut cfg = quick_cfg(fc);
+    let mut cfg = quick_cfg(fc, k);
     if reserved {
         cfg = cfg
             .with_reservation_period(8)
             .with_static_flow(StaticFlowSpec::new(0.into(), 5.into(), 1, 64));
     }
-    let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+    let wl = Workload::new(k * k, k, TrafficPattern::Uniform)
         .injection(InjectionProcess::Bernoulli { flit_rate: load });
     let mut sim = Simulation::new(cfg, SimConfig::quick())
         .expect("valid config")
@@ -79,8 +81,8 @@ proptest! {
         // transient-upset stream, exercising RNG-draw alignment.
         let reserved = reserved && fc == FlowControl::VirtualChannel;
         let fault_rate = if faulty { 0.02 } else { 0.0 };
-        let gated = run(fc, load, probed, journeys, fault_rate, reserved, false);
-        let naive = run(fc, load, probed, journeys, fault_rate, reserved, true);
+        let gated = run(fc, 4, load, probed, journeys, fault_rate, reserved, false);
+        let naive = run(fc, 4, load, probed, journeys, fault_rate, reserved, true);
         prop_assert!(
             gated == naive,
             "gated and naive reports differ ({fc:?} @ {load:.3}, probed={probed}, \
@@ -94,13 +96,50 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The same bit-identity on the 256-tile k = 16 torus, where the
+    /// calendar-queue wheel actually earns its keep: stale wheel hints,
+    /// slot wraps, and the struct-of-arrays router state must all stay
+    /// invisible at scale. Fewer cases than the k = 4 test — each one
+    /// simulates 256 routers — but every knob still varies.
+    #[test]
+    fn gated_engine_matches_naive_at_k16(
+        fc in prop_oneof![
+            Just(FlowControl::VirtualChannel),
+            Just(FlowControl::Dropping),
+            Just(FlowControl::Deflection),
+        ],
+        load in 0.02f64..0.2,
+        probed in any::<bool>(),
+        faulty in any::<bool>(),
+        reserved in any::<bool>(),
+    ) {
+        let reserved = reserved && fc == FlowControl::VirtualChannel;
+        let fault_rate = if faulty { 0.01 } else { 0.0 };
+        let gated = run(fc, 16, load, probed, false, fault_rate, reserved, false);
+        let naive = run(fc, 16, load, probed, false, fault_rate, reserved, true);
+        prop_assert!(
+            gated == naive,
+            "k=16 gated and naive reports differ ({fc:?} @ {load:.3}, probed={probed}, \
+             faults={faulty}, reserved={reserved})"
+        );
+        if probed {
+            let g = gated.metrics.as_ref().expect("probed run carries metrics");
+            let n = naive.metrics.as_ref().expect("probed run carries metrics");
+            prop_assert_eq!(g.to_json(), n.to_json(), "rendered k=16 metrics JSON differs");
+        }
+    }
+}
+
 /// Flipping the engine mode mid-run changes nothing: both modes keep
 /// the same wake bookkeeping, so a half-gated/half-naive run matches
 /// the pure runs counter for counter.
 #[test]
 fn engines_compose_mid_run() {
     let drive = |flips: &[(u64, bool)]| {
-        let mut net = Network::new(quick_cfg(FlowControl::VirtualChannel)).expect("valid");
+        let mut net = Network::new(quick_cfg(FlowControl::VirtualChannel, 4)).expect("valid");
         let wl = Workload::new(16, 4, TrafficPattern::Uniform)
             .injection(InjectionProcess::Bernoulli { flit_rate: 0.2 });
         let mut generation = wl.generator(7);

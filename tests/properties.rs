@@ -10,13 +10,23 @@ use ocin::core::{
 };
 use proptest::prelude::*;
 
+/// Radices the 2-D topologies are sampled at: the paper's k = 4, its
+/// neighbors, odd radices (which exercise the asymmetric fold and the
+/// no-tie minimal-route halving), and the k = 16 / k = 32 scaling
+/// targets (256 and 1024 tiles).
+const RADICES_2D: [usize; 7] = [2, 3, 4, 5, 8, 16, 32];
+
+fn radix_2d() -> impl Strategy<Value = usize> {
+    (0usize..RADICES_2D.len()).prop_map(|i| RADICES_2D[i])
+}
+
 fn topologies() -> impl Strategy<Value = (Box<dyn Topology>, TopologySpec)> {
     prop_oneof![
-        (2usize..=8).prop_map(|k| (
+        radix_2d().prop_map(|k| (
             Box::new(Mesh2D::new(k)) as Box<dyn Topology>,
             TopologySpec::Mesh { k }
         )),
-        (2usize..=8).prop_map(|k| (
+        radix_2d().prop_map(|k| (
             Box::new(FoldedTorus2D::new(k)) as Box<dyn Topology>,
             TopologySpec::FoldedTorus { k }
         )),
@@ -174,6 +184,60 @@ proptest! {
         for (node, dir) in topo.channels() {
             let nb = topo.neighbor(node, dir).expect("listed");
             prop_assert_eq!(topo.neighbor(nb, dir.opposite()), Some(node));
+        }
+    }
+
+    /// The folded placement is a true permutation with a well-defined
+    /// inverse at every radix, including odd ones: each physical slot
+    /// along the line is occupied by exactly one logical index, and
+    /// looking a node up by its physical slot recovers it. Exercised
+    /// through `Ring::physical_position`, which is `folded_position`
+    /// applied to the single dimension.
+    #[test]
+    fn folded_placement_is_inverse_permutation(k in 2usize..=33) {
+        let ring = Ring::new(k);
+        let mut phys_to_logical: Vec<Option<usize>> = vec![None; k];
+        for l in 0..k {
+            let p = ring.physical_position(NodeId::new(l as u16)).x as usize;
+            prop_assert!(p < k, "physical slot {} out of range", p);
+            prop_assert!(
+                phys_to_logical[p].is_none(),
+                "physical slot {} double-booked", p
+            );
+            phys_to_logical[p] = Some(l);
+        }
+        for (p, l) in phys_to_logical.iter().enumerate() {
+            let l = l.expect("permutation is onto: every slot filled");
+            prop_assert_eq!(
+                ring.physical_position(NodeId::new(l as u16)).x as usize,
+                p
+            );
+        }
+        // The 2-D torus applies the same per-dimension permutation:
+        // each axis of a node's physical position is the ring placement
+        // of the matching logical coordinate.
+        let kk = k.min(16);
+        let torus = FoldedTorus2D::new(kk);
+        let line = Ring::new(kk);
+        for i in 0..torus.num_nodes() {
+            let node = NodeId::new(i as u16);
+            let c = torus.coord(node);
+            let p = torus.physical_position(node);
+            let px = line.physical_position(NodeId::new(u16::from(c.x))).x;
+            let py = line.physical_position(NodeId::new(u16::from(c.y))).x;
+            prop_assert_eq!((p.x, p.y), (px, py));
+        }
+    }
+
+    /// `node_at` is the left inverse of `coord` on every node of every
+    /// topology — node ids survive the coordinate round trip unaliased
+    /// even at 1024 tiles, where an 8-bit intermediate would fold ids
+    /// modulo 256.
+    #[test]
+    fn node_at_coord_roundtrip((topo, _) in topologies()) {
+        for i in 0..topo.num_nodes() {
+            let node = NodeId::new(i as u16);
+            prop_assert_eq!(topo.node_at(topo.coord(node)), node);
         }
     }
 }
