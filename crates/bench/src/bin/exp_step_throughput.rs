@@ -9,15 +9,18 @@
 //! check. The flow-control table runs at the paper's k = 4 by default;
 //! pass `--radix <k>` (or set `OCIN_RADIX`) to run it at another radix.
 //! A radix-scaling sweep over k ∈ {4, 16, 32} always runs afterwards,
-//! reporting the headline flit-hops/sec at 1024 tiles. Set
-//! `OCIN_STEP_OUT` to also write the numbers as JSON (the perf-snapshot
-//! CI job folds that file into `BENCH_<sha>.json`).
+//! reporting the headline flit-hops/sec at 1024 tiles, followed by a
+//! shard-scaling sweep stepping the same k = 32 point on 1/2/4/8
+//! worker threads (bit-identical reports required; wall clock is the
+//! only thing allowed to move). Set `OCIN_STEP_OUT` to also write the
+//! numbers as JSON (the perf-snapshot CI job folds that file into
+//! `BENCH_<sha>.json`).
 
 use std::time::Instant;
 
 use ocin_bench::{banner, check, f1, probe_enabled, quick_mode, radix_arg, write_metrics};
 use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec, ProbeConfig, TopologySpec};
-use ocin_sim::{SimConfig, Simulation, Table};
+use ocin_sim::{ShardedSimulation, SimConfig, Simulation, Table};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
 
 /// Radii of the always-run scaling sweep: the paper's 16-tile chip and
@@ -223,12 +226,84 @@ fn main() {
         ),
     );
 
+    // Shard scaling: the same k = 32 point stepped by 1/2/4/8 worker
+    // threads under conservative lookahead synchronization. Reports
+    // must be bit-identical at every shard count (hard check); the
+    // 4-shard flit-hops/sec speedup is the headline tracked in
+    // BENCH_<sha>.json, soft-reported here because it needs free cores.
+    println!("\nshard scaling, k = 32 folded torus, virtual-channel flow control\n");
+    let mut sht = Table::new(&["shards", "wall s", "Mhop/s", "speedup"]);
+    let mut shard_rows = Vec::new();
+    let shard_cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: cycles,
+        drain_cycles: 0,
+        seed: 0xB19_B19,
+    };
+    let shard_wl = Workload::new(32 * 32, 32, TrafficPattern::Uniform).injection(
+        InjectionProcess::Bernoulli {
+            flit_rate: scaling_load(32),
+        },
+    );
+    let mut shard_reference: Option<ocin_sim::SimReport> = None;
+    let mut shards_equal = true;
+    let mut wall_1 = 0.0f64;
+    let mut speedup_4 = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let sim = Simulation::new(
+            NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 32 }),
+            shard_cfg,
+        )
+        .expect("valid config")
+        .with_workload(&shard_wl);
+        let mut sharded = ShardedSimulation::new(sim, shards);
+        let start = Instant::now();
+        let report = sharded.run();
+        let wall = start.elapsed().as_secs_f64();
+        if shards == 1 {
+            wall_1 = wall;
+        }
+        let speedup = wall_1 / wall;
+        if shards == 4 {
+            speedup_4 = speedup;
+        }
+        match &shard_reference {
+            None => shard_reference = Some(report.clone()),
+            Some(reference) => shards_equal &= *reference == report,
+        }
+        let hops_per_sec = report.energy.flit_hops as f64 / wall;
+        sht.row(&[
+            shards.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.2}", hops_per_sec / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        shard_rows.push(format!(
+            "    {{\"radix\": 32, \"shards\": {shards}, \"cycles\": {cycles}, \
+             \"flit_hops\": {}, \"wall_seconds\": {wall:.6}, \
+             \"flit_hops_per_sec\": {hops_per_sec:.1}, \"speedup_vs_1\": {speedup:.3}}}",
+            report.energy.flit_hops,
+        ));
+    }
+    println!("{}", sht.render());
+
+    check(
+        shards_equal,
+        "sharded reports are bit-identical at 1/2/4/8 shards",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    check(
+        speedup_4 > 1.5 || cores < 4,
+        &format!("4-shard speedup {speedup_4:.2}x on {cores} cores (target >1.5x with >=4 cores)"),
+    );
+
     if let Some(path) = std::env::var_os("OCIN_STEP_OUT") {
         let json = format!(
             "{{\n  \"cycles\": {cycles},\n  \"radix\": {k},\n  \"points\": [\n{}\n  ],\n  \
-             \"radix_scaling\": [\n{}\n  ]\n}}\n",
+             \"radix_scaling\": [\n{}\n  ],\n  \"shard_scaling\": [\n{}\n  ]\n}}\n",
             rows.join(",\n"),
-            scaling_rows.join(",\n")
+            scaling_rows.join(",\n"),
+            shard_rows.join(",\n")
         );
         let path = std::path::PathBuf::from(path);
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

@@ -5,16 +5,19 @@
 //! [`NetworkMetrics`] JSON and event-trace text to an output directory
 //! (first argument, default `target/probe`): the paper's k = 4 at the
 //! top level and the 256-tile k = 16 network under `k16/`. The runs are
-//! configured identically regardless of `OCIN_QUICK`, so two
-//! invocations anywhere must produce byte-identical trees — CI runs it
-//! twice and diffs, and diffs against the committed golden.
+//! configured identically regardless of `OCIN_QUICK`, and `OCIN_SHARDS`
+//! selects how many worker threads step each network without being
+//! allowed to change a single byte of output — so two invocations
+//! anywhere, at any shard count, must produce byte-identical trees. CI
+//! runs it at `OCIN_SHARDS ∈ {1, 2, 4, 8}` and diffs every tree
+//! against the committed golden.
 //!
 //! [`NetworkMetrics`]: ocin_core::NetworkMetrics
 
 use std::path::{Path, PathBuf};
 
 use ocin_core::{EventTrace, NetworkConfig, ProbeConfig, TopologySpec};
-use ocin_sim::{SimConfig, Simulation};
+use ocin_sim::{ShardedSimulation, SimConfig, Simulation};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
 
 /// Runs the fixed-seed probed simulation for radix `k` at `flit_rate`
@@ -35,11 +38,11 @@ fn dump(out_dir: &Path, k: usize, flit_rate: f64, full_metrics: bool) {
     let wl = Workload::new(k * k, k, TrafficPattern::Uniform)
         .injection(InjectionProcess::Bernoulli { flit_rate });
 
-    let report = Simulation::new(net_cfg, sim_cfg)
+    let sim = Simulation::new(net_cfg, sim_cfg)
         .expect("fixed configuration is valid")
         .with_workload(&wl)
-        .with_probe(ProbeConfig::counters().with_trace(4096))
-        .run();
+        .with_probe(ProbeConfig::counters().with_trace(4096));
+    let report = ShardedSimulation::from_env(sim).run();
     let metrics = report.metrics.as_ref().expect("probed run carries metrics");
 
     // Cross-layer invariants the determinism gate relies on: the probe

@@ -67,6 +67,7 @@ pub mod probe;
 pub mod reservation;
 pub mod route;
 pub mod router;
+pub mod shard;
 pub mod topology;
 mod util;
 
@@ -91,4 +92,7 @@ pub use probe::{
 };
 pub use reservation::{ReservationError, ReservationTable, StaticFlowSpec};
 pub use route::{RouteError, SourceRoute, Turn};
+pub use shard::{
+    replay_logs, BoundaryMsg, CellEnergySnapshot, LogEvent, LogProbe, PhasedProbe, ShardHandle,
+};
 pub use topology::{FoldedTorus2D, Mesh2D, Ring, Topology};

@@ -6,25 +6,31 @@
 //! channels are modelled as latency pipes (a flit launched at cycle *t*
 //! arrives `channel_latency + router_delay` cycles later, and credits
 //! travel back with `credit_latency`).
+//!
+//! Internally the network is one or more [`crate::shard`] cells —
+//! contiguous tile regions each owning their routers, interfaces, pipes,
+//! and channel halves, plus their own activity sets and timing wheels.
+//! The default is a single cell; [`Network::set_shards`] re-cuts the
+//! state into more, and results are bit-identical at any cell count
+//! (the engine-equivalence suite asserts it).
 
 use std::collections::VecDeque;
 
-use crate::config::{FlowControl, NetworkConfig, RoutingAlg};
+use crate::config::{FlowControl, LinkProtection, NetworkConfig};
 use crate::error::Error;
 use crate::fault::{LinkFault, SteeredLink};
-use crate::flit::{
-    Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask, FLIT_DATA_BITS,
-};
-use crate::ids::{Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};
+use crate::flit::{Payload, ServiceClass, FLIT_DATA_BITS};
+use crate::ids::{Cycle, Direction, FlowId, NodeId, PacketId, Port};
 use crate::interface::{DeliveredPacket, TileInterface};
 use crate::probe::{NetworkProbe, NoProbe, Probe};
 use crate::reservation::ReservationTable;
-use crate::route::{RouteError, SourceRoute};
-use crate::router::{
-    DeflectionRouter, DroppingRouter, EvalEnv, RouterCore, RouterOutput, VcRouter,
+use crate::router::{DeflectionRouter, DroppingRouter, RouterCore, VcRouter};
+use crate::shard::{
+    build_cells, stream_seed, CellStats, GlobalState, NetShared, RxMeta, ShardCell, ShardHandle,
+    TxMeta,
 };
 use crate::topology::Topology;
-use crate::util::{ActiveSet, TimingWheel, XorShift64};
+use crate::util::XorShift64;
 
 /// Description of a packet to inject.
 ///
@@ -96,22 +102,6 @@ impl PacketSpec {
     }
 }
 
-/// A directed inter-tile channel with its latency pipes and fault state.
-#[derive(Debug)]
-struct Channel {
-    src: NodeId,
-    dir: Direction,
-    dst: NodeId,
-    dst_port: Port,
-    length_pitches: f64,
-    dateline: bool,
-    link: SteeredLink,
-    flits: VecDeque<(Cycle, Flit)>,
-    credits: VecDeque<(Cycle, VcId)>,
-    flits_carried: u64,
-    bit_pitches: f64,
-}
-
 /// Per-link load statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkLoad {
@@ -170,56 +160,23 @@ pub struct NetworkStats {
 ///
 /// See the [crate-level documentation](crate) for a usage example.
 pub struct Network {
-    cfg: NetworkConfig,
-    topo: Box<dyn Topology>,
-    dateline_aware: bool,
-    routers: Vec<RouterCore>,
-    interfaces: Vec<TileInterface>,
-    channels: Vec<Channel>,
-    chan_idx: Vec<[Option<usize>; 4]>,
-    inject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
-    eject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
-    reservations: Option<ReservationTable>,
+    shared: NetShared,
+    cells: Vec<ShardCell>,
     cycle: Cycle,
-    next_packet: u64,
-    rng: XorShift64,
-    stats: NetworkStats,
-    /// Per-link-traversal probability of a transient single-bit upset.
-    transient_rate: f64,
     /// Attached observability collector; `None` costs only the check.
     probe: Option<Box<NetworkProbe>>,
     /// Reference engine flag (test-only): scan every entity each cycle
     /// instead of the active sets. Results are bit-identical either way;
     /// the engine-equivalence suite asserts it.
     naive_stepping: bool,
-    /// Routers that may do work next evaluation sweep: they received a
-    /// flit or credit, or stayed non-quiescent after evaluating.
-    active_routers: ActiveSet,
-    /// Tiles with flits waiting in their injection queues.
-    inject_pending: ActiveSet,
-    /// Earliest due cycle per channel (`Cycle::MAX` when idle). The
-    /// authoritative record; wheel entries are hints filtered against it.
-    chan_next_due: Vec<Cycle>,
-    /// Calendar queue of channel due cycles: phase 1 drains exactly the
-    /// slot for `now` instead of rescanning every awake channel.
-    chan_wheel: TimingWheel,
-    /// Earliest due cycle per node's pipes (`Cycle::MAX` when idle).
-    pipe_next_due: Vec<Cycle>,
-    /// Calendar queue of tile-pipe due cycles, as `chan_wheel`.
-    pipe_wheel: TimingWheel,
-    /// Scratch for collecting active indices (capacity persists).
-    idx_scratch: Vec<usize>,
-    /// Reusable router-output scratch: cleared before every evaluation,
-    /// never reallocated.
-    out_scratch: RouterOutput,
 }
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("topology", &self.topo.name())
+            .field("topology", &self.shared.topo.name())
             .field("cycle", &self.cycle)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -236,24 +193,34 @@ impl Network {
         let topo = cfg.topology.build();
         let n = topo.num_nodes();
         let dateline_aware = cfg.topology.has_wraparound();
+        let seed = cfg.seed;
 
-        let mut channels = Vec::new();
+        // Transmit halves in the historical `topo.channels()` order
+        // (ascending (src, dir)); receive halves re-sorted by
+        // (dst, in_port) so each owning cell's halves are contiguous.
+        let mut tx_meta = Vec::new();
+        let mut ends: Vec<(NodeId, bool)> = Vec::new();
         let mut chan_idx = vec![[None; 4]; n];
         for (node, dir) in topo.channels() {
             let dst = topo.neighbor(node, dir).expect("listed channel exists");
-            chan_idx[node.index()][dir.index()] = Some(channels.len());
-            channels.push(Channel {
+            chan_idx[node.index()][dir.index()] = Some(tx_meta.len());
+            ends.push((dst, topo.is_dateline(node, dir)));
+            tx_meta.push(TxMeta {
                 src: node,
                 dir,
-                dst,
-                dst_port: Port::Dir(dir.opposite()),
                 length_pitches: topo.link_length_pitches(node, dir),
-                dateline: topo.is_dateline(node, dir),
-                link: SteeredLink::new(FLIT_DATA_BITS, 1),
-                flits: VecDeque::new(),
-                credits: VecDeque::new(),
-                flits_carried: 0,
-                bit_pitches: 0.0,
+                rx: usize::MAX,
+            });
+        }
+        let mut rx_order: Vec<usize> = (0..tx_meta.len()).collect();
+        rx_order.sort_by_key(|&t| (ends[t].0.index(), tx_meta[t].dir.opposite().index()));
+        let mut rx_meta = Vec::with_capacity(tx_meta.len());
+        for (r, &t) in rx_order.iter().enumerate() {
+            tx_meta[t].rx = r;
+            rx_meta.push(RxMeta {
+                dst: ends[t].0,
+                in_port: Port::Dir(tx_meta[t].dir.opposite()),
+                dateline: ends[t].1,
             });
         }
 
@@ -288,56 +255,80 @@ impl Network {
             })
             .collect();
 
+        let secded = cfg.link_protection == LinkProtection::Secded;
+        // SEC-DED decode costs one extra cycle per link traversal, and a
+        // serialized flit finishes arriving phits-1 cycles later.
+        let flit_latency =
+            cfg.channel_latency + cfg.router_delay + u64::from(secded) + (cfg.channel_phits - 1);
+        let inject_latency = cfg.channel_latency + cfg.router_delay + (cfg.channel_phits - 1);
+
         let reservations = if cfg.static_flows.is_empty() {
             None
         } else {
-            let hop_latency = cfg.channel_latency
-                + cfg.router_delay
-                + u64::from(cfg.link_protection == crate::config::LinkProtection::Secded);
             Some(ReservationTable::build(
                 topo.as_ref(),
                 cfg.reservation_period,
-                hop_latency,
-                hop_latency,
+                flit_latency - (cfg.channel_phits - 1),
+                flit_latency - (cfg.channel_phits - 1),
                 &cfg.static_flows,
             )?)
         };
 
-        let num_channels = channels.len();
         // The farthest ahead any event is ever scheduled: a serialized,
         // SEC-DED-protected flit traversal or a credit return. Sizes the
         // timing wheels so a slot can never hold a future wrap.
-        let horizon = (cfg.channel_latency
-            + cfg.router_delay
-            + u64::from(cfg.link_protection == crate::config::LinkProtection::Secded)
-            + (cfg.channel_phits - 1))
-            .max(cfg.credit_latency);
-        Ok(Network {
+        let horizon = flit_latency.max(cfg.credit_latency);
+
+        let num_rx = rx_meta.len();
+        let num_tx = tx_meta.len();
+        let mut shared = NetShared {
+            cfg,
+            topo,
             dateline_aware,
+            reservations,
+            transient_rate: 0.0,
+            rx_meta,
+            tx_meta,
+            chan_idx,
+            node_starts: Vec::new(),
+            rx_starts: Vec::new(),
+            tx_starts: Vec::new(),
+            cell_of_node: Vec::new(),
+            horizon,
+            flit_latency,
+            inject_latency,
+            secded,
+        };
+        shared.set_partition(1);
+
+        let state = GlobalState {
             routers,
             interfaces,
-            channels,
-            chan_idx,
             inject_pipes: vec![VecDeque::new(); n],
             eject_pipes: vec![VecDeque::new(); n],
-            reservations,
+            rx_links: (0..num_rx)
+                .map(|_| SteeredLink::new(FLIT_DATA_BITS, 1))
+                .collect(),
+            rx_flits: vec![VecDeque::new(); num_rx],
+            rx_rng: (0..num_rx)
+                .map(|r| XorShift64::new(stream_seed(seed, 2, r as u64)))
+                .collect(),
+            tx_credits: vec![VecDeque::new(); num_tx],
+            tx_flits_carried: vec![0; num_tx],
+            tx_bit_pitches: vec![0.0; num_tx],
+            next_seq: vec![0; n],
+            route_rng: (0..n)
+                .map(|i| XorShift64::new(stream_seed(seed, 1, i as u64)))
+                .collect(),
+            stats: CellStats::default(),
+        };
+        let cells = build_cells(&shared, state, 0);
+        Ok(Network {
+            shared,
+            cells,
             cycle: 0,
-            next_packet: 0,
-            rng: XorShift64::new(cfg.seed),
-            stats: NetworkStats::default(),
-            transient_rate: 0.0,
             probe: None,
             naive_stepping: false,
-            active_routers: ActiveSet::new(n),
-            inject_pending: ActiveSet::new(n),
-            chan_next_due: vec![Cycle::MAX; num_channels],
-            chan_wheel: TimingWheel::new(horizon, num_channels),
-            pipe_next_due: vec![Cycle::MAX; n],
-            pipe_wheel: TimingWheel::new(horizon, n),
-            idx_scratch: Vec::with_capacity(num_channels.max(n)),
-            out_scratch: RouterOutput::default(),
-            topo,
-            cfg,
         })
     }
 
@@ -350,6 +341,80 @@ impl Network {
     /// otherwise.
     pub fn set_naive_stepping(&mut self, naive: bool) {
         self.naive_stepping = naive;
+    }
+
+    /// Re-cuts the network state into `shards` contiguous tile-region
+    /// cells (clamped to `1..=num_nodes`). May be called at any cycle
+    /// boundary, mid-run included: the component state is gathered in
+    /// global order and re-split, and every cell's wake bookkeeping is
+    /// rebuilt exactly, so behaviour is bit-identical at any cell count.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(
+            self.cells.iter().all(|c| c.outbox.is_empty()),
+            "exchange boundary messages before re-sharding"
+        );
+        if shards.clamp(1, self.shared.topo.num_nodes().max(1)) == self.cells.len() {
+            return;
+        }
+        let mut state = GlobalState::default();
+        for mut cell in self.cells.drain(..) {
+            state.routers.append(&mut cell.routers);
+            state.interfaces.append(&mut cell.interfaces);
+            state.inject_pipes.append(&mut cell.inject_pipes);
+            state.eject_pipes.append(&mut cell.eject_pipes);
+            state.rx_links.append(&mut cell.rx_links);
+            state.rx_flits.append(&mut cell.rx_flits);
+            state.rx_rng.append(&mut cell.rx_rng);
+            state.tx_credits.append(&mut cell.tx_credits);
+            state.tx_flits_carried.append(&mut cell.tx_flits_carried);
+            state.tx_bit_pitches.append(&mut cell.tx_bit_pitches);
+            state.next_seq.append(&mut cell.next_seq);
+            state.route_rng.append(&mut cell.route_rng);
+            state.stats.add(cell.stats);
+        }
+        self.shared.set_partition(shards);
+        self.cells = build_cells(&self.shared, state, self.cycle);
+    }
+
+    /// The current number of cells (1 unless [`Self::set_shards`] raised
+    /// it).
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The conservative-synchronization window: how many cycles shards
+    /// may step between boundary exchanges (the minimum channel flit or
+    /// credit latency, at least 1).
+    pub fn lookahead_window(&self) -> u64 {
+        self.shared.lookahead_window()
+    }
+
+    /// Exclusive per-cell handles for a threaded shard runner. Each
+    /// handle steps its cell independently for up to
+    /// [`Self::lookahead_window`] cycles; boundary messages taken from
+    /// one handle must be applied to their destination cell before any
+    /// cell steps past the window.
+    pub fn shard_handles(&mut self) -> Vec<ShardHandle<'_>> {
+        let shared = &self.shared;
+        let naive = self.naive_stepping;
+        self.cells
+            .iter_mut()
+            .map(|cell| ShardHandle {
+                shared,
+                cell,
+                naive,
+            })
+            .collect()
+    }
+
+    /// Records the cycle an external (threaded) shard run advanced the
+    /// cells to, so `stats()`, `cycle()`, and probe finalization see it.
+    pub fn finish_sharded_run(&mut self, cycle: Cycle) {
+        debug_assert!(
+            self.cells.iter().all(|c| c.outbox.is_empty()),
+            "boundary messages left unapplied"
+        );
+        self.cycle = cycle;
     }
 
     /// Attaches an observability probe; subsequent cycles report into it.
@@ -371,17 +436,17 @@ impl Network {
 
     /// The active configuration.
     pub fn config(&self) -> &NetworkConfig {
-        &self.cfg
+        &self.shared.cfg
     }
 
     /// The topology.
     pub fn topology(&self) -> &dyn Topology {
-        self.topo.as_ref()
+        self.shared.topo.as_ref()
     }
 
     /// The admitted reservation table, if static flows were configured.
     pub fn reservation_table(&self) -> Option<&ReservationTable> {
-        self.reservations.as_ref()
+        self.shared.reservations.as_ref()
     }
 
     /// The current cycle.
@@ -391,18 +456,41 @@ impl Network {
 
     /// Aggregate statistics so far.
     pub fn stats(&self) -> NetworkStats {
-        let mut s = self.stats;
-        s.cycles = self.cycle;
-        s.packets_delivered = self.interfaces.iter().map(|i| i.packets_delivered).sum();
-        s.flits_injected = self.interfaces.iter().map(|i| i.flits_injected).sum();
-        for r in &self.routers {
-            match r {
-                RouterCore::Dropping(d) => {
-                    s.packets_dropped += d.packets_dropped;
-                    s.flits_dropped += d.flits_discarded;
+        let mut acc = CellStats::default();
+        for c in &self.cells {
+            acc.add(c.stats);
+        }
+        let mut s = NetworkStats {
+            cycles: self.cycle,
+            packets_injected: acc.packets_injected,
+            ecc_corrections: acc.ecc_corrections,
+            ecc_uncorrectable: acc.ecc_uncorrectable,
+            ..NetworkStats::default()
+        };
+        s.energy.flit_hops = acc.flit_hops;
+        s.energy.hop_bits = acc.hop_bits;
+        for cell in &self.cells {
+            for i in &cell.interfaces {
+                s.packets_delivered += i.packets_delivered;
+                s.flits_injected += i.flits_injected;
+            }
+            for r in &cell.routers {
+                match r {
+                    RouterCore::Dropping(d) => {
+                        s.packets_dropped += d.packets_dropped;
+                        s.flits_dropped += d.flits_discarded;
+                    }
+                    RouterCore::Deflection(d) => s.deflections += d.deflections,
+                    RouterCore::Vc(_) => {}
                 }
-                RouterCore::Deflection(d) => s.deflections += d.deflections,
-                RouterCore::Vc(_) => {}
+            }
+            // One flat accumulation in global tx order: the float-sum
+            // order is fixed by entity order, not by the cell cut.
+            for &f in &cell.tx_flits_carried {
+                s.energy.link_flits += f;
+            }
+            for &bp in &cell.tx_bit_pitches {
+                s.energy.link_bit_pitches += bp;
             }
         }
         s
@@ -411,16 +499,20 @@ impl Network {
     /// Per-link loads (utilization requires `cycles > 0`).
     pub fn link_loads(&self) -> Vec<LinkLoad> {
         let cycles = self.cycle.max(1) as f64;
-        self.channels
-            .iter()
-            .map(|c| LinkLoad {
-                node: c.src,
-                dir: c.dir,
-                utilization: c.flits_carried as f64 / cycles,
-                flits: c.flits_carried,
-                length_pitches: c.length_pitches,
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.shared.tx_meta.len());
+        for cell in &self.cells {
+            for (i, &flits) in cell.tx_flits_carried.iter().enumerate() {
+                let meta = &self.shared.tx_meta[cell.tx_base + i];
+                out.push(LinkLoad {
+                    node: meta.src,
+                    dir: meta.dir,
+                    utilization: flits as f64 / cycles,
+                    flits,
+                    length_pitches: meta.length_pitches,
+                });
+            }
+        }
+        out
     }
 
     /// Injects a fault into the link leaving `node` toward `dir`.
@@ -434,19 +526,25 @@ impl Network {
         dir: Direction,
         fault: LinkFault,
     ) -> Result<(), Error> {
-        let idx = self
+        let t = self
+            .shared
             .chan_idx
             .get(node.index())
             .and_then(|row| row[dir.index()])
             .ok_or_else(|| Error::Config(format!("no channel at {node}:{dir}")))?;
-        self.channels[idx].link.inject_fault(fault);
+        let r = self.shared.tx_meta[t].rx;
+        let ci = self.shared.cell_of_node[self.shared.rx_meta[r].dst.index()];
+        let cell = &mut self.cells[ci];
+        cell.rx_links[r - cell.rx_base].inject_fault(fault);
         Ok(())
     }
 
     /// Enables or disables bit steering on every link.
     pub fn set_steering(&mut self, on: bool) {
-        for c in &mut self.channels {
-            c.link.set_steering(on);
+        for cell in &mut self.cells {
+            for link in &mut cell.rx_links {
+                link.set_steering(on);
+            }
         }
     }
 
@@ -459,14 +557,20 @@ impl Network {
     /// Panics if `rate` is outside `0.0..=1.0`.
     pub fn set_transient_fault_rate(&mut self, rate: f64) {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        self.transient_rate = rate;
+        self.shared.transient_rate = rate;
     }
 
     /// Free injection-queue space (flits) for `class` traffic at `node`.
     pub fn injection_space(&self, node: NodeId, class: ServiceClass) -> usize {
-        let mask = self.cfg.vc_plan.injection_mask(class, self.dateline_aware);
+        let mask = self
+            .shared
+            .cfg
+            .vc_plan
+            .injection_mask(class, self.shared.dateline_aware);
+        let cell = &self.cells[self.shared.cell_of_node[node.index()]];
+        let iface = &cell.interfaces[node.index() - cell.node_base];
         mask.iter()
-            .map(|vc| self.interfaces[node.index()].queue_space(vc))
+            .map(|vc| iface.queue_space(vc))
             .max()
             .unwrap_or(0)
     }
@@ -484,494 +588,42 @@ impl Network {
     /// * [`Error::Config`] for multi-flit packets under deflection flow
     ///   control.
     pub fn inject(&mut self, spec: &PacketSpec) -> Result<PacketId, Error> {
-        let n = self.topo.num_nodes();
+        let n = self.shared.topo.num_nodes();
         for node in [spec.src, spec.dst] {
             if node.index() >= n {
                 return Err(Error::NodeOutOfRange { node, nodes: n });
             }
         }
-        if spec.src == spec.dst {
-            return Err(Error::Route(RouteError::Empty));
-        }
-        let num_flits = spec.num_flits();
-        if self.cfg.flow_control == FlowControl::Deflection && num_flits != 1 {
-            return Err(Error::Config(
-                "deflection flow control carries single-flit packets only".into(),
-            ));
-        }
-
-        let (dirs, valiant_boundary) = self.compute_route(spec.src, spec.dst, spec.class);
-        let route = SourceRoute::compile(&dirs)?;
-        if self.cfg.require_paper_route_field && !route.fits_paper_field() {
-            return Err(Error::Route(RouteError::TooLong {
-                entries: route.num_entries(),
-            }));
-        }
-
-        if let Some(d) = &spec.data {
-            debug_assert_eq!(d.len(), num_flits, "one payload entry per flit");
-        }
-        // The packet's VC-mask field covers both dateline halves of its
-        // class; each router intersects it with the half its dateline
-        // class permits. Injection itself always happens in class 0 (for
-        // two-segment routes, the segment-0 pre-dateline tier).
-        let inject_mask = if valiant_boundary != 0 {
-            self.cfg
-                .vc_plan
-                .mask_for_two_segment(0, 0, self.dateline_aware)
-        } else {
-            self.cfg
-                .vc_plan
-                .injection_mask(spec.class, self.dateline_aware)
+        let ci = self.shared.cell_of_node[spec.src.index()];
+        let mut noop = NoProbe;
+        let probe: &mut dyn Probe = match self.probe.as_deref_mut() {
+            Some(p) => p,
+            None => &mut noop,
         };
-        let packet_mask = self
-            .cfg
-            .vc_plan
-            .mask_for(spec.class, 0, self.dateline_aware)
-            .or(self
-                .cfg
-                .vc_plan
-                .mask_for(spec.class, 1, self.dateline_aware));
-        if inject_mask.is_empty() {
-            return Err(Error::EmptyVcMask {
-                mask: inject_mask.bits(),
-            });
-        }
-
-        let iface = &mut self.interfaces[spec.src.index()];
-        let vc = iface.choose_vc(inject_mask.iter(), num_flits).ok_or({
-            Error::InjectionBackpressure {
-                node: spec.src,
-                vc: inject_mask.iter().next().expect("non-empty mask"),
-            }
-        })?;
-
-        let id = PacketId(self.next_packet);
-        self.next_packet += 1;
-        let flits = Self::flitize(spec, id, route, self.cycle, packet_mask, valiant_boundary);
-        iface.enqueue_packet(vc, flits).expect("space was checked");
-        // INVARIANT: wake — a tile with queued flits must stay in the
-        // injection set until its queues drain; the bit is cleared only
-        // when pending_flits() returns to zero.
-        Self::wake_injector(&mut self.inject_pending, spec.src.index());
-        self.stats.packets_injected += 1;
-        if let Some(p) = self.probe.as_deref_mut() {
-            Probe::packet_injected(p, self.cycle, spec.src, spec.dst, id);
-        }
-        Ok(id)
-    }
-
-    /// Builds the flit sequence for a packet.
-    fn flitize(
-        spec: &PacketSpec,
-        id: PacketId,
-        route: SourceRoute,
-        now: Cycle,
-        vc_mask: VcMask,
-        valiant_boundary: u8,
-    ) -> Vec<Flit> {
-        let num_flits = spec.num_flits();
-        let mut flits = Vec::with_capacity(num_flits);
-        let mut remaining = spec.payload_bits.max(1);
-        for i in 0..num_flits {
-            let bits = remaining.min(FLIT_DATA_BITS);
-            remaining -= bits;
-            let kind = match (i == 0, i == num_flits - 1) {
-                (true, true) => FlitKind::HeadTail,
-                (true, false) => FlitKind::Head,
-                (false, true) => FlitKind::Tail,
-                (false, false) => FlitKind::Body,
-            };
-            let payload = spec
-                .data
-                .as_ref()
-                .and_then(|d| d.get(i).copied())
-                .unwrap_or_else(|| Payload::from_u64(id.0 << 8 | i as u64));
-            flits.push(Flit {
-                kind,
-                size: SizeCode::for_bits(bits).expect("1..=256 bits per flit"),
-                vc_mask,
-                route,
-                payload,
-                heading: Direction::East,
-                link_vc: VcId::new(0),
-                resolved_port: None,
-                meta: FlitMeta {
-                    packet: id,
-                    src: spec.src,
-                    dst: spec.dst,
-                    flit_index: i as u16,
-                    packet_len: num_flits as u16,
-                    created_at: now,
-                    injected_at: now,
-                    class: spec.class,
-                    flow: spec.flow,
-                    dateline_class: 0,
-                    valiant_boundary,
-                    segment: 0,
-                    hops_taken: 0,
-                    ecc: 0,
-                    corrupted: false,
-                },
-            });
-        }
-        flits
-    }
-
-    /// Computes the hop sequence for a packet, returning the hops and the
-    /// length of the first Valiant segment (0 for minimal routes).
-    fn compute_route(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        class: ServiceClass,
-    ) -> (Vec<Direction>, u8) {
-        // Only bulk traffic is randomized: priority and reserved classes
-        // have a single dateline VC pair each, which is only sufficient
-        // for single-segment (minimal) routes.
-        if self.cfg.routing == RoutingAlg::DimensionOrder || class != ServiceClass::Bulk {
-            return (self.topo.route_dirs(src, dst), 0);
-        }
-        // Valiant: src -> random intermediate -> dst. The relative-turn
-        // encoding cannot express a reversal at the junction, so resample
-        // a few times and fall back to the direct route.
-        let n = self.topo.num_nodes() as u64;
-        for _ in 0..16 {
-            let mid = NodeId::new(self.rng.below(n) as u16);
-            if mid == src || mid == dst {
-                continue;
-            }
-            let mut dirs = self.topo.route_dirs(src, mid);
-            let seg1_len = dirs.len();
-            dirs.extend(self.topo.route_dirs(mid, dst));
-            if dirs.len() > u8::MAX as usize {
-                continue;
-            }
-            if SourceRoute::compile(&dirs).is_ok() {
-                return (dirs, seg1_len as u8);
-            }
-        }
-        (self.topo.route_dirs(src, dst), 0)
+        self.cells[ci].inject(&self.shared, spec, self.cycle, probe)
     }
 
     /// Removes and returns packets delivered to `node`.
     pub fn drain_delivered(&mut self, node: NodeId) -> Vec<DeliveredPacket> {
-        self.interfaces[node.index()].drain_delivered()
-    }
-
-    // ── Wake helpers ──────────────────────────────────────────────────
-    //
-    // The activity-gated engine's determinism rests on two rules (see
-    // DESIGN.md §3.13): (a) every event that can make an entity's next
-    // phase visit a non-no-op must wake it through one of these helpers,
-    // and (b) the sets are fixed-order bitsets iterated in ascending
-    // index order, so the order wake-ups fire in can never influence the
-    // order entities are processed in.
-
-    /// Marks a router for the next evaluation sweep.
-    // INVARIANT: wake-rule (routers) — called on every flit receive and
-    // credit arrival, and re-asserted after evaluation while the router
-    // is non-quiescent; cleared only when `is_quiescent()` holds, where
-    // evaluation is a guaranteed no-op.
-    #[inline]
-    fn wake_router(active: &mut ActiveSet, node: usize) {
-        active.set(node);
-    }
-
-    /// Marks a tile as having flits queued for injection.
-    // INVARIANT: wake-rule (injection) — set whenever a packet is
-    // enqueued; cleared only when the tile's pending count returns to
-    // zero, so an offer is made every eligible cycle until the queues
-    // drain.
-    #[inline]
-    fn wake_injector(pending: &mut ActiveSet, node: usize) {
-        pending.set(node);
-    }
-
-    /// Marks a channel as holding an entry due at `due`.
-    // INVARIANT: wake-rule (channels) — called on every push into a
-    // channel's flit or credit pipe; `next_due` only ever decreases
-    // here, and every decrease files a wheel entry in the new due
-    // cycle's slot, so the phase-1 slot drain can never miss a queued
-    // delivery. A non-decreasing `due` needs no entry: one already
-    // exists for the earlier due cycle, and delivery drains everything
-    // due, not just the waking entry.
-    #[inline]
-    fn wake_channel(
-        wheel: &mut TimingWheel,
-        next_due: &mut [Cycle],
-        ci: usize,
-        due: Cycle,
-        now: Cycle,
-    ) {
-        if due < next_due[ci] {
-            next_due[ci] = due;
-            wheel.schedule(ci, due, now);
-        }
-    }
-
-    /// Marks a node's tile pipes as holding an entry due at `due`.
-    // INVARIANT: wake-rule (pipes) — called on every push into an inject
-    // or eject pipe; same schedule-on-decrease argument as
-    // `wake_channel`.
-    #[inline]
-    fn wake_pipe(
-        wheel: &mut TimingWheel,
-        next_due: &mut [Cycle],
-        node: usize,
-        due: Cycle,
-        now: Cycle,
-    ) {
-        if due < next_due[node] {
-            next_due[node] = due;
-            wheel.schedule(node, due, now);
-        }
-    }
-
-    /// Delivers every due flit, then every due credit, on channel `ci`.
-    fn deliver_channel(&mut self, ci: usize, now: Cycle, probe: &mut dyn Probe) {
-        loop {
-            let due = matches!(self.channels[ci].flits.front(), Some(&(t, _)) if t <= now);
-            if !due {
-                break;
-            }
-            let c = &mut self.channels[ci];
-            let (_, mut flit) = c.flits.pop_front().expect("checked front");
-            let (payload, steering_hit) = c.link.transmit(&flit.payload);
-            flit.payload = payload;
-            let mut hop_corrupt = steering_hit;
-            if c.dateline {
-                flit.meta.dateline_class = 1;
-            }
-            let (dst, port) = (c.dst, c.dst_port);
-            if self.transient_rate > 0.0
-                && (self.rng.next_u64() as f64 / u64::MAX as f64) < self.transient_rate
-            {
-                flit.payload.flip_bit(self.rng.below(256) as usize);
-                hop_corrupt = true;
-            }
-            // Link-level SEC-DED repairs single-bit damage at the
-            // receiving router (paper §2.5's alternative protocol).
-            if hop_corrupt && self.cfg.link_protection == crate::config::LinkProtection::Secded {
-                match crate::ecc::decode(&mut flit.payload, flit.meta.ecc) {
-                    crate::ecc::EccOutcome::Corrected { .. } => {
-                        hop_corrupt = false;
-                        self.stats.ecc_corrections += 1;
-                    }
-                    crate::ecc::EccOutcome::Uncorrectable => {
-                        self.stats.ecc_uncorrectable += 1;
-                    }
-                    crate::ecc::EccOutcome::Clean => {}
-                }
-            }
-            flit.meta.corrupted |= hop_corrupt;
-            if flit.kind.is_head() {
-                probe.head_arrived(now, dst, port, flit.meta.packet);
-            }
-            self.routers[dst.index()].receive(port, flit);
-            // INVARIANT: wake — the receive above gave the router work.
-            Self::wake_router(&mut self.active_routers, dst.index());
-        }
-        // Credits back to the channel's source router.
-        loop {
-            let c = &mut self.channels[ci];
-            match c.credits.front() {
-                Some(&(t, _)) if t <= now => {
-                    let (_, vc) = c.credits.pop_front().expect("checked front");
-                    let (src, dir) = (c.src, c.dir);
-                    self.routers[src.index()].credit_arrived(Port::Dir(dir), vc);
-                    if !self.routers[src.index()].is_quiescent() {
-                        // INVARIANT: wake — a fresh credit can unblock a
-                        // credit-stalled flit at the source router. A
-                        // quiescent router has nothing to send, so a
-                        // credit alone cannot make its evaluation a
-                        // non-no-op and needs no wake.
-                        Self::wake_router(&mut self.active_routers, src.index());
-                    }
-                }
-                _ => break,
-            }
-        }
-    }
-
-    /// Refreshes channel `ci`'s due-cycle bookkeeping from its deque
-    /// fronts (each deque is due-sorted: push times increase and the
-    /// per-entry latency is a per-run constant). When the due cycle
-    /// moved, files a wheel entry for the new one — an unchanged due
-    /// already has its entry, and an idle channel needs none.
-    fn settle_channel(&mut self, ci: usize, now: Cycle) {
-        let c = &self.channels[ci];
-        let due = match (c.flits.front(), c.credits.front()) {
-            (Some(&(a, _)), Some(&(b, _))) => a.min(b),
-            (Some(&(a, _)), None) => a,
-            (None, Some(&(b, _))) => b,
-            (None, None) => Cycle::MAX,
-        };
-        if due != self.chan_next_due[ci] {
-            self.chan_next_due[ci] = due;
-            if due != Cycle::MAX {
-                self.chan_wheel.schedule(ci, due, now);
-            }
-        }
-    }
-
-    /// Delivers every due inject-pipe flit, then every due eject-pipe
-    /// flit, for `node`.
-    fn deliver_pipes(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
-        while let Some(&(t, _)) = self.inject_pipes[node].front() {
-            if t > now {
-                break;
-            }
-            let (_, flit) = self.inject_pipes[node].pop_front().expect("front");
-            if flit.kind.is_head() {
-                probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, flit.meta.packet);
-            }
-            self.routers[node].receive(Port::Tile, flit);
-            // INVARIANT: wake — the receive above gave the router work.
-            Self::wake_router(&mut self.active_routers, node);
-        }
-        while let Some(&(t, _)) = self.eject_pipes[node].front() {
-            if t > now {
-                break;
-            }
-            let (_, flit) = self.eject_pipes[node].pop_front().expect("front");
-            let vc = flit.link_vc;
-            if flit.kind.is_head() {
-                probe.head_ejected(now, NodeId::new(node as u16), flit.meta.packet);
-            }
-            self.interfaces[node].receive(flit, now, probe);
-            self.routers[node].credit_arrived(Port::Tile, vc);
-            if !self.routers[node].is_quiescent() {
-                // INVARIANT: wake — the tile-port credit can unblock a
-                // credit-stalled ejection at this router. As above, a
-                // quiescent router cannot use a credit this cycle.
-                Self::wake_router(&mut self.active_routers, node);
-            }
-        }
-    }
-
-    /// Refreshes `node`'s pipe due-cycle bookkeeping (both pipes are
-    /// due-sorted for the same reason as channels), filing a wheel
-    /// entry when the due cycle moved.
-    fn settle_pipe(&mut self, node: usize, now: Cycle) {
-        let due = match (
-            self.inject_pipes[node].front(),
-            self.eject_pipes[node].front(),
-        ) {
-            (Some(&(a, _)), Some(&(b, _))) => a.min(b),
-            (Some(&(a, _)), None) => a,
-            (None, Some(&(b, _))) => b,
-            (None, None) => Cycle::MAX,
-        };
-        if due != self.pipe_next_due[node] {
-            self.pipe_next_due[node] = due;
-            if due != Cycle::MAX {
-                self.pipe_wheel.schedule(node, due, now);
-            }
-        }
-    }
-
-    /// Offers `node`'s tile port one push-mode injection slot.
-    fn push_injection(
-        &mut self,
-        node: usize,
-        now: Cycle,
-        inject_latency: Cycle,
-        probe: &mut dyn Probe,
-    ) {
-        if self.routers[node].pulls_injection() {
-            return;
-        }
-        if let Some(flit) = self.interfaces[node].pick_injection(now) {
-            if flit.kind.is_head() {
-                probe.packet_entered(
-                    now,
-                    NodeId::new(node as u16),
-                    flit.meta.packet,
-                    flit.meta.packet_len,
-                    flit.meta.class,
-                );
-            }
-            self.inject_pipes[node].push_back((now + inject_latency, flit));
-            // INVARIANT: wake — the flit just queued must be delivered to
-            // the router when its pipe latency elapses.
-            Self::wake_pipe(
-                &mut self.pipe_wheel,
-                &mut self.pipe_next_due,
-                node,
-                now + inject_latency,
-                now,
-            );
-            if !self.interfaces[node].injection_pending() {
-                // INVARIANT: the injection bit is cleared only when the
-                // tile's queues are empty; the next enqueue re-sets it.
-                self.inject_pending.clear(node);
-            }
-        }
-    }
-
-    /// Evaluates router `node` for this cycle and applies its output.
-    fn evaluate_router(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
-        // Pull-mode cores are offered a *reference* to the next queued
-        // flit, gated on the O(1) pending check; the 256-bit payload is
-        // only copied if the router consumes the offer.
-        let offered =
-            if self.routers[node].pulls_injection() && self.interfaces[node].injection_pending() {
-                self.interfaces[node].peek_injection()
-            } else {
-                None
-            };
-        let offered_head = offered.map(|f| (f.meta.packet, f.meta.packet_len, f.meta.class));
-        let env = EvalEnv {
-            now,
-            reservations: self
-                .reservations
-                .as_ref()
-                .map(|t| (t, self.cfg.reservation_policy)),
-            topo: self.topo.as_ref(),
-        };
-        self.out_scratch.clear();
-        let consumed = self.routers[node].evaluate(&env, offered, &mut self.out_scratch, probe);
-        if consumed {
-            // The router copied the peeked flit; remove the original from
-            // the interface queue. Pull-mode injection enters the network
-            // and arrives at the source router in the same cycle (no
-            // inject pipe).
-            if let Some((packet, len, class)) = offered_head {
-                probe.packet_entered(now, NodeId::new(node as u16), packet, len, class);
-                probe.head_arrived(now, NodeId::new(node as u16), Port::Tile, packet);
-            }
-            self.interfaces[node]
-                .pick_injection(now)
-                .expect("peeked flit still queued");
-            if !self.interfaces[node].injection_pending() {
-                // INVARIANT: the injection bit is cleared only when the
-                // tile's queues are empty; the next enqueue re-sets it.
-                self.inject_pending.clear(node);
-            }
-        }
-        self.apply_router_output(node, now, probe);
-        if self.routers[node].is_quiescent() {
-            // INVARIANT: quiescence makes the next evaluation a no-op by
-            // the `RouterCore::is_quiescent` contract, so dropping the
-            // router from the active set cannot change any result; any
-            // later receive/credit re-wakes it.
-            self.active_routers.clear(node);
-        } else {
-            // INVARIANT: wake — buffered or staged flits remain, so the
-            // router must be evaluated again next cycle.
-            Self::wake_router(&mut self.active_routers, node);
-        }
+        let cell = &mut self.cells[self.shared.cell_of_node[node.index()]];
+        cell.interfaces[node.index() - cell.node_base].drain_delivered()
     }
 
     /// Advances the network one cycle.
     ///
-    /// The cycle runs in four phases — channel deliveries, tile-pipe
-    /// deliveries, push-mode injection, router evaluation — and each
-    /// phase visits only awake entities (or everything, under
-    /// [`Self::set_naive_stepping`]), always in ascending index order.
+    /// The cycle runs in phases — channel flit deliveries, credit
+    /// deliveries, tile-pipe deliveries, push-mode injection, router
+    /// evaluation — and each phase visits only awake entities (or
+    /// everything, under [`Self::set_naive_stepping`]), always in
+    /// ascending index order. With multiple cells the phases visit cells
+    /// in ascending order too, so entity order matches a single cell's,
+    /// and cross-cell pushes are exchanged at the end of the cycle —
+    /// before any cycle that could deliver them, since every boundary
+    /// event is at least one cycle in the future.
     pub fn step(&mut self) {
         let now = self.cycle;
+        let naive = self.naive_stepping;
+        let probed = self.probe.is_some();
         // The probe moves out of `self` for the cycle so routers and
         // interfaces can borrow it alongside the rest of the network.
         let mut probe_slot = self.probe.take();
@@ -981,192 +633,52 @@ impl Network {
             None => &mut noop,
         };
 
-        // 1. Channel deliveries: flits reach downstream routers. The
-        // wheel's slot for `now` holds exactly the channels whose due
-        // cycle arrived (plus filterable stale hints) — a cycle with an
-        // empty slot touches no channel at all. Naive stepping visits
-        // every channel instead; its slot entries are spent by the full
-        // scan and discarded, keeping the wheel state identical for a
-        // later flip back to the gated engine.
-        if self.naive_stepping {
-            self.chan_wheel.clear_slot(now);
-            for ci in 0..self.channels.len() {
-                self.deliver_channel(ci, now, probe);
-                self.settle_channel(ci, now);
-            }
-        } else if self.chan_wheel.has_due(now) {
-            let mut idx = std::mem::take(&mut self.idx_scratch);
-            idx.clear();
-            self.chan_wheel.drain_into(now, &mut idx);
-            for &ci in &idx {
-                if self.chan_next_due[ci] > now {
-                    // Stale hint (the channel was re-settled to a later
-                    // cycle, which filed its own entry) or a duplicate
-                    // already delivered this cycle.
-                    continue;
-                }
-                self.deliver_channel(ci, now, probe);
-                self.settle_channel(ci, now);
-            }
-            self.idx_scratch = idx;
+        for cell in &mut self.cells {
+            cell.phase_rx(&self.shared, now, naive, probe);
         }
-
-        // 2. Tile-port deliveries, gated the same way.
-        if self.naive_stepping {
-            self.pipe_wheel.clear_slot(now);
-            for node in 0..self.routers.len() {
-                self.deliver_pipes(node, now, probe);
-                self.settle_pipe(node, now);
-            }
-        } else if self.pipe_wheel.has_due(now) {
-            let mut idx = std::mem::take(&mut self.idx_scratch);
-            idx.clear();
-            self.pipe_wheel.drain_into(now, &mut idx);
-            for &node in &idx {
-                if self.pipe_next_due[node] > now {
-                    continue;
-                }
-                self.deliver_pipes(node, now, probe);
-                self.settle_pipe(node, now);
-            }
-            self.idx_scratch = idx;
+        for cell in &mut self.cells {
+            cell.phase_tx(&self.shared, now, naive);
         }
-
-        // 3. Push-mode injection (credit-gated tile ports), visiting only
-        // tiles with queued flits. A serialized tile port accepts one
-        // flit per `channel_phits` cycles.
-        let inject_latency =
-            self.cfg.channel_latency + self.cfg.router_delay + (self.cfg.channel_phits - 1);
-        if now.is_multiple_of(self.cfg.channel_phits) {
-            if self.naive_stepping {
-                for node in 0..self.routers.len() {
-                    self.push_injection(node, now, inject_latency, probe);
-                }
-            } else {
-                let mut idx = std::mem::take(&mut self.idx_scratch);
-                idx.clear();
-                self.inject_pending.collect_into(&mut idx);
-                for &node in &idx {
-                    self.push_injection(node, now, inject_latency, probe);
-                }
-                self.idx_scratch = idx;
+        for cell in &mut self.cells {
+            cell.phase_pipes(now, naive, probe);
+        }
+        // Push-mode injection: a serialized tile port accepts one flit
+        // per `channel_phits` cycles.
+        if now.is_multiple_of(self.shared.cfg.channel_phits) {
+            for cell in &mut self.cells {
+                cell.phase_inject(&self.shared, now, naive, probe);
             }
         }
-
-        // 4. Router evaluation: routers that received a flit or credit,
-        // stayed busy, or (pull-mode cores) have an injection offer.
-        if self.naive_stepping {
-            for node in 0..self.routers.len() {
-                self.evaluate_router(node, now, probe);
-            }
-        } else {
-            let mut idx = std::mem::take(&mut self.idx_scratch);
-            idx.clear();
-            if self.cfg.flow_control == FlowControl::Deflection {
-                self.active_routers
-                    .collect_union_into(&self.inject_pending, &mut idx);
-            } else {
-                self.active_routers.collect_into(&mut idx);
-            }
-            for &node in &idx {
-                self.evaluate_router(node, now, probe);
-            }
-            self.idx_scratch = idx;
+        for cell in &mut self.cells {
+            cell.phase_eval(&self.shared, now, naive, probe);
         }
-
         // Per-cycle buffer-occupancy integral, sampled only when a probe
         // is attached so unprobed runs skip the per-router walk entirely.
-        if let Some(p) = probe_slot.as_deref_mut() {
-            for (i, r) in self.routers.iter().enumerate() {
-                Probe::buffer_sample(p, NodeId::new(i as u16), r.occupancy());
+        if probed {
+            for cell in &mut self.cells {
+                cell.phase_sample(probe);
             }
         }
+        self.exchange_boundary(now);
         self.probe = probe_slot;
         self.cycle = now + 1;
     }
 
-    /// Drains the launch/credit scratch router `node` just wrote.
-    fn apply_router_output(&mut self, node: usize, now: Cycle, probe: &mut dyn Probe) {
-        let secded = self.cfg.link_protection == crate::config::LinkProtection::Secded;
-        // SEC-DED decode costs one extra cycle per link traversal, and a
-        // serialized flit finishes arriving phits-1 cycles later.
-        let flit_latency = self.cfg.channel_latency
-            + self.cfg.router_delay
-            + u64::from(secded)
-            + (self.cfg.channel_phits - 1);
-        for (port, mut flit) in self.out_scratch.launches.drain() {
-            if secded && matches!(port, Port::Dir(_)) {
-                flit.meta.ecc = crate::ecc::encode(&flit.payload);
-            }
-            let bits = flit.active_bits() as u64;
-            self.stats.energy.flit_hops += 1;
-            self.stats.energy.hop_bits += bits;
-            probe.flit_forwarded(
-                now,
-                NodeId::new(node as u16),
-                port,
-                flit.link_vc,
-                flit.meta.packet,
-            );
-            match port {
-                Port::Dir(d) => {
-                    let ci = self.chan_idx[node][d.index()]
-                        .expect("router launched into an existing channel");
-                    let c = &mut self.channels[ci];
-                    c.flits_carried += 1;
-                    c.bit_pitches += bits as f64 * c.length_pitches;
-                    self.stats.energy.link_flits += 1;
-                    self.stats.energy.link_bit_pitches += bits as f64 * c.length_pitches;
-                    c.flits.push_back((now + flit_latency, flit));
-                    // INVARIANT: wake — the flit just queued must be
-                    // delivered downstream when its latency elapses.
-                    Self::wake_channel(
-                        &mut self.chan_wheel,
-                        &mut self.chan_next_due,
-                        ci,
-                        now + flit_latency,
-                        now,
-                    );
-                }
-                Port::Tile => {
-                    self.eject_pipes[node].push_back((now + self.cfg.channel_latency, flit));
-                    // INVARIANT: wake — the ejected flit must reach the
-                    // tile interface when the eject pipe drains.
-                    Self::wake_pipe(
-                        &mut self.pipe_wheel,
-                        &mut self.pipe_next_due,
-                        node,
-                        now + self.cfg.channel_latency,
-                        now,
-                    );
-                }
-            }
+    /// Applies every cell's pending cross-cell pushes. Each event deque
+    /// has a single producer and the events are future-dated, so the
+    /// application order across cells cannot matter.
+    fn exchange_boundary(&mut self, now: Cycle) {
+        if self.cells.len() == 1 {
+            debug_assert!(self.cells[0].outbox.is_empty());
+            return;
         }
-        for (port, vc) in self.out_scratch.credits.drain() {
-            match port {
-                Port::Dir(q) => {
-                    // The flit came in via the channel from neighbor(node, q).
-                    let upstream = self
-                        .topo
-                        .neighbor(NodeId::new(node as u16), q)
-                        .expect("credit for an existing channel");
-                    let ci = self.chan_idx[upstream.index()][q.opposite().index()]
-                        .expect("reverse channel exists");
-                    self.channels[ci]
-                        .credits
-                        .push_back((now + self.cfg.credit_latency, vc));
-                    // INVARIANT: wake — the credit just queued must reach
-                    // the upstream router when its latency elapses.
-                    Self::wake_channel(
-                        &mut self.chan_wheel,
-                        &mut self.chan_next_due,
-                        ci,
-                        now + self.cfg.credit_latency,
-                        now,
-                    );
-                }
-                Port::Tile => self.interfaces[node].credit_return(vc),
-            }
+        let mut msgs = Vec::new();
+        for cell in &mut self.cells {
+            msgs.append(&mut cell.outbox);
+        }
+        for m in msgs {
+            let to = m.dest_cell();
+            self.cells[to].apply_boundary(&m, now);
         }
     }
 
@@ -1191,17 +703,20 @@ impl Network {
 
     /// Whether no flit is queued, buffered, or in flight anywhere.
     pub fn is_quiescent(&self) -> bool {
-        self.interfaces.iter().all(|i| i.pending_flits() == 0)
-            && self.routers.iter().all(|r| r.occupancy() == 0)
-            && self.channels.iter().all(|c| c.flits.is_empty())
-            && self.inject_pipes.iter().all(VecDeque::is_empty)
-            && self.eject_pipes.iter().all(VecDeque::is_empty)
+        self.cells.iter().all(|c| {
+            c.interfaces.iter().all(|i| i.pending_flits() == 0)
+                && c.routers.iter().all(|r| r.occupancy() == 0)
+                && c.rx_flits.iter().all(VecDeque::is_empty)
+                && c.inject_pipes.iter().all(VecDeque::is_empty)
+                && c.eject_pipes.iter().all(VecDeque::is_empty)
+        })
     }
 
     /// Renders router-internal state for congestion diagnosis (VC-router
     /// cores only; other cores report their occupancy).
     pub fn router_snapshot(&self, node: NodeId) -> String {
-        match &self.routers[node.index()] {
+        let cell = &self.cells[self.shared.cell_of_node[node.index()]];
+        match &cell.routers[node.index() - cell.node_base] {
             RouterCore::Vc(r) => r.debug_snapshot(),
             other => format!("router {node}: occupancy {}", other.occupancy()),
         }
@@ -1209,13 +724,15 @@ impl Network {
 
     /// Flits currently inside the network (buffers, staging, and pipes).
     pub fn flits_in_flight(&self) -> usize {
-        self.routers
+        self.cells
             .iter()
-            .map(RouterCore::occupancy)
-            .sum::<usize>()
-            + self.channels.iter().map(|c| c.flits.len()).sum::<usize>()
-            + self.inject_pipes.iter().map(VecDeque::len).sum::<usize>()
-            + self.eject_pipes.iter().map(VecDeque::len).sum::<usize>()
+            .map(|c| {
+                c.routers.iter().map(RouterCore::occupancy).sum::<usize>()
+                    + c.rx_flits.iter().map(VecDeque::len).sum::<usize>()
+                    + c.inject_pipes.iter().map(VecDeque::len).sum::<usize>()
+                    + c.eject_pipes.iter().map(VecDeque::len).sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -1223,6 +740,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::config::TopologySpec;
+    use crate::route::RouteError;
 
     fn baseline() -> Network {
         Network::new(NetworkConfig::paper_baseline()).expect("valid baseline")
@@ -1516,5 +1034,40 @@ mod tests {
         assert!(accepted >= 2);
         assert!(rejected > 0);
         assert!(net.drain(1_000));
+    }
+
+    /// Re-cutting the network into cells mid-run must be invisible: the
+    /// same traffic driven at any shard count — including a flip in the
+    /// middle of a run — produces bit-identical stats.
+    #[test]
+    fn in_process_shards_are_bit_identical() {
+        let drive = |shard_plan: &[(u64, usize)]| {
+            let mut net = baseline();
+            let mut plan = shard_plan.iter().peekable();
+            for now in 0..400u64 {
+                if let Some(&&(at, s)) = plan.peek() {
+                    if now == at {
+                        net.set_shards(s);
+                        plan.next();
+                    }
+                }
+                let s = (now % 16) as u16;
+                let d = ((now * 11 + 5) % 16) as u16;
+                if s != d {
+                    let _ = net.inject(&PacketSpec::new(s.into(), d.into()).payload_bits(512));
+                }
+                net.step();
+            }
+            net.drain(2_000);
+            (net.stats(), net.link_loads())
+        };
+        let reference = drive(&[]);
+        for plan in [
+            &[(0, 4)][..],
+            &[(0, 16)][..],
+            &[(100, 2), (200, 8), (300, 1)][..],
+        ] {
+            assert_eq!(drive(plan), reference, "plan {plan:?}");
+        }
     }
 }

@@ -1,0 +1,1600 @@
+//! Sharded execution internals: the network's state partitioned into
+//! contiguous tile-region cells, the boundary messages exchanged
+//! between them, and the per-phase stepping functions shared by the
+//! sequential engine ([`crate::Network::step`]) and the threaded shard
+//! runner (`ocin-sim`'s `ShardedSimulation`).
+//!
+//! # Why sharding preserves bit-identity (DESIGN.md §3.15)
+//!
+//! Every structure a cycle phase mutates is owned by exactly one cell:
+//! routers, tile interfaces, and tile pipes by the cell owning their
+//! node; a channel's *receive* half (flit pipe, fault state) by the
+//! cell owning its destination; its *transmit* half (credit pipe, load
+//! counters) by the cell owning its source. The only cross-cell
+//! operations are *pushes* of future events — a flit launch lands
+//! `flit_latency ≥ 1` cycles ahead, a credit return `credit_latency ≥
+//! 1` cycles ahead — so a cell stepping cycle `t` can never observe a
+//! same-cycle effect from another cell. Deferring those pushes to a
+//! barrier at the end of a lookahead window of
+//! `min(flit_latency, credit_latency)` cycles is therefore invisible:
+//! the events are applied before the first cycle that could deliver
+//! them. Within each cell, phases visit entities in ascending global
+//! index order, exactly as the single-cell engine does.
+
+use std::collections::VecDeque;
+
+use crate::config::{FlowControl, NetworkConfig, RoutingAlg};
+use crate::error::Error;
+use crate::fault::SteeredLink;
+use crate::flit::{
+    Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask, FLIT_DATA_BITS,
+};
+use crate::ids::{Cycle, Direction, NodeId, PacketId, Port, VcId};
+use crate::interface::{DeliveredPacket, TileInterface};
+use crate::network::PacketSpec;
+use crate::probe::{NoProbe, Probe};
+use crate::reservation::ReservationTable;
+use crate::route::{RouteError, SourceRoute};
+use crate::router::{EvalEnv, RouterCore, RouterOutput};
+use crate::topology::Topology;
+use crate::util::{ActiveSet, TimingWheel, XorShift64};
+
+/// Receive half of a directed channel: everything touched when a flit
+/// *arrives* at the channel's destination router. Owned by the cell of
+/// `dst`.
+#[derive(Debug)]
+pub(crate) struct RxMeta {
+    /// Destination router.
+    pub dst: NodeId,
+    /// Input port at the destination (`Port::Dir(dir.opposite())`).
+    pub in_port: Port,
+    /// Whether this link crosses the dateline.
+    pub dateline: bool,
+}
+
+/// Transmit half of a directed channel: everything touched when a flit
+/// is *launched* or a credit *returns* to the channel's source router.
+/// Owned by the cell of `src`.
+#[derive(Debug)]
+pub(crate) struct TxMeta {
+    /// Source router.
+    pub src: NodeId,
+    /// Link direction out of `src`.
+    pub dir: Direction,
+    /// Physical length in tile pitches.
+    pub length_pitches: f64,
+    /// Global index of the paired receive half.
+    pub rx: usize,
+}
+
+/// Immutable (during stepping) network state shared by every cell.
+pub(crate) struct NetShared {
+    pub cfg: NetworkConfig,
+    pub topo: Box<dyn Topology>,
+    pub dateline_aware: bool,
+    pub reservations: Option<ReservationTable>,
+    /// Per-link-traversal probability of a transient single-bit upset.
+    pub transient_rate: f64,
+    /// Receive halves in global order: ascending `(dst, in_port)`.
+    pub rx_meta: Vec<RxMeta>,
+    /// Transmit halves in global order: ascending `(src, dir)` — the
+    /// historical `topo.channels()` order.
+    pub tx_meta: Vec<TxMeta>,
+    /// `[node][dir] -> tx index` for the channel leaving `node` via `dir`.
+    pub chan_idx: Vec<[Option<usize>; 4]>,
+    /// Cell boundaries in node space: `num_cells() + 1` ascending entries.
+    pub node_starts: Vec<usize>,
+    /// First global rx index per cell (plus the total as a sentinel).
+    pub rx_starts: Vec<usize>,
+    /// First global tx index per cell (plus the total as a sentinel).
+    pub tx_starts: Vec<usize>,
+    /// Owning cell per node.
+    pub cell_of_node: Vec<usize>,
+    /// Furthest-ahead schedulable event; sizes every timing wheel.
+    pub horizon: u64,
+    /// Launch-to-delivery latency of a link traversal.
+    pub flit_latency: u64,
+    /// Tile-port inject-pipe latency.
+    pub inject_latency: u64,
+    /// Whether links carry SEC-DED check bits.
+    pub secded: bool,
+}
+
+impl NetShared {
+    pub(crate) fn num_cells(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// The conservative-synchronization window: the minimum latency of
+    /// any event that can cross a cell boundary. Channel flits and
+    /// credits are the only cross-cell events (tile pipes are
+    /// node-local), so shards may step this many cycles between
+    /// boundary exchanges without observing a stale neighbor.
+    pub(crate) fn lookahead_window(&self) -> u64 {
+        self.flit_latency.min(self.cfg.credit_latency).max(1)
+    }
+
+    /// Recomputes the cell boundaries for `shards` cells (clamped to
+    /// `1..=num_nodes`).
+    pub(crate) fn set_partition(&mut self, shards: usize) {
+        let n = self.topo.num_nodes();
+        let s = shards.clamp(1, n.max(1));
+        self.node_starts = (0..=s).map(|i| i * n / s).collect();
+        self.cell_of_node = vec![0; n];
+        for c in 0..s {
+            for node in self.node_starts[c]..self.node_starts[c + 1] {
+                self.cell_of_node[node] = c;
+            }
+        }
+        // rx is sorted by dst and tx by src, so each cell's halves are
+        // one contiguous run.
+        self.rx_starts = self
+            .node_starts
+            .iter()
+            .map(|&start| self.rx_meta.partition_point(|m| m.dst.index() < start))
+            .collect();
+        self.tx_starts = self
+            .node_starts
+            .iter()
+            .map(|&start| self.tx_meta.partition_point(|m| m.src.index() < start))
+            .collect();
+    }
+}
+
+/// SplitMix64 over `(base, stream, idx)`: decorrelated per-entity seeds
+/// so every RNG consumer (per-node routing, per-link faults) owns a
+/// private deterministic stream regardless of how cells are cut.
+pub(crate) fn stream_seed(base: u64, stream: u64, idx: u64) -> u64 {
+    let mut z =
+        base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of low `PacketId` bits holding the source node index; the
+/// per-node sequence number lives above them.
+const PACKET_NODE_BITS: u64 = 16;
+
+/// Saturation-free counters a cell accumulates privately; `Network`
+/// sums them on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CellStats {
+    pub packets_injected: u64,
+    pub ecc_corrections: u64,
+    pub ecc_uncorrectable: u64,
+    pub flit_hops: u64,
+    pub hop_bits: u64,
+}
+
+impl CellStats {
+    pub(crate) fn add(&mut self, other: CellStats) {
+        self.packets_injected += other.packets_injected;
+        self.ecc_corrections += other.ecc_corrections;
+        self.ecc_uncorrectable += other.ecc_uncorrectable;
+        self.flit_hops += other.flit_hops;
+        self.hop_bits += other.hop_bits;
+    }
+}
+
+/// A future event crossing a cell boundary: applied by the owning cell
+/// at the next exchange, strictly before any cycle that could deliver
+/// it.
+#[derive(Debug, Clone)]
+pub struct BoundaryMsg {
+    pub(crate) to_cell: usize,
+    pub(crate) kind: MsgKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum MsgKind {
+    /// A flit launched into global rx half `rx`, due at `due`.
+    Flit { rx: usize, due: Cycle, flit: Flit },
+    /// A credit returned to global tx half `tx`, due at `due`.
+    Credit { tx: usize, due: Cycle, vc: VcId },
+}
+
+impl BoundaryMsg {
+    /// The cell that must apply this message.
+    pub fn dest_cell(&self) -> usize {
+        self.to_cell
+    }
+}
+
+/// One contiguous tile region's complete mutable simulation state.
+#[derive(Debug)]
+pub(crate) struct ShardCell {
+    pub index: usize,
+    pub node_base: usize,
+    pub node_end: usize,
+    pub rx_base: usize,
+    pub tx_base: usize,
+    pub routers: Vec<RouterCore>,
+    pub interfaces: Vec<TileInterface>,
+    pub inject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    pub eject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    pub rx_links: Vec<SteeredLink>,
+    pub rx_flits: Vec<VecDeque<(Cycle, Flit)>>,
+    /// Per-receive-half transient-fault RNG: fault draws stay on a
+    /// private stream per link, whatever the cell cut.
+    pub rx_rng: Vec<XorShift64>,
+    pub tx_credits: Vec<VecDeque<(Cycle, VcId)>>,
+    pub tx_flits_carried: Vec<u64>,
+    pub tx_bit_pitches: Vec<f64>,
+    /// Per-node packet sequence numbers (`PacketId` = seq ≪ 16 | node).
+    pub next_seq: Vec<u64>,
+    /// Per-node Valiant intermediate-pick RNG.
+    pub route_rng: Vec<XorShift64>,
+    pub active_routers: ActiveSet,
+    pub inject_pending: ActiveSet,
+    pub rx_next_due: Vec<Cycle>,
+    pub rx_wheel: TimingWheel,
+    pub tx_next_due: Vec<Cycle>,
+    pub tx_wheel: TimingWheel,
+    pub pipe_next_due: Vec<Cycle>,
+    pub pipe_wheel: TimingWheel,
+    pub stats: CellStats,
+    pub idx_scratch: Vec<usize>,
+    pub out_scratch: RouterOutput,
+    /// Cross-cell pushes generated this window, in creation order.
+    pub outbox: Vec<BoundaryMsg>,
+}
+
+/// The global (concatenated) component state of a network, independent
+/// of any particular cell cut. `Network::new` builds a fresh one;
+/// `set_shards` gathers one from the old cells and re-splits it.
+#[derive(Debug, Default)]
+pub(crate) struct GlobalState {
+    pub routers: Vec<RouterCore>,
+    pub interfaces: Vec<TileInterface>,
+    pub inject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    pub eject_pipes: Vec<VecDeque<(Cycle, Flit)>>,
+    pub rx_links: Vec<SteeredLink>,
+    pub rx_flits: Vec<VecDeque<(Cycle, Flit)>>,
+    pub rx_rng: Vec<XorShift64>,
+    pub tx_credits: Vec<VecDeque<(Cycle, VcId)>>,
+    pub tx_flits_carried: Vec<u64>,
+    pub tx_bit_pitches: Vec<f64>,
+    pub next_seq: Vec<u64>,
+    pub route_rng: Vec<XorShift64>,
+    pub stats: CellStats,
+}
+
+/// Splits global component state into cells along `shared`'s current
+/// partition, rebuilding each cell's wake bookkeeping from scratch.
+///
+/// The rebuild is exact, not approximate: between steps the gated
+/// engine's invariants pin every derived structure — a router's active
+/// bit is set iff it is non-quiescent, a tile's injection bit iff its
+/// queues are non-empty, and every deque's earliest entry is its next
+/// due cycle (deques are due-sorted). So a settled network can be
+/// re-cut into any number of cells without perturbing behaviour.
+pub(crate) fn build_cells(
+    shared: &NetShared,
+    mut state: GlobalState,
+    cycle: Cycle,
+) -> Vec<ShardCell> {
+    let cells = shared.num_cells();
+    // The wheels' reference cycle: every pending due is >= `cycle` and
+    // was scheduled no earlier than one full horizon before it.
+    let wheel_now = cycle.saturating_sub(1);
+    let mut out: Vec<ShardCell> = Vec::with_capacity(cells);
+    for index in (0..cells).rev() {
+        let node_base = shared.node_starts[index];
+        let node_end = shared.node_starts[index + 1];
+        let rx_base = shared.rx_starts[index];
+        let tx_base = shared.tx_starts[index];
+        let n_local = node_end - node_base;
+        let rx_local = shared.rx_starts[index + 1] - rx_base;
+        let tx_local = shared.tx_starts[index + 1] - tx_base;
+
+        let routers = state.routers.split_off(node_base);
+        let interfaces = state.interfaces.split_off(node_base);
+        let inject_pipes = state.inject_pipes.split_off(node_base);
+        let eject_pipes = state.eject_pipes.split_off(node_base);
+        let next_seq = state.next_seq.split_off(node_base);
+        let route_rng = state.route_rng.split_off(node_base);
+        let rx_links = state.rx_links.split_off(rx_base);
+        let rx_flits = state.rx_flits.split_off(rx_base);
+        let rx_rng = state.rx_rng.split_off(rx_base);
+        let tx_credits = state.tx_credits.split_off(tx_base);
+        let tx_flits_carried = state.tx_flits_carried.split_off(tx_base);
+        let tx_bit_pitches = state.tx_bit_pitches.split_off(tx_base);
+
+        let mut active_routers = ActiveSet::new(n_local);
+        let mut inject_pending = ActiveSet::new(n_local);
+        for (i, r) in routers.iter().enumerate() {
+            if !r.is_quiescent() {
+                // INVARIANT: wake-rule (routers) — between steps the
+                // active bit is set iff the router is non-quiescent, so
+                // rebuilding from `is_quiescent()` reproduces the set
+                // exactly (see `wake_router`).
+                active_routers.set(i);
+            }
+        }
+        for (i, iface) in interfaces.iter().enumerate() {
+            if iface.injection_pending() {
+                // INVARIANT: wake-rule (injection) — the bit is set iff
+                // the tile has queued flits (see `wake_injector`).
+                inject_pending.set(i);
+            }
+        }
+
+        let mut rx_next_due = vec![Cycle::MAX; rx_local];
+        let mut rx_wheel = TimingWheel::new(shared.horizon, rx_local);
+        for (i, q) in rx_flits.iter().enumerate() {
+            if let Some(&(due, _)) = q.front() {
+                rx_next_due[i] = due;
+                rx_wheel.schedule(i, due, wheel_now);
+            }
+        }
+        let mut tx_next_due = vec![Cycle::MAX; tx_local];
+        let mut tx_wheel = TimingWheel::new(shared.horizon, tx_local);
+        for (i, q) in tx_credits.iter().enumerate() {
+            if let Some(&(due, _)) = q.front() {
+                tx_next_due[i] = due;
+                tx_wheel.schedule(i, due, wheel_now);
+            }
+        }
+        let mut pipe_next_due = vec![Cycle::MAX; n_local];
+        let mut pipe_wheel = TimingWheel::new(shared.horizon, n_local);
+        for i in 0..n_local {
+            let due = match (inject_pipes[i].front(), eject_pipes[i].front()) {
+                (Some(&(a, _)), Some(&(b, _))) => a.min(b),
+                (Some(&(a, _)), None) => a,
+                (None, Some(&(b, _))) => b,
+                (None, None) => Cycle::MAX,
+            };
+            if due != Cycle::MAX {
+                pipe_next_due[i] = due;
+                pipe_wheel.schedule(i, due, wheel_now);
+            }
+        }
+
+        out.push(ShardCell {
+            index,
+            node_base,
+            node_end,
+            rx_base,
+            tx_base,
+            routers,
+            interfaces,
+            inject_pipes,
+            eject_pipes,
+            rx_links,
+            rx_flits,
+            rx_rng,
+            tx_credits,
+            tx_flits_carried,
+            tx_bit_pitches,
+            next_seq,
+            route_rng,
+            active_routers,
+            inject_pending,
+            rx_next_due,
+            rx_wheel,
+            tx_next_due,
+            tx_wheel,
+            pipe_next_due,
+            pipe_wheel,
+            stats: if index == 0 {
+                state.stats
+            } else {
+                CellStats::default()
+            },
+            idx_scratch: Vec::with_capacity(rx_local.max(n_local)),
+            out_scratch: RouterOutput::default(),
+            outbox: Vec::new(),
+        });
+    }
+    out.reverse();
+    out
+}
+
+// ── Wake helpers ──────────────────────────────────────────────────────
+//
+// The activity-gated engine's determinism rests on two rules (see
+// DESIGN.md §3.13): (a) every event that can make an entity's next
+// phase visit a non-no-op must wake it through one of these helpers,
+// and (b) the sets are fixed-order bitsets iterated in ascending index
+// order, so the order wake-ups fire in can never influence the order
+// entities are processed in.
+
+/// Marks a channel half or tile pipe as holding an entry due at `due`.
+// INVARIANT: wake-rule (channels, pipes) — called on every push into a
+// due-sorted event deque; `next_due` only ever decreases here, and
+// every decrease files a wheel entry in the new due cycle's slot, so a
+// slot drain can never miss a queued delivery. A non-decreasing `due`
+// needs no entry: one already exists for the earlier due cycle, and
+// delivery drains everything due, not just the waking entry.
+#[inline]
+fn wake_channel(wheel: &mut TimingWheel, next_due: &mut [Cycle], i: usize, due: Cycle, now: Cycle) {
+    if due < next_due[i] {
+        next_due[i] = due;
+        wheel.schedule(i, due, now);
+    }
+}
+
+impl ShardCell {
+    /// Marks local router `i` for the next evaluation sweep.
+    // INVARIANT: wake-rule (routers) — called on every flit receive and
+    // credit arrival, and re-asserted after evaluation while the router
+    // is non-quiescent; cleared only when `is_quiescent()` holds, where
+    // evaluation is a guaranteed no-op.
+    #[inline]
+    fn wake_router(&mut self, i: usize) {
+        self.active_routers.set(i);
+    }
+
+    /// Marks local tile `i` as having flits queued for injection.
+    // INVARIANT: wake-rule (injection) — set whenever a packet is
+    // enqueued; cleared only when the tile's pending count returns to
+    // zero, so an offer is made every eligible cycle until the queues
+    // drain.
+    #[inline]
+    fn wake_injector(&mut self, i: usize) {
+        self.inject_pending.set(i);
+    }
+
+    /// Queues a flit on local receive half `rl` (a push from this or
+    /// another cell's launch).
+    fn push_rx(&mut self, rl: usize, due: Cycle, flit: Flit, now: Cycle) {
+        self.rx_flits[rl].push_back((due, flit));
+        // INVARIANT: wake — the flit just queued must be delivered
+        // downstream when its latency elapses.
+        wake_channel(&mut self.rx_wheel, &mut self.rx_next_due, rl, due, now);
+    }
+
+    /// Queues a credit on local transmit half `tl`.
+    fn push_tx(&mut self, tl: usize, due: Cycle, vc: VcId, now: Cycle) {
+        self.tx_credits[tl].push_back((due, vc));
+        // INVARIANT: wake — the credit just queued must reach the
+        // upstream router when its latency elapses.
+        wake_channel(&mut self.tx_wheel, &mut self.tx_next_due, tl, due, now);
+    }
+
+    /// Applies one boundary message from another cell. `now` is any
+    /// cycle in `[creation cycle, due)`; the due cycle's slot is the
+    /// same either way, so deferred application is state-identical to a
+    /// direct push.
+    pub(crate) fn apply_boundary(&mut self, msg: &BoundaryMsg, now: Cycle) {
+        debug_assert_eq!(msg.to_cell, self.index);
+        match msg.kind {
+            MsgKind::Flit { rx, due, flit } => self.push_rx(rx - self.rx_base, due, flit, now),
+            MsgKind::Credit { tx, due, vc } => self.push_tx(tx - self.tx_base, due, vc, now),
+        }
+    }
+
+    // ── Injection ─────────────────────────────────────────────────────
+
+    /// Offers a packet to an owned source tile. Mirrors the historical
+    /// `Network::inject` exactly; node-range validation happens at the
+    /// caller (which needs it to find the owning cell).
+    pub(crate) fn inject(
+        &mut self,
+        shared: &NetShared,
+        spec: &PacketSpec,
+        now: Cycle,
+        probe: &mut dyn Probe,
+    ) -> Result<PacketId, Error> {
+        debug_assert!((self.node_base..self.node_end).contains(&spec.src.index()));
+        if spec.src == spec.dst {
+            return Err(Error::Route(RouteError::Empty));
+        }
+        let num_flits = spec.num_flits();
+        if shared.cfg.flow_control == FlowControl::Deflection && num_flits != 1 {
+            return Err(Error::Config(
+                "deflection flow control carries single-flit packets only".into(),
+            ));
+        }
+
+        let (dirs, valiant_boundary) = self.compute_route(shared, spec.src, spec.dst, spec.class);
+        let route = SourceRoute::compile(&dirs)?;
+        if shared.cfg.require_paper_route_field && !route.fits_paper_field() {
+            return Err(Error::Route(RouteError::TooLong {
+                entries: route.num_entries(),
+            }));
+        }
+
+        if let Some(d) = &spec.data {
+            debug_assert_eq!(d.len(), num_flits, "one payload entry per flit");
+        }
+        // The packet's VC-mask field covers both dateline halves of its
+        // class; each router intersects it with the half its dateline
+        // class permits. Injection itself always happens in class 0 (for
+        // two-segment routes, the segment-0 pre-dateline tier).
+        let inject_mask = if valiant_boundary != 0 {
+            shared
+                .cfg
+                .vc_plan
+                .mask_for_two_segment(0, 0, shared.dateline_aware)
+        } else {
+            shared
+                .cfg
+                .vc_plan
+                .injection_mask(spec.class, shared.dateline_aware)
+        };
+        let packet_mask = shared
+            .cfg
+            .vc_plan
+            .mask_for(spec.class, 0, shared.dateline_aware)
+            .or(shared
+                .cfg
+                .vc_plan
+                .mask_for(spec.class, 1, shared.dateline_aware));
+        if inject_mask.is_empty() {
+            return Err(Error::EmptyVcMask {
+                mask: inject_mask.bits(),
+            });
+        }
+
+        let local = spec.src.index() - self.node_base;
+        let iface = &mut self.interfaces[local];
+        let vc = iface.choose_vc(inject_mask.iter(), num_flits).ok_or({
+            Error::InjectionBackpressure {
+                node: spec.src,
+                vc: inject_mask.iter().next().expect("non-empty mask"),
+            }
+        })?;
+
+        // Packet ids are namespaced per source node so concurrent cells
+        // allocate without coordination: seq ≪ 16 | node.
+        let id = PacketId((self.next_seq[local] << PACKET_NODE_BITS) | spec.src.index() as u64);
+        self.next_seq[local] += 1;
+        let flits = flitize(spec, id, route, now, packet_mask, valiant_boundary);
+        iface.enqueue_packet(vc, flits).expect("space was checked");
+        // INVARIANT: wake — a tile with queued flits must stay in the
+        // injection set until its queues drain; the bit is cleared only
+        // when pending_flits() returns to zero.
+        self.wake_injector(local);
+        self.stats.packets_injected += 1;
+        probe.packet_injected(now, spec.src, spec.dst, id);
+        Ok(id)
+    }
+
+    /// Computes the hop sequence for a packet, returning the hops and
+    /// the length of the first Valiant segment (0 for minimal routes).
+    fn compute_route(
+        &mut self,
+        shared: &NetShared,
+        src: NodeId,
+        dst: NodeId,
+        class: ServiceClass,
+    ) -> (Vec<Direction>, u8) {
+        // Only bulk traffic is randomized: priority and reserved classes
+        // have a single dateline VC pair each, which is only sufficient
+        // for single-segment (minimal) routes.
+        if shared.cfg.routing == RoutingAlg::DimensionOrder || class != ServiceClass::Bulk {
+            return (shared.topo.route_dirs(src, dst), 0);
+        }
+        // Valiant: src -> random intermediate -> dst. The relative-turn
+        // encoding cannot express a reversal at the junction, so resample
+        // a few times and fall back to the direct route. The draw stream
+        // is per source node, so the pick sequence is independent of the
+        // cell cut.
+        let n = shared.topo.num_nodes() as u64;
+        let rng = &mut self.route_rng[src.index() - self.node_base];
+        for _ in 0..16 {
+            let mid = NodeId::new(rng.below(n) as u16);
+            if mid == src || mid == dst {
+                continue;
+            }
+            let mut dirs = shared.topo.route_dirs(src, mid);
+            let seg1_len = dirs.len();
+            dirs.extend(shared.topo.route_dirs(mid, dst));
+            if dirs.len() > u8::MAX as usize {
+                continue;
+            }
+            if SourceRoute::compile(&dirs).is_ok() {
+                return (dirs, seg1_len as u8);
+            }
+        }
+        (shared.topo.route_dirs(src, dst), 0)
+    }
+
+    // ── Cycle phases ──────────────────────────────────────────────────
+
+    /// Phase 1: deliver due flits on owned receive halves, ascending.
+    pub(crate) fn phase_rx(
+        &mut self,
+        shared: &NetShared,
+        now: Cycle,
+        naive: bool,
+        probe: &mut dyn Probe,
+    ) {
+        if naive {
+            self.rx_wheel.clear_slot(now);
+            for r in 0..self.rx_flits.len() {
+                self.deliver_rx(shared, r, now, probe);
+                self.settle_rx(r, now);
+            }
+        } else if self.rx_wheel.has_due(now) {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.rx_wheel.drain_into(now, &mut idx);
+            for &r in &idx {
+                if self.rx_next_due[r] > now {
+                    // Stale hint (re-settled to a later cycle, which
+                    // filed its own entry) or already delivered.
+                    continue;
+                }
+                self.deliver_rx(shared, r, now, probe);
+                self.settle_rx(r, now);
+            }
+            self.idx_scratch = idx;
+        }
+    }
+
+    /// Delivers every due flit on local receive half `r`.
+    fn deliver_rx(&mut self, shared: &NetShared, r: usize, now: Cycle, probe: &mut dyn Probe) {
+        loop {
+            let due = matches!(self.rx_flits[r].front(), Some(&(t, _)) if t <= now);
+            if !due {
+                break;
+            }
+            let meta = &shared.rx_meta[self.rx_base + r];
+            let (_, mut flit) = self.rx_flits[r].pop_front().expect("checked front");
+            let (payload, steering_hit) = self.rx_links[r].transmit(&flit.payload);
+            flit.payload = payload;
+            let mut hop_corrupt = steering_hit;
+            if meta.dateline {
+                flit.meta.dateline_class = 1;
+            }
+            let (dst, port) = (meta.dst, meta.in_port);
+            let rng = &mut self.rx_rng[r];
+            if shared.transient_rate > 0.0
+                && (rng.next_u64() as f64 / u64::MAX as f64) < shared.transient_rate
+            {
+                flit.payload.flip_bit(rng.below(256) as usize);
+                hop_corrupt = true;
+            }
+            // Link-level SEC-DED repairs single-bit damage at the
+            // receiving router (paper §2.5's alternative protocol).
+            if hop_corrupt && shared.secded {
+                match crate::ecc::decode(&mut flit.payload, flit.meta.ecc) {
+                    crate::ecc::EccOutcome::Corrected { .. } => {
+                        hop_corrupt = false;
+                        self.stats.ecc_corrections += 1;
+                    }
+                    crate::ecc::EccOutcome::Uncorrectable => {
+                        self.stats.ecc_uncorrectable += 1;
+                    }
+                    crate::ecc::EccOutcome::Clean => {}
+                }
+            }
+            flit.meta.corrupted |= hop_corrupt;
+            if flit.kind.is_head() {
+                probe.head_arrived(now, dst, port, flit.meta.packet);
+            }
+            let local = dst.index() - self.node_base;
+            self.routers[local].receive(port, flit);
+            // INVARIANT: wake — the receive above gave the router work.
+            self.wake_router(local);
+        }
+    }
+
+    /// Refreshes receive half `r`'s due-cycle bookkeeping from its deque
+    /// front (due-sorted: push times increase and the per-entry latency
+    /// is a per-run constant).
+    fn settle_rx(&mut self, r: usize, now: Cycle) {
+        let due = self.rx_flits[r].front().map_or(Cycle::MAX, |&(t, _)| t);
+        if due != self.rx_next_due[r] {
+            self.rx_next_due[r] = due;
+            if due != Cycle::MAX {
+                self.rx_wheel.schedule(r, due, now);
+            }
+        }
+    }
+
+    /// Phase 2: deliver due credits on owned transmit halves, ascending.
+    pub(crate) fn phase_tx(&mut self, shared: &NetShared, now: Cycle, naive: bool) {
+        if naive {
+            self.tx_wheel.clear_slot(now);
+            for t in 0..self.tx_credits.len() {
+                self.deliver_tx(shared, t, now);
+                self.settle_tx(t, now);
+            }
+        } else if self.tx_wheel.has_due(now) {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.tx_wheel.drain_into(now, &mut idx);
+            for &t in &idx {
+                if self.tx_next_due[t] > now {
+                    continue;
+                }
+                self.deliver_tx(shared, t, now);
+                self.settle_tx(t, now);
+            }
+            self.idx_scratch = idx;
+        }
+    }
+
+    /// Delivers every due credit on local transmit half `t` back to the
+    /// channel's source router.
+    fn deliver_tx(&mut self, shared: &NetShared, t: usize, now: Cycle) {
+        let meta = &shared.tx_meta[self.tx_base + t];
+        let local = meta.src.index() - self.node_base;
+        loop {
+            match self.tx_credits[t].front() {
+                Some(&(due, _)) if due <= now => {
+                    let (_, vc) = self.tx_credits[t].pop_front().expect("checked front");
+                    self.routers[local].credit_arrived(Port::Dir(meta.dir), vc);
+                    if !self.routers[local].is_quiescent() {
+                        // INVARIANT: wake — a fresh credit can unblock a
+                        // credit-stalled flit at the source router. A
+                        // quiescent router has nothing to send, so a
+                        // credit alone cannot make its evaluation a
+                        // non-no-op and needs no wake.
+                        self.wake_router(local);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Refreshes transmit half `t`'s due-cycle bookkeeping.
+    fn settle_tx(&mut self, t: usize, now: Cycle) {
+        let due = self.tx_credits[t].front().map_or(Cycle::MAX, |&(t2, _)| t2);
+        if due != self.tx_next_due[t] {
+            self.tx_next_due[t] = due;
+            if due != Cycle::MAX {
+                self.tx_wheel.schedule(t, due, now);
+            }
+        }
+    }
+
+    /// Phase 3: deliver due tile-pipe flits for owned nodes, ascending.
+    pub(crate) fn phase_pipes(&mut self, now: Cycle, naive: bool, probe: &mut dyn Probe) {
+        if naive {
+            self.pipe_wheel.clear_slot(now);
+            for i in 0..self.routers.len() {
+                self.deliver_pipes(i, now, probe);
+                self.settle_pipe(i, now);
+            }
+        } else if self.pipe_wheel.has_due(now) {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.pipe_wheel.drain_into(now, &mut idx);
+            for &i in &idx {
+                if self.pipe_next_due[i] > now {
+                    continue;
+                }
+                self.deliver_pipes(i, now, probe);
+                self.settle_pipe(i, now);
+            }
+            self.idx_scratch = idx;
+        }
+    }
+
+    /// Delivers every due inject-pipe flit, then every due eject-pipe
+    /// flit, for local node `i`.
+    fn deliver_pipes(&mut self, i: usize, now: Cycle, probe: &mut dyn Probe) {
+        let node_id = NodeId::new((self.node_base + i) as u16);
+        while let Some(&(t, _)) = self.inject_pipes[i].front() {
+            if t > now {
+                break;
+            }
+            let (_, flit) = self.inject_pipes[i].pop_front().expect("front");
+            if flit.kind.is_head() {
+                probe.head_arrived(now, node_id, Port::Tile, flit.meta.packet);
+            }
+            self.routers[i].receive(Port::Tile, flit);
+            // INVARIANT: wake — the receive above gave the router work.
+            self.wake_router(i);
+        }
+        while let Some(&(t, _)) = self.eject_pipes[i].front() {
+            if t > now {
+                break;
+            }
+            let (_, flit) = self.eject_pipes[i].pop_front().expect("front");
+            let vc = flit.link_vc;
+            if flit.kind.is_head() {
+                probe.head_ejected(now, node_id, flit.meta.packet);
+            }
+            self.interfaces[i].receive(flit, now, probe);
+            self.routers[i].credit_arrived(Port::Tile, vc);
+            if !self.routers[i].is_quiescent() {
+                // INVARIANT: wake — the tile-port credit can unblock a
+                // credit-stalled ejection at this router. As above, a
+                // quiescent router cannot use a credit this cycle.
+                self.wake_router(i);
+            }
+        }
+    }
+
+    /// Refreshes local node `i`'s pipe due-cycle bookkeeping.
+    fn settle_pipe(&mut self, i: usize, now: Cycle) {
+        let due = match (self.inject_pipes[i].front(), self.eject_pipes[i].front()) {
+            (Some(&(a, _)), Some(&(b, _))) => a.min(b),
+            (Some(&(a, _)), None) => a,
+            (None, Some(&(b, _))) => b,
+            (None, None) => Cycle::MAX,
+        };
+        if due != self.pipe_next_due[i] {
+            self.pipe_next_due[i] = due;
+            if due != Cycle::MAX {
+                self.pipe_wheel.schedule(i, due, now);
+            }
+        }
+    }
+
+    /// Phase 4: push-mode injection for owned tiles with queued flits.
+    /// The caller gates on the serialization cadence
+    /// (`now % channel_phits == 0`).
+    pub(crate) fn phase_inject(
+        &mut self,
+        shared: &NetShared,
+        now: Cycle,
+        naive: bool,
+        probe: &mut dyn Probe,
+    ) {
+        if naive {
+            for i in 0..self.routers.len() {
+                self.push_injection(shared, i, now, probe);
+            }
+        } else {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            self.inject_pending.collect_into(&mut idx);
+            for &i in &idx {
+                self.push_injection(shared, i, now, probe);
+            }
+            self.idx_scratch = idx;
+        }
+    }
+
+    /// Offers local node `i`'s tile port one push-mode injection slot.
+    fn push_injection(&mut self, shared: &NetShared, i: usize, now: Cycle, probe: &mut dyn Probe) {
+        if self.routers[i].pulls_injection() {
+            return;
+        }
+        if let Some(flit) = self.interfaces[i].pick_injection(now) {
+            if flit.kind.is_head() {
+                probe.packet_entered(
+                    now,
+                    NodeId::new((self.node_base + i) as u16),
+                    flit.meta.packet,
+                    flit.meta.packet_len,
+                    flit.meta.class,
+                );
+            }
+            let due = now + shared.inject_latency;
+            self.inject_pipes[i].push_back((due, flit));
+            // INVARIANT: wake — the flit just queued must be delivered to
+            // the router when its pipe latency elapses (same
+            // schedule-on-decrease argument as `wake_channel`).
+            wake_channel(&mut self.pipe_wheel, &mut self.pipe_next_due, i, due, now);
+            if !self.interfaces[i].injection_pending() {
+                // INVARIANT: the injection bit is cleared only when the
+                // tile's queues are empty; the next enqueue re-sets it.
+                self.inject_pending.clear(i);
+            }
+        }
+    }
+
+    /// Phase 5: evaluate awake owned routers, ascending.
+    pub(crate) fn phase_eval(
+        &mut self,
+        shared: &NetShared,
+        now: Cycle,
+        naive: bool,
+        probe: &mut dyn Probe,
+    ) {
+        if naive {
+            for i in 0..self.routers.len() {
+                self.evaluate_router(shared, i, now, probe);
+            }
+        } else {
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            if shared.cfg.flow_control == FlowControl::Deflection {
+                self.active_routers
+                    .collect_union_into(&self.inject_pending, &mut idx);
+            } else {
+                self.active_routers.collect_into(&mut idx);
+            }
+            for &i in &idx {
+                self.evaluate_router(shared, i, now, probe);
+            }
+            self.idx_scratch = idx;
+        }
+    }
+
+    /// Evaluates local router `i` for this cycle and applies its output.
+    fn evaluate_router(&mut self, shared: &NetShared, i: usize, now: Cycle, probe: &mut dyn Probe) {
+        // Pull-mode cores are offered a *reference* to the next queued
+        // flit, gated on the O(1) pending check; the 256-bit payload is
+        // only copied if the router consumes the offer.
+        let offered = if self.routers[i].pulls_injection() && self.interfaces[i].injection_pending()
+        {
+            self.interfaces[i].peek_injection()
+        } else {
+            None
+        };
+        let offered_head = offered.map(|f| (f.meta.packet, f.meta.packet_len, f.meta.class));
+        let env = EvalEnv {
+            now,
+            reservations: shared
+                .reservations
+                .as_ref()
+                .map(|t| (t, shared.cfg.reservation_policy)),
+            topo: shared.topo.as_ref(),
+        };
+        self.out_scratch.clear();
+        let consumed = self.routers[i].evaluate(&env, offered, &mut self.out_scratch, probe);
+        if consumed {
+            // The router copied the peeked flit; remove the original from
+            // the interface queue. Pull-mode injection enters the network
+            // and arrives at the source router in the same cycle (no
+            // inject pipe).
+            if let Some((packet, len, class)) = offered_head {
+                let node_id = NodeId::new((self.node_base + i) as u16);
+                probe.packet_entered(now, node_id, packet, len, class);
+                probe.head_arrived(now, node_id, Port::Tile, packet);
+            }
+            self.interfaces[i]
+                .pick_injection(now)
+                .expect("peeked flit still queued");
+            if !self.interfaces[i].injection_pending() {
+                // INVARIANT: the injection bit is cleared only when the
+                // tile's queues are empty; the next enqueue re-sets it.
+                self.inject_pending.clear(i);
+            }
+        }
+        self.apply_router_output(shared, i, now, probe);
+        if self.routers[i].is_quiescent() {
+            // INVARIANT: quiescence makes the next evaluation a no-op by
+            // the `RouterCore::is_quiescent` contract, so dropping the
+            // router from the active set cannot change any result; any
+            // later receive/credit re-wakes it.
+            self.active_routers.clear(i);
+        } else {
+            // INVARIANT: wake — buffered or staged flits remain, so the
+            // router must be evaluated again next cycle.
+            self.wake_router(i);
+        }
+    }
+
+    /// Drains the launch/credit scratch local router `i` just wrote.
+    /// Pushes targeting this cell land directly; pushes crossing a cell
+    /// boundary are queued as [`BoundaryMsg`]s (both carry future due
+    /// cycles, so timing is identical either way).
+    fn apply_router_output(
+        &mut self,
+        shared: &NetShared,
+        i: usize,
+        now: Cycle,
+        probe: &mut dyn Probe,
+    ) {
+        let node = self.node_base + i;
+        let node_id = NodeId::new(node as u16);
+        // The scratch moves out of `self` for the drain so the push
+        // helpers can borrow the cell; it is handed back below.
+        let mut out = std::mem::take(&mut self.out_scratch);
+        for (port, mut flit) in out.launches.drain() {
+            if shared.secded && matches!(port, Port::Dir(_)) {
+                flit.meta.ecc = crate::ecc::encode(&flit.payload);
+            }
+            let bits = flit.active_bits() as u64;
+            self.stats.flit_hops += 1;
+            self.stats.hop_bits += bits;
+            probe.flit_forwarded(now, node_id, port, flit.link_vc, flit.meta.packet);
+            match port {
+                Port::Dir(d) => {
+                    let t = shared.chan_idx[node][d.index()]
+                        .expect("router launched into an existing channel");
+                    // The transmit half of an owned node's outgoing
+                    // channel is always owned here.
+                    let tl = t - self.tx_base;
+                    self.tx_flits_carried[tl] += 1;
+                    self.tx_bit_pitches[tl] += bits as f64 * shared.tx_meta[t].length_pitches;
+                    let rx = shared.tx_meta[t].rx;
+                    let due = now + shared.flit_latency;
+                    let to_cell = shared.cell_of_node[shared.rx_meta[rx].dst.index()];
+                    if to_cell == self.index {
+                        self.push_rx(rx - self.rx_base, due, flit, now);
+                    } else {
+                        self.outbox.push(BoundaryMsg {
+                            to_cell,
+                            kind: MsgKind::Flit { rx, due, flit },
+                        });
+                    }
+                }
+                Port::Tile => {
+                    let due = now + shared.cfg.channel_latency;
+                    self.eject_pipes[i].push_back((due, flit));
+                    // INVARIANT: wake — the ejected flit must reach the
+                    // tile interface when the eject pipe drains.
+                    wake_channel(&mut self.pipe_wheel, &mut self.pipe_next_due, i, due, now);
+                }
+            }
+        }
+        for (port, vc) in out.credits.drain() {
+            match port {
+                Port::Dir(q) => {
+                    // The flit came in via the channel from neighbor(node, q).
+                    let upstream = shared
+                        .topo
+                        .neighbor(node_id, q)
+                        .expect("credit for an existing channel");
+                    let t = shared.chan_idx[upstream.index()][q.opposite().index()]
+                        .expect("reverse channel exists");
+                    let due = now + shared.cfg.credit_latency;
+                    let to_cell = shared.cell_of_node[upstream.index()];
+                    if to_cell == self.index {
+                        self.push_tx(t - self.tx_base, due, vc, now);
+                    } else {
+                        self.outbox.push(BoundaryMsg {
+                            to_cell,
+                            kind: MsgKind::Credit { tx: t, due, vc },
+                        });
+                    }
+                }
+                Port::Tile => self.interfaces[i].credit_return(vc),
+            }
+        }
+        self.out_scratch = out;
+    }
+
+    /// Phase 6: per-cycle buffer-occupancy samples for owned routers.
+    pub(crate) fn phase_sample(&mut self, probe: &mut dyn Probe) {
+        for (i, r) in self.routers.iter().enumerate() {
+            probe.buffer_sample(NodeId::new((self.node_base + i) as u16), r.occupancy());
+        }
+    }
+}
+
+/// Builds the flit sequence for a packet.
+pub(crate) fn flitize(
+    spec: &PacketSpec,
+    id: PacketId,
+    route: SourceRoute,
+    now: Cycle,
+    vc_mask: VcMask,
+    valiant_boundary: u8,
+) -> Vec<Flit> {
+    let num_flits = spec.num_flits();
+    let mut flits = Vec::with_capacity(num_flits);
+    let mut remaining = spec.payload_bits.max(1);
+    for i in 0..num_flits {
+        let bits = remaining.min(FLIT_DATA_BITS);
+        remaining -= bits;
+        let kind = match (i == 0, i == num_flits - 1) {
+            (true, true) => FlitKind::HeadTail,
+            (true, false) => FlitKind::Head,
+            (false, true) => FlitKind::Tail,
+            (false, false) => FlitKind::Body,
+        };
+        let payload = spec
+            .data
+            .as_ref()
+            .and_then(|d| d.get(i).copied())
+            .unwrap_or_else(|| Payload::from_u64(id.0 << 8 | i as u64));
+        flits.push(Flit {
+            kind,
+            size: SizeCode::for_bits(bits).expect("1..=256 bits per flit"),
+            vc_mask,
+            route,
+            payload,
+            heading: Direction::East,
+            link_vc: VcId::new(0),
+            resolved_port: None,
+            meta: FlitMeta {
+                packet: id,
+                src: spec.src,
+                dst: spec.dst,
+                flit_index: i as u16,
+                packet_len: num_flits as u16,
+                created_at: now,
+                injected_at: now,
+                class: spec.class,
+                flow: spec.flow,
+                dateline_class: 0,
+                valiant_boundary,
+                segment: 0,
+                hops_taken: 0,
+                ecc: 0,
+                corrupted: false,
+            },
+        });
+    }
+    flits
+}
+
+// ── Threaded-runner surface ───────────────────────────────────────────
+
+/// An exclusive handle on one cell, borrowing the shared state
+/// immutably: the disjoint-ownership seam the threaded shard runner
+/// steps cells through in parallel. Obtained from
+/// [`crate::Network::shard_handles`].
+pub struct ShardHandle<'a> {
+    pub(crate) shared: &'a NetShared,
+    pub(crate) cell: &'a mut ShardCell,
+    pub(crate) naive: bool,
+}
+
+impl ShardHandle<'_> {
+    /// This cell's index.
+    pub fn cell_index(&self) -> usize {
+        self.cell.index
+    }
+
+    /// The global node range this cell owns.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        self.cell.node_base..self.cell.node_end
+    }
+
+    /// Offers a packet to an owned source tile, exactly as
+    /// [`crate::Network::inject`] would.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Network::inject`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.src` is in range but not owned by this cell.
+    pub fn inject(
+        &mut self,
+        spec: &PacketSpec,
+        now: Cycle,
+        probe: &mut dyn Probe,
+    ) -> Result<PacketId, Error> {
+        let n = self.shared.topo.num_nodes();
+        for node in [spec.src, spec.dst] {
+            if node.index() >= n {
+                return Err(Error::NodeOutOfRange { node, nodes: n });
+            }
+        }
+        assert!(
+            self.nodes().contains(&spec.src.index()),
+            "inject through the owning cell's handle"
+        );
+        self.cell.inject(self.shared, spec, now, probe)
+    }
+
+    /// Steps this cell through one cycle's phases. `sample` controls
+    /// the probe-only buffer-occupancy sweep (phase 6).
+    pub fn step_cycle<P: PhasedProbe>(&mut self, now: Cycle, probe: &mut P, sample: bool) {
+        probe.set_phase(now, 1);
+        self.cell.phase_rx(self.shared, now, self.naive, probe);
+        probe.set_phase(now, 2);
+        self.cell.phase_tx(self.shared, now, self.naive);
+        probe.set_phase(now, 3);
+        self.cell.phase_pipes(now, self.naive, probe);
+        if now.is_multiple_of(self.shared.cfg.channel_phits) {
+            probe.set_phase(now, 4);
+            self.cell.phase_inject(self.shared, now, self.naive, probe);
+        }
+        probe.set_phase(now, 5);
+        self.cell.phase_eval(self.shared, now, self.naive, probe);
+        if sample {
+            probe.set_phase(now, 6);
+            self.cell.phase_sample(probe);
+        }
+    }
+
+    /// Takes the boundary messages generated since the last take, in
+    /// creation order. Route each to `dest_cell()` before any cell
+    /// steps past the current lookahead window.
+    pub fn take_outbox(&mut self) -> Vec<BoundaryMsg> {
+        std::mem::take(&mut self.cell.outbox)
+    }
+
+    /// Applies boundary messages addressed to this cell. `now` must be
+    /// the last cycle this cell has executed.
+    pub fn apply_boundary(&mut self, msgs: impl IntoIterator<Item = BoundaryMsg>, now: Cycle) {
+        for m in msgs {
+            self.cell.apply_boundary(&m, now);
+        }
+    }
+
+    /// Removes and returns packets delivered to owned node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not owned by this cell.
+    pub fn drain_delivered(&mut self, node: NodeId) -> Vec<DeliveredPacket> {
+        assert!(self.nodes().contains(&node.index()), "drain an owned node");
+        self.cell.interfaces[node.index() - self.cell.node_base].drain_delivered()
+    }
+
+    /// Snapshot of this cell's energy-counter contributions. Summing
+    /// the integer fields and left-folding the per-link `bit_pitches`
+    /// vectors in cell order reproduces the sequential
+    /// `NetworkStats::energy` bit-for-bit (same additions, same order).
+    pub fn energy_snapshot(&self) -> CellEnergySnapshot {
+        CellEnergySnapshot {
+            flit_hops: self.cell.stats.flit_hops,
+            hop_bits: self.cell.stats.hop_bits,
+            link_flits: self.cell.tx_flits_carried.iter().sum(),
+            bit_pitches: self.cell.tx_bit_pitches.clone(),
+        }
+    }
+}
+
+/// One cell's contribution to [`crate::network::EnergyCounters`] at a
+/// landmark cycle.
+#[derive(Debug, Clone)]
+pub struct CellEnergySnapshot {
+    /// Router traversals in this cell.
+    pub flit_hops: u64,
+    /// Active bits over those traversals.
+    pub hop_bits: u64,
+    /// Flits carried by this cell's transmit halves.
+    pub link_flits: u64,
+    /// Per-transmit-half bit×pitch accumulators, in global tx order.
+    pub bit_pitches: Vec<f64>,
+}
+
+// ── Deterministic probe log ───────────────────────────────────────────
+
+/// A [`Probe`] that also accepts a `(cycle, phase)` context so threaded
+/// shards can tag events for deterministic merging.
+pub trait PhasedProbe: Probe {
+    /// Sets the context stamped onto subsequent events.
+    fn set_phase(&mut self, now: Cycle, phase: u8);
+}
+
+impl PhasedProbe for NoProbe {
+    fn set_phase(&mut self, _now: Cycle, _phase: u8) {}
+}
+
+/// One recorded probe hook invocation.
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    pub(crate) cycle: Cycle,
+    pub(crate) phase: u8,
+    /// The entity (node, or source node for injections) the event is
+    /// keyed on: within one `(cycle, phase)` the sequential engine
+    /// emits events in ascending key order, and all events of one key
+    /// come from a single cell.
+    pub(crate) key: u32,
+    pub(crate) op: ProbeOp,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum ProbeOp {
+    Injected {
+        src: NodeId,
+        dst: NodeId,
+        packet: PacketId,
+    },
+    Entered {
+        node: NodeId,
+        packet: PacketId,
+        num_flits: u16,
+        class: ServiceClass,
+    },
+    HeadArrived {
+        node: NodeId,
+        in_port: Port,
+        packet: PacketId,
+    },
+    Forwarded {
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    },
+    VcAllocated {
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    },
+    AllocConflict {
+        node: NodeId,
+        port: Port,
+        packet: PacketId,
+    },
+    CreditStall {
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    },
+    SwitchTraversed {
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    },
+    Preemption {
+        node: NodeId,
+        port: Port,
+        packet: PacketId,
+    },
+    HeadEjected {
+        node: NodeId,
+        packet: PacketId,
+    },
+    Dropped {
+        node: NodeId,
+        packet: PacketId,
+    },
+    Misroute {
+        node: NodeId,
+        packet: PacketId,
+    },
+    Delivered {
+        src: NodeId,
+        dst: NodeId,
+        packet: PacketId,
+        network_latency: Cycle,
+    },
+    BufferSample {
+        node: NodeId,
+        occupancy: usize,
+    },
+}
+
+/// Records every probe hook as a [`LogEvent`] tagged with the current
+/// `(cycle, phase)`. A threaded shard runner gives each worker its own
+/// `LogProbe`; [`replay_logs`] then merges the per-worker logs into the
+/// sequential event order and replays them into a real
+/// [`crate::NetworkProbe`], reproducing its metrics bit-for-bit.
+#[derive(Debug, Default)]
+pub struct LogProbe {
+    now: Cycle,
+    phase: u8,
+    events: Vec<LogEvent>,
+}
+
+impl LogProbe {
+    /// The recorded events (sorted by `(cycle, phase, key)` within this
+    /// log by construction).
+    pub fn into_events(self) -> Vec<LogEvent> {
+        self.events
+    }
+
+    fn push(&mut self, key: u32, op: ProbeOp) {
+        self.events.push(LogEvent {
+            cycle: self.now,
+            phase: self.phase,
+            key,
+            op,
+        });
+    }
+}
+
+impl PhasedProbe for LogProbe {
+    fn set_phase(&mut self, now: Cycle, phase: u8) {
+        self.now = now;
+        self.phase = phase;
+    }
+}
+
+impl Probe for LogProbe {
+    fn packet_injected(&mut self, _now: Cycle, src: NodeId, dst: NodeId, packet: PacketId) {
+        self.push(src.index() as u32, ProbeOp::Injected { src, dst, packet });
+    }
+    fn packet_entered(
+        &mut self,
+        _now: Cycle,
+        node: NodeId,
+        packet: PacketId,
+        num_flits: u16,
+        class: ServiceClass,
+    ) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::Entered {
+                node,
+                packet,
+                num_flits,
+                class,
+            },
+        );
+    }
+    fn head_arrived(&mut self, _now: Cycle, node: NodeId, in_port: Port, packet: PacketId) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::HeadArrived {
+                node,
+                in_port,
+                packet,
+            },
+        );
+    }
+    fn flit_forwarded(
+        &mut self,
+        _now: Cycle,
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    ) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::Forwarded {
+                node,
+                port,
+                vc,
+                packet,
+            },
+        );
+    }
+    fn vc_allocated(&mut self, _now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::VcAllocated {
+                node,
+                port,
+                vc,
+                packet,
+            },
+        );
+    }
+    fn alloc_conflict(&mut self, _now: Cycle, node: NodeId, port: Port, packet: PacketId) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::AllocConflict { node, port, packet },
+        );
+    }
+    fn credit_stall(&mut self, _now: Cycle, node: NodeId, port: Port, vc: VcId, packet: PacketId) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::CreditStall {
+                node,
+                port,
+                vc,
+                packet,
+            },
+        );
+    }
+    fn switch_traversed(
+        &mut self,
+        _now: Cycle,
+        node: NodeId,
+        port: Port,
+        vc: VcId,
+        packet: PacketId,
+    ) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::SwitchTraversed {
+                node,
+                port,
+                vc,
+                packet,
+            },
+        );
+    }
+    fn preemption(&mut self, _now: Cycle, node: NodeId, port: Port, packet: PacketId) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::Preemption { node, port, packet },
+        );
+    }
+    fn head_ejected(&mut self, _now: Cycle, node: NodeId, packet: PacketId) {
+        self.push(node.index() as u32, ProbeOp::HeadEjected { node, packet });
+    }
+    fn packet_dropped(&mut self, _now: Cycle, node: NodeId, packet: PacketId) {
+        self.push(node.index() as u32, ProbeOp::Dropped { node, packet });
+    }
+    fn misroute(&mut self, _now: Cycle, node: NodeId, packet: PacketId) {
+        self.push(node.index() as u32, ProbeOp::Misroute { node, packet });
+    }
+    fn packet_delivered(
+        &mut self,
+        _now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        packet: PacketId,
+        network_latency: Cycle,
+    ) {
+        self.push(
+            dst.index() as u32,
+            ProbeOp::Delivered {
+                src,
+                dst,
+                packet,
+                network_latency,
+            },
+        );
+    }
+    fn buffer_sample(&mut self, node: NodeId, occupancy: usize) {
+        self.push(
+            node.index() as u32,
+            ProbeOp::BufferSample { node, occupancy },
+        );
+    }
+}
+
+/// Merges per-worker event logs into the sequential engine's event
+/// order and replays them into `probe`.
+///
+/// Each log is sorted by `(cycle, phase, key)` (workers visit their
+/// owned entities in ascending order within each phase), and within one
+/// `(cycle, phase)` all events of a given key come from exactly one
+/// worker, so a stable k-way merge on `(cycle, phase, key, worker)`
+/// reproduces the order a single-cell run would have emitted.
+pub fn replay_logs(logs: &[Vec<LogEvent>], probe: &mut dyn Probe) {
+    let mut pos = vec![0usize; logs.len()];
+    loop {
+        let mut best: Option<(u64, u8, u32, usize)> = None;
+        for (w, log) in logs.iter().enumerate() {
+            if let Some(e) = log.get(pos[w]) {
+                let key = (e.cycle, e.phase, e.key, w);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let Some((_, _, _, w)) = best else { break };
+        replay_one(&logs[w][pos[w]], probe);
+        pos[w] += 1;
+    }
+}
+
+fn replay_one(e: &LogEvent, probe: &mut dyn Probe) {
+    let now = e.cycle;
+    match e.op {
+        ProbeOp::Injected { src, dst, packet } => probe.packet_injected(now, src, dst, packet),
+        ProbeOp::Entered {
+            node,
+            packet,
+            num_flits,
+            class,
+        } => {
+            probe.packet_entered(now, node, packet, num_flits, class);
+        }
+        ProbeOp::HeadArrived {
+            node,
+            in_port,
+            packet,
+        } => {
+            probe.head_arrived(now, node, in_port, packet);
+        }
+        ProbeOp::Forwarded {
+            node,
+            port,
+            vc,
+            packet,
+        } => {
+            probe.flit_forwarded(now, node, port, vc, packet);
+        }
+        ProbeOp::VcAllocated {
+            node,
+            port,
+            vc,
+            packet,
+        } => {
+            probe.vc_allocated(now, node, port, vc, packet);
+        }
+        ProbeOp::AllocConflict { node, port, packet } => {
+            probe.alloc_conflict(now, node, port, packet);
+        }
+        ProbeOp::CreditStall {
+            node,
+            port,
+            vc,
+            packet,
+        } => {
+            probe.credit_stall(now, node, port, vc, packet);
+        }
+        ProbeOp::SwitchTraversed {
+            node,
+            port,
+            vc,
+            packet,
+        } => {
+            probe.switch_traversed(now, node, port, vc, packet);
+        }
+        ProbeOp::Preemption { node, port, packet } => probe.preemption(now, node, port, packet),
+        ProbeOp::HeadEjected { node, packet } => probe.head_ejected(now, node, packet),
+        ProbeOp::Dropped { node, packet } => probe.packet_dropped(now, node, packet),
+        ProbeOp::Misroute { node, packet } => probe.misroute(now, node, packet),
+        ProbeOp::Delivered {
+            src,
+            dst,
+            packet,
+            network_latency,
+        } => {
+            probe.packet_delivered(now, src, dst, packet, network_latency);
+        }
+        ProbeOp::BufferSample { node, occupancy } => probe.buffer_sample(node, occupancy),
+    }
+}

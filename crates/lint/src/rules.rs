@@ -132,7 +132,7 @@ pub fn all_rules() -> Vec<Rule> {
             name: "unannotated-wake-site",
             summary: "wake-up calls in the gated engine without an INVARIANT note",
             patterns: &["wake_router", "wake_channel", "wake_pipe", "wake_injector"],
-            include: &["crates/core/src/network.rs"],
+            include: &["crates/core/src/network.rs", "crates/core/src/shard.rs"],
             exclude: &[],
             scope: CodeScope::OutsideTests,
             suppression: Suppression::AllowOrInvariant,
@@ -157,6 +157,19 @@ pub fn all_rules() -> Vec<Rule> {
             advice: "library crates report through probes, reports, and \
                      exporters, not stdout; rendering belongs in crates/bench \
                      binaries (or return the string to the caller)",
+        },
+        Rule {
+            name: "raw-thread-spawn",
+            summary: "std::thread::spawn/scope outside the sanctioned parallel seams",
+            patterns: &["thread::spawn", "thread::scope"],
+            include: &["crates/", "src/", "tests/", "examples/"],
+            exclude: &["crates/sim/src/pool.rs", "crates/sim/src/shard.rs"],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowComment,
+            advice: "all parallelism must flow through the deterministic seams \
+                     — SimPool for independent points, ShardedSimulation for \
+                     one sharded run (DESIGN.md \u{a7}3.15); ad-hoc threads \
+                     reintroduce scheduling-dependent behaviour",
         },
         Rule {
             name: "todo-in-shipping-code",

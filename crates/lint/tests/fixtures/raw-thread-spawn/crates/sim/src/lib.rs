@@ -1,0 +1,28 @@
+//! Fixture: `raw-thread-spawn` — ad-hoc threads outside the sanctioned
+//! parallel seams fire; suppressed, excluded-path, and test-module
+//! uses do not.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42); // FINDING: line 6
+    std::thread::scope(|_s| {}); // FINDING: line 7
+    let _ = h.join();
+}
+
+/// A doc-comment mention of thread::spawn does not fire, and neither
+/// does one in a string:
+pub fn fine() -> &'static str {
+    "thread::spawn by name"
+}
+
+pub fn suppressed() {
+    // ocin-lint: allow(raw-thread-spawn) — fixture: prototype harness pending its SimPool port
+    std::thread::spawn(|| ()).join().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_thread() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

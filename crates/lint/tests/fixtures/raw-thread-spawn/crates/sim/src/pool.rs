@@ -1,0 +1,6 @@
+//! Fixture: `crates/sim/src/pool.rs` is a sanctioned seam — the
+//! deterministic point-evaluation pool owns its worker threads.
+
+pub fn run_points() {
+    std::thread::scope(|_s| {});
+}

@@ -1,0 +1,6 @@
+//! Fixture: `crates/sim/src/shard.rs` is a sanctioned seam — the
+//! sharded runner steps one network across scoped worker threads.
+
+pub fn run_sharded() {
+    std::thread::scope(|_s| {});
+}

@@ -108,6 +108,20 @@ fn fixture_println_in_core() {
 }
 
 #[test]
+fn fixture_raw_thread_spawn() {
+    let a = analyze_fixture("raw-thread-spawn");
+    assert_eq!(
+        hits(&a),
+        vec![
+            ("raw-thread-spawn".to_string(), 6),
+            ("raw-thread-spawn".to_string(), 7),
+        ],
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
 fn fixture_todo_in_shipping_code() {
     let a = analyze_fixture("todo-in-shipping-code");
     assert_eq!(
@@ -211,6 +225,7 @@ fn cli_exit_codes() {
         "panic-in-router-hot-path",
         "unannotated-wake-site",
         "println-in-core",
+        "raw-thread-spawn",
         "todo-in-shipping-code",
         "malformed-suppression",
     ] {

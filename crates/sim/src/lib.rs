@@ -31,6 +31,7 @@ pub mod heatmap;
 pub mod multichip;
 pub mod pool;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 pub mod table;
@@ -40,6 +41,7 @@ pub use heatmap::{hottest_links, render_link_heatmap, render_metrics_heatmap};
 pub use multichip::{GlobalDelivery, MultiChipSim};
 pub use pool::{derive_seed, PointSpec, SimPool};
 pub use runner::{SimConfig, SimReport, Simulation};
+pub use shard::{shards_from_env, ShardedSimulation};
 pub use stats::{LatencyReport, Samples};
 pub use sweep::{LoadPoint, LoadSweep};
 pub use table::Table;

@@ -71,6 +71,14 @@ pub struct PointSpec {
     /// records are retained, keeping sweep memory bounded. Part of the
     /// cache key for the same reason as `probe`.
     pub journeys: bool,
+    /// Worker threads used *inside* this point's run (sharded stepping
+    /// of one network). Deliberately **not** part of the cache key:
+    /// sharded execution is bit-identical to sequential by construction
+    /// (enforced by the shard-equivalence suite), so the shard count can
+    /// never change a result — only how fast it arrives. Big radices
+    /// trade pool point-parallelism for intra-point parallelism by
+    /// raising this.
+    pub shards: usize,
 }
 
 impl PointSpec {
@@ -83,6 +91,7 @@ impl PointSpec {
             load,
             probe: false,
             journeys: false,
+            shards: 1,
         }
     }
 
@@ -96,6 +105,13 @@ impl PointSpec {
     /// for this point. Implies the probe when enabled.
     pub fn with_journeys(mut self, journeys: bool) -> Self {
         self.journeys = journeys;
+        self
+    }
+
+    /// Steps this point's network on `shards` worker threads (clamped
+    /// to at least 1). The report is bit-identical at any shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -142,7 +158,7 @@ impl PointSpec {
         } else if self.probe {
             sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters());
         }
-        let report = sim.run();
+        let report = crate::shard::ShardedSimulation::new(sim, self.shards).run();
         LoadPoint {
             offered: self.load,
             accepted: report.accepted_flit_rate,

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ocin_core::ids::{FlowId, NodeId};
+use ocin_core::interface::DeliveredPacket;
 use ocin_core::network::{EnergyCounters, Network, PacketSpec};
 use ocin_core::probe::{NetworkMetrics, NetworkProbe, ProbeConfig};
 use ocin_core::reservation::StaticFlowSpec;
@@ -109,20 +110,146 @@ pub struct SimReport {
     pub metrics: Option<NetworkMetrics>,
 }
 
+/// Measurement-window accumulator shared by the sequential and sharded
+/// runners. Deliveries must be fed in the sequential collection order
+/// (cycle-major, then node-ascending) so latency sample streams — and
+/// therefore every percentile in the report — are bit-identical across
+/// engines.
+#[derive(Debug, Default)]
+pub(crate) struct MeasureAcc {
+    pub(crate) lat_net: Samples,
+    pub(crate) lat_total: Samples,
+    pub(crate) class_samples: BTreeMap<u8, Samples>,
+    pub(crate) flow_samples: BTreeMap<FlowId, Samples>,
+    pub(crate) delivered_flits: u64,
+    pub(crate) delivered_packets: u64,
+}
+
+impl MeasureAcc {
+    /// Folds one delivery into the accumulator; returns whether the
+    /// packet was tagged for measurement (created inside the window).
+    pub(crate) fn on_delivered(
+        &mut self,
+        pkt: &DeliveredPacket,
+        warm_end: u64,
+        meas_end: u64,
+    ) -> bool {
+        // Accepted throughput counts every flit that lands inside the
+        // window, whatever its creation time.
+        if pkt.delivered_at >= warm_end && pkt.delivered_at < meas_end {
+            self.delivered_flits += pkt.num_flits as u64;
+        }
+        let measured = pkt.created_at >= warm_end && pkt.created_at < meas_end;
+        if !measured {
+            return false;
+        }
+        self.delivered_packets += 1;
+        self.lat_net.push(pkt.network_latency() as f64);
+        self.lat_total.push(pkt.total_latency() as f64);
+        self.class_samples
+            .entry(pkt.class.priority())
+            .or_default()
+            .push(pkt.network_latency() as f64);
+        if let Some(f) = pkt.flow {
+            self.flow_samples
+                .entry(f)
+                .or_default()
+                .push(pkt.network_latency() as f64);
+        }
+        true
+    }
+}
+
+/// Scalar run totals fed into [`assemble_report`] — the same four
+/// values whichever engine (sequential or sharded) produced them.
+#[derive(Clone, Copy)]
+pub(crate) struct RunTotals {
+    pub injected_packets: u64,
+    pub unfinished_packets: u64,
+    pub energy_start: EnergyCounters,
+    pub energy_end: EnergyCounters,
+}
+
+/// Builds the final [`SimReport`] from a finished network and the
+/// measurement accumulator — the single place where report math lives,
+/// so the sequential and sharded engines cannot drift apart.
+pub(crate) fn assemble_report(
+    net: &Network,
+    cfg: &SimConfig,
+    offered_rate: f64,
+    acc: &mut MeasureAcc,
+    totals: RunTotals,
+    metrics: Option<NetworkMetrics>,
+) -> SimReport {
+    let RunTotals {
+        injected_packets,
+        unfinished_packets,
+        energy_start,
+        energy_end,
+    } = totals;
+    let n = net.topology().num_nodes();
+    let stats = net.stats();
+    let loads = net.link_loads();
+    let avg_u = if loads.is_empty() {
+        0.0
+    } else {
+        loads.iter().map(|l| l.utilization).sum::<f64>() / loads.len() as f64
+    };
+    let max_u = loads.iter().map(|l| l.utilization).fold(0.0, f64::max);
+
+    SimReport {
+        cycles: net.cycle(),
+        window: cfg.measure_cycles,
+        offered_flit_rate: offered_rate,
+        accepted_flit_rate: acc.delivered_flits as f64 / (n as f64 * cfg.measure_cycles as f64),
+        network_latency: acc.lat_net.report(),
+        total_latency: acc.lat_total.report(),
+        class_latency: acc
+            .class_samples
+            .iter_mut()
+            .map(|(k, v)| (*k, v.report()))
+            .collect(),
+        flow_jitter: acc
+            .flow_samples
+            .iter()
+            .map(|(k, v)| (*k, v.spread()))
+            .collect(),
+        flow_latency: acc
+            .flow_samples
+            .iter_mut()
+            .map(|(k, v)| (*k, v.report()))
+            .collect(),
+        packets_delivered: acc.delivered_packets,
+        packets_injected: injected_packets,
+        packets_dropped: stats.packets_dropped,
+        deflections: stats.deflections,
+        energy: EnergyCounters {
+            flit_hops: energy_end.flit_hops - energy_start.flit_hops,
+            hop_bits: energy_end.hop_bits - energy_start.hop_bits,
+            link_flits: energy_end.link_flits - energy_start.link_flits,
+            link_bit_pitches: energy_end.link_bit_pitches - energy_start.link_bit_pitches,
+        },
+        avg_link_utilization: avg_u,
+        max_link_utilization: max_u,
+        unfinished_packets,
+        metrics,
+    }
+}
+
 /// A warmup/measure/drain simulation of one network configuration.
 pub struct Simulation {
-    net: Network,
-    cfg: SimConfig,
-    generator: Option<WorkloadGenerator>,
-    matrix: Option<MatrixGenerator>,
-    offered_rate: f64,
+    pub(crate) net: Network,
+    pub(crate) cfg: SimConfig,
+    pub(crate) generator: Option<WorkloadGenerator>,
+    pub(crate) matrix: Option<MatrixGenerator>,
+    pub(crate) offered_rate: f64,
     /// Per-node source queues holding offered packets the tile port has
     /// not yet accepted (unbounded, so offered load is preserved even
     /// past saturation).
-    pending: Vec<VecDeque<PacketSpec>>,
-    flows: Vec<(FlowId, StaticFlowSpec)>,
-    reservation_period: u64,
-    probe_cfg: Option<ProbeConfig>,
+    pub(crate) pending: Vec<VecDeque<PacketSpec>>,
+    pub(crate) flows: Vec<(FlowId, StaticFlowSpec)>,
+    pub(crate) reservation_period: u64,
+    pub(crate) probe_cfg: Option<ProbeConfig>,
 }
 
 impl Simulation {
@@ -192,12 +319,7 @@ impl Simulation {
         let meas_end = warm_end + self.cfg.measure_cycles;
         let hard_end = meas_end + self.cfg.drain_cycles;
 
-        let mut lat_net = Samples::new();
-        let mut lat_total = Samples::new();
-        let mut class_samples: BTreeMap<u8, Samples> = BTreeMap::new();
-        let mut flow_samples: BTreeMap<FlowId, Samples> = BTreeMap::new();
-        let mut delivered_flits = 0u64;
-        let mut delivered_packets = 0u64;
+        let mut acc = MeasureAcc::default();
         let mut injected_packets = 0u64;
         let mut energy_start = EnergyCounters::default();
         let mut energy_end = EnergyCounters::default();
@@ -274,28 +396,8 @@ impl Simulation {
             // Collect deliveries.
             for node in 0..n {
                 for pkt in self.net.drain_delivered(NodeId::new(node as u16)) {
-                    // Accepted throughput counts every flit that lands
-                    // inside the window, whatever its creation time.
-                    if pkt.delivered_at >= warm_end && pkt.delivered_at < meas_end {
-                        delivered_flits += pkt.num_flits as u64;
-                    }
-                    let measured = pkt.created_at >= warm_end && pkt.created_at < meas_end;
-                    if !measured {
-                        continue;
-                    }
-                    measured_outstanding = measured_outstanding.saturating_sub(1);
-                    delivered_packets += 1;
-                    lat_net.push(pkt.network_latency() as f64);
-                    lat_total.push(pkt.total_latency() as f64);
-                    class_samples
-                        .entry(pkt.class.priority())
-                        .or_default()
-                        .push(pkt.network_latency() as f64);
-                    if let Some(f) = pkt.flow {
-                        flow_samples
-                            .entry(f)
-                            .or_default()
-                            .push(pkt.network_latency() as f64);
+                    if acc.on_delivered(&pkt, warm_end, meas_end) {
+                        measured_outstanding = measured_outstanding.saturating_sub(1);
                     }
                 }
             }
@@ -309,50 +411,23 @@ impl Simulation {
             }
         }
 
-        let stats = self.net.stats();
-        let loads = self.net.link_loads();
-        let avg_u = if loads.is_empty() {
-            0.0
-        } else {
-            loads.iter().map(|l| l.utilization).sum::<f64>() / loads.len() as f64
-        };
-        let max_u = loads.iter().map(|l| l.utilization).fold(0.0, f64::max);
-
-        SimReport {
-            cycles: self.net.cycle(),
-            window: self.cfg.measure_cycles,
-            offered_flit_rate: self.offered_rate,
-            accepted_flit_rate: delivered_flits as f64
-                / (n as f64 * self.cfg.measure_cycles as f64),
-            network_latency: lat_net.report(),
-            total_latency: lat_total.report(),
-            class_latency: class_samples
-                .iter_mut()
-                .map(|(k, v)| (*k, v.report()))
-                .collect(),
-            flow_jitter: flow_samples.iter().map(|(k, v)| (*k, v.spread())).collect(),
-            flow_latency: flow_samples
-                .iter_mut()
-                .map(|(k, v)| (*k, v.report()))
-                .collect(),
-            packets_delivered: delivered_packets,
-            packets_injected: injected_packets,
-            packets_dropped: stats.packets_dropped,
-            deflections: stats.deflections,
-            energy: EnergyCounters {
-                flit_hops: energy_end.flit_hops - energy_start.flit_hops,
-                hop_bits: energy_end.hop_bits - energy_start.hop_bits,
-                link_flits: energy_end.link_flits - energy_start.link_flits,
-                link_bit_pitches: energy_end.link_bit_pitches - energy_start.link_bit_pitches,
+        let metrics = self
+            .net
+            .take_probe()
+            .map(|p| p.into_metrics(self.net.cycle()));
+        assemble_report(
+            &self.net,
+            &self.cfg,
+            self.offered_rate,
+            &mut acc,
+            RunTotals {
+                injected_packets,
+                unfinished_packets: measured_outstanding,
+                energy_start,
+                energy_end,
             },
-            avg_link_utilization: avg_u,
-            max_link_utilization: max_u,
-            unfinished_packets: measured_outstanding,
-            metrics: self
-                .net
-                .take_probe()
-                .map(|p| p.into_metrics(self.net.cycle())),
-        }
+            metrics,
+        )
     }
 
     /// Measured energy events per delivered packet: `(hop_bits,

@@ -114,17 +114,27 @@ impl TrafficMatrix {
     /// Builds the per-cycle generator.
     pub fn generator(&self, seed: u64) -> MatrixGenerator {
         MatrixGenerator {
+            rngs: (0..self.nodes)
+                .map(|s| {
+                    StdRng::seed_from_u64(seed ^ 0x7A31 ^ (s as u64).wrapping_mul(0x9E37_79B9))
+                })
+                .collect(),
             matrix: self.clone(),
-            rng: StdRng::seed_from_u64(seed ^ 0x7A31),
         }
     }
 }
 
 /// Stateful Bernoulli sampler over a [`TrafficMatrix`].
-#[derive(Debug)]
+///
+/// Each source row draws from its own RNG stream, so the draws a given
+/// source makes are independent of how (or whether) other sources are
+/// queried. A clone driven over any subset of sources reproduces
+/// exactly the original's draws for those sources — the property the
+/// sharded runner needs to hand each worker its own generator.
+#[derive(Debug, Clone)]
 pub struct MatrixGenerator {
     matrix: TrafficMatrix,
-    rng: StdRng,
+    rngs: Vec<StdRng>,
 }
 
 impl MatrixGenerator {
@@ -134,13 +144,14 @@ impl MatrixGenerator {
     pub fn requests_for(&mut self, src: NodeId) -> Vec<PacketRequest> {
         let flits_per_packet = self.matrix.payload_bits.div_ceil(256).max(1) as f64;
         let mut out = Vec::new();
+        let rng = &mut self.rngs[src.index()];
         for d in 0..self.matrix.nodes {
             let dst = NodeId::new(d as u16);
             if dst == src {
                 continue;
             }
             let p = (self.matrix.rate(src, dst) / flits_per_packet).clamp(0.0, 1.0);
-            if p > 0.0 && self.rng.gen_bool(p) {
+            if p > 0.0 && rng.gen_bool(p) {
                 out.push(PacketRequest {
                     dst,
                     payload_bits: self.matrix.payload_bits,

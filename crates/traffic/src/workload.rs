@@ -95,7 +95,13 @@ impl Workload {
 }
 
 /// The stateful side of a [`Workload`]: per-node RNGs and burst state.
-#[derive(Debug)]
+///
+/// `Clone` is part of the determinism contract: all per-node state (RNG
+/// stream, burst state) is independent across nodes, so a clone driven
+/// over any subset of nodes produces exactly the draws the original
+/// would have produced for those nodes. The sharded runner relies on
+/// this to give each worker its own generator.
+#[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     workload: Workload,
     states: Vec<InjectionState>,

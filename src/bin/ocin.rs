@@ -4,14 +4,14 @@
 //! ocin info
 //! ocin run   [--topology ftorus:4] [--pattern uniform] [--load 0.2]
 //!            [--flow-control vc|drop|deflect] [--phits 1] [--valiant]
-//!            [--cycles 8000] [--seed 1] [--heatmap]
+//!            [--cycles 8000] [--seed 1] [--heatmap] [--shards 4]
 //! ocin sweep [--topology ftorus:4] [--pattern uniform] [--loads 0.1,0.3,0.5]
 //! ```
 
 use std::process::ExitCode;
 
 use ocin::core::{FlowControl, NetworkConfig, RoutingAlg, TopologySpec};
-use ocin::sim::{LoadSweep, SimConfig, Simulation, Table};
+use ocin::sim::{LoadSweep, ShardedSimulation, SimConfig, Simulation, Table};
 use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
 
 #[derive(Debug, Clone)]
@@ -26,6 +26,7 @@ struct Options {
     cycles: u64,
     seed: u64,
     heatmap: bool,
+    shards: usize,
 }
 
 impl Default for Options {
@@ -41,6 +42,7 @@ impl Default for Options {
             cycles: 8_000,
             seed: 1,
             heatmap: false,
+            shards: ocin::sim::shards_from_env(),
         }
     }
 }
@@ -108,6 +110,12 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             "--heatmap" => opts.heatmap = true,
             "--cycles" => opts.cycles = value()?.parse().map_err(|e| format!("--cycles: {e}"))?,
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--shards" => {
+                opts.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards: must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -168,10 +176,13 @@ fn cmd_info() {
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
-    let mut sim = Simulation::new(network_config(opts), sim_config(opts))
+    let sim = Simulation::new(network_config(opts), sim_config(opts))
         .map_err(|e| e.to_string())?
         .with_workload(&workload(opts)?);
-    let report = sim.run();
+    // Sharded execution is byte-identical to sequential (DESIGN.md
+    // §3.15), so --shards only changes wall clock, never the report.
+    let mut sharded = ShardedSimulation::new(sim, opts.shards);
+    let report = sharded.run();
     println!(
         "{:?}  pattern={}  offered={}  flow_control={:?}{}",
         opts.topology,
@@ -202,10 +213,10 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     }
     if opts.heatmap {
         println!("\nlink utilization heatmap:\n");
-        print!("{}", ocin::sim::render_link_heatmap(sim.network_mut()));
+        print!("{}", ocin::sim::render_link_heatmap(sharded.network_mut()));
         println!(
             "hottest links: {}",
-            ocin::sim::hottest_links(sim.network_mut(), 5).join("  ")
+            ocin::sim::hottest_links(sharded.network_mut(), 5).join("  ")
         );
     }
     Ok(())
@@ -295,7 +306,15 @@ mod tests {
         assert!(parse_args(&args(&["run", "--topology", "hypercube:4"])).is_err());
         assert!(parse_args(&args(&["run", "--load"])).is_err());
         assert!(parse_args(&args(&["run", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["run", "--shards", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "--shards", "many"])).is_err());
         assert!(parse_pattern("nope", 16).is_err());
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        let (_, o) = parse_args(&args(&["run", "--shards", "4"])).unwrap();
+        assert_eq!(o.shards, 4);
     }
 
     #[test]

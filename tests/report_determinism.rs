@@ -5,28 +5,37 @@
 //! — two runs of the same `(config, seed)` must produce reports whose
 //! textual renderings are byte-identical, which is what lets CI diff
 //! experiment transcripts. (`ocin-lint`'s `nondeterministic-iteration`
-//! rule keeps hash maps from creeping back into these paths.)
+//! rule keeps hash maps from creeping back into these paths.) The run
+//! goes through `ShardedSimulation::from_env`, so the CI
+//! shard-equivalence matrix re-runs this suite at `OCIN_SHARDS ∈
+//! {1, 2, 4, 8}` — and the rendering must also match a forced
+//! sequential run byte for byte.
 
 use std::fmt::Write as _;
 
 use ocin::core::reservation::StaticFlowSpec;
 use ocin::core::NetworkConfig;
-use ocin::sim::{SimConfig, SimReport, Simulation};
+use ocin::sim::{ShardedSimulation, SimConfig, SimReport, Simulation};
 use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
 
 /// A run with dynamic traffic in every class plus two static flows, so
-/// the class- and flow-keyed maps are all populated.
-fn run() -> SimReport {
+/// the class- and flow-keyed maps are all populated. `shards` of 0
+/// means "whatever `OCIN_SHARDS` says".
+fn run(shards: Option<usize>) -> SimReport {
     let cfg = NetworkConfig::paper_baseline()
         .with_static_flow(StaticFlowSpec::new(0.into(), 5.into(), 0, 256))
         .with_static_flow(StaticFlowSpec::new(9.into(), 2.into(), 3, 128))
         .with_reservation_period(8);
     let wl = Workload::new(16, 4, TrafficPattern::Uniform)
         .injection(InjectionProcess::Bernoulli { flit_rate: 0.2 });
-    Simulation::new(cfg, SimConfig::quick())
+    let sim = Simulation::new(cfg, SimConfig::quick())
         .unwrap()
-        .with_workload(&wl)
-        .run()
+        .with_workload(&wl);
+    let mut sharded = match shards {
+        Some(s) => ShardedSimulation::new(sim, s),
+        None => ShardedSimulation::from_env(sim),
+    };
+    sharded.run()
 }
 
 /// Renders the report the way an experiment transcript would: every
@@ -56,10 +65,21 @@ fn render(r: &SimReport) -> String {
 
 #[test]
 fn two_runs_render_identical_report_text() {
-    let a = run();
-    let b = run();
+    let a = run(None);
+    let b = run(None);
     assert!(!a.class_latency.is_empty(), "classes populated");
     assert!(!a.flow_latency.is_empty(), "flows populated");
     assert_eq!(a, b, "reports must be bit-identical");
     assert_eq!(render(&a), render(&b), "renderings must be byte-identical");
+}
+
+#[test]
+fn env_selected_shard_count_renders_the_sequential_text() {
+    let sharded = run(None);
+    let sequential = run(Some(1));
+    assert_eq!(
+        render(&sharded),
+        render(&sequential),
+        "OCIN_SHARDS changed the report rendering"
+    );
 }

@@ -1,0 +1,277 @@
+//! Shard equivalence: threaded sharded execution vs the sequential runner.
+//!
+//! The sharded engine's contract (DESIGN.md §3.15) is that cutting one
+//! network into tile-region cells and stepping them on worker threads
+//! under conservative lookahead synchronization is *invisible*: for any
+//! configuration and any shard count, `ShardedSimulation` must produce
+//! a report — and rendered metrics, when probed — bit-identical to
+//! `Simulation`. The property tests below sample across flow-control
+//! methods, offered loads, probing/journey collection, transient
+//! faults, static-flow reservations, and shard counts; directed tests
+//! check conservation at region seams and that shard-count flips
+//! compose with the engine-mode flips from the activity-gating suite.
+
+use ocin::core::probe::ProbeConfig;
+use ocin::core::{FlowControl, Network, NetworkConfig, PacketSpec, StaticFlowSpec, TopologySpec};
+use ocin::sim::{ShardedSimulation, SimConfig, SimReport, Simulation};
+use ocin::traffic::{InjectionProcess, TrafficPattern, Workload};
+use proptest::prelude::*;
+
+fn quick_cfg(fc: FlowControl, k: usize) -> NetworkConfig {
+    NetworkConfig::paper_baseline()
+        .with_topology(TopologySpec::FoldedTorus { k })
+        .with_flow_control(fc)
+}
+
+/// One quick simulation with every sampled knob applied, stepped on
+/// `shards` worker threads (1 = the sequential reference).
+#[allow(clippy::too_many_arguments)]
+fn run(
+    fc: FlowControl,
+    k: usize,
+    sim_cfg: SimConfig,
+    load: f64,
+    probed: bool,
+    journeys: bool,
+    fault_rate: f64,
+    reserved: bool,
+    shards: usize,
+) -> SimReport {
+    let mut cfg = quick_cfg(fc, k);
+    if reserved {
+        cfg = cfg
+            .with_reservation_period(8)
+            .with_static_flow(StaticFlowSpec::new(0.into(), 5.into(), 1, 64));
+    }
+    let wl = Workload::new(k * k, k, TrafficPattern::Uniform)
+        .injection(InjectionProcess::Bernoulli { flit_rate: load });
+    let mut sim = Simulation::new(cfg, sim_cfg)
+        .expect("valid config")
+        .with_workload(&wl);
+    if probed {
+        let pc = if journeys {
+            ProbeConfig::counters().with_journeys(512)
+        } else {
+            ProbeConfig::counters()
+        };
+        sim = sim.with_probe(pc);
+    }
+    sim.network_mut().set_transient_fault_rate(fault_rate);
+    let mut sharded = ShardedSimulation::new(sim, shards);
+    sharded.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For a random configuration and shard count, the sharded report —
+    /// and its rendered metrics JSON, when probed — is bit-identical to
+    /// the sequential runner's.
+    #[test]
+    fn sharded_run_matches_sequential(
+        fc in prop_oneof![
+            Just(FlowControl::VirtualChannel),
+            Just(FlowControl::Dropping),
+            Just(FlowControl::Deflection),
+        ],
+        load in 0.02f64..0.6,
+        probed in any::<bool>(),
+        journeys in any::<bool>(),
+        faulty in any::<bool>(),
+        reserved in any::<bool>(),
+        shards in prop_oneof![Just(2usize), Just(3), Just(4), Just(8)],
+    ) {
+        let reserved = reserved && fc == FlowControl::VirtualChannel;
+        let fault_rate = if faulty { 0.02 } else { 0.0 };
+        let cfg = SimConfig::quick();
+        let seq = run(fc, 4, cfg, load, probed, journeys, fault_rate, reserved, 1);
+        let shd = run(fc, 4, cfg, load, probed, journeys, fault_rate, reserved, shards);
+        prop_assert!(
+            seq == shd,
+            "sequential and {shards}-shard reports differ ({fc:?} @ {load:.3}, \
+             probed={probed}, journeys={journeys}, faults={faulty}, reserved={reserved})"
+        );
+        if probed {
+            let s = seq.metrics.as_ref().expect("probed run carries metrics");
+            let p = shd.metrics.as_ref().expect("probed run carries metrics");
+            prop_assert_eq!(s.to_json(), p.to_json(), "rendered metrics JSON differs");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The same bit-identity on the 256-tile k = 16 torus, where cells
+    /// span many rows and the boundary mailboxes carry real traffic.
+    #[test]
+    fn sharded_run_matches_sequential_at_k16(
+        fc in prop_oneof![
+            Just(FlowControl::VirtualChannel),
+            Just(FlowControl::Dropping),
+        ],
+        load in 0.02f64..0.15,
+        probed in any::<bool>(),
+        shards in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let cfg = SimConfig::quick();
+        let seq = run(fc, 16, cfg, load, probed, false, 0.0, false, 1);
+        let shd = run(fc, 16, cfg, load, probed, false, 0.0, false, shards);
+        prop_assert!(
+            seq == shd,
+            "k=16 sequential and {shards}-shard reports differ ({fc:?} @ {load:.3}, \
+             probed={probed})"
+        );
+        if probed {
+            let s = seq.metrics.as_ref().expect("probed run carries metrics");
+            let p = shd.metrics.as_ref().expect("probed run carries metrics");
+            prop_assert_eq!(s.to_json(), p.to_json(), "rendered k=16 metrics JSON differs");
+        }
+    }
+}
+
+/// Bit-identity holds at the 1024-tile k = 32 scale the shard runner
+/// exists for. One probed point, shortened phases: this is the largest
+/// network in the tree and the suite runs it four times.
+#[test]
+fn sharded_run_matches_sequential_at_k32() {
+    let cfg = SimConfig {
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        drain_cycles: 400,
+        seed: 0xB19,
+    };
+    let seq = run(
+        FlowControl::VirtualChannel,
+        32,
+        cfg,
+        0.05,
+        true,
+        false,
+        0.0,
+        false,
+        1,
+    );
+    for shards in [2usize, 4, 8] {
+        let shd = run(
+            FlowControl::VirtualChannel,
+            32,
+            cfg,
+            0.05,
+            true,
+            false,
+            0.0,
+            false,
+            shards,
+        );
+        assert!(
+            seq == shd,
+            "k=32 sequential and {shards}-shard reports differ"
+        );
+        assert_eq!(
+            seq.metrics.as_ref().expect("probed").to_json(),
+            shd.metrics.as_ref().expect("probed").to_json(),
+            "rendered k=32 metrics JSON differs at {shards} shards"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Boundary exchange conserves flits and packets exactly: whatever
+    /// crosses a region seam arrives once and only once, so after a
+    /// full drain every injected packet (and flit) has been delivered —
+    /// at any cell count, with the same totals as the 1-cell network.
+    #[test]
+    fn boundary_exchange_conserves_flits(
+        shards in 1usize..=8,
+        load in 0.05f64..0.4,
+        cycles in 100u64..400,
+    ) {
+        let drive = |cells: usize| {
+            let mut net = Network::new(quick_cfg(FlowControl::VirtualChannel, 4))
+                .expect("valid config");
+            net.set_shards(cells);
+            let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+                .injection(InjectionProcess::Bernoulli { flit_rate: load });
+            let mut generation = wl.generator(21);
+            let mut delivered_packets = 0u64;
+            let mut delivered_flits = 0u64;
+            let mut drain = 0u32;
+            for now in 0.. {
+                if now < cycles {
+                    for node in 0..16u16 {
+                        if let Some(req) = generation.next_request(now, node.into()) {
+                            let _ = net
+                                .inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
+                        }
+                    }
+                }
+                net.step();
+                for node in 0..16u16 {
+                    for pkt in net.drain_delivered(node.into()) {
+                        delivered_packets += 1;
+                        delivered_flits += pkt.num_flits as u64;
+                    }
+                }
+                if now >= cycles {
+                    drain += 1;
+                    prop_assert!(drain < 5_000, "network failed to drain");
+                    if net.is_quiescent() {
+                        break;
+                    }
+                }
+            }
+            prop_assert_eq!(net.flits_in_flight(), 0, "drained network holds flits");
+            let stats = net.stats();
+            prop_assert_eq!(stats.packets_injected, delivered_packets, "packet loss or duplication");
+            prop_assert_eq!(stats.flits_injected, delivered_flits, "flit loss or duplication");
+            Ok((delivered_packets, delivered_flits))
+        };
+        let sharded = drive(shards)?;
+        let reference = drive(1)?;
+        prop_assert_eq!(sharded, reference, "totals differ from the 1-cell reference");
+    }
+}
+
+/// Shard-count flips compose with engine-mode flips mid-run: re-cutting
+/// the live network while also toggling gated/naive stepping changes
+/// nothing, mirroring `engines_compose_mid_run` in the activity-gating
+/// suite.
+#[test]
+fn shard_counts_compose_with_engine_flips() {
+    let drive = |plan: &[(u64, usize, bool)]| {
+        let mut net = Network::new(quick_cfg(FlowControl::VirtualChannel, 4)).expect("valid");
+        let wl = Workload::new(16, 4, TrafficPattern::Uniform)
+            .injection(InjectionProcess::Bernoulli { flit_rate: 0.2 });
+        let mut generation = wl.generator(7);
+        let mut delivered = 0u64;
+        for now in 0..600u64 {
+            if let Some(&(_, shards, naive)) = plan.iter().rev().find(|&&(at, ..)| now >= at) {
+                net.set_shards(shards);
+                net.set_naive_stepping(naive);
+            }
+            for node in 0..16u16 {
+                if let Some(req) = generation.next_request(now, node.into()) {
+                    let _ = net.inject(&PacketSpec::new(node.into(), req.dst).payload_bits(256));
+                }
+            }
+            net.step();
+            for node in 0..16u16 {
+                delivered += net.drain_delivered(node.into()).len() as u64;
+            }
+        }
+        (delivered, net.stats())
+    };
+    let reference = drive(&[(0, 1, false)]);
+    let pure_sharded = drive(&[(0, 4, false)]);
+    let mixed = drive(&[
+        (0, 2, false),
+        (150, 8, true),
+        (300, 1, false),
+        (450, 4, true),
+    ]);
+    assert_eq!(reference, pure_sharded);
+    assert_eq!(reference, mixed);
+}
