@@ -1,0 +1,313 @@
+//! Static route expansion: the per-hop resources a packet acquires,
+//! computed without a live [`crate::Network`].
+//!
+//! The router hot path decides three things for every head flit: which
+//! output channel it takes ([`crate::router`]'s `resolve_route`), which
+//! dateline/segment tier it is in (`advance_hop` plus the dateline bit
+//! applied on link delivery), and which virtual channels that tier
+//! permits ([`VcPlan::mask_for`] / [`VcPlan::mask_for_two_segment`]).
+//! This module replays exactly those transitions over a hop list, so an
+//! offline tool can enumerate the `(channel, VC)` resources a route
+//! acquires *in order* — the raw material of the Dally–Seitz channel
+//! dependency graph that `ocin-verify` builds and checks.
+//!
+//! The state machine here must stay bit-for-bit faithful to the
+//! simulator; `crates/sim/tests/verify_conformance.rs` property-checks
+//! that every VC allocation a simulated packet performs is one this
+//! expansion predicted.
+
+use crate::config::VcPlan;
+use crate::flit::{ServiceClass, VcMask};
+use crate::ids::{Direction, NodeId};
+use crate::route::SourceRoute;
+use crate::topology::Topology;
+use crate::Error;
+
+/// One network channel acquired by a route, with the VC tier the packet
+/// holds while occupying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopAcquire {
+    /// Node the channel leaves.
+    pub from: NodeId,
+    /// Direction the channel points.
+    pub dir: Direction,
+    /// Node the channel enters (the router whose input buffer backs it).
+    pub to: NodeId,
+    /// Virtual channels the packet may be allocated on this channel —
+    /// the plan's tier mask intersected with the packet's own mask,
+    /// exactly as the VC router's `effective_mask` computes it.
+    pub vc_mask: VcMask,
+    /// Dateline class in force when this channel's VC is allocated.
+    pub dateline_class: u8,
+    /// Valiant segment (0 before the boundary, 1 after; always 0 for
+    /// minimal routes).
+    pub segment: u8,
+}
+
+/// Replays the router state machine over `dirs`, returning the channel
+/// and VC-tier sequence a packet of `class` acquires.
+///
+/// `valiant_boundary` is the first-segment hop count (0 for minimal
+/// routes), `dateline_aware` mirrors the network's
+/// `TopologySpec::has_wraparound()`-derived flag. The transitions are:
+///
+/// * the dateline class is set to 1 when the packet is *delivered*
+///   over a dateline link (so it affects the next hop's allocation),
+/// * it resets to 0 when the heading changes axis (a fresh ring
+///   traversal in the other dimension),
+/// * on two-segment routes, the packet climbs to segment 1 — with a
+///   fresh dateline class — on the first hop past the boundary.
+///
+/// # Errors
+///
+/// Returns [`Error::Route`] when the hop list does not compile to a
+/// [`SourceRoute`] (an unencodable reversal, an empty or over-long
+/// route), and [`Error::Config`] when a hop leaves the topology.
+pub fn expand_route(
+    topo: &dyn Topology,
+    plan: &VcPlan,
+    class: ServiceClass,
+    src: NodeId,
+    dirs: &[Direction],
+    valiant_boundary: u8,
+    dateline_aware: bool,
+) -> Result<Vec<HopAcquire>, Error> {
+    // The same legality gate injection applies: the route must encode.
+    SourceRoute::compile(dirs).map_err(Error::Route)?;
+    // The flit's own mask field covers both dateline halves of its
+    // class; each hop's tier mask is intersected with it.
+    let packet_mask =
+        plan.mask_for(class, 0, dateline_aware)
+            .or(plan.mask_for(class, 1, dateline_aware));
+
+    let mut out = Vec::with_capacity(dirs.len());
+    let mut state = RouteState::at_injection(valiant_boundary);
+    let mut node = src;
+    for &dir in dirs {
+        state.take_hop(dir);
+        let to = topo.neighbor(node, dir).ok_or_else(|| {
+            Error::Config(format!("route leaves the topology at {node} going {dir}"))
+        })?;
+        out.push(HopAcquire {
+            from: node,
+            dir,
+            to,
+            vc_mask: state
+                .tier_mask(plan, class, dateline_aware)
+                .and(packet_mask),
+            dateline_class: state.dateline_class,
+            segment: state.segment,
+        });
+        state.delivered_over(topo.is_dateline(node, dir));
+        node = to;
+    }
+    Ok(out)
+}
+
+/// The per-packet routing state the VC router consults at allocation
+/// time, advanced hop by hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteState {
+    /// Dateline class (0 until a wrap link is crossed in the current
+    /// dimension).
+    pub dateline_class: u8,
+    /// Valiant segment (0 or 1).
+    pub segment: u8,
+    /// Hops taken so far, saturating like the flit counter.
+    pub hops_taken: u8,
+    /// First-segment length for two-segment routes (0 = minimal).
+    pub valiant_boundary: u8,
+    heading: Option<Direction>,
+}
+
+impl RouteState {
+    /// The state of a freshly injected packet.
+    pub fn at_injection(valiant_boundary: u8) -> RouteState {
+        RouteState {
+            dateline_class: 0,
+            segment: 0,
+            hops_taken: 0,
+            valiant_boundary,
+            heading: None,
+        }
+    }
+
+    /// The state of a two-segment packet as it leaves its intermediate
+    /// node: segment 1, fresh dateline class, heading not yet set (the
+    /// junction turn may be any non-reversal). Lets a verifier walk the
+    /// second Valiant segment independently of the first.
+    pub fn at_segment_two() -> RouteState {
+        RouteState {
+            dateline_class: 0,
+            segment: 1,
+            hops_taken: 0,
+            valiant_boundary: 1,
+            heading: None,
+        }
+    }
+
+    /// Advances the state for a hop in `dir`, mirroring the router's
+    /// `resolve_route` + `advance_hop`: axis change resets the dateline
+    /// class, then the hop counter may climb the Valiant segment.
+    pub fn take_hop(&mut self, dir: Direction) {
+        if let Some(prev) = self.heading {
+            if prev.axis() != dir.axis() {
+                self.dateline_class = 0;
+            }
+        }
+        self.heading = Some(dir);
+        self.hops_taken = self.hops_taken.saturating_add(1);
+        if self.valiant_boundary != 0
+            && self.segment == 0
+            && self.hops_taken > self.valiant_boundary
+        {
+            self.segment = 1;
+            self.dateline_class = 0;
+        }
+    }
+
+    /// Applies the link-delivery effect: crossing a dateline link moves
+    /// the packet to the second class of its current tier pair.
+    pub fn delivered_over(&mut self, dateline: bool) {
+        if dateline {
+            self.dateline_class = 1;
+        }
+    }
+
+    /// The plan mask this state selects — the `effective_mask` tier
+    /// before intersection with the packet's own mask.
+    pub fn tier_mask(&self, plan: &VcPlan, class: ServiceClass, dateline_aware: bool) -> VcMask {
+        if self.valiant_boundary != 0 {
+            plan.mask_for_two_segment(self.segment, self.dateline_class, dateline_aware)
+        } else {
+            plan.mask_for(class, self.dateline_class, dateline_aware)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologySpec;
+
+    fn torus4() -> Box<dyn Topology> {
+        TopologySpec::FoldedTorus { k: 4 }.build()
+    }
+
+    #[test]
+    fn minimal_route_expands_hop_for_hop() {
+        let topo = torus4();
+        let plan = VcPlan::paper_baseline();
+        let src = NodeId::new(0);
+        let dst = NodeId::new(10); // (2,2): two E then two N
+        let dirs = topo.route_dirs(src, dst);
+        let hops = expand_route(
+            topo.as_ref(),
+            &plan,
+            ServiceClass::Bulk,
+            src,
+            &dirs,
+            0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(hops.len(), dirs.len());
+        // The walk chains: each hop leaves where the previous arrived.
+        for w in hops.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(hops.last().unwrap().to, dst);
+        // No dateline crossed on this route: class stays 0, mask is the
+        // pre-dateline bulk pair.
+        for h in &hops {
+            assert_eq!(h.dateline_class, 0);
+            assert_eq!(h.vc_mask, plan.bulk_class0);
+        }
+    }
+
+    #[test]
+    fn dateline_crossing_switches_class_until_the_turn() {
+        let topo = torus4();
+        let plan = VcPlan::paper_baseline();
+        // From (3,0), east crosses the X wrap (a dateline); then north.
+        let src = topo.node_at(crate::ids::Coord::new(3, 0));
+        let dirs = [Direction::East, Direction::North];
+        let hops = expand_route(
+            topo.as_ref(),
+            &plan,
+            ServiceClass::Bulk,
+            src,
+            &dirs,
+            0,
+            true,
+        )
+        .unwrap();
+        // The wrap link itself is acquired in class 0; the turn into Y
+        // resets the class before the northbound hop is allocated.
+        assert_eq!(hops[0].dateline_class, 0);
+        assert_eq!(hops[0].vc_mask, plan.bulk_class0);
+        assert_eq!(hops[1].dateline_class, 0);
+        // A straight continuation in X instead stays in class 1.
+        let dirs_x = [Direction::East, Direction::East];
+        let hops_x = expand_route(
+            topo.as_ref(),
+            &plan,
+            ServiceClass::Bulk,
+            src,
+            &dirs_x,
+            0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(hops_x[1].dateline_class, 1);
+        assert_eq!(hops_x[1].vc_mask, plan.bulk_class1);
+    }
+
+    #[test]
+    fn valiant_route_climbs_four_tiers() {
+        let topo = torus4();
+        let plan = VcPlan::paper_baseline();
+        // src=(3,0) -> mid=(1,0) -> dst=(1,2): segment A crosses the X
+        // dateline on its first hop, segment B runs north.
+        let src = topo.node_at(crate::ids::Coord::new(3, 0));
+        let dirs = [
+            Direction::East,
+            Direction::East,
+            Direction::North,
+            Direction::North,
+        ];
+        let hops = expand_route(
+            topo.as_ref(),
+            &plan,
+            ServiceClass::Bulk,
+            src,
+            &dirs,
+            2,
+            true,
+        )
+        .unwrap();
+        let tiers: Vec<(u8, u8)> = hops.iter().map(|h| (h.segment, h.dateline_class)).collect();
+        assert_eq!(tiers, vec![(0, 0), (0, 1), (1, 0), (1, 0)]);
+        // Each Valiant tier is a single VC under the paper plan.
+        assert_eq!(hops[0].vc_mask.bits(), 0b0001);
+        assert_eq!(hops[1].vc_mask.bits(), 0b0010);
+        assert_eq!(hops[2].vc_mask.bits(), 0b0100);
+        assert_eq!(hops[3].vc_mask.bits(), 0b0100);
+    }
+
+    #[test]
+    fn reversals_are_rejected() {
+        let topo = torus4();
+        let plan = VcPlan::paper_baseline();
+        let err = expand_route(
+            topo.as_ref(),
+            &plan,
+            ServiceClass::Bulk,
+            NodeId::new(0),
+            &[Direction::East, Direction::West],
+            0,
+            true,
+        );
+        assert!(matches!(err, Err(Error::Route(_))));
+    }
+}

@@ -172,6 +172,19 @@ impl Direction {
         }
     }
 
+    /// The dimension this heading travels along: 0 for the X axis
+    /// (East/West), 1 for the Y axis (North/South).
+    ///
+    /// Dateline virtual-channel classes are per dimension, so the
+    /// router's class-reset rule and the static verifier's channel
+    /// dependency graph both key off this.
+    pub const fn axis(self) -> u8 {
+        match self {
+            Direction::East | Direction::West => 0,
+            Direction::North | Direction::South => 1,
+        }
+    }
+
     /// Single-letter abbreviation (`N`, `E`, `S`, `W`).
     pub const fn letter(self) -> char {
         match self {

@@ -57,6 +57,7 @@ pub mod bus;
 pub mod config;
 pub mod ecc;
 pub mod error;
+pub mod expand;
 pub mod fault;
 pub mod flit;
 pub mod ids;
@@ -77,6 +78,7 @@ pub use config::{
 };
 pub use ecc::EccOutcome;
 pub use error::Error;
+pub use expand::{expand_route, HopAcquire, RouteState};
 pub use fault::{FaultKind, LinkFault, SteeredLink};
 pub use flit::{Flit, FlitKind, FlitMeta, Payload, ServiceClass, SizeCode, VcMask};
 pub use ids::{Coord, Cycle, Direction, FlowId, NodeId, PacketId, Port, VcId};

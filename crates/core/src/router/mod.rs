@@ -227,10 +227,7 @@ fn advance_hop(flit: &mut Flit) {
 
 /// The dimension (0 = X/east-west, 1 = Y/north-south) of a heading.
 fn axis(d: crate::ids::Direction) -> u8 {
-    match d {
-        crate::ids::Direction::East | crate::ids::Direction::West => 0,
-        crate::ids::Direction::North | crate::ids::Direction::South => 1,
-    }
+    d.axis()
 }
 
 /// A router core: one of the three flow-control implementations.

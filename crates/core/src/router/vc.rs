@@ -281,6 +281,66 @@ impl VcRouter {
         flit.vc_mask.and(plan_mask)
     }
 
+    /// Tier rank of `vc` under `flit`'s routing discipline — the index
+    /// of the dateline/segment class whose plan mask contains it.
+    /// Returns `None` when the VC belongs to more than one tier (merged
+    /// non-dateline masks, a lone-bit Valiant split) and ordering is
+    /// therefore undefined.
+    fn vc_tier(&self, flit: &Flit, vc: VcId) -> Option<u8> {
+        let masks: [VcMask; 4] = if flit.meta.valiant_boundary != 0 {
+            [
+                self.plan.mask_for_two_segment(0, 0, self.dateline_aware),
+                self.plan.mask_for_two_segment(0, 1, self.dateline_aware),
+                self.plan.mask_for_two_segment(1, 0, self.dateline_aware),
+                self.plan.mask_for_two_segment(1, 1, self.dateline_aware),
+            ]
+        } else {
+            let m0 = self.plan.mask_for(flit.meta.class, 0, self.dateline_aware);
+            let m1 = self.plan.mask_for(flit.meta.class, 1, self.dateline_aware);
+            [m0, m1, VcMask::NONE, VcMask::NONE]
+        };
+        let mut tier = None;
+        for (t, m) in masks.iter().enumerate() {
+            if m.allows(vc) {
+                if tier.is_some() {
+                    return None;
+                }
+                tier = Some(t as u8);
+            }
+        }
+        tier
+    }
+
+    /// Debug cross-check of the static verifier's ordering invariant: a
+    /// through grant may only land on a lower VC tier than the one the
+    /// packet arrived on when the route turns onto the other axis —
+    /// exactly the point where the router resets the dateline class.
+    fn grant_is_monotone(
+        &self,
+        in_port: usize,
+        out_port: usize,
+        in_vc: VcId,
+        out_vc: VcId,
+    ) -> bool {
+        let (Port::Dir(din), Port::Dir(dout)) =
+            (Port::from_index(in_port), Port::from_index(out_port))
+        else {
+            // Injection starts the resource chain and ejection ends it;
+            // neither is ordered against a network channel.
+            return true;
+        };
+        if din.axis() != dout.axis() {
+            return true;
+        }
+        let Some(front) = self.in_bufs[self.pv(in_port, in_vc.index())].front() else {
+            return true;
+        };
+        match (self.vc_tier(front, in_vc), self.vc_tier(front, out_vc)) {
+            (Some(from), Some(to)) => to >= from,
+            _ => true,
+        }
+    }
+
     /// Evaluates one router cycle: VC allocation, switch traversal, and
     /// link arbitration (the first two proceed in parallel per the paper).
     /// Allocation grants/conflicts, credit stalls, and preemptions are
@@ -365,6 +425,19 @@ impl VcRouter {
                     debug_assert!(
                         self.in_out_vc[self.pv(i, v)].is_none(),
                         "router {}: input {i} vc{v} granted a second output VC",
+                        self.node
+                    );
+                    // INVARIANT: dateline monotonicity — through
+                    // traffic only climbs VC tiers; a grant may fall to
+                    // a lower tier only when the route turns onto the
+                    // other axis, which is exactly when the router
+                    // resets the dateline class. The static verifier
+                    // (ocin-verify) proves deadlock freedom from this
+                    // ordering, so a violation here would invalidate
+                    // its certificate.
+                    debug_assert!(
+                        self.grant_is_monotone(i, o, VcId::new(v as u8), VcId::new(ov as u8)),
+                        "router {}: non-monotone VC grant in {i} vc{v} -> out {port} vc{ov}",
                         self.node
                     );
                     let owner_idx = self.pv(o, ov);

@@ -589,7 +589,26 @@ impl ShardCell {
                 return (dirs, seg1_len as u8);
             }
         }
-        (shared.topo.route_dirs(src, dst), 0)
+        // Fallback: the direct route, still carried on the two-segment
+        // VC tiers. A boundary of 0 would put this packet on the plain
+        // bulk masks, which share VCs with the Valiant segment-0 tier —
+        // mixing the two reintroduces the wrap-around cycles the tiers
+        // exist to break. Splitting at the dimension-order corner (or
+        // the midpoint of a one-dimension run) keeps every fallback
+        // packet inside the same monotone tier discipline, and each
+        // half is itself a minimal dimension-order route.
+        let dirs = shared.topo.route_dirs(src, dst);
+        let boundary = match dirs.len() {
+            0 | 1 => 0,
+            n => {
+                let corner = dirs
+                    .windows(2)
+                    .position(|w| w[0].axis() != w[1].axis())
+                    .map(|i| i + 1);
+                corner.unwrap_or(n / 2) as u8
+            }
+        };
+        (dirs, boundary)
     }
 
     // ── Cycle phases ──────────────────────────────────────────────────

@@ -21,6 +21,13 @@ pub struct Finding {
     pub line: usize,
     /// Rule name.
     pub rule: String,
+    /// 1-based byte column where the offending token starts. The lexer
+    /// blanks literal contents in place, so code-channel offsets are
+    /// raw-line byte columns.
+    pub col: usize,
+    /// One past the last byte column of the token (`col..end_col` is
+    /// the span, half-open like a Rust range).
+    pub end_col: usize,
     /// What fired and what to do about it.
     pub message: String,
     /// The offending source line, trimmed.
@@ -125,9 +132,9 @@ pub fn analyze_file(rel_path: &str, source: &str, rules: &[Rule], findings: &mut
                 break;
             }
             for pat in rule.patterns {
-                if find_word(&line.code, pat).is_none() {
+                let Some(at) = find_word(&line.code, pat) else {
                     continue;
-                }
+                };
                 if suppressed(rule, line.number, &lines, &allows) {
                     continue;
                 }
@@ -135,6 +142,8 @@ pub fn analyze_file(rel_path: &str, source: &str, rules: &[Rule], findings: &mut
                     path: rel_path.to_string(),
                     line: line.number,
                     rule: rule.name.to_string(),
+                    col: at + 1,
+                    end_col: at + 1 + pat.len(),
                     message: format!("`{pat}`: {}", rule.advice),
                     snippet: line.raw.trim().to_string(),
                 });
@@ -209,12 +218,17 @@ fn parse_allows(rel_path: &str, lines: &[LineView], findings: &mut Vec<Finding>)
         {
             continue;
         }
+        // Span the allow marker itself in the raw line (comment-channel
+        // offsets are not raw columns — comments concatenate).
+        let raw_at = line.raw.find(MARKER).map_or(1, |i| i + 1);
         let rest = &line.comment[start + MARKER.len()..];
         let Some(close) = rest.find(')') else {
             findings.push(Finding {
                 path: rel_path.to_string(),
                 line: line.number,
                 rule: "malformed-suppression".to_string(),
+                col: raw_at,
+                end_col: raw_at + MARKER.len(),
                 message: "unclosed `ocin-lint: allow(` comment".to_string(),
                 snippet: line.raw.trim().to_string(),
             });
@@ -227,11 +241,16 @@ fn parse_allows(rel_path: &str, lines: &[LineView], findings: &mut Vec<Finding>)
             .trim();
         let known = rule_named(&rule).is_some();
         let justified = !justification.is_empty();
+        // The span covers `ocin-lint: allow(<rule>)` including the
+        // closing paren.
+        let allow_end = raw_at + MARKER.len() + rule.len() + 1;
         if !known {
             findings.push(Finding {
                 path: rel_path.to_string(),
                 line: line.number,
                 rule: "malformed-suppression".to_string(),
+                col: raw_at,
+                end_col: allow_end,
                 message: format!("allow names unknown rule `{rule}`"),
                 snippet: line.raw.trim().to_string(),
             });
@@ -241,6 +260,8 @@ fn parse_allows(rel_path: &str, lines: &[LineView], findings: &mut Vec<Finding>)
                 path: rel_path.to_string(),
                 line: line.number,
                 rule: "malformed-suppression".to_string(),
+                col: raw_at,
+                end_col: allow_end,
                 message: format!(
                     "allow({rule}) has no justification; write \
                      `// ocin-lint: allow({rule}) — <why this is safe>`"

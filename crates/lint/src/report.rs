@@ -4,6 +4,12 @@
 //! across runs of the same tree: findings arrive pre-sorted from the
 //! engine, keys are emitted in a fixed order, and nothing volatile
 //! (timestamps, absolute paths, durations) is included.
+//!
+//! Format history: `"ocin-lint v2"` added the `col`/`end_col` span
+//! fields to each finding (a half-open 1-based byte-column range) and
+//! the column to the text rendering (`path:line:col`). v1 consumers
+//! that index findings by `(path, line, rule)` keep working — field
+//! order is unchanged apart from the insertion after `line`.
 
 use crate::engine::Analysis;
 
@@ -11,7 +17,7 @@ use crate::engine::Analysis;
 pub fn to_json(analysis: &Analysis) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ocin-lint v1\",\n");
+    out.push_str("  \"format\": \"ocin-lint v2\",\n");
     out.push_str(&format!(
         "  \"files_scanned\": {},\n",
         analysis.files_scanned
@@ -28,6 +34,8 @@ pub fn to_json(analysis: &Analysis) -> String {
         out.push_str("\n    {");
         out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
         out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"col\": {}, ", f.col));
+        out.push_str(&format!("\"end_col\": {}, ", f.end_col));
         out.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
         out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
         out.push_str(&format!("\"snippet\": {}", json_str(&f.snippet)));
@@ -45,8 +53,8 @@ pub fn to_text(analysis: &Analysis) -> String {
     let mut out = String::new();
     for f in &analysis.findings {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n    {}\n",
-            f.path, f.line, f.rule, f.message, f.snippet
+            "{}:{}:{}: [{}] {}\n    {}\n",
+            f.path, f.line, f.col, f.rule, f.message, f.snippet
         ));
     }
     out.push_str(&format!(
@@ -87,6 +95,8 @@ mod tests {
                 path: "crates/core/src/x.rs".to_string(),
                 line: 7,
                 rule: "unseeded-rng".to_string(),
+                col: 15,
+                end_col: 25,
                 message: "`thread_rng`: seed it".to_string(),
                 snippet: "let mut rng = thread_rng(); // \"quoted\"".to_string(),
             }],
@@ -102,6 +112,15 @@ mod tests {
         assert_eq!(j1, j2);
         assert!(j1.contains("\\\"quoted\\\""));
         assert!(j1.contains("\"findings_total\": 1"));
+    }
+
+    #[test]
+    fn v2_report_carries_column_spans() {
+        let a = sample();
+        let j = to_json(&a);
+        assert!(j.contains("\"format\": \"ocin-lint v2\""));
+        assert!(j.contains("\"col\": 15, \"end_col\": 25"));
+        assert!(to_text(&a).contains("crates/core/src/x.rs:7:15: [unseeded-rng]"));
     }
 
     #[test]

@@ -117,6 +117,19 @@ pub fn all_rules() -> Vec<Rule> {
                      (see ocin_sim::pool::derive_seed)",
         },
         Rule {
+            name: "env-read-outside-config",
+            summary: "std::env::var/var_os outside the bench harness and CLI bins",
+            patterns: &["env::var", "env::var_os"],
+            include: &[],
+            exclude: &["crates/bench/", "src/bin/"],
+            scope: CodeScope::Everywhere,
+            suppression: Suppression::AllowComment,
+            advice: "a simulation result must be a function of (config, seed), \
+                     never of ambient process state; thread the value through \
+                     NetworkConfig/SimConfig, or read it in crates/bench / \
+                     src/bin and pass it down",
+        },
+        Rule {
             name: "panic-in-router-hot-path",
             summary: "unannotated unwrap/expect/panic in the router cores",
             patterns: &["unwrap", "expect", "panic!", "unreachable!", "assert!"],

@@ -1,0 +1,10 @@
+//! The bench harness is where ambient configuration belongs: reads
+//! here are exempt by path.
+
+pub fn quick_mode() -> bool {
+    std::env::var("OCIN_QUICK").is_ok_and(|v| v == "1")
+}
+
+pub fn metrics_out() -> Option<std::ffi::OsString> {
+    std::env::var_os("OCIN_METRICS_OUT")
+}

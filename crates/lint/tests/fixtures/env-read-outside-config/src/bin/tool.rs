@@ -1,0 +1,6 @@
+//! CLI entry points read the environment and pass values down as
+//! config: exempt by path.
+
+fn main() {
+    let _ = std::env::var("OCIN_RADIX");
+}

@@ -79,6 +79,24 @@ fn fixture_unseeded_rng() {
 }
 
 #[test]
+fn fixture_env_read_outside_config() {
+    let a = analyze_fixture("env-read-outside-config");
+    assert_eq!(
+        hits(&a),
+        vec![
+            ("env-read-outside-config".to_string(), 6),
+            ("env-read-outside-config".to_string(), 10),
+        ],
+        "{:#?}",
+        a.findings
+    );
+    // The span names the exact token: `std::env::var(` starts after
+    // four spaces of indentation and a `std::` prefix.
+    assert_eq!((a.findings[0].col, a.findings[0].end_col), (10, 18));
+    assert_eq!((a.findings[1].col, a.findings[1].end_col), (10, 21));
+}
+
+#[test]
 fn fixture_panic_in_router_hot_path() {
     let a = analyze_fixture("panic-in-router-hot-path");
     assert_eq!(
@@ -198,6 +216,25 @@ fn json_report_is_byte_identical_across_runs() {
     );
 }
 
+/// `ocin-lint rules` lists every shipped rule by name.
+#[test]
+fn cli_rules_lists_the_rule_set() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ocin-lint"))
+        .arg("rules")
+        .output()
+        .expect("run ocin-lint rules");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ocin_lint::rules::all_rules() {
+        assert!(
+            text.contains(rule.name),
+            "rules listing missing {}",
+            rule.name
+        );
+    }
+    assert!(text.contains("env-read-outside-config"));
+}
+
 /// Exit-code contract of the CLI: 0 on the clean workspace, nonzero on
 /// every rule fixture — this is exactly what the CI job gates on.
 #[test]
@@ -222,6 +259,7 @@ fn cli_exit_codes() {
         "nondeterministic-iteration",
         "wall-clock-in-sim",
         "unseeded-rng",
+        "env-read-outside-config",
         "panic-in-router-hot-path",
         "unannotated-wake-site",
         "println-in-core",

@@ -115,6 +115,39 @@ impl PointSpec {
         self
     }
 
+    /// Statically verifies this point's network configuration: proves
+    /// the channel dependency graph acyclic (deadlock-free) and the
+    /// compiled routes conformant, without spending a simulated cycle.
+    /// Debug builds run this automatically as a pre-flight check in
+    /// [`PointSpec::evaluate`]; call it directly to inspect the full
+    /// [`ocin_verify::PointReport`] (witness cycle, conformance facts).
+    pub fn verify(&self) -> ocin_verify::PointReport {
+        ocin_verify::verify_config(&self.net_cfg)
+    }
+
+    /// Debug-build pre-flight: refuse to simulate a configuration the
+    /// static verifier can prove will deadlock. Memoized per distinct
+    /// [`ocin_verify::VerifyPoint`] key so sweeps pay the analysis once,
+    /// and skipped above 256 nodes to keep debug test runs fast (CI's
+    /// release-mode `verify` job covers the large radices).
+    #[cfg(debug_assertions)]
+    fn preflight_verify(&self) {
+        static VERIFIED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+        if self.net_cfg.topology.num_nodes() > 256 {
+            return;
+        }
+        let key = ocin_verify::VerifyPoint::from_config(&self.net_cfg).key();
+        if !VERIFIED.lock().expect("verify memo lock").insert(key) {
+            return;
+        }
+        let report = self.verify();
+        assert!(
+            report.is_clean(),
+            "static pre-flight verification rejected this configuration:\n{}",
+            ocin_verify::report::to_text(std::slice::from_ref(&report)),
+        );
+    }
+
     /// The memoization key: the full point description. Two specs with
     /// equal keys produce bit-identical reports.
     fn cache_key(&self) -> String {
@@ -136,8 +169,12 @@ impl PointSpec {
     /// # Panics
     ///
     /// Panics if the network configuration is invalid (programmer error
-    /// in the experiment setup).
+    /// in the experiment setup), or — in debug builds — if the static
+    /// verifier proves the configuration can deadlock (see
+    /// [`PointSpec::verify`]).
     pub fn evaluate(&self) -> LoadPoint {
+        #[cfg(debug_assertions)]
+        self.preflight_verify();
         let wl = self
             .workload
             .clone()

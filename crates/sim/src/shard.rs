@@ -52,6 +52,11 @@ use crate::runner::{assemble_report, MeasureAcc, RunTotals, SimReport, Simulatio
 /// Reads the shard count from the `OCIN_SHARDS` environment variable
 /// (default 1, i.e. sequential execution).
 pub fn shards_from_env() -> usize {
+    // The blessed entry point for the shard count: it only changes how
+    // fast a result arrives, never the result (sharding is
+    // bit-identical by construction), so it is exempt from the
+    // config-purity rule.
+    // ocin-lint: allow(env-read-outside-config) — speed knob, not config
     std::env::var("OCIN_SHARDS")
         .ok()
         .and_then(|v| v.parse().ok())

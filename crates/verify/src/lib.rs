@@ -1,0 +1,260 @@
+//! # ocin-verify — static deadlock-freedom & route-conformance verifier
+//!
+//! `ocin-lint` (PR 3) checks the workspace *text*; this crate checks the
+//! workspace *semantics*: for a configuration point (topology × radix ×
+//! routing × VC plan × flow control) it enumerates every route the
+//! routing algorithm can emit, expands each into the ordered
+//! `(channel, virtual channel)` resources it acquires, and proves the
+//! resulting channel dependency graph acyclic (Dally & Seitz) — or
+//! produces a deterministic minimal witness cycle naming the concrete
+//! channels, VC classes, and a route through every edge. No simulated
+//! cycle is spent: the whole analysis runs offline from
+//! [`ocin_core::expand`]'s introspection hooks.
+//!
+//! The same enumeration yields route-conformance facts for free:
+//! hop-count minimality against an independent coordinate distance,
+//! per-hop turn legality ([`ocin_core::Turn::between`]), dateline-class
+//! tier monotonicity, and escape-VC reachability. See
+//! [`cdg`] for the construction and DESIGN.md §3.16 for the argument.
+//!
+//! ```
+//! use ocin_verify::{verify_config, Verdict};
+//! use ocin_core::NetworkConfig;
+//!
+//! let report = verify_config(&NetworkConfig::paper_baseline());
+//! assert_eq!(report.verdict, Verdict::DeadlockFree);
+//! ```
+
+pub mod cdg;
+pub mod report;
+
+use cdg::{Cdg, Facts, WitnessCycle};
+use ocin_core::{FlowControl, NetworkConfig, RoutingAlg, TopologySpec, VcMask, VcPlan};
+
+/// One configuration point to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyPoint {
+    /// Topology and radix.
+    pub topology: TopologySpec,
+    /// Routing algorithm.
+    pub routing: RoutingAlg,
+    /// Flow-control method.
+    pub flow_control: FlowControl,
+    /// VC count and class assignment.
+    pub plan: VcPlan,
+    /// Whether dateline VC classes are in force. The network derives
+    /// this from [`TopologySpec::has_wraparound`]; overriding it to
+    /// `false` on a wraparound topology models the deliberately broken
+    /// "torus without dateline classes" configuration.
+    pub datelines: bool,
+}
+
+impl VerifyPoint {
+    /// The point a [`NetworkConfig`] actually runs.
+    pub fn from_config(cfg: &NetworkConfig) -> VerifyPoint {
+        VerifyPoint {
+            topology: cfg.topology,
+            routing: cfg.routing,
+            flow_control: cfg.flow_control,
+            plan: cfg.vc_plan,
+            datelines: cfg.topology.has_wraparound(),
+        }
+    }
+
+    /// The same point with dateline classes disabled (a known-broken
+    /// configuration on wraparound topologies — used as the verifier's
+    /// negative fixture).
+    pub fn without_datelines(mut self) -> VerifyPoint {
+        self.datelines = false;
+        self
+    }
+
+    /// Stable one-line key identifying this point in reports and the
+    /// pre-flight memo table.
+    pub fn key(&self) -> String {
+        format!(
+            "{}:{}:{}:vcs{}:b{:02x}{:02x}p{:02x}{:02x}r{:02x}:{}",
+            self.topology.build().name(),
+            routing_name(self.routing),
+            flow_control_name(self.flow_control),
+            self.plan.num_vcs,
+            self.plan.bulk_class0.bits(),
+            self.plan.bulk_class1.bits(),
+            self.plan.priority_class0.bits(),
+            self.plan.priority_class1.bits(),
+            self.plan.reserved.bits(),
+            if self.datelines { "dl" } else { "nodl" },
+        )
+    }
+}
+
+/// The verifier's judgement of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The channel dependency graph is acyclic: deadlock-free by the
+    /// Dally–Seitz condition.
+    DeadlockFree,
+    /// Dropping or deflection flow control never blocks on a buffer, so
+    /// the waits-for relation is empty by construction.
+    NonBlockingFlowControl,
+    /// A cyclic dependency exists; see the witness.
+    Cyclic,
+}
+
+impl Verdict {
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::DeadlockFree => "deadlock-free",
+            Verdict::NonBlockingFlowControl => "deadlock-free (non-blocking flow control)",
+            Verdict::Cyclic => "CYCLIC",
+        }
+    }
+}
+
+/// Everything the verifier learned about one point.
+#[derive(Debug, Clone)]
+pub struct PointReport {
+    /// The point, echoed.
+    pub point: VerifyPoint,
+    /// Topology name (e.g. `ftorus4`).
+    pub topology_name: String,
+    /// The judgement.
+    pub verdict: Verdict,
+    /// Directed channels in the topology.
+    pub channels: usize,
+    /// `(channel, vc)` resources some route can occupy.
+    pub resources: usize,
+    /// Deduplicated waits-for edges.
+    pub edges: u64,
+    /// Conformance tallies.
+    pub facts: Facts,
+    /// The minimal witness cycle, when `verdict` is [`Verdict::Cyclic`].
+    pub witness: Option<WitnessCycle>,
+}
+
+impl PointReport {
+    /// True when the point is safe to simulate: no deadlock cycle and
+    /// every conformance check passed.
+    pub fn is_clean(&self) -> bool {
+        self.verdict != Verdict::Cyclic && self.facts.all_ok()
+    }
+}
+
+/// Verifies one configuration point.
+pub fn verify_point(point: &VerifyPoint) -> PointReport {
+    let topology_name = point.topology.build().name();
+    if matches!(
+        point.flow_control,
+        FlowControl::Dropping | FlowControl::Deflection
+    ) {
+        // Contending flits are dropped or misrouted, never parked on a
+        // buffer another packet holds: the waits-for relation is empty.
+        return PointReport {
+            point: *point,
+            topology_name,
+            verdict: Verdict::NonBlockingFlowControl,
+            channels: point.topology.build().channels().len(),
+            resources: 0,
+            edges: 0,
+            facts: Facts::default(),
+            witness: None,
+        };
+    }
+    let cdg = Cdg::build(point.topology, point.routing, &point.plan, point.datelines);
+    let witness = cdg.find_cycle();
+    PointReport {
+        point: *point,
+        topology_name,
+        verdict: if witness.is_some() {
+            Verdict::Cyclic
+        } else {
+            Verdict::DeadlockFree
+        },
+        channels: cdg.num_channels(),
+        resources: cdg.num_resources(),
+        edges: cdg.num_edges(),
+        facts: cdg.facts,
+        witness,
+    }
+}
+
+/// Verifies the point a [`NetworkConfig`] actually runs.
+pub fn verify_config(cfg: &NetworkConfig) -> PointReport {
+    verify_point(&VerifyPoint::from_config(cfg))
+}
+
+/// The reduced 5-VC plan: one VC per dateline tier. Sufficient for
+/// dimension-order routing; under Valiant routing its one-bit bulk
+/// classes cannot split into dateline halves, which the verifier
+/// correctly flags as cyclic on wraparound topologies.
+pub fn slim_plan() -> VcPlan {
+    VcPlan {
+        num_vcs: 5,
+        bulk_class0: VcMask::new(0b0_0001),
+        bulk_class1: VcMask::new(0b0_0010),
+        priority_class0: VcMask::new(0b0_0100),
+        priority_class1: VcMask::new(0b0_1000),
+        reserved: VcMask::new(0b1_0000),
+    }
+}
+
+/// Radices covered by [`matrix_points`].
+pub const MATRIX_RADICES: [usize; 4] = [2, 4, 16, 32];
+
+/// The supported configuration grid: every topology shape × radix ×
+/// routing × shipped VC plan the simulator exposes. Dimension-order
+/// points run both the paper 8-VC plan and the slim 5-VC plan; Valiant
+/// requires two-bit bulk classes for its dateline split and therefore
+/// ships only on the paper plan.
+pub fn matrix_points() -> Vec<VerifyPoint> {
+    let mut points = Vec::new();
+    for k in MATRIX_RADICES {
+        for topology in [
+            TopologySpec::Mesh { k },
+            TopologySpec::FoldedTorus { k },
+            TopologySpec::Ring { k },
+        ] {
+            let datelines = topology.has_wraparound();
+            for routing in [RoutingAlg::DimensionOrder, RoutingAlg::Valiant] {
+                let plans: &[VcPlan] = if routing == RoutingAlg::DimensionOrder {
+                    &[VcPlan::paper_baseline(), slim_plan()]
+                } else {
+                    &[VcPlan::paper_baseline()]
+                };
+                for &plan in plans {
+                    points.push(VerifyPoint {
+                        topology,
+                        routing,
+                        flow_control: FlowControl::VirtualChannel,
+                        plan,
+                        datelines,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Verifies the full supported grid, in deterministic order.
+pub fn verify_matrix() -> Vec<PointReport> {
+    matrix_points().iter().map(verify_point).collect()
+}
+
+/// Short stable routing name.
+pub fn routing_name(r: RoutingAlg) -> &'static str {
+    match r {
+        RoutingAlg::DimensionOrder => "dimension-order",
+        RoutingAlg::Valiant => "valiant",
+    }
+}
+
+/// Short stable flow-control name.
+pub fn flow_control_name(f: FlowControl) -> &'static str {
+    match f {
+        FlowControl::VirtualChannel => "virtual-channel",
+        FlowControl::Dropping => "dropping",
+        FlowControl::Deflection => "deflection",
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic report rendering: `"ocin-verify v1"` JSON and a
+//! readable text form.
+//!
+//! Like `ocin-lint`'s reports, the output is byte-deterministic — the
+//! same configuration grid always renders the same bytes, so CI can
+//! diff reports across runs and tests can assert on them verbatim.
+
+use crate::cdg::WitnessCycle;
+use crate::{flow_control_name, routing_name, PointReport, Verdict};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn channel_str(r: &crate::cdg::WitnessResource) -> String {
+    format!("{}->{} {}", r.channel.from, r.channel.to, r.channel.dir)
+}
+
+/// Renders reports as the `"ocin-verify v1"` JSON document.
+pub fn to_json(reports: &[PointReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"format\": \"ocin-verify v1\",\n  \"points\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"topology\": {},", json_str(&r.topology_name));
+        let _ = writeln!(out, "      \"radix\": {},", r.point.topology.radix());
+        let _ = writeln!(
+            out,
+            "      \"routing\": {},",
+            json_str(routing_name(r.point.routing))
+        );
+        let _ = writeln!(
+            out,
+            "      \"flow_control\": {},",
+            json_str(flow_control_name(r.point.flow_control))
+        );
+        let _ = writeln!(out, "      \"num_vcs\": {},", r.point.plan.num_vcs);
+        let _ = writeln!(out, "      \"datelines\": {},", r.point.datelines);
+        let _ = writeln!(out, "      \"verdict\": {},", json_str(r.verdict.name()));
+        let _ = writeln!(out, "      \"channels\": {},", r.channels);
+        let _ = writeln!(out, "      \"resources\": {},", r.resources);
+        let _ = writeln!(out, "      \"edges\": {},", r.edges);
+        let _ = writeln!(out, "      \"routes_checked\": {},", r.facts.routes_checked);
+        let _ = writeln!(out, "      \"hops_checked\": {},", r.facts.hops_checked);
+        let _ = writeln!(out, "      \"max_route_hops\": {},", r.facts.max_route_hops);
+        let _ = writeln!(
+            out,
+            "      \"distance_mismatches\": {},",
+            r.facts.distance_mismatches
+        );
+        let _ = writeln!(out, "      \"illegal_turns\": {},", r.facts.illegal_turns);
+        let _ = writeln!(
+            out,
+            "      \"tier_regressions\": {},",
+            r.facts.tier_regressions
+        );
+        let _ = writeln!(out, "      \"empty_masks\": {},", r.facts.empty_masks);
+        let _ = writeln!(out, "      \"escape_gaps\": {},", r.facts.escape_gaps);
+        match &r.witness {
+            None => out.push_str("      \"witness\": null\n"),
+            Some(w) => {
+                out.push_str("      \"witness\": {\n");
+                let _ = writeln!(out, "        \"id\": {},", json_str(&w.id));
+                let _ = writeln!(out, "        \"length\": {},", w.resources.len());
+                out.push_str("        \"resources\": [");
+                for (j, res) in w.resources.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n          {{\"channel\": {}, \"vc\": {}}}",
+                        json_str(&channel_str(res)),
+                        res.vc
+                    );
+                }
+                out.push_str("\n        ],\n        \"edges\": [");
+                for (j, e) in w.edges.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n          {{\"from\": {}, \"to\": {}, \"route\": {}}}",
+                        e.from,
+                        e.to,
+                        json_str(&e.route)
+                    );
+                }
+                out.push_str("\n        ]\n      }\n");
+            }
+        }
+        out.push_str("    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders one point as a single summary line.
+pub fn point_line(r: &PointReport) -> String {
+    format!(
+        "{} {} {} vcs={}{}: {} ({} channels, {} resources, {} edges, {} routes)",
+        r.topology_name,
+        routing_name(r.point.routing),
+        flow_control_name(r.point.flow_control),
+        r.point.plan.num_vcs,
+        if r.point.datelines {
+            ""
+        } else {
+            " no-datelines"
+        },
+        r.verdict.name(),
+        r.channels,
+        r.resources,
+        r.edges,
+        r.facts.routes_checked,
+    )
+}
+
+/// Renders a witness cycle as indented text naming every resource and
+/// the route inducing each waits-for edge.
+pub fn witness_text(w: &WitnessCycle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  witness cycle {} ({} resources):",
+        w.id,
+        w.resources.len()
+    );
+    for (i, res) in w.resources.iter().enumerate() {
+        let _ = writeln!(out, "    [{}] channel {} vc{}", i, channel_str(res), res.vc);
+        let e = &w.edges[i];
+        let _ = writeln!(out, "        waits for [{}] via {}", e.to, e.route);
+    }
+    out
+}
+
+/// Renders the full text report.
+pub fn to_text(reports: &[PointReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&point_line(r));
+        out.push('\n');
+        if !r.facts.all_ok() {
+            let _ = writeln!(
+                out,
+                "  conformance: {} distance mismatches, {} illegal turns, {} tier regressions, {} empty masks, {} escape gaps",
+                r.facts.distance_mismatches,
+                r.facts.illegal_turns,
+                r.facts.tier_regressions,
+                r.facts.empty_masks,
+                r.facts.escape_gaps,
+            );
+        }
+        if let Some(w) = &r.witness {
+            out.push_str(&witness_text(w));
+        }
+    }
+    let cyclic = reports
+        .iter()
+        .filter(|r| r.verdict == Verdict::Cyclic)
+        .count();
+    let _ = writeln!(out, "{} points checked, {} cyclic", reports.len(), cyclic);
+    out
+}

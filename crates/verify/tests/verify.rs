@@ -1,0 +1,179 @@
+//! Acceptance tests for `ocin-verify`: the supported grid is provably
+//! deadlock-free, a deliberately broken configuration (torus without
+//! dateline classes) yields a byte-for-byte deterministic witness
+//! cycle, and the CLI mirrors `ocin-lint`'s exit discipline.
+
+use std::process::Command;
+
+use ocin_core::{FlowControl, RoutingAlg, TopologySpec, VcPlan};
+use ocin_verify::{matrix_points, report, slim_plan, verify_point, Verdict, VerifyPoint};
+
+/// Every supported grid point up to k = 16 is deadlock-free with clean
+/// conformance facts. (CI's release-mode `verify` job covers the full
+/// grid including k = 32; debug builds keep this test fast.)
+#[test]
+fn matrix_points_are_deadlock_free() {
+    for point in matrix_points().iter().filter(|p| p.topology.radix() <= 16) {
+        let r = verify_point(point);
+        assert!(
+            r.is_clean(),
+            "{} should be clean: verdict {:?}, facts {:?}",
+            point.key(),
+            r.verdict,
+            r.facts
+        );
+        assert!(r.witness.is_none());
+        assert!(r.edges > 0 || point.topology.num_nodes() <= 2);
+    }
+}
+
+/// Dropping and deflection flow control never block on held buffers, so
+/// the verifier reports them safe without building a graph.
+#[test]
+fn non_blocking_flow_control_is_vacuously_safe() {
+    for fc in [FlowControl::Dropping, FlowControl::Deflection] {
+        let point = VerifyPoint {
+            topology: TopologySpec::FoldedTorus { k: 4 },
+            routing: RoutingAlg::DimensionOrder,
+            flow_control: fc,
+            plan: VcPlan::paper_baseline(),
+            datelines: false,
+        };
+        let r = verify_point(&point);
+        assert_eq!(r.verdict, Verdict::NonBlockingFlowControl);
+        assert!(r.is_clean());
+    }
+}
+
+fn broken_ftorus8() -> VerifyPoint {
+    VerifyPoint {
+        topology: TopologySpec::FoldedTorus { k: 8 },
+        routing: RoutingAlg::DimensionOrder,
+        flow_control: FlowControl::VirtualChannel,
+        plan: VcPlan::paper_baseline(),
+        datelines: false,
+    }
+    .without_datelines()
+}
+
+/// The deliberately broken configuration — a torus with dateline
+/// classes disabled — produces a deterministic witness cycle naming
+/// concrete channels, byte-for-byte identical to the committed fixture.
+#[test]
+fn broken_torus_witness_is_byte_deterministic() {
+    let r = verify_point(&broken_ftorus8());
+    assert_eq!(r.verdict, Verdict::Cyclic);
+    let json = report::to_json(std::slice::from_ref(&r));
+    let expected = include_str!("fixtures/broken_ftorus8.json");
+    assert_eq!(json, expected, "witness report drifted from the fixture");
+}
+
+/// The witness is structurally a real cycle: consecutive resources
+/// chain head-to-tail through the topology and every edge carries an
+/// exemplar route.
+#[test]
+fn broken_torus_witness_is_a_closed_chain() {
+    let r = verify_point(&broken_ftorus8());
+    let w = r.witness.expect("cycle expected");
+    assert!(w.resources.len() >= 2);
+    assert_eq!(w.edges.len(), w.resources.len());
+    for (i, e) in w.edges.iter().enumerate() {
+        assert_eq!(e.from, i);
+        assert_eq!(e.to, (i + 1) % w.resources.len());
+        assert!(!e.route.is_empty());
+        let a = &w.resources[e.from].channel;
+        let b = &w.resources[e.to].channel;
+        assert_eq!(a.to, b.from, "witness edge {i} does not chain");
+    }
+}
+
+/// A small-radix torus without datelines is genuinely acyclic: minimal
+/// routes span at most half the ring (two hops at k = 4), and the
+/// parity tie-break never chains them all the way around. The verifier
+/// proves this rather than pattern-matching "torus without datelines".
+#[test]
+fn small_torus_without_datelines_is_still_acyclic() {
+    let mut point = broken_ftorus8();
+    point.topology = TopologySpec::FoldedTorus { k: 4 };
+    assert_eq!(verify_point(&point).verdict, Verdict::DeadlockFree);
+}
+
+/// The slim plan's one-bit bulk classes cannot split into dateline
+/// halves, so two-segment Valiant routing on a wraparound topology is
+/// flagged cyclic — the reason the shipped matrix pairs Valiant only
+/// with the paper plan.
+#[test]
+fn slim_plan_valiant_on_torus_is_cyclic() {
+    let point = VerifyPoint {
+        topology: TopologySpec::FoldedTorus { k: 8 },
+        routing: RoutingAlg::Valiant,
+        flow_control: FlowControl::VirtualChannel,
+        plan: slim_plan(),
+        datelines: true,
+    };
+    let r = verify_point(&point);
+    assert_eq!(r.verdict, Verdict::Cyclic);
+    assert!(r.witness.is_some());
+}
+
+/// Same-seed rebuilds render identical bytes (report determinism).
+#[test]
+fn reports_are_deterministic_across_rebuilds() {
+    let a = report::to_json(&[verify_point(&broken_ftorus8())]);
+    let b = report::to_json(&[verify_point(&broken_ftorus8())]);
+    assert_eq!(a, b);
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ocin-verify"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn ocin-verify");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// CLI exit discipline mirrors ocin-lint: 0 clean, 1 findings, 2 usage.
+#[test]
+fn cli_exit_codes() {
+    let (clean, out) = run_cli(&["check", "--topology", "ftorus", "--k", "4"]);
+    assert_eq!(clean, 0, "{out}");
+    assert!(out.contains("deadlock-free"));
+
+    let (cyclic, out) = run_cli(&["check", "--topology", "ring", "--k", "16", "--no-datelines"]);
+    assert_eq!(cyclic, 1, "{out}");
+    assert!(out.contains("CYCLIC"));
+    assert!(out.contains("witness cycle"));
+
+    let (usage, _) = run_cli(&["frobnicate"]);
+    assert_eq!(usage, 2);
+    let (usage, _) = run_cli(&["check", "--k", "999"]);
+    assert_eq!(usage, 2);
+}
+
+/// `explain <cycle-id>` finds the known-broken no-dateline ring point's
+/// witness in the extended grid and prints it in full.
+#[test]
+fn cli_explain_finds_known_cycle() {
+    // The id is a content hash of the witness cycle; it only changes if
+    // the routing function, tie-breaks, or witness selection change.
+    let (code, out) = run_cli(&["explain", "33f31c53196dbe33"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("witness cycle 33f31c53196dbe33"));
+    assert!(out.contains("ring16"));
+
+    // The README's worked example: the ftorus-8 fixture id resolves
+    // even though k = 8 is outside the shipped matrix grid.
+    let (code, out) = run_cli(&["explain", "a1c0652c8e20b8f9"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("witness cycle a1c0652c8e20b8f9"));
+    assert!(out.contains("ftorus8"));
+    // (An unknown id exits 1 after scanning the whole grid — exercised
+    // by the release-mode CI job, not here, to keep debug tests fast.)
+
+    let (usage, _) = run_cli(&["explain"]);
+    assert_eq!(usage, 2);
+}
