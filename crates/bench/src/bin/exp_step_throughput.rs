@@ -297,10 +297,79 @@ fn main() {
         &format!("4-shard speedup {speedup_4:.2}x on {cores} cores (target >1.5x with >=4 cores)"),
     );
 
+    // Telemetry overhead: the same fixed-seed point stepped with a
+    // counters-only probe and with the windowed telemetry collector
+    // riding along. Telemetry must be nearly free — the perf-snapshot
+    // job folds both wall clocks into BENCH_<sha>.json and warns past a
+    // 10% budget. Each leg takes the faster of two runs to shave
+    // scheduler noise off the short quick-mode windows.
+    println!("\ntelemetry overhead, k = {k} folded torus, counters-only vs telemetry probe\n");
+    let telemetry_cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: cycles,
+        drain_cycles: 0,
+        seed: 0xB19_B19,
+    };
+    let telemetry_wl =
+        Workload::new(nodes, k, TrafficPattern::Uniform).injection(InjectionProcess::Bernoulli {
+            flit_rate: 0.5 * saturation(FlowControl::VirtualChannel) * sat_scale,
+        });
+    let time_probe = |pc: ProbeConfig| {
+        let mut best = f64::MAX;
+        let mut report = None;
+        for _ in 0..2 {
+            let mut sim = Simulation::new(
+                NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k }),
+                telemetry_cfg,
+            )
+            .expect("valid config")
+            .with_workload(&telemetry_wl)
+            .with_probe(pc);
+            let start = Instant::now();
+            report = Some(sim.run());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, report.expect("ran twice"))
+    };
+    let (wall_off, rep_off) = time_probe(ProbeConfig::counters());
+    let (wall_on, rep_on) = time_probe(ProbeConfig::counters().with_telemetry(0));
+    let overhead = wall_on / wall_off - 1.0;
+    let mut tt = Table::new(&["telemetry", "wall s", "Mcyc/s", "overhead"]);
+    for (name, wall) in [("off", wall_off), ("on", wall_on)] {
+        tt.row(&[
+            name.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.2}", cycles as f64 / wall / 1e6),
+            if name == "on" {
+                format!("{:+.1}%", overhead * 100.0)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!("{}", tt.render());
+    let (mut stripped_off, mut stripped_on) = (rep_off, rep_on);
+    stripped_off.metrics = None;
+    stripped_on.metrics = None;
+    check(
+        stripped_off == stripped_on,
+        "telemetry-probed report is bit-identical to counters-only outside the metrics",
+    );
+    check(
+        overhead < 0.10,
+        &format!(
+            "telemetry overhead {:+.1}% within the 10% budget",
+            overhead * 100.0
+        ),
+    );
+
     if let Some(path) = std::env::var_os("OCIN_STEP_OUT") {
         let json = format!(
             "{{\n  \"cycles\": {cycles},\n  \"radix\": {k},\n  \"points\": [\n{}\n  ],\n  \
-             \"radix_scaling\": [\n{}\n  ],\n  \"shard_scaling\": [\n{}\n  ]\n}}\n",
+             \"radix_scaling\": [\n{}\n  ],\n  \"shard_scaling\": [\n{}\n  ],\n  \
+             \"telemetry_overhead\": {{\"radix\": {k}, \"cycles\": {cycles}, \
+             \"off_wall_seconds\": {wall_off:.6}, \"on_wall_seconds\": {wall_on:.6}, \
+             \"overhead_frac\": {overhead:.6}}}\n}}\n",
             rows.join(",\n"),
             scaling_rows.join(",\n"),
             shard_rows.join(",\n")

@@ -248,6 +248,8 @@ impl TileInterface {
                 self.node,
                 head.meta.packet,
                 now - head.meta.injected_at,
+                r.flits.len() as u16,
+                head.meta.class,
             );
             self.delivered.push_back(DeliveredPacket {
                 id: head.meta.packet,

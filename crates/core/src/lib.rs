@@ -69,6 +69,7 @@ pub mod reservation;
 pub mod route;
 pub mod router;
 pub mod shard;
+pub mod telemetry;
 pub mod topology;
 mod util;
 
@@ -97,4 +98,5 @@ pub use route::{RouteError, SourceRoute, Turn};
 pub use shard::{
     replay_logs, BoundaryMsg, CellEnergySnapshot, LogEvent, LogProbe, PhasedProbe, ShardHandle,
 };
+pub use telemetry::{LinkSpan, QuantileHistogram, TelemetryCollector, TelemetryReport, WindowRow};
 pub use topology::{FoldedTorus2D, Mesh2D, Ring, Topology};

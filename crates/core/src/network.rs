@@ -656,7 +656,7 @@ impl Network {
         // is attached so unprobed runs skip the per-router walk entirely.
         if probed {
             for cell in &mut self.cells {
-                cell.phase_sample(probe);
+                cell.phase_sample(now, probe);
             }
         }
         self.exchange_boundary(now);

@@ -47,6 +47,7 @@ use crate::config::NetworkConfig;
 use crate::flit::ServiceClass;
 use crate::ids::{Cycle, NodeId, PacketId, Port, VcId};
 use crate::journey::{DecompositionReport, JourneyCollector, StageConstants};
+use crate::telemetry::{TelemetryCollector, TelemetryReport};
 
 /// Number of power-of-two latency buckets ([`LatencyHistogram`]).
 ///
@@ -147,7 +148,15 @@ pub trait Probe {
     /// A flit was deflected out a non-productive port at `node`.
     fn misroute(&mut self, _now: Cycle, _node: NodeId, _packet: PacketId) {}
 
-    /// A packet's tail reached its destination tile port.
+    /// A packet's tail reached its destination tile port. `num_flits`
+    /// is the packet's full flit count and `class` its service class,
+    /// so collectors can attribute delivered *flits* and tail latency
+    /// per class without tracking per-packet state themselves.
+    ///
+    /// Every argument is an independent fact of the delivery event;
+    /// bundling them into a struct would force an allocation-free hot
+    /// path to build a record nobody stores.
+    #[allow(clippy::too_many_arguments)]
     fn packet_delivered(
         &mut self,
         _now: Cycle,
@@ -155,11 +164,13 @@ pub trait Probe {
         _dst: NodeId,
         _packet: PacketId,
         _network_latency: Cycle,
+        _num_flits: u16,
+        _class: ServiceClass,
     ) {
     }
 
     /// Per-cycle sample of the flits buffered inside `node`'s router.
-    fn buffer_sample(&mut self, _node: NodeId, _occupancy: usize) {}
+    fn buffer_sample(&mut self, _now: Cycle, _node: NodeId, _occupancy: usize) {}
 }
 
 /// The always-disabled probe: every event is a no-op.
@@ -180,6 +191,12 @@ pub struct ProbeConfig {
     /// Full journey records retained when journeys are enabled (the
     /// oldest are evicted first; stage aggregates are always complete).
     pub journey_capacity: usize,
+    /// Whether windowed time-series telemetry and exact quantile
+    /// histograms are collected (see [`crate::telemetry`]).
+    pub telemetry: bool,
+    /// Window width, in cycles, of the telemetry time series (ignored
+    /// unless `telemetry` is set).
+    pub telemetry_window: Cycle,
 }
 
 impl ProbeConfig {
@@ -189,6 +206,8 @@ impl ProbeConfig {
             trace_capacity: 0,
             journeys: false,
             journey_capacity: 0,
+            telemetry: false,
+            telemetry_window: crate::telemetry::DEFAULT_WINDOW,
         }
     }
 
@@ -207,6 +226,20 @@ impl ProbeConfig {
     pub fn with_journeys(mut self, capacity: usize) -> ProbeConfig {
         self.journeys = true;
         self.journey_capacity = capacity;
+        self
+    }
+
+    /// Enables windowed time-series telemetry and exact quantile
+    /// histograms with windows of `window` cycles (0 selects the
+    /// default width, [`crate::telemetry::DEFAULT_WINDOW`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, window: Cycle) -> ProbeConfig {
+        self.telemetry = true;
+        self.telemetry_window = if window == 0 {
+            crate::telemetry::DEFAULT_WINDOW
+        } else {
+            window
+        };
         self
     }
 }
@@ -508,6 +541,12 @@ impl LatencyHistogram {
     }
 
     /// The bucket index for `value`.
+    ///
+    /// Exact boundary semantics: bucket 0 holds only the value 0, and
+    /// bucket `i ≥ 1` holds the half-open range `[2^(i-1), 2^i)` — so a
+    /// power of two `2^j` is the *first* value of bucket `j + 1`, never
+    /// the last value of bucket `j`. Values at or above `2^30` saturate
+    /// into the final bucket, whose range is `[2^30, ∞)`.
     pub fn bucket_index(value: u64) -> usize {
         ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
     }
@@ -589,6 +628,9 @@ pub struct NetworkProbe {
     /// Per-packet journey collector (present when
     /// [`ProbeConfig::with_journeys`] enabled it).
     pub journeys: Option<Box<JourneyCollector>>,
+    /// Windowed time-series collector (present when
+    /// [`ProbeConfig::with_telemetry`] enabled it).
+    pub telemetry: Option<Box<TelemetryCollector>>,
     /// Packets accepted at source tile ports.
     pub packets_injected: u64,
     /// Packet tails delivered to destination tiles.
@@ -613,6 +655,9 @@ impl NetworkProbe {
                     cfg.journey_capacity,
                 ))
             }),
+            telemetry: cfg
+                .telemetry
+                .then(|| Box::new(TelemetryCollector::new(cfg.telemetry_window, nodes))),
             packets_injected: 0,
             packets_delivered: 0,
         }
@@ -656,6 +701,9 @@ impl Probe for NetworkProbe {
         if let Some(j) = self.journeys.as_mut() {
             j.offered(now, src, dst, packet);
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_injected(now);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Inject,
@@ -694,6 +742,9 @@ impl Probe for NetworkProbe {
         if let Some(j) = self.journeys.as_mut() {
             j.forwarded(now, node, port, vc, packet);
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_forwarded(now, node, port);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Hop,
@@ -724,6 +775,9 @@ impl Probe for NetworkProbe {
         if let Some(j) = self.journeys.as_mut() {
             j.vc_conflict(node, port, packet);
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_alloc_conflict(now);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::AllocConflict,
@@ -738,6 +792,9 @@ impl Probe for NetworkProbe {
         self.routers[node.index()].ports[port.index()].credit_stalls += 1;
         if let Some(j) = self.journeys.as_mut() {
             j.credit_stalled(node, port, vc, packet);
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_credit_stall(now);
         }
         self.trace.push(ProbeEvent {
             cycle: now,
@@ -767,6 +824,9 @@ impl Probe for NetworkProbe {
         if let Some(j) = self.journeys.as_mut() {
             j.preempted(node, port, packet);
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_preemption(now);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Preempt,
@@ -788,6 +848,9 @@ impl Probe for NetworkProbe {
         if let Some(j) = self.journeys.as_mut() {
             j.dropped(packet);
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_dropped(now);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Drop,
@@ -800,6 +863,9 @@ impl Probe for NetworkProbe {
 
     fn misroute(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
         self.routers[node.index()].misroutes += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_misroute(now);
+        }
         self.trace.push(ProbeEvent {
             cycle: now,
             kind: EventKind::Misroute,
@@ -817,6 +883,8 @@ impl Probe for NetworkProbe {
         dst: NodeId,
         packet: PacketId,
         network_latency: Cycle,
+        num_flits: u16,
+        class: ServiceClass,
     ) {
         self.packets_delivered += 1;
         self.pair_latency
@@ -825,6 +893,9 @@ impl Probe for NetworkProbe {
             .record(network_latency);
         if let Some(j) = self.journeys.as_mut() {
             j.delivered(now, packet);
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_delivered(now, src, dst, network_latency, num_flits, class);
         }
         self.trace.push(ProbeEvent {
             cycle: now,
@@ -836,8 +907,11 @@ impl Probe for NetworkProbe {
         });
     }
 
-    fn buffer_sample(&mut self, node: NodeId, occupancy: usize) {
+    fn buffer_sample(&mut self, now: Cycle, node: NodeId, occupancy: usize) {
         self.routers[node.index()].occupancy_integral += occupancy as u64;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_occupancy(now, occupancy);
+        }
     }
 }
 
@@ -915,6 +989,11 @@ pub struct NetworkMetrics {
     /// enabled; see [`crate::journey`]). Not part of
     /// [`NetworkMetrics::to_json`] — it has its own exporters.
     pub decomposition: Option<DecompositionReport>,
+    /// Windowed time series, quantile histograms, and transient
+    /// detections (present when telemetry was enabled; see
+    /// [`crate::telemetry`]). Like the decomposition, not part of
+    /// [`NetworkMetrics::to_json`] — it has its own exporters.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl NetworkMetrics {
@@ -960,6 +1039,7 @@ impl NetworkMetrics {
             trace_recorded: probe.trace.recorded,
             trace: probe.trace,
             decomposition: probe.journeys.map(|j| j.freeze()),
+            telemetry: probe.telemetry.map(|t| t.freeze(cycles)),
         }
     }
 
@@ -1084,7 +1164,7 @@ mod tests {
         let mut p = NoProbe;
         p.packet_injected(0, 0.into(), 1.into(), PacketId(0));
         p.flit_forwarded(0, 0.into(), Port::Tile, VcId::new(0), PacketId(0));
-        p.buffer_sample(0.into(), 7);
+        p.buffer_sample(0, 0.into(), 7);
     }
 
     #[test]
@@ -1181,6 +1261,50 @@ mod tests {
         );
     }
 
+    /// Boundary values: every power of two opens a new bucket (it is
+    /// the first value of bucket `j + 1`), and `2^j - 1` is the last
+    /// value of bucket `j`. These are the exact semantics documented on
+    /// [`LatencyHistogram::bucket_index`].
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        for j in 1..30usize {
+            let pow = 1u64 << j;
+            assert_eq!(
+                LatencyHistogram::bucket_index(pow),
+                j + 1,
+                "2^{j} must open bucket {}",
+                j + 1
+            );
+            assert_eq!(
+                LatencyHistogram::bucket_index(pow - 1),
+                j,
+                "2^{j}-1 must close bucket {j}"
+            );
+            assert_eq!(LatencyHistogram::bucket_floor(j + 1), pow);
+        }
+        // The saturation boundary: 2^30 is the first value of the final
+        // bucket, and everything above lands there too.
+        assert_eq!(
+            LatencyHistogram::bucket_index((1 << 30) - 1),
+            HISTOGRAM_BUCKETS - 2
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(1 << 30),
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(1 << 31),
+            HISTOGRAM_BUCKETS - 1
+        );
+
+        // A sample exactly on a boundary is counted once, in the upper
+        // bucket, and percentile floors report that boundary exactly.
+        let mut h = LatencyHistogram::new();
+        h.record(16);
+        assert_eq!(h.buckets[LatencyHistogram::bucket_index(16)], 1);
+        assert_eq!(h.percentile(100.0), 16);
+    }
+
     #[test]
     fn histogram_merge_adds() {
         let mut a = LatencyHistogram::new();
@@ -1211,9 +1335,9 @@ mod tests {
         p.preemption(1, 2.into(), Port::Tile, PacketId(2));
         p.packet_dropped(3, 2.into(), PacketId(9));
         p.misroute(3, 3.into(), PacketId(9));
-        p.packet_delivered(9, 0.into(), 3.into(), PacketId(1), 8);
-        p.buffer_sample(0.into(), 4);
-        p.buffer_sample(0.into(), 2);
+        p.packet_delivered(9, 0.into(), 3.into(), PacketId(1), 8, 2, ServiceClass::Bulk);
+        p.buffer_sample(9, 0.into(), 4);
+        p.buffer_sample(10, 0.into(), 2);
 
         assert_eq!(p.total_forwarded(), 2);
         let m = p.into_metrics(10);
@@ -1244,7 +1368,7 @@ mod tests {
             let mut p = NetworkProbe::new(2, 4, ProbeConfig::counters());
             p.packet_injected(0, 0.into(), 1.into(), PacketId(0));
             p.flit_forwarded(1, 0.into(), Port::Tile, VcId::new(1), PacketId(0));
-            p.packet_delivered(5, 0.into(), 1.into(), PacketId(0), 5);
+            p.packet_delivered(5, 0.into(), 1.into(), PacketId(0), 5, 1, ServiceClass::Bulk);
             p.into_metrics(6).to_json()
         };
         let a = build();

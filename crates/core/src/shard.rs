@@ -1057,9 +1057,9 @@ impl ShardCell {
     }
 
     /// Phase 6: per-cycle buffer-occupancy samples for owned routers.
-    pub(crate) fn phase_sample(&mut self, probe: &mut dyn Probe) {
+    pub(crate) fn phase_sample(&mut self, now: Cycle, probe: &mut dyn Probe) {
         for (i, r) in self.routers.iter().enumerate() {
-            probe.buffer_sample(NodeId::new((self.node_base + i) as u16), r.occupancy());
+            probe.buffer_sample(now, NodeId::new((self.node_base + i) as u16), r.occupancy());
         }
     }
 }
@@ -1190,7 +1190,7 @@ impl ShardHandle<'_> {
         self.cell.phase_eval(self.shared, now, self.naive, probe);
         if sample {
             probe.set_phase(now, 6);
-            self.cell.phase_sample(probe);
+            self.cell.phase_sample(now, probe);
         }
     }
 
@@ -1342,6 +1342,8 @@ pub(crate) enum ProbeOp {
         dst: NodeId,
         packet: PacketId,
         network_latency: Cycle,
+        num_flits: u16,
+        class: ServiceClass,
     },
     BufferSample {
         node: NodeId,
@@ -1503,6 +1505,8 @@ impl Probe for LogProbe {
         dst: NodeId,
         packet: PacketId,
         network_latency: Cycle,
+        num_flits: u16,
+        class: ServiceClass,
     ) {
         self.push(
             dst.index() as u32,
@@ -1511,10 +1515,12 @@ impl Probe for LogProbe {
                 dst,
                 packet,
                 network_latency,
+                num_flits,
+                class,
             },
         );
     }
-    fn buffer_sample(&mut self, node: NodeId, occupancy: usize) {
+    fn buffer_sample(&mut self, _now: Cycle, node: NodeId, occupancy: usize) {
         self.push(
             node.index() as u32,
             ProbeOp::BufferSample { node, occupancy },
@@ -1611,9 +1617,11 @@ fn replay_one(e: &LogEvent, probe: &mut dyn Probe) {
             dst,
             packet,
             network_latency,
+            num_flits,
+            class,
         } => {
-            probe.packet_delivered(now, src, dst, packet, network_latency);
+            probe.packet_delivered(now, src, dst, packet, network_latency, num_flits, class);
         }
-        ProbeOp::BufferSample { node, occupancy } => probe.buffer_sample(node, occupancy),
+        ProbeOp::BufferSample { node, occupancy } => probe.buffer_sample(now, node, occupancy),
     }
 }

@@ -185,6 +185,38 @@ pub fn all_rules() -> Vec<Rule> {
                      reintroduce scheduling-dependent behaviour",
         },
         Rule {
+            name: "ungated-telemetry-record",
+            summary: "direct telemetry record_* calls in the engine or router cores",
+            patterns: &[
+                "record_injected",
+                "record_delivered",
+                "record_forwarded",
+                "record_alloc_conflict",
+                "record_credit_stall",
+                "record_preemption",
+                "record_dropped",
+                "record_misroute",
+                "record_occupancy",
+            ],
+            include: &[
+                "crates/core/src/network.rs",
+                "crates/core/src/shard.rs",
+                "crates/core/src/interface.rs",
+                "crates/core/src/router/vc.rs",
+                "crates/core/src/router/dropping.rs",
+                "crates/core/src/router/deflection.rs",
+                "crates/core/src/router/mod.rs",
+            ],
+            exclude: &[],
+            scope: CodeScope::OutsideTests,
+            suppression: Suppression::AllowComment,
+            advice: "telemetry must be fed through the Probe seam \
+                     (crates/core/src/probe.rs), whose presence check is the \
+                     only gate keeping unprobed runs free; call the Probe \
+                     trait hook and let NetworkProbe forward it to the \
+                     TelemetryCollector",
+        },
+        Rule {
             name: "todo-in-shipping-code",
             summary: "todo!/unimplemented! outside tests",
             patterns: &["todo!", "unimplemented!"],

@@ -1,0 +1,28 @@
+//! Fixture: `ungated-telemetry-record` — engine code calling the
+//! telemetry collector directly fires; suppressed sites, quoted names,
+//! and test modules do not.
+
+pub fn bad_step(telemetry: &mut TelemetryCollector, now: u64) {
+    telemetry.record_forwarded(now, 0.into(), Port::Tile); // FINDING: line 6
+    telemetry.record_occupancy(now, 3); // FINDING: line 7
+}
+
+pub fn suppressed(telemetry: &mut TelemetryCollector, now: u64) {
+    // ocin-lint: allow(ungated-telemetry-record) — fixture: presence-gated by the caller
+    telemetry.record_injected(now);
+}
+
+/// Hook names quoted in docs or strings never fire.
+pub fn quoted() -> &'static str {
+    "record_delivered and record_credit_stall"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn direct_calls_in_tests_are_fine() {
+        let mut t = TelemetryCollector::new(16, 1);
+        t.record_dropped(0);
+        t.record_misroute(1);
+    }
+}

@@ -168,6 +168,20 @@ fn fixture_unannotated_wake_site() {
 }
 
 #[test]
+fn fixture_ungated_telemetry_record() {
+    let a = analyze_fixture("ungated-telemetry-record");
+    assert_eq!(
+        hits(&a),
+        vec![
+            ("ungated-telemetry-record".to_string(), 6),
+            ("ungated-telemetry-record".to_string(), 7),
+        ],
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
 fn fixture_malformed_suppression() {
     let a = analyze_fixture("malformed-suppression");
     assert_eq!(
@@ -264,6 +278,7 @@ fn cli_exit_codes() {
         "unannotated-wake-site",
         "println-in-core",
         "raw-thread-spawn",
+        "ungated-telemetry-record",
         "todo-in-shipping-code",
         "malformed-suppression",
     ] {

@@ -71,6 +71,12 @@ pub struct PointSpec {
     /// records are retained, keeping sweep memory bounded. Part of the
     /// cache key for the same reason as `probe`.
     pub journeys: bool,
+    /// Additionally attach the windowed time-series/quantile telemetry
+    /// collector (implies a probe) so the report's metrics carry a
+    /// [`ocin_core::TelemetryReport`] — exact tail quantiles and the
+    /// per-window series, at the default window width. Part of the
+    /// cache key for the same reason as `probe`.
+    pub telemetry: bool,
     /// Worker threads used *inside* this point's run (sharded stepping
     /// of one network). Deliberately **not** part of the cache key:
     /// sharded execution is bit-identical to sequential by construction
@@ -91,6 +97,7 @@ impl PointSpec {
             load,
             probe: false,
             journeys: false,
+            telemetry: false,
             shards: 1,
         }
     }
@@ -105,6 +112,13 @@ impl PointSpec {
     /// for this point. Implies the probe when enabled.
     pub fn with_journeys(mut self, journeys: bool) -> Self {
         self.journeys = journeys;
+        self
+    }
+
+    /// Enables (or disables) windowed time-series/quantile telemetry
+    /// for this point. Implies the probe when enabled.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -152,13 +166,14 @@ impl PointSpec {
     /// equal keys produce bit-identical reports.
     fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:016x}|probe:{}|journeys:{}",
+            "{:?}|{:?}|{:?}|{:016x}|probe:{}|journeys:{}|telemetry:{}",
             self.net_cfg,
             self.sim_cfg,
             self.workload,
             self.load.to_bits(),
             self.probe,
-            self.journeys
+            self.journeys,
+            self.telemetry
         )
     }
 
@@ -188,12 +203,18 @@ impl PointSpec {
         let mut sim = Simulation::new(self.net_cfg.clone(), sim_cfg)
             .expect("point configuration must be valid")
             .with_workload(&wl);
+        let mut pc = ocin_core::probe::ProbeConfig::counters();
         if self.journeys {
             // Capacity 0: aggregate stage sums and link stalls only, no
             // retained per-packet records — bounded memory per point.
-            sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters().with_journeys(0));
-        } else if self.probe {
-            sim = sim.with_probe(ocin_core::probe::ProbeConfig::counters());
+            pc = pc.with_journeys(0);
+        }
+        if self.telemetry {
+            // Default window width; exact quantiles, bounded series.
+            pc = pc.with_telemetry(0);
+        }
+        if self.probe || self.journeys || self.telemetry {
+            sim = sim.with_probe(pc);
         }
         let report = crate::shard::ShardedSimulation::new(sim, self.shards).run();
         LoadPoint {

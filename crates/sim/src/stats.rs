@@ -120,6 +120,7 @@ impl Samples {
             p50: self.percentile(50.0),
             p95: self.percentile(95.0),
             p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
             min: self.min(),
             max: self.max(),
         }
@@ -170,6 +171,8 @@ pub struct LatencyReport {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
     /// Minimum.
     pub min: f64,
     /// Maximum.
@@ -192,6 +195,30 @@ impl LatencyReport {
             p50: h.percentile(50.0) as f64,
             p95: h.percentile(95.0) as f64,
             p99: h.percentile(99.0) as f64,
+            p999: h.percentile(99.9) as f64,
+            min: h.min as f64,
+            max: h.max as f64,
+        }
+    }
+
+    /// Summarizes a telemetry quantile histogram.
+    ///
+    /// Unlike [`LatencyReport::from_histogram`], percentiles here carry
+    /// the log-linear resolution of [`ocin_core::QuantileHistogram`]:
+    /// exact whenever [`ocin_core::QuantileHistogram::is_exact`] holds
+    /// (all samples below `2^(precision+1)`), and within a relative
+    /// error of `2^-precision` otherwise.
+    pub fn from_quantiles(h: &ocin_core::QuantileHistogram) -> LatencyReport {
+        if h.count == 0 {
+            return LatencyReport::default();
+        }
+        LatencyReport {
+            count: h.count as usize,
+            mean: h.mean(),
+            p50: h.percentile(50.0) as f64,
+            p95: h.percentile(95.0) as f64,
+            p99: h.percentile(99.0) as f64,
+            p999: h.percentile(99.9) as f64,
             min: h.min as f64,
             max: h.max as f64,
         }
@@ -202,8 +229,8 @@ impl std::fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "mean {:.1} p50 {:.0} p95 {:.0} p99 {:.0} max {:.0} (n={})",
-            self.mean, self.p50, self.p95, self.p99, self.max, self.count
+            "mean {:.1} p50 {:.0} p95 {:.0} p99 {:.0} p99.9 {:.0} max {:.0} (n={})",
+            self.mean, self.p50, self.p95, self.p99, self.p999, self.max, self.count
         )
     }
 }
@@ -255,6 +282,28 @@ mod tests {
         assert_eq!(r.min, 2.0);
         assert_eq!(r.max, 6.0);
         assert!(r.to_string().contains("mean 4.0"));
+    }
+
+    #[test]
+    fn from_quantiles_matches_exact_samples() {
+        let mut h = ocin_core::QuantileHistogram::new(16);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.is_exact());
+        let r = LatencyReport::from_quantiles(&h);
+        assert_eq!(r.count, 1000);
+        assert_eq!(r.p50, 500.0);
+        assert_eq!(r.p99, 990.0);
+        // ceil(0.999 * 1000) lands on rank 1000 in floating point, so
+        // nearest-rank p99.9 of 1..=1000 is the maximum sample.
+        assert_eq!(r.p999, 1000.0);
+        assert_eq!(r.min, 1.0);
+        assert_eq!(r.max, 1000.0);
+        assert!(r.to_string().contains("p99.9 1000"));
+
+        let empty = LatencyReport::from_quantiles(&ocin_core::QuantileHistogram::new(16));
+        assert_eq!(empty, LatencyReport::default());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct LoadSweep {
     pool: Arc<SimPool>,
     probe: bool,
     journeys: bool,
+    telemetry: bool,
 }
 
 impl LoadSweep {
@@ -57,6 +58,7 @@ impl LoadSweep {
             pool: Arc::new(SimPool::new()),
             probe: false,
             journeys: false,
+            telemetry: false,
         }
     }
 
@@ -76,6 +78,17 @@ impl LoadSweep {
     #[must_use]
     pub fn with_journeys(mut self, journeys: bool) -> LoadSweep {
         self.journeys = journeys;
+        self
+    }
+
+    /// Attaches the windowed time-series/quantile telemetry collector
+    /// to every point of the sweep; each point's metrics then carry an
+    /// [`ocin_core::TelemetryReport`] with exact tail quantiles.
+    /// Implies the probe. Measurements are unchanged — telemetry is
+    /// purely observational.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> LoadSweep {
+        self.telemetry = telemetry;
         self
     }
 
@@ -102,6 +115,7 @@ impl LoadSweep {
         )
         .with_probe(self.probe)
         .with_journeys(self.journeys)
+        .with_telemetry(self.telemetry)
     }
 
     /// Runs one point (through the pool's cache).
