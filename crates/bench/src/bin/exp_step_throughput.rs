@@ -12,15 +12,20 @@
 //! reporting the headline flit-hops/sec at 1024 tiles, followed by a
 //! shard-scaling sweep stepping the same k = 32 point on 1/2/4/8
 //! worker threads (bit-identical reports required; wall clock is the
-//! only thing allowed to move). Set `OCIN_STEP_OUT` to also write the
-//! numbers as JSON (the perf-snapshot CI job folds that file into
-//! `BENCH_<sha>.json`).
+//! only thing allowed to move), and a two-level-executor sweep pitting
+//! the full `SimPool` scheduler (idle workers become shard budgets)
+//! against a budget-capped pool on a lone k = 32 point and a k = 16
+//! saturation search (`--exec-workers <n>` / `OCIN_EXEC_WORKERS` size
+//! the pool). Set `OCIN_STEP_OUT` to also write the numbers as JSON
+//! (the perf-snapshot CI job folds that file into `BENCH_<sha>.json`).
 
 use std::time::Instant;
 
-use ocin_bench::{banner, check, f1, probe_enabled, quick_mode, radix_arg, write_metrics};
+use ocin_bench::{
+    banner, check, exec_workers_arg, f1, probe_enabled, quick_mode, radix_arg, write_metrics,
+};
 use ocin_core::{FlowControl, Network, NetworkConfig, PacketSpec, ProbeConfig, TopologySpec};
-use ocin_sim::{ShardedSimulation, SimConfig, Simulation, Table};
+use ocin_sim::{PointSpec, ShardedSimulation, SimConfig, SimPool, Simulation, Table};
 use ocin_traffic::{InjectionProcess, TrafficPattern, Workload};
 
 /// Radii of the always-run scaling sweep: the paper's 16-tile chip and
@@ -297,6 +302,100 @@ fn main() {
         &format!("4-shard speedup {speedup_4:.2}x on {cores} cores (target >1.5x with >=4 cores)"),
     );
 
+    // Two-level executor: the same k = 32 point submitted as a
+    // one-point batch to a budget-capped pool (every point unsharded —
+    // the pre-executor point-parallel baseline) and to the full
+    // executor, whose idle workers become that point's shard budget.
+    // Both must produce bit-identical reports; wall clock is the only
+    // thing allowed to move, and only when real cores exist.
+    println!("\ntwo-level executor, lone k = 32 point + k = 16 saturation search\n");
+    let workers = exec_workers_arg();
+    let exec_cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: cycles,
+        drain_cycles: 0,
+        seed: 0xB19_B19,
+    };
+    let point_spec = PointSpec::new(
+        NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 32 }),
+        exec_cfg,
+        Workload::new(32 * 32, 32, TrafficPattern::Uniform),
+        scaling_load(32),
+    );
+    let time_point = |pool: SimPool| {
+        let start = Instant::now();
+        let point = pool
+            .run(std::slice::from_ref(&point_spec))
+            .pop()
+            .expect("one point");
+        let wall = start.elapsed().as_secs_f64();
+        let shards = pool.exec_decisions()[0][0].shards;
+        (wall, shards, point)
+    };
+    let (wall_capped, _, point_capped) =
+        time_point(SimPool::with_workers(workers).with_budget_cap(1));
+    let (wall_exec, exec_shards, point_exec) = time_point(SimPool::with_workers(workers));
+    let exec_point_equal = point_capped == point_exec;
+    let point_speedup = wall_capped / wall_exec;
+    let mut et = Table::new(&["pool", "shards", "wall s", "speedup"]);
+    et.row(&[
+        "budget cap 1".to_string(),
+        "1".to_string(),
+        format!("{wall_capped:.3}"),
+        "-".to_string(),
+    ]);
+    et.row(&[
+        format!("executor x{workers}"),
+        exec_shards.to_string(),
+        format!("{wall_exec:.3}"),
+        format!("{point_speedup:.2}x"),
+    ]);
+    println!("{}", et.render());
+    check(
+        exec_point_equal,
+        "executor-sharded point is bit-identical to the point-parallel baseline",
+    );
+    check(
+        point_speedup > 1.5 || cores < 4,
+        &format!(
+            "lone k = 32 point speedup {point_speedup:.2}x on {cores} cores \
+             (target >1.5x with >=4 cores)"
+        ),
+    );
+
+    // Saturation search feeds the pool small probe batches whose tails
+    // under-subscribe the workers — exactly where the budget matters.
+    let sat_sweep = |pool: SimPool| {
+        let s = ocin_sim::LoadSweep::new(
+            NetworkConfig::paper_baseline().with_topology(TopologySpec::FoldedTorus { k: 16 }),
+            SimConfig::quick(),
+            Workload::new(256, 16, TrafficPattern::Uniform),
+        )
+        .with_pool(std::sync::Arc::new(pool));
+        let start = Instant::now();
+        let load = s.saturation_load(0.05);
+        (start.elapsed().as_secs_f64(), load)
+    };
+    let (sat_wall_capped, sat_capped) =
+        sat_sweep(SimPool::with_workers(workers).with_budget_cap(1));
+    let (sat_wall_exec, sat_exec) = sat_sweep(SimPool::with_workers(workers));
+    let sat_speedup = sat_wall_capped / sat_wall_exec;
+    println!(
+        "saturation_load(k = 16): budget-capped {sat_wall_capped:.3}s, \
+         executor {sat_wall_exec:.3}s ({sat_speedup:.2}x), load {sat_exec:.4}\n"
+    );
+    check(
+        sat_capped.to_bits() == sat_exec.to_bits(),
+        "saturation search lands on the same load under the executor",
+    );
+    check(
+        sat_speedup > 1.05 || cores < 4,
+        &format!(
+            "saturation search speedup {sat_speedup:.2}x on {cores} cores \
+             (target >1.05x with >=4 cores)"
+        ),
+    );
+
     // Telemetry overhead: the same fixed-seed point stepped with a
     // counters-only probe and with the windowed telemetry collector
     // riding along. Telemetry must be nearly free — the perf-snapshot
@@ -367,6 +466,16 @@ fn main() {
         let json = format!(
             "{{\n  \"cycles\": {cycles},\n  \"radix\": {k},\n  \"points\": [\n{}\n  ],\n  \
              \"radix_scaling\": [\n{}\n  ],\n  \"shard_scaling\": [\n{}\n  ],\n  \
+             \"exec\": {{\"workers\": {workers}, \"cores\": {cores}, \
+             \"point_radix\": 32, \"point_shards\": {exec_shards}, \
+             \"point_capped_wall_seconds\": {wall_capped:.6}, \
+             \"point_exec_wall_seconds\": {wall_exec:.6}, \
+             \"point_speedup\": {point_speedup:.3}, \
+             \"point_identical\": {exec_point_equal}, \
+             \"saturation_radix\": 16, \
+             \"saturation_capped_wall_seconds\": {sat_wall_capped:.6}, \
+             \"saturation_exec_wall_seconds\": {sat_wall_exec:.6}, \
+             \"saturation_speedup\": {sat_speedup:.3}}},\n  \
              \"telemetry_overhead\": {{\"radix\": {k}, \"cycles\": {cycles}, \
              \"off_wall_seconds\": {wall_off:.6}, \"on_wall_seconds\": {wall_on:.6}, \
              \"overhead_frac\": {overhead:.6}}}\n}}\n",

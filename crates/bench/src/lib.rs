@@ -69,6 +69,31 @@ pub fn radix_arg(default: usize) -> usize {
     }
 }
 
+/// The executor worker count an experiment should size its `SimPool`
+/// with: `--exec-workers <n>` on the command line, else
+/// `OCIN_EXEC_WORKERS`, else the machine's available parallelism (the
+/// same resolution `ocin_sim::exec::default_workers` performs).
+///
+/// # Panics
+///
+/// Panics if the flag is present but not a positive integer — a
+/// misconfigured run should fail loudly, not fall back silently.
+pub fn exec_workers_arg() -> usize {
+    let mut args = std::env::args();
+    let from_cli = args
+        .by_ref()
+        .find(|a| a == "--exec-workers")
+        .and_then(|_| args.next());
+    match from_cli {
+        Some(s) => {
+            let w: usize = s.parse().expect("exec workers must be a positive integer");
+            assert!(w >= 1, "exec workers must be at least 1");
+            w
+        }
+        None => ocin_sim::exec::default_workers(),
+    }
+}
+
 /// Where probed experiments write their metrics snapshot:
 /// `OCIN_METRICS_OUT` if set, else `metrics.json` in the working
 /// directory.

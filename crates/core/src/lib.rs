@@ -99,4 +99,4 @@ pub use shard::{
     replay_logs, BoundaryMsg, CellEnergySnapshot, LogEvent, LogProbe, PhasedProbe, ShardHandle,
 };
 pub use telemetry::{LinkSpan, QuantileHistogram, TelemetryCollector, TelemetryReport, WindowRow};
-pub use topology::{FoldedTorus2D, Mesh2D, Ring, Topology};
+pub use topology::{DirVec, FoldedTorus2D, Mesh2D, Ring, Topology};

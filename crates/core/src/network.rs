@@ -702,10 +702,15 @@ impl Network {
     }
 
     /// Whether no flit is queued, buffered, or in flight anywhere.
+    ///
+    /// Routers are asked via [`RouterCore::is_quiescent`] — O(1) per
+    /// core — not `occupancy()`, whose VC-router arm recomputes the
+    /// count by walking every buffer and made this scan ~70× slower at
+    /// k = 32 (measured in EXPERIMENTS.md's quiescence-scan table).
     pub fn is_quiescent(&self) -> bool {
         self.cells.iter().all(|c| {
             c.interfaces.iter().all(|i| i.pending_flits() == 0)
-                && c.routers.iter().all(|r| r.occupancy() == 0)
+                && c.routers.iter().all(RouterCore::is_quiescent)
                 && c.rx_flits.iter().all(VecDeque::is_empty)
                 && c.inject_pipes.iter().all(VecDeque::is_empty)
                 && c.eject_pipes.iter().all(VecDeque::is_empty)

@@ -15,7 +15,7 @@
 use crate::flit::Flit;
 use crate::ids::{Direction, NodeId, Port};
 use crate::probe::Probe;
-use crate::topology::Topology;
+use crate::topology::{DirVec, Topology};
 
 use super::{EvalEnv, RouterOutput};
 
@@ -72,15 +72,12 @@ impl DeflectionRouter {
     }
 
     /// Productive directions for `flit` from this node (directions that
-    /// appear in a minimal route), in preference order.
-    fn productive_dirs(&self, topo: &dyn Topology, flit: &Flit) -> Vec<Direction> {
-        let mut dirs = Vec::with_capacity(2);
-        for d in topo.route_dirs(self.node, flit.meta.dst) {
-            if !dirs.contains(&d) {
-                dirs.push(d);
-            }
-        }
-        dirs
+    /// appear in a minimal route), in preference order. Delegates to the
+    /// topology's closed-form [`Topology::productive_dirs`] — inline and
+    /// allocation-free, where the old path built the full `route_dirs`
+    /// hop vector per flit per cycle just to deduplicate it.
+    fn productive_dirs(&self, topo: &dyn Topology, flit: &Flit) -> DirVec {
+        topo.productive_dirs(self.node, flit.meta.dst)
     }
 
     /// Evaluates one cycle: ejects at most one local flit, matches the
@@ -144,13 +141,12 @@ impl DeflectionRouter {
         let productive = self.productive_dirs(env.topo, &f);
         let chosen = productive
             .iter()
-            .copied()
             .find(|d| free[d.index()])
             .or_else(|| Direction::ALL.iter().copied().find(|d| free[d.index()]));
         // INVARIANT: at most 4 flits reach routing (one ejected,
         // injection gated on a free slot), so a free output exists.
         let d = chosen.expect("outputs cannot be exhausted: at most 4 flits routed");
-        if !productive.contains(&d) {
+        if !productive.contains(d) {
             self.deflections += 1;
             probe.misroute(env.now, self.node, f.meta.packet);
         }

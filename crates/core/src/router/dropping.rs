@@ -211,8 +211,7 @@ mod tests {
         r.receive(Port::Dir(Direction::West), f);
         let out = eval(&mut r, &env(&topo));
         assert!(out.launches.is_empty());
-        let dropped: Vec<_> = out.dropped_packets.iter().copied().collect();
-        assert_eq!(dropped, vec![PacketId(2)]);
+        assert!(out.dropped_packets.iter().copied().eq([PacketId(2)]));
         assert_eq!(r.packets_dropped, 1);
         // The first packet's tail unlocks East.
         let mut t = test_flit(FlitKind::Tail, &[Direction::East]);

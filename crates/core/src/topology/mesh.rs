@@ -109,6 +109,24 @@ impl Topology for Mesh2D {
         dirs
     }
 
+    fn productive_dirs(&self, src: NodeId, dst: NodeId) -> super::DirVec {
+        let (s, d) = (self.coord(src), self.coord(dst));
+        let dx = d.x as isize - s.x as isize;
+        let dy = d.y as isize - s.y as isize;
+        let mut dirs = super::DirVec::new();
+        if dx > 0 {
+            dirs.push(Direction::East);
+        } else if dx < 0 {
+            dirs.push(Direction::West);
+        }
+        if dy > 0 {
+            dirs.push(Direction::North);
+        } else if dy < 0 {
+            dirs.push(Direction::South);
+        }
+        dirs
+    }
+
     fn bisection_channels(&self) -> usize {
         // A vertical cut through the middle crosses one channel pair per row.
         2 * self.k

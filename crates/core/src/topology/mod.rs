@@ -17,6 +17,56 @@ pub use torus::FoldedTorus2D;
 
 use crate::ids::{Coord, Direction, NodeId};
 
+/// An inline fixed-capacity direction set: the allocation-free return
+/// type of [`Topology::productive_dirs`] (same pattern as the router
+/// layer's `PortVec`). A minimal dimension-order route takes at most one
+/// distinct direction per dimension, so capacity 4 covers any shipped
+/// topology with headroom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirVec {
+    // INVARIANT: slots[..len] are Some, slots[len..] are None.
+    slots: [Option<Direction>; 4],
+    len: usize,
+}
+
+impl DirVec {
+    /// An empty set.
+    pub fn new() -> DirVec {
+        DirVec::default()
+    }
+
+    /// Number of directions held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is full (4 directions).
+    pub fn push(&mut self, dir: Direction) {
+        assert!(self.len < self.slots.len(), "DirVec overflow");
+        self.slots[self.len] = Some(dir);
+        self.len += 1;
+    }
+
+    /// Whether `dir` is in the set.
+    pub fn contains(&self, dir: Direction) -> bool {
+        self.iter().any(|d| d == dir)
+    }
+
+    /// The directions, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Direction> + '_ {
+        self.slots[..self.len].iter().map(|d| d.expect("INVARIANT"))
+    }
+}
+
 /// A network topology: node geometry, channels, lengths, and minimal
 /// routing.
 ///
@@ -70,6 +120,22 @@ pub trait Topology: Send + Sync + std::fmt::Debug {
     /// Minimal hop count between two nodes.
     fn min_hops(&self, src: NodeId, dst: NodeId) -> usize {
         self.route_dirs(src, dst).len()
+    }
+
+    /// The distinct directions a minimal route from `src` to `dst` may
+    /// productively take, in dimension order (X before Y), without
+    /// allocating — the deflection router asks this per flit per cycle.
+    /// Must equal [`Topology::route_dirs`] deduplicated in first-seen
+    /// order (the default computes exactly that; implementations
+    /// override it with a closed form that skips the hop vector).
+    fn productive_dirs(&self, src: NodeId, dst: NodeId) -> DirVec {
+        let mut dirs = DirVec::new();
+        for d in self.route_dirs(src, dst) {
+            if !dirs.contains(d) {
+                dirs.push(d);
+            }
+        }
+        dirs
     }
 
     /// Number of unidirectional channels crossing the network bisection.
@@ -187,6 +253,35 @@ mod tests {
                     (1.0..=2.0).contains(&len),
                     "k={k} link {a}->{b} spans {len} pitches"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn productive_dirs_overrides_match_default_dedup() {
+        // Every closed-form override must equal route_dirs deduplicated
+        // in first-seen order (the trait default), for every pair —
+        // including the halfway ties whose parity break the deflection
+        // router depends on.
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(FoldedTorus2D::new(4)),
+            Box::new(FoldedTorus2D::new(6)),
+            Box::new(Mesh2D::new(4)),
+            Box::new(Ring::new(6)),
+            Box::new(Ring::new(7)),
+        ];
+        for t in &topos {
+            for s in 0..t.num_nodes() {
+                for d in 0..t.num_nodes() {
+                    let (s, d) = (NodeId::new(s as u16), NodeId::new(d as u16));
+                    let mut expect = DirVec::new();
+                    for dir in t.route_dirs(s, d) {
+                        if !expect.contains(dir) {
+                            expect.push(dir);
+                        }
+                    }
+                    assert_eq!(t.productive_dirs(s, d), expect, "{} {s:?}->{d:?}", t.name());
+                }
             }
         }
     }

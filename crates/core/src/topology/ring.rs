@@ -100,6 +100,23 @@ impl Topology for Ring {
         vec![dir; hops as usize]
     }
 
+    fn productive_dirs(&self, src: NodeId, dst: NodeId) -> super::DirVec {
+        // Same forward-offset and tie-break arithmetic as route_dirs,
+        // minus the hop vector.
+        let k = self.k as isize;
+        let fwd = (dst.index() as isize - src.index() as isize).rem_euclid(k);
+        let mut dirs = super::DirVec::new();
+        if fwd != 0 {
+            let tie_east = src.index().is_multiple_of(2);
+            dirs.push(if 2 * fwd < k || (2 * fwd == k && tie_east) {
+                Direction::East
+            } else {
+                Direction::West
+            });
+        }
+        dirs
+    }
+
     fn bisection_channels(&self) -> usize {
         4
     }

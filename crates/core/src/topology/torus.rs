@@ -149,6 +149,24 @@ impl Topology for FoldedTorus2D {
         dirs
     }
 
+    fn productive_dirs(&self, src: NodeId, dst: NodeId) -> super::DirVec {
+        // Closed form over the same min_offsets as route_dirs, so the
+        // halfway-tie parity break is preserved bit-for-bit.
+        let (dx, dy) = self.min_offsets(src, dst);
+        let mut dirs = super::DirVec::new();
+        if dx > 0 {
+            dirs.push(Direction::East);
+        } else if dx < 0 {
+            dirs.push(Direction::West);
+        }
+        if dy > 0 {
+            dirs.push(Direction::North);
+        } else if dy < 0 {
+            dirs.push(Direction::South);
+        }
+        dirs
+    }
+
     fn bisection_channels(&self) -> usize {
         // A vertical cut crosses two channel pairs per row (one "local",
         // one "wrap") — twice the mesh.

@@ -176,13 +176,14 @@ pub fn all_rules() -> Vec<Rule> {
             summary: "std::thread::spawn/scope outside the sanctioned parallel seams",
             patterns: &["thread::spawn", "thread::scope"],
             include: &["crates/", "src/", "tests/", "examples/"],
-            exclude: &["crates/sim/src/pool.rs", "crates/sim/src/shard.rs"],
+            exclude: &["crates/sim/src/exec.rs"],
             scope: CodeScope::OutsideTests,
             suppression: Suppression::AllowComment,
-            advice: "all parallelism must flow through the deterministic seams \
-                     — SimPool for independent points, ShardedSimulation for \
-                     one sharded run (DESIGN.md \u{a7}3.15); ad-hoc threads \
-                     reintroduce scheduling-dependent behaviour",
+            advice: "all parallelism must flow through the executor seam \
+                     (crates/sim/src/exec.rs, DESIGN.md \u{a7}3.18): SimPool \
+                     batches, ShardedSimulation, and MultiChipSim all borrow \
+                     its scoped workers; ad-hoc threads reintroduce \
+                     scheduling-dependent behaviour",
         },
         Rule {
             name: "ungated-telemetry-record",

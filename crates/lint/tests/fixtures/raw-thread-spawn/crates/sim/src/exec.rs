@@ -1,0 +1,7 @@
+//! Fixture: `crates/sim/src/exec.rs` is the one sanctioned seam — the
+//! two-level executor owns every worker thread in the workspace.
+
+pub fn run_scoped() {
+    std::thread::scope(|_s| {});
+    let _ = std::thread::spawn(|| 42).join();
+}

@@ -1,6 +1,6 @@
-//! Fixture: `crates/sim/src/pool.rs` is a sanctioned seam — the
-//! deterministic point-evaluation pool owns its worker threads.
+//! Fixture: `crates/sim/src/pool.rs` is no longer a sanctioned seam —
+//! the pool must borrow workers from the executor, not spawn its own.
 
 pub fn run_points() {
-    std::thread::scope(|_s| {});
+    std::thread::scope(|_s| {}); // FINDING: line 5
 }

@@ -131,8 +131,12 @@ fn fixture_raw_thread_spawn() {
     assert_eq!(
         hits(&a),
         vec![
+            // exec.rs is the sanctioned seam (excluded); pool.rs and
+            // shard.rs now fire — they borrow workers from the executor.
             ("raw-thread-spawn".to_string(), 6),
             ("raw-thread-spawn".to_string(), 7),
+            ("raw-thread-spawn".to_string(), 5),
+            ("raw-thread-spawn".to_string(), 5),
         ],
         "{:#?}",
         a.findings

@@ -1,0 +1,435 @@
+//! Deterministic two-level executor: point-parallel heads, shard-parallel
+//! tails.
+//!
+//! The repo grew two disjoint parallelism layers: [`crate::pool::SimPool`]
+//! spreads independent points over worker threads, and
+//! [`crate::shard::ShardedSimulation`] splits one run across threads. Each
+//! alone leaves cores idle for common shapes — a sweep's last point, a
+//! saturation bracket of two probes, a lone k = 32 run. The [`Executor`]
+//! unifies them: it owns one fixed worker budget and assigns every queued
+//! point a *shard budget*, `1` while the runnable-point count covers the
+//! workers and rising as the queue drains, so sweep heads run
+//! point-parallel and tails run shard-parallel without any caller
+//! involvement.
+//!
+//! # Wave plan
+//!
+//! A batch of `n` points on `W` workers is executed as a sequence of
+//! *waves*. Each wave takes the next `width = min(remaining, W)` points in
+//! input order and gives every point in the wave the same base budget: the
+//! largest power of two `b` with `width * b <= W`. The per-point shard
+//! count is then `min(b, max_useful_shards(point))` — capped so tiny
+//! networks are never split into degenerate cells — unless the spec asked
+//! for an explicit shard count, which always wins. The plan is a pure
+//! function of `(W, batch shapes)`: no timing, no work stealing, no
+//! dependence on completion order.
+//!
+//! Taking the power-of-two *floor* of `W / width` (rather than the
+//! `next_pow2(idle)` ceiling) means a wave never oversubscribes: at most
+//! `W` simulation threads are ever live, so budgets describe real cores
+//! and wall-clock predictions stay honest.
+//!
+//! # Determinism
+//!
+//! Three facts make the executor bit-transparent:
+//!
+//! * seeds derive from `(base, load)` only ([`crate::pool::derive_seed`]),
+//!   never from scheduling;
+//! * the shard count is excluded from the memo key and proven
+//!   byte-identical at any value (`tests/shard_equiv.rs`), so the budget
+//!   decision can change only wall-clock, never a result;
+//! * wave results are folded back in point order ([`run_scoped`] returns
+//!   task order), regardless of finish order.
+//!
+//! # Thread-spawn seam
+//!
+//! This module is the **only** sanctioned `thread::scope` site in the
+//! workspace (enforced by ocin-lint's `raw-thread-spawn` rule):
+//! [`run_scoped`] executes a finished set of tasks, and [`run_with`] runs
+//! persistent workers alongside a coordinator on the calling thread
+//! (used by [`crate::multichip::MultiChipSim`]'s parallel stepping).
+//! `SimPool` and `ShardedSimulation` both borrow their threads from here.
+
+use crate::pool::PointSpec;
+use crate::sweep::LoadPoint;
+
+/// Worker-count override from the environment: `OCIN_EXEC_WORKERS=<n>`.
+///
+/// Like `OCIN_SHARDS` this is a speed knob, not an experiment parameter —
+/// it can change how fast results arrive but (by the determinism
+/// invariants above) never what they are, so reading it outside the
+/// config layer is sound.
+pub fn exec_workers_from_env() -> Option<usize> {
+    // ocin-lint: allow(env-read-outside-config) — speed knob, not config
+    std::env::var("OCIN_EXEC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+}
+
+/// The machine's available parallelism, overridden by
+/// [`exec_workers_from_env`] when set. The default worker budget for
+/// [`Executor::from_env`], `SimPool::new`, and multichip stepping.
+pub fn default_workers() -> usize {
+    exec_workers_from_env()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
+/// Runs every task on its own scoped thread and returns the results in
+/// **task order** (never completion order). A single task runs inline on
+/// the calling thread; an empty set returns immediately.
+///
+/// This is the workspace's shared spawn primitive — new parallel code
+/// should pass closures here rather than open another `thread::scope`.
+///
+/// # Panics
+///
+/// Propagates a panic from any task.
+pub fn run_scoped<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    match tasks.len() {
+        0 => Vec::new(),
+        1 => {
+            let task = tasks.into_iter().next().expect("length checked");
+            vec![task()]
+        }
+        _ => std::thread::scope(|s| {
+            let joins: Vec<_> = tasks.into_iter().map(|f| s.spawn(f)).collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("executor task panicked"))
+                .collect()
+        }),
+    }
+}
+
+/// Spawns `workers` on scoped threads, runs `coordinator` on the calling
+/// thread, and joins everything: returns `(worker results in task order,
+/// coordinator result)`. The coordinator is responsible for telling the
+/// workers to finish (via whatever shared protocol the caller set up)
+/// before it returns, or the scope will never close.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_with<T, R, F, M>(workers: Vec<F>, coordinator: M) -> (Vec<T>, R)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    M: FnOnce() -> R,
+{
+    std::thread::scope(|s| {
+        let joins: Vec<_> = workers.into_iter().map(|f| s.spawn(f)).collect();
+        let out = coordinator();
+        let results = joins
+            .into_iter()
+            .map(|j| j.join().expect("executor worker panicked"))
+            .collect();
+        (results, out)
+    })
+}
+
+/// The largest shard count worth giving a network of `num_nodes` nodes.
+///
+/// Sharding splits rows across cells; below ~64 nodes per cell the
+/// barrier and mailbox overhead outweighs the stepping work (measured in
+/// EXPERIMENTS.md's shard-scaling table), so the executor never splits
+/// finer. k = 4 (16 nodes) stays sequential, k = 16 (256) caps at 4,
+/// k = 32 (1024) caps at 16.
+pub fn max_useful_shards(num_nodes: usize) -> usize {
+    (num_nodes / 64).max(1)
+}
+
+/// One scheduling decision: the wave a point ran in and the shard budget
+/// it received. Reported per batch by `SimPool::exec_summary_json` so
+/// benchmark artifacts record exactly how a run used its cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecDecision {
+    /// Wave index within the batch (waves execute in order).
+    pub wave: usize,
+    /// The point's offered load — enough to identify it within a batch.
+    pub load: f64,
+    /// Worker threads the point's run was split across.
+    pub shards: usize,
+}
+
+/// The shape of a queued point, as much of [`PointSpec`] as the planner
+/// needs: its load (for the decision record), its network size (for the
+/// useful-shards cap), and any explicit shard request (which overrides
+/// the budget policy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointShape {
+    /// Offered load, copied into the [`ExecDecision`].
+    pub load: f64,
+    /// Nodes in the point's network.
+    pub num_nodes: usize,
+    /// The spec's `shards` field; values other than 1 bypass the policy.
+    pub explicit_shards: usize,
+}
+
+impl PointShape {
+    fn of(spec: &PointSpec) -> PointShape {
+        PointShape {
+            load: spec.load,
+            num_nodes: spec.net_cfg.topology.num_nodes(),
+            explicit_shards: spec.shards,
+        }
+    }
+}
+
+/// The deterministic two-level scheduler. See the module docs for the
+/// wave plan and determinism argument.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+    /// Upper bound on any budget decision. `run_batch` with a cap of 1 is
+    /// exactly the pre-executor pool behaviour (point-parallel only) —
+    /// benchmarks use it as the baseline side of before/after rows.
+    budget_cap: Option<usize>,
+}
+
+impl Executor {
+    /// An executor owning `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+            budget_cap: None,
+        }
+    }
+
+    /// An executor sized by [`default_workers`]: `OCIN_EXEC_WORKERS` when
+    /// set, else the machine's available parallelism.
+    pub fn from_env() -> Executor {
+        Executor::new(default_workers())
+    }
+
+    /// Caps every policy budget at `cap` (clamped to at least 1).
+    /// Explicit per-spec shard requests are *not* capped — a caller who
+    /// wrote `with_shards(8)` gets 8.
+    pub fn with_budget_cap(mut self, cap: usize) -> Executor {
+        self.budget_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Worker threads this executor schedules onto.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Plans a batch: assigns every point (in input order) a wave and a
+    /// shard budget. Pure — same shapes and worker count, same plan.
+    pub fn plan(&self, shapes: &[PointShape]) -> Vec<ExecDecision> {
+        let mut plan = Vec::with_capacity(shapes.len());
+        let mut next = 0;
+        let mut wave = 0;
+        while next < shapes.len() {
+            let width = (shapes.len() - next).min(self.workers);
+            // Largest power of two b with width * b <= workers: the wave
+            // never oversubscribes the worker set.
+            let mut budget = 1;
+            while width * budget * 2 <= self.workers {
+                budget *= 2;
+            }
+            let budget = self.budget_cap.map_or(budget, |cap| budget.min(cap));
+            for shape in &shapes[next..next + width] {
+                let shards = if shape.explicit_shards != 1 {
+                    shape.explicit_shards
+                } else {
+                    budget.min(max_useful_shards(shape.num_nodes))
+                };
+                plan.push(ExecDecision {
+                    wave,
+                    load: shape.load,
+                    shards,
+                });
+            }
+            next += width;
+            wave += 1;
+        }
+        plan
+    }
+
+    /// Evaluates a batch wave by wave and returns `(points in input
+    /// order, the plan that produced them)`. Results are bit-identical to
+    /// evaluating every spec serially with `PointSpec::evaluate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec's configuration is invalid or a worker panics.
+    pub fn run_batch(&self, specs: &[&PointSpec]) -> (Vec<LoadPoint>, Vec<ExecDecision>) {
+        let shapes: Vec<PointShape> = specs.iter().map(|s| PointShape::of(s)).collect();
+        let plan = self.plan(&shapes);
+        let mut out: Vec<Option<LoadPoint>> = specs.iter().map(|_| None).collect();
+        let mut start = 0;
+        while start < specs.len() {
+            let wave = plan[start].wave;
+            let width = plan[start..].iter().take_while(|d| d.wave == wave).count();
+            let tasks: Vec<_> = (start..start + width)
+                .map(|i| {
+                    let spec = specs[i];
+                    let shards = plan[i].shards;
+                    move || spec.evaluate_sharded(shards)
+                })
+                .collect();
+            for (offset, point) in run_scoped(tasks).into_iter().enumerate() {
+                out[start + offset] = Some(point);
+            }
+            start += width;
+        }
+        let points = out
+            .into_iter()
+            .map(|p| p.expect("every wave filled its slots"))
+            .collect();
+        (points, plan)
+    }
+
+    /// Renders a batch's decisions as one deterministic JSON array (used
+    /// by `SimPool::exec_summary_json`).
+    pub(crate) fn decisions_json(decisions: &[ExecDecision]) -> String {
+        let rows: Vec<String> = decisions
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"wave\":{},\"load\":{:.6},\"shards\":{}}}",
+                    d.wave, d.load, d.shards
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(load: f64, num_nodes: usize) -> PointShape {
+        PointShape {
+            load,
+            num_nodes,
+            explicit_shards: 1,
+        }
+    }
+
+    #[test]
+    fn head_runs_point_parallel() {
+        let exec = Executor::new(4);
+        let shapes: Vec<PointShape> = (0..8).map(|i| shape(i as f64 * 0.1, 1024)).collect();
+        let plan = exec.plan(&shapes);
+        // Two full waves of 4, budget 1 each.
+        assert!(plan[..4].iter().all(|d| d.wave == 0 && d.shards == 1));
+        assert!(plan[4..].iter().all(|d| d.wave == 1 && d.shards == 1));
+    }
+
+    #[test]
+    fn tail_runs_shard_parallel() {
+        let exec = Executor::new(8);
+        // 9 points: wave 0 is 8 wide at budget 1, wave 1 is the lone
+        // tail point at budget 8 (capped by usefulness to 8 for k=32).
+        let shapes: Vec<PointShape> = (0..9).map(|i| shape(i as f64 * 0.1, 1024)).collect();
+        let plan = exec.plan(&shapes);
+        assert_eq!(plan[8].wave, 1);
+        assert_eq!(plan[8].shards, 8);
+    }
+
+    #[test]
+    fn budget_is_pow2_floor_never_oversubscribed() {
+        let exec = Executor::new(8);
+        // 3 points on 8 workers: pow2 floor of 8/3 is 2, total 6 <= 8.
+        let shapes: Vec<PointShape> = (0..3).map(|i| shape(i as f64 * 0.1, 1024)).collect();
+        let plan = exec.plan(&shapes);
+        assert!(plan.iter().all(|d| d.wave == 0 && d.shards == 2));
+    }
+
+    #[test]
+    fn small_networks_stay_sequential() {
+        let exec = Executor::new(16);
+        // A lone k=4 point: 16 idle workers, but 16 nodes are not worth
+        // splitting — max_useful_shards caps the budget at 1.
+        let plan = exec.plan(&[shape(0.1, 16)]);
+        assert_eq!(plan[0].shards, 1);
+        // k=16 caps at 4, k=32 at 16.
+        assert_eq!(exec.plan(&[shape(0.1, 256)])[0].shards, 4);
+        assert_eq!(exec.plan(&[shape(0.1, 1024)])[0].shards, 16);
+    }
+
+    #[test]
+    fn explicit_shards_override_policy() {
+        let exec = Executor::new(2);
+        let mut s = shape(0.1, 1024);
+        s.explicit_shards = 5;
+        // The caller asked for 5; the policy (budget 2) does not apply.
+        assert_eq!(exec.plan(&[s])[0].shards, 5);
+    }
+
+    #[test]
+    fn budget_cap_restores_point_parallel_baseline() {
+        let exec = Executor::new(8).with_budget_cap(1);
+        let plan = exec.plan(&[shape(0.1, 1024)]);
+        assert_eq!(plan[0].shards, 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let exec = Executor::new(6);
+        let shapes: Vec<PointShape> = (0..7).map(|i| shape(i as f64 * 0.05, 256)).collect();
+        assert_eq!(exec.plan(&shapes), exec.plan(&shapes));
+    }
+
+    #[test]
+    fn run_scoped_preserves_task_order() {
+        let tasks: Vec<_> = (0..5)
+            .map(|i| {
+                move || {
+                    // Later tasks finish sooner; order must still hold.
+                    std::thread::sleep(std::time::Duration::from_millis(5 - i));
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(run_scoped(tasks), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_with_joins_workers_and_coordinator() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        let (results, main) = run_with(
+            (0..3)
+                .map(|i| {
+                    let flag = &flag;
+                    move || {
+                        flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        i * 2
+                    }
+                })
+                .collect(),
+            || 99,
+        );
+        assert_eq!(results, vec![0, 2, 4]);
+        assert_eq!(main, 99);
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn decisions_render_deterministically() {
+        let d = vec![
+            ExecDecision {
+                wave: 0,
+                load: 0.05,
+                shards: 1,
+            },
+            ExecDecision {
+                wave: 1,
+                load: 0.1,
+                shards: 4,
+            },
+        ];
+        assert_eq!(
+            Executor::decisions_json(&d),
+            "[{\"wave\":0,\"load\":0.050000,\"shards\":1},{\"wave\":1,\"load\":0.100000,\"shards\":4}]"
+        );
+    }
+}

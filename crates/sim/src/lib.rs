@@ -27,6 +27,7 @@
 //! ```
 
 pub mod clients;
+pub mod exec;
 pub mod heatmap;
 pub mod multichip;
 pub mod pool;
@@ -37,6 +38,7 @@ pub mod sweep;
 pub mod table;
 
 pub use clients::{Client, ClientCtx, ServiceSim};
+pub use exec::{exec_workers_from_env, max_useful_shards, ExecDecision, Executor};
 pub use heatmap::{hottest_links, render_link_heatmap, render_metrics_heatmap};
 pub use multichip::{GlobalDelivery, MultiChipSim};
 pub use pool::{derive_seed, PointSpec, SimPool};

@@ -16,13 +16,12 @@
 //!   compute it once per process.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::thread;
 
 use ocin_core::NetworkConfig;
 use ocin_traffic::{InjectionProcess, Workload};
 
+use crate::exec::{ExecDecision, Executor};
 use crate::runner::{SimConfig, Simulation};
 use crate::sweep::LoadPoint;
 
@@ -188,6 +187,15 @@ impl PointSpec {
     /// verifier proves the configuration can deadlock (see
     /// [`PointSpec::verify`]).
     pub fn evaluate(&self) -> LoadPoint {
+        self.evaluate_sharded(self.shards)
+    }
+
+    /// Runs the point with an explicit shard count, overriding the
+    /// spec's own `shards` field. The report is bit-identical at any
+    /// count (shard-equivalence suite) — this is how the executor applies
+    /// a budget decision without touching the memo key. Same panics as
+    /// [`PointSpec::evaluate`].
+    pub fn evaluate_sharded(&self, shards: usize) -> LoadPoint {
         #[cfg(debug_assertions)]
         self.preflight_verify();
         let wl = self
@@ -216,7 +224,7 @@ impl PointSpec {
         if self.probe || self.journeys || self.telemetry {
             sim = sim.with_probe(pc);
         }
-        let report = crate::shard::ShardedSimulation::new(sim, self.shards).run();
+        let report = crate::shard::ShardedSimulation::new(sim, shards).run();
         LoadPoint {
             offered: self.load,
             accepted: report.accepted_flit_rate,
@@ -231,14 +239,19 @@ impl PointSpec {
 /// memoization.
 ///
 /// Batches are deduplicated against the cache and against themselves,
-/// the misses are evaluated on scoped worker threads (inline when a
-/// single worker suffices), and results are returned in input order.
+/// the misses are handed to the two-level [`Executor`] (which decides,
+/// per wave, how many points run side by side and how many shards each
+/// gets — see `exec.rs`), and results are returned in input order.
 pub struct SimPool {
-    workers: usize,
+    exec: Executor,
     /// Memoized points keyed by the full spec rendering. Ordered so
     /// that nothing downstream (cache statistics, future dump/debug
     /// paths) can ever observe hash order.
     cache: Mutex<BTreeMap<String, LoadPoint>>,
+    /// Scheduling decisions of every miss batch, in batch order —
+    /// deterministic given the sequence of `run` calls, and surfaced by
+    /// [`SimPool::exec_summary_json`] for benchmark artifacts.
+    decisions: Mutex<Vec<Vec<ExecDecision>>>,
 }
 
 impl Default for SimPool {
@@ -248,28 +261,69 @@ impl Default for SimPool {
 }
 
 impl SimPool {
-    /// A pool sized to the machine's available parallelism.
+    /// A pool sized by [`crate::exec::default_workers`]: the
+    /// `OCIN_EXEC_WORKERS` override when set, else the machine's
+    /// available parallelism.
     pub fn new() -> SimPool {
-        let workers = thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        SimPool::with_workers(workers)
+        SimPool::with_executor(Executor::from_env())
     }
 
     /// A pool with an explicit worker count (clamped to at least 1).
     pub fn with_workers(workers: usize) -> SimPool {
+        SimPool::with_executor(Executor::new(workers))
+    }
+
+    /// A pool driving a caller-built executor.
+    pub fn with_executor(exec: Executor) -> SimPool {
         SimPool {
-            workers: workers.max(1),
+            exec,
             cache: Mutex::new(BTreeMap::new()),
+            decisions: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Caps the executor's per-point shard budget. A cap of 1 is the
+    /// point-parallel-only pool of PR 1–9 — benchmarks use it as the
+    /// baseline side of before/after comparisons.
+    pub fn with_budget_cap(mut self, cap: usize) -> SimPool {
+        self.exec = self.exec.with_budget_cap(cap);
+        self
     }
 
     /// Worker threads used for cache misses.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.exec.workers()
     }
 
     /// Number of distinct points memoized so far.
     pub fn cached_points(&self) -> usize {
         self.cache.lock().expect("cache lock").len()
+    }
+
+    /// The executor's scheduling decisions so far: one inner vector per
+    /// miss batch, in batch order, each entry recording the wave and
+    /// shard budget a point received. Deterministic for a given sequence
+    /// of [`SimPool::run`] calls.
+    pub fn exec_decisions(&self) -> Vec<Vec<ExecDecision>> {
+        self.decisions.lock().expect("decisions lock").clone()
+    }
+
+    /// The decisions rendered as one deterministic JSON object, e.g.
+    /// `{"workers":4,"batches":[[{"wave":0,"load":0.050000,"shards":1}]]}`
+    /// — folded into `BENCH_<sha>.json` as the `exec` summary block.
+    pub fn exec_summary_json(&self) -> String {
+        let batches: Vec<String> = self
+            .decisions
+            .lock()
+            .expect("decisions lock")
+            .iter()
+            .map(|b| Executor::decisions_json(b))
+            .collect();
+        format!(
+            "{{\"workers\":{},\"batches\":[{}]}}",
+            self.exec.workers(),
+            batches.join(",")
+        )
     }
 
     /// Evaluates every spec, reusing cached results, and returns the
@@ -295,35 +349,11 @@ impl SimPool {
         }
 
         if !misses.is_empty() {
-            let slots: Vec<Mutex<Option<LoadPoint>>> =
-                misses.iter().map(|_| Mutex::new(None)).collect();
-            let workers = self.workers.min(misses.len());
-            if workers <= 1 {
-                for (slot, &i) in slots.iter().zip(&misses) {
-                    *slot.lock().expect("slot lock") = Some(specs[i].evaluate());
-                }
-            } else {
-                let next = AtomicUsize::new(0);
-                thread::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(|| loop {
-                            let j = next.fetch_add(1, Ordering::Relaxed);
-                            if j >= misses.len() {
-                                break;
-                            }
-                            let point = specs[misses[j]].evaluate();
-                            *slots[j].lock().expect("slot lock") = Some(point);
-                        });
-                    }
-                });
-            }
+            let miss_specs: Vec<&PointSpec> = misses.iter().map(|&i| &specs[i]).collect();
+            let (points, plan) = self.exec.run_batch(&miss_specs);
+            self.decisions.lock().expect("decisions lock").push(plan);
             let mut cache = self.cache.lock().expect("cache lock");
-            for (slot, &i) in slots.iter().zip(&misses) {
-                let point = slot
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("every miss evaluated");
+            for (point, &i) in points.into_iter().zip(&misses) {
                 cache.insert(keys[i].clone(), point);
             }
         }
@@ -370,6 +400,20 @@ mod tests {
         assert_eq!(pooled, direct);
         // The duplicate load was deduplicated before evaluation.
         assert_eq!(pool.cached_points(), 2);
+    }
+
+    #[test]
+    fn exec_summary_records_miss_batches_only() {
+        let pool = SimPool::with_workers(4);
+        pool.run(&[spec(0.05), spec(0.1)]);
+        assert_eq!(pool.exec_decisions().len(), 1);
+        assert_eq!(pool.exec_decisions()[0].len(), 2);
+        assert!(pool
+            .exec_summary_json()
+            .starts_with("{\"workers\":4,\"batches\":[["));
+        // A fully cached batch schedules nothing.
+        pool.run(&[spec(0.05)]);
+        assert_eq!(pool.exec_decisions().len(), 1);
     }
 
     #[test]

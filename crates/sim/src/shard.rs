@@ -136,23 +136,22 @@ impl ShardedSimulation {
         let generator = &self.sim.generator;
         let matrix = &self.sim.matrix;
 
+        // Threads are borrowed from the executor seam (`exec.rs`), the
+        // workspace's one sanctioned spawn site; results come back in
+        // cell order regardless of finish order.
         let handles = self.sim.net.shard_handles();
-        let mut outs: Vec<WorkerOut> = std::thread::scope(|s| {
-            let joins: Vec<_> = handles
+        let mut outs: Vec<WorkerOut> = crate::exec::run_scoped(
+            handles
                 .into_iter()
                 .map(|h| {
                     let ctx = &ctx;
                     let flows = flows.clone();
                     let generator = generator.clone();
                     let matrix = matrix.clone();
-                    s.spawn(move || worker_loop::<P>(h, ctx, cfg, flows, generator, matrix))
+                    move || worker_loop::<P>(h, ctx, cfg, flows, generator, matrix)
                 })
-                .collect();
-            joins
-                .into_iter()
-                .map(|j| j.join().expect("shard worker panicked"))
-                .collect()
-        });
+                .collect(),
+        );
 
         let end_cycle = outs[0].end_cycle;
         self.sim.net.finish_sharded_run(end_cycle);
